@@ -1,0 +1,90 @@
+//! Garbled-buffer reporting (§3.1).
+//!
+//! "When the code responsible for writing the data… writes this buffer, it
+//! can compare the amount of data logged to this buffer with the buffer's
+//! size and report an anomaly if they do not match." The writer-side flag
+//! travels in each record; the reader adds structural decode checks; this
+//! module renders both, plus the in-stream dropped-event markers.
+
+use crate::model::Trace;
+use ktrace_format::ids::control;
+use ktrace_format::MajorId;
+use ktrace_io::RecordAnomaly;
+use std::fmt::Write as _;
+
+/// Total events dropped to consumer overrun, from DROPPED markers.
+pub fn dropped_events(trace: &Trace) -> u64 {
+    trace
+        .of_major(MajorId::CONTROL)
+        .filter(|e| e.minor == control::DROPPED)
+        .map(|e| e.payload.first().copied().unwrap_or(0))
+        .sum()
+}
+
+/// Renders a garble/drop report for a trace and its record anomalies.
+pub fn garble_report(trace: &Trace, anomalies: &[RecordAnomaly]) -> String {
+    let mut out = String::new();
+    let dropped = dropped_events(trace);
+    let _ = writeln!(
+        out,
+        "{} record(s) anomalous, {} event(s) dropped to overrun",
+        anomalies.len(),
+        dropped
+    );
+    for a in anomalies {
+        let _ = write!(
+            out,
+            "record {} (cpu {} seq {}): {}",
+            a.record,
+            a.cpu,
+            a.seq,
+            if a.complete { "commit count ok" } else { "COMMIT COUNT MISMATCH" }
+        );
+        if a.notes.is_empty() {
+            out.push('\n');
+        } else {
+            let _ = writeln!(out, "; {} structural note(s): {:?}", a.notes.len(), a.notes);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testutil::{ev, trace};
+    use ktrace_core::reader::GarbleNote;
+
+    #[test]
+    fn sums_dropped_markers() {
+        let t = trace(vec![
+            ev(0, 1, MajorId::CONTROL, control::DROPPED, &[5]),
+            ev(0, 2, MajorId::CONTROL, control::DROPPED, &[3]),
+            ev(0, 3, MajorId::TEST, 1, &[]),
+        ]);
+        assert_eq!(dropped_events(&t), 8);
+    }
+
+    #[test]
+    fn report_lists_anomalies() {
+        let t = trace(vec![ev(0, 1, MajorId::CONTROL, control::DROPPED, &[2])]);
+        let anomalies = vec![RecordAnomaly {
+            record: 4,
+            cpu: 1,
+            seq: 9,
+            complete: false,
+            notes: vec![GarbleNote::ZeroHeader { offset: 17 }],
+        }];
+        let s = garble_report(&t, &anomalies);
+        assert!(s.contains("1 record(s) anomalous, 2 event(s) dropped"), "{s}");
+        assert!(s.contains("record 4 (cpu 1 seq 9): COMMIT COUNT MISMATCH"));
+        assert!(s.contains("ZeroHeader"));
+    }
+
+    #[test]
+    fn clean_report() {
+        let t = trace(vec![ev(0, 1, MajorId::TEST, 1, &[])]);
+        let s = garble_report(&t, &[]);
+        assert!(s.starts_with("0 record(s) anomalous, 0 event(s) dropped"));
+    }
+}

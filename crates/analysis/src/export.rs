@@ -1,0 +1,153 @@
+//! Exporting traces for foreign toolkits (§5 future work).
+//!
+//! "An immediate area of future work is converting the output stream
+//! produced by K42's trace facility so that it can be read by LTT's visual
+//! display toolkit." This module provides two lossless, line-oriented export
+//! formats external tools can ingest:
+//!
+//! * [`to_csv`] — one event per row: time, cpu, major, minor, name,
+//!   rendered description, raw payload words;
+//! * [`to_jsonl`] — one JSON object per line (hand-encoded; the values are
+//!   numbers and strings only, so no JSON library is needed).
+
+use crate::model::Trace;
+use std::fmt::Write as _;
+
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the trace as CSV with a header row. Control events (fillers,
+/// anchors) are omitted unless `include_control`.
+pub fn to_csv(trace: &Trace, include_control: bool) -> String {
+    let mut out = String::from("time_ns,cpu,major,minor,name,description,payload\n");
+    for e in &trace.events {
+        if e.is_control() && !include_control {
+            continue;
+        }
+        let (name, desc) = match trace.registry.lookup(e.major, e.minor) {
+            Some(d) => (
+                d.name.clone(),
+                d.describe(&e.payload).unwrap_or_else(|_| String::new()),
+            ),
+            None => (format!("{}_{}", e.major, e.minor), String::new()),
+        };
+        let payload: Vec<String> = e.payload.iter().map(|w| format!("{w:x}")).collect();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            e.time,
+            e.cpu,
+            e.major,
+            e.minor,
+            csv_escape(&name),
+            csv_escape(&desc),
+            csv_escape(&payload.join(" "))
+        );
+    }
+    out
+}
+
+/// Renders the trace as JSON Lines.
+pub fn to_jsonl(trace: &Trace, include_control: bool) -> String {
+    let mut out = String::new();
+    for e in &trace.events {
+        if e.is_control() && !include_control {
+            continue;
+        }
+        let name = trace
+            .registry
+            .lookup(e.major, e.minor)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|| format!("{}_{}", e.major, e.minor));
+        let payload: Vec<String> = e.payload.iter().map(|w| w.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "{{\"time_ns\":{},\"cpu\":{},\"major\":\"{}\",\"minor\":{},\"name\":\"{}\",\"payload\":[{}]}}",
+            e.time,
+            e.cpu,
+            json_escape(&e.major.to_string()),
+            e.minor,
+            json_escape(&name),
+            payload.join(",")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testutil::{ev, trace};
+    use ktrace_events::exception;
+    use ktrace_format::ids::control;
+    use ktrace_format::MajorId;
+
+    fn sample() -> Trace {
+        trace(vec![
+            ev(0, 100, MajorId::EXCEPTION, exception::PGFLT, &[0x1, 0x405e628]),
+            ev(1, 200, MajorId::CONTROL, control::FILLER, &[]),
+            ev(1, 300, MajorId::TEST, 5, &[7, 8]),
+        ])
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let s = to_csv(&sample(), false);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3, "{s}"); // header + 2 data events
+        assert!(lines[0].starts_with("time_ns,cpu,"));
+        assert!(lines[1].contains("TRC_EXCEPTION_PGFLT"));
+        assert!(lines[1].contains("faultAddr 405e628"));
+        assert!(lines[2].contains("TEST_5"));
+        // Control events included on demand.
+        assert_eq!(to_csv(&sample(), true).lines().count(), 4);
+    }
+
+    #[test]
+    fn csv_escapes_fields_with_commas() {
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn jsonl_lines_are_wellformed() {
+        let s = to_jsonl(&sample(), false);
+        for line in s.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"time_ns\":"));
+            // Balanced quotes: crude but effective well-formedness check.
+            assert_eq!(line.matches('"').count() % 2, 0);
+        }
+        assert!(s.contains("\"payload\":[7,8]"));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,174 @@
+//! Hardware-counter analysis (§2).
+//!
+//! "The trace infrastructure may be used to study memory bottlenecks, memory
+//! hot-spots, and other I/O interactions by logging hardware counter events,
+//! e.g., cache-line misses. Integrating the hardware counter mechanism and
+//! the tracing infrastructure allows the counters to be sampled and
+//! understood at various stages throughout the programs or operating
+//! systems execution."
+//!
+//! [`CounterReport`] aggregates the `HWPERF` samples: totals and rates per
+//! counter per CPU, plus a bucketed ASCII intensity strip per counter that
+//! lines up with the Fig. 4 timeline, so a cache-miss hot-spot can be
+//! matched to the activity that caused it.
+
+use crate::model::Trace;
+use crate::table::{Align, TextTable};
+use ktrace_events::{counter, hwperf};
+use ktrace_format::MajorId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated hardware-counter samples.
+#[derive(Debug, Clone, Default)]
+pub struct CounterReport {
+    /// (counter id, cpu) → total delta observed.
+    pub totals: BTreeMap<(u64, usize), u64>,
+    /// counter id → time-ordered (time, delta) samples across CPUs.
+    pub samples: BTreeMap<u64, Vec<(u64, u64)>>,
+    /// Trace bounds, for rate computation.
+    pub origin: u64,
+    /// End of the trace window.
+    pub end: u64,
+    /// Ticks per second.
+    pub ticks_per_sec: u64,
+}
+
+impl CounterReport {
+    /// Collects every `HWPERF` sample in the trace.
+    pub fn compute(trace: &Trace) -> CounterReport {
+        let mut report = CounterReport {
+            origin: trace.origin(),
+            end: trace.end(),
+            ticks_per_sec: trace.ticks_per_sec,
+            ..Default::default()
+        };
+        for e in trace.of_major(MajorId::HWPERF) {
+            if e.minor == hwperf::COUNTER_SAMPLE && e.payload.len() >= 3 {
+                let (id, delta) = (e.payload[0], e.payload[2]);
+                *report.totals.entry((id, e.cpu)).or_default() += delta;
+                report.samples.entry(id).or_default().push((e.time, delta));
+            }
+        }
+        report
+    }
+
+    /// Total across CPUs for one counter.
+    pub fn total(&self, id: u64) -> u64 {
+        self.totals.iter().filter(|&(&(c, _), _)| c == id).map(|(_, &v)| v).sum()
+    }
+
+    /// An ASCII intensity strip (`.:-=+*#%@`) of one counter over `width`
+    /// buckets — the "understand at various stages" view.
+    pub fn intensity_strip(&self, id: u64, width: usize) -> String {
+        let width = width.max(1);
+        let span = (self.end.saturating_sub(self.origin)).max(1);
+        let mut buckets = vec![0u64; width];
+        if let Some(samples) = self.samples.get(&id) {
+            for &(t, delta) in samples {
+                let b = ((t.saturating_sub(self.origin)) as u128 * width as u128
+                    / span as u128) as usize;
+                buckets[b.min(width - 1)] += delta;
+            }
+        }
+        let max = buckets.iter().copied().max().unwrap_or(0).max(1);
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        buckets
+            .iter()
+            .map(|&v| RAMP[(v as u128 * (RAMP.len() - 1) as u128 / max as u128) as usize] as char)
+            .collect()
+    }
+
+    /// Renders the totals table plus intensity strips.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::from("hardware counters (from HWPERF trace events):\n");
+        let mut t = TextTable::new(&[
+            ("counter", Align::Left),
+            ("cpu", Align::Right),
+            ("total", Align::Right),
+            ("rate/s", Align::Right),
+        ]);
+        let secs =
+            (self.end.saturating_sub(self.origin)) as f64 / self.ticks_per_sec as f64;
+        for (&(id, cpu), &total) in &self.totals {
+            t.row(vec![
+                counter::name(id).to_string(),
+                cpu.to_string(),
+                total.to_string(),
+                if secs > 0.0 { format!("{:.0}", total as f64 / secs) } else { "-".into() },
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+        for &id in self.samples.keys() {
+            let _ = writeln!(out, "{:>13} |{}|", counter::name(id), self.intensity_strip(id, width));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testutil::{ev, trace};
+
+    fn sample_trace() -> Trace {
+        let mut events = Vec::new();
+        // Cache misses concentrated in the middle of the run.
+        for i in 0..10u64 {
+            let delta = if (4..7).contains(&i) { 500 } else { 5 };
+            events.push(ev(
+                0,
+                i * 1000,
+                MajorId::HWPERF,
+                hwperf::COUNTER_SAMPLE,
+                &[counter::CACHE_MISSES, 1000 + i * delta, delta],
+            ));
+            events.push(ev(
+                1,
+                i * 1000 + 1,
+                MajorId::HWPERF,
+                hwperf::COUNTER_SAMPLE,
+                &[counter::CYCLES, i * 1000, 1000],
+            ));
+        }
+        trace(events)
+    }
+
+    #[test]
+    fn totals_per_counter_per_cpu() {
+        let r = CounterReport::compute(&sample_trace());
+        assert_eq!(r.total(counter::CYCLES), 10_000);
+        assert_eq!(r.total(counter::CACHE_MISSES), 7 * 5 + 3 * 500);
+        assert_eq!(r.totals[&(counter::CYCLES, 1)], 10_000);
+        assert!(!r.totals.contains_key(&(counter::CYCLES, 0)));
+    }
+
+    #[test]
+    fn intensity_strip_highlights_the_hotspot() {
+        let r = CounterReport::compute(&sample_trace());
+        let strip = r.intensity_strip(counter::CACHE_MISSES, 10);
+        assert_eq!(strip.len(), 10);
+        // The hot middle buckets use denser glyphs than the cool edges.
+        let ramp = " .:-=+*#%@";
+        let weight = |c: char| ramp.find(c).unwrap();
+        assert!(weight(strip.chars().nth(5).unwrap()) > weight(strip.chars().next().unwrap()));
+    }
+
+    #[test]
+    fn render_contains_names_and_strips() {
+        let r = CounterReport::compute(&sample_trace());
+        let s = r.render(20);
+        assert!(s.contains("cache_misses"), "{s}");
+        assert!(s.contains("cycles"));
+        assert!(s.contains("rate/s"));
+        assert!(s.contains('|'));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        let r = CounterReport::compute(&trace(vec![]));
+        assert_eq!(r.total(counter::CYCLES), 0);
+        assert!(r.render(10).contains("hardware counters"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Minimal fixed-width text tables for tool output.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (names, chains).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple text table: header row + data rows, auto-sized columns.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given columns.
+    pub fn new(columns: &[(&str, Align)]) -> TextTable {
+        TextTable {
+            header: columns.iter().map(|(n, _)| n.to_string()).collect(),
+            aligns: columns.iter().map(|&(_, a)| a).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut TextTable {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders to a string with two-space column gaps.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let pad = widths[i].saturating_sub(cell.len());
+                match self.aligns[i] {
+                    Align::Right => {
+                        out.extend(std::iter::repeat_n(' ', pad));
+                        out.push_str(cell);
+                    }
+                    Align::Left => {
+                        out.push_str(cell);
+                        if i + 1 < ncols {
+                            out.extend(std::iter::repeat_n(' ', pad));
+                        }
+                    }
+                }
+            }
+            out.push('\n');
+        };
+        emit(&self.header, &mut out);
+        for row in &self.rows {
+            emit(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats nanoseconds as seconds with 9 decimal places (Fig. 7 style).
+pub fn ns_as_secs(ns: u64) -> String {
+    format!("{}.{:09}", ns / 1_000_000_000, ns % 1_000_000_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&[("name", Align::Left), ("count", Align::Right)]);
+        t.row(vec!["a".into(), "5".into()]);
+        t.row(vec!["longer".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "name    count");
+        assert_eq!(lines[1], "a           5");
+        assert_eq!(lines[2], "longer  12345");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        TextTable::new(&[("a", Align::Left)]).row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(ns_as_secs(3_466_320_753), "3.466320753");
+        assert_eq!(ns_as_secs(42), "0.000000042");
+    }
+}

@@ -1,0 +1,325 @@
+//! The kmon-style timeline (Fig. 4, §4.3).
+//!
+//! "The timeline in the top middle provides a bird's eye view of the events
+//! occurring in the system… The user can zoom in or out… Other aspects of
+//! the tool allow specific events to be marked and counted."
+//!
+//! [`Timeline::build`] buckets each CPU's activity over a window into one
+//! character per column — idle, user, kernel, page fault, IPC, lock wait —
+//! and adds a marker row per requested event name. Rendering targets are
+//! ASCII (terminal) and SVG (file); the semantics (lanes, marks, zoom via
+//! window) are the paper's, only the pixels differ.
+
+use crate::model::Trace;
+use ktrace_events::{exception, lock as lockev, sched, syscall as sysev};
+use ktrace_format::MajorId;
+use std::fmt::Write as _;
+
+/// Per-bucket CPU activity classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activity {
+    /// No task running.
+    Idle,
+    /// User-mode computation.
+    User,
+    /// In a system call or other kernel path.
+    Kernel,
+    /// Handling a page fault.
+    Fault,
+    /// Inside a PPC/IPC server call.
+    Ipc,
+    /// Spinning/waiting on a lock.
+    LockWait,
+}
+
+impl Activity {
+    /// One-character cell for the ASCII rendering.
+    pub fn glyph(self) -> char {
+        match self {
+            Activity::Idle => '.',
+            Activity::User => 'U',
+            Activity::Kernel => 'K',
+            Activity::Fault => 'F',
+            Activity::Ipc => 'I',
+            Activity::LockWait => 'L',
+        }
+    }
+
+    /// Fill colour for the SVG rendering.
+    pub fn color(self) -> &'static str {
+        match self {
+            Activity::Idle => "#dddddd",
+            Activity::User => "#4c78a8",
+            Activity::Kernel => "#e45756",
+            Activity::Fault => "#f58518",
+            Activity::Ipc => "#72b7b2",
+            Activity::LockWait => "#b279a2",
+        }
+    }
+}
+
+/// Timeline construction options.
+#[derive(Debug, Clone)]
+pub struct TimelineOptions {
+    /// Buckets per lane (display width).
+    pub width: usize,
+    /// Window start in absolute ticks (`None` = trace origin) — zooming is
+    /// just re-building with a narrower window.
+    pub t0: Option<u64>,
+    /// Window end in absolute ticks (`None` = trace end).
+    pub t1: Option<u64>,
+    /// Event names (registry names) to mark below the lanes.
+    pub marks: Vec<String>,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> TimelineOptions {
+        TimelineOptions { width: 100, t0: None, t1: None, marks: Vec::new() }
+    }
+}
+
+/// A built timeline: one activity lane per CPU plus mark rows.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// Window start (ticks).
+    pub t0: u64,
+    /// Window end (ticks).
+    pub t1: u64,
+    /// `lanes[cpu][bucket]`.
+    pub lanes: Vec<Vec<Activity>>,
+    /// `(name, count_in_window, buckets-with-occurrence)` per mark.
+    pub marks: Vec<(String, u64, Vec<bool>)>,
+    ticks_per_sec: u64,
+}
+
+impl Timeline {
+    /// Buckets the trace into lanes.
+    pub fn build(trace: &Trace, opts: &TimelineOptions) -> Timeline {
+        let t0 = opts.t0.unwrap_or_else(|| trace.origin());
+        let t1 = opts.t1.unwrap_or_else(|| trace.end().max(t0 + 1));
+        let width = opts.width.max(1);
+        let span = (t1 - t0).max(1);
+        let ncpus = trace.events.iter().map(|e| e.cpu + 1).max().unwrap_or(1);
+        let bucket_of = |t: u64| -> usize {
+            (((t.saturating_sub(t0)) as u128 * width as u128 / span as u128) as usize)
+                .min(width - 1)
+        };
+
+        // Replay each CPU's state changes and paint buckets from each change
+        // point to the next.
+        let mut lanes = vec![vec![Activity::Idle; width]; ncpus];
+        let mut state: Vec<Activity> = vec![Activity::Idle; ncpus];
+        let mut since: Vec<u64> = vec![t0; ncpus];
+        let paint = |lane: &mut [Activity], from: u64, to: u64, a: Activity| {
+            if to <= t0 || from >= t1 {
+                return;
+            }
+            let (lo, hi) = (bucket_of(from.max(t0)), bucket_of(to.min(t1)));
+            for cell in &mut lane[lo..=hi] {
+                *cell = a;
+            }
+        };
+        for e in &trace.events {
+            let c = e.cpu;
+            let next = match (e.major, e.minor) {
+                (MajorId::SCHED, sched::IDLE_START) => Some(Activity::Idle),
+                (MajorId::SCHED, sched::IDLE_END | sched::CTX_SWITCH) => Some(Activity::User),
+                (MajorId::SYSCALL, sysev::ENTRY) => Some(Activity::Kernel),
+                (MajorId::SYSCALL, sysev::EXIT) => Some(Activity::User),
+                (MajorId::EXCEPTION, exception::PGFLT) => Some(Activity::Fault),
+                (MajorId::EXCEPTION, exception::PGFLT_DONE) => Some(Activity::User),
+                (MajorId::EXCEPTION, exception::PPC_CALL) => Some(Activity::Ipc),
+                (MajorId::EXCEPTION, exception::PPC_RETURN) => Some(Activity::Kernel),
+                (MajorId::LOCK, lockev::REQUEST) => Some(Activity::LockWait),
+                (MajorId::LOCK, lockev::ACQUIRED) => Some(Activity::Kernel),
+                _ => None,
+            };
+            if let Some(next) = next {
+                paint(&mut lanes[c], since[c], e.time, state[c]);
+                state[c] = next;
+                since[c] = e.time;
+            }
+        }
+        for c in 0..ncpus {
+            paint(&mut lanes[c], since[c], t1, state[c]);
+        }
+
+        // Marks: "allow specific events to be marked and counted".
+        let marks = opts
+            .marks
+            .iter()
+            .map(|name| {
+                let target = trace.registry.by_name(name).map(|(maj, min, _)| (maj, min));
+                let mut cells = vec![false; width];
+                let mut count = 0;
+                if let Some((maj, min)) = target {
+                    for e in &trace.events {
+                        if e.major == maj && e.minor == min && e.time >= t0 && e.time < t1 {
+                            cells[bucket_of(e.time)] = true;
+                            count += 1;
+                        }
+                    }
+                }
+                (name.clone(), count, cells)
+            })
+            .collect();
+
+        Timeline { t0, t1, lanes, marks, ticks_per_sec: trace.ticks_per_sec }
+    }
+
+    /// ASCII rendering: one line per CPU plus mark rows and a legend.
+    pub fn render_ascii(&self) -> String {
+        let mut out = String::new();
+        let span_s = (self.t1 - self.t0) as f64 / self.ticks_per_sec as f64;
+        let _ = writeln!(out, "timeline: {span_s:.6}s window, {} buckets", self.lanes.first().map_or(0, Vec::len));
+        for (c, lane) in self.lanes.iter().enumerate() {
+            let cells: String = lane.iter().map(|a| a.glyph()).collect();
+            let _ = writeln!(out, "cpu{c:<2} |{cells}|");
+        }
+        for (name, count, cells) in &self.marks {
+            let row: String = cells.iter().map(|&b| if b { '^' } else { ' ' }).collect();
+            let _ = writeln!(out, "      |{row}| {name} x{count}");
+        }
+        out.push_str("legend: .=idle U=user K=kernel F=fault I=ipc L=lock-wait\n");
+        out
+    }
+
+    /// SVG rendering of the same lanes.
+    pub fn render_svg(&self) -> String {
+        let width = self.lanes.first().map_or(0, Vec::len);
+        let cell_w = 8;
+        let lane_h = 18;
+        let total_w = width * cell_w + 60;
+        let total_h = (self.lanes.len() + self.marks.len()) * lane_h + 30;
+        let mut out = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{total_w}\" height=\"{total_h}\" font-family=\"monospace\" font-size=\"11\">\n"
+        );
+        for (c, lane) in self.lanes.iter().enumerate() {
+            let y = c * lane_h + 10;
+            let _ = writeln!(out, "<text x=\"2\" y=\"{}\">cpu{c}</text>", y + 12);
+            let mut run_start = 0usize;
+            // Merge adjacent equal cells into one rect.
+            for i in 1..=lane.len() {
+                if i == lane.len() || lane[i] != lane[run_start] {
+                    let _ = writeln!(
+                        out,
+                        "<rect x=\"{}\" y=\"{y}\" width=\"{}\" height=\"{}\" fill=\"{}\"/>",
+                        40 + run_start * cell_w,
+                        (i - run_start) * cell_w,
+                        lane_h - 3,
+                        lane[run_start].color()
+                    );
+                    run_start = i;
+                }
+            }
+        }
+        for (m, (name, count, cells)) in self.marks.iter().enumerate() {
+            let y = (self.lanes.len() + m) * lane_h + 10;
+            let _ = writeln!(out, "<text x=\"2\" y=\"{}\">{name} x{count}</text>", y + 12);
+            for (i, &hit) in cells.iter().enumerate() {
+                if hit {
+                    let _ = writeln!(
+                        out,
+                        "<rect x=\"{}\" y=\"{y}\" width=\"2\" height=\"{}\" fill=\"#000\"/>",
+                        40 + i * cell_w,
+                        lane_h - 3
+                    );
+                }
+            }
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testutil::{ev, trace};
+
+    fn scenario() -> Trace {
+        trace(vec![
+            ev(0, 0, MajorId::SCHED, sched::CTX_SWITCH, &[0, 1, 5]),
+            ev(0, 400, MajorId::SYSCALL, sysev::ENTRY, &[5, 1, 2]),
+            ev(0, 600, MajorId::SYSCALL, sysev::EXIT, &[5, 1, 2]),
+            ev(0, 800, MajorId::SCHED, sched::IDLE_START, &[]),
+            ev(1, 0, MajorId::SCHED, sched::IDLE_START, &[]),
+            ev(1, 500, MajorId::SCHED, sched::CTX_SWITCH, &[0, 2, 6]),
+            ev(1, 990, MajorId::EXCEPTION, exception::PGFLT, &[2, 0x1000]),
+            ev(0, 1000, MajorId::TEST, 9, &[]),
+        ])
+    }
+
+    #[test]
+    fn lanes_reflect_activity_phases() {
+        let t = scenario();
+        let tl = Timeline::build(&t, &TimelineOptions { width: 10, ..Default::default() });
+        assert_eq!(tl.lanes.len(), 2);
+        // cpu0: user 0-400 (buckets 0-3), kernel 4-5, user, idle 8+.
+        assert_eq!(tl.lanes[0][0], Activity::User);
+        assert_eq!(tl.lanes[0][4], Activity::Kernel);
+        assert_eq!(tl.lanes[0][9], Activity::Idle);
+        // cpu1: idle first half, user second half, fault at the end.
+        assert_eq!(tl.lanes[1][0], Activity::Idle);
+        assert_eq!(tl.lanes[1][6], Activity::User);
+        assert_eq!(tl.lanes[1][9], Activity::Fault);
+    }
+
+    #[test]
+    fn zoom_window_narrows_view() {
+        let t = scenario();
+        let full = Timeline::build(&t, &TimelineOptions { width: 10, ..Default::default() });
+        let zoom = Timeline::build(
+            &t,
+            &TimelineOptions { width: 10, t0: Some(400), t1: Some(600), ..Default::default() },
+        );
+        assert_eq!(zoom.t0, 400);
+        assert_eq!(zoom.t1, 600);
+        // The whole zoomed lane is the kernel section.
+        assert!(zoom.lanes[0].iter().all(|&a| a == Activity::Kernel));
+        assert_ne!(full.lanes[0][0], Activity::Kernel);
+    }
+
+    #[test]
+    fn marks_count_named_events() {
+        let t = scenario();
+        let tl = Timeline::build(
+            &t,
+            &TimelineOptions {
+                width: 10,
+                marks: vec!["TRACE_SYSCALL_ENTRY".into(), "NO_SUCH_EVENT".into()],
+                ..Default::default()
+            },
+        );
+        assert_eq!(tl.marks[0].1, 1);
+        assert!(tl.marks[0].2[4], "mark lands in the entry bucket");
+        assert_eq!(tl.marks[1].1, 0);
+    }
+
+    #[test]
+    fn ascii_rendering_shape() {
+        let t = scenario();
+        let tl = Timeline::build(
+            &t,
+            &TimelineOptions { width: 20, marks: vec!["TRACE_SYSCALL_ENTRY".into()], ..Default::default() },
+        );
+        let s = tl.render_ascii();
+        assert!(s.contains("cpu0  |"), "{s}");
+        assert!(s.contains("cpu1  |"));
+        assert!(s.contains("legend:"));
+        assert!(s.contains("TRACE_SYSCALL_ENTRY x1"));
+        let lane_line = s.lines().find(|l| l.starts_with("cpu0")).unwrap();
+        assert_eq!(lane_line.matches(['U', 'K', '.', 'F', 'I', 'L']).count(), 20);
+    }
+
+    #[test]
+    fn svg_rendering_contains_rects() {
+        let t = scenario();
+        let tl = Timeline::build(&t, &TimelineOptions { width: 10, ..Default::default() });
+        let svg = tl.render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.matches("<rect").count() >= 4, "{svg}");
+        assert!(svg.contains(Activity::Kernel.color()));
+    }
+}

@@ -1,0 +1,225 @@
+//! CPU utilization and idle-gap detection (§4's first discovery).
+//!
+//! "With it we noticed large idle periods on many processors when the
+//! benchmark started. These idle periods were clearly visible using the
+//! graphics visualizer but would have been difficult to discover via other
+//! methods. The excessive idle periods were caused by poor coordination
+//! between the timing and start routines of the benchmark."
+//!
+//! [`Utilization`] computes per-CPU busy/idle fractions from the scheduler
+//! events and surfaces the largest idle gaps, so the "10ms chunk that would
+//! have been in the noise for any summarizing tool" (§4.3) gets a name, a
+//! CPU, and a start time.
+
+use crate::model::Trace;
+use crate::table::{Align, TextTable};
+use ktrace_events::sched;
+use ktrace_format::MajorId;
+use std::fmt::Write as _;
+
+/// One CPU's accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuUtil {
+    /// Idle time (ticks) attributed from IDLE_START/IDLE_END pairs and the
+    /// lead-in before the CPU's first activity.
+    pub idle_ticks: u64,
+    /// Busy time (span minus idle).
+    pub busy_ticks: u64,
+    /// The longest single idle gap: (start tick, length).
+    pub longest_gap: (u64, u64),
+}
+
+impl CpuUtil {
+    /// Busy fraction of the observed span.
+    pub fn utilization(&self) -> f64 {
+        let total = self.idle_ticks + self.busy_ticks;
+        if total == 0 {
+            return 0.0;
+        }
+        self.busy_ticks as f64 / total as f64
+    }
+}
+
+/// Per-CPU utilization over the trace span.
+#[derive(Debug, Clone, Default)]
+pub struct Utilization {
+    /// Indexed by CPU.
+    pub cpus: Vec<CpuUtil>,
+    /// Trace span in ticks.
+    pub span: u64,
+    /// Clock rate.
+    pub ticks_per_sec: u64,
+}
+
+impl Utilization {
+    /// Replays IDLE_START / IDLE_END / first-activity edges.
+    pub fn compute(trace: &Trace) -> Utilization {
+        let ncpus = trace.events.iter().map(|e| e.cpu + 1).max().unwrap_or(0);
+        let origin = trace.origin();
+        let end = trace.end();
+        let mut cpus = vec![CpuUtil::default(); ncpus];
+        // idle_since[c]: Some(t) while CPU c is idle (or not yet started).
+        let mut idle_since: Vec<Option<u64>> = vec![Some(origin); ncpus];
+        let close_gap = |util: &mut CpuUtil, from: u64, to: u64| {
+            let len = to.saturating_sub(from);
+            util.idle_ticks += len;
+            if len > util.longest_gap.1 {
+                util.longest_gap = (from, len);
+            }
+        };
+        for e in &trace.events {
+            if e.is_control() {
+                continue;
+            }
+            let c = e.cpu;
+            match (e.major, e.minor) {
+                (MajorId::SCHED, sched::IDLE_START) => {
+                    idle_since[c].get_or_insert(e.time);
+                }
+                _ => {
+                    // Any other activity (including IDLE_END) ends an idle
+                    // period on this CPU.
+                    if let Some(from) = idle_since[c].take() {
+                        close_gap(&mut cpus[c], from, e.time);
+                    }
+                }
+            }
+        }
+        for (c, since) in idle_since.into_iter().enumerate() {
+            if let Some(from) = since {
+                close_gap(&mut cpus[c], from, end);
+            }
+        }
+        let span = end.saturating_sub(origin);
+        for util in &mut cpus {
+            util.busy_ticks = span.saturating_sub(util.idle_ticks);
+        }
+        Utilization { cpus, span, ticks_per_sec: trace.ticks_per_sec }
+    }
+
+    /// Mean utilization across CPUs.
+    pub fn mean(&self) -> f64 {
+        if self.cpus.is_empty() {
+            return 0.0;
+        }
+        self.cpus.iter().map(CpuUtil::utilization).sum::<f64>() / self.cpus.len() as f64
+    }
+
+    /// Renders the per-CPU table, flagging gaps larger than
+    /// `gap_threshold_ticks`.
+    pub fn render(&self, trace: &Trace, gap_threshold_ticks: u64) -> String {
+        let mut t = TextTable::new(&[
+            ("cpu", Align::Right),
+            ("busy", Align::Right),
+            ("idle", Align::Right),
+            ("util", Align::Right),
+            ("longest gap", Align::Right),
+            ("at", Align::Right),
+        ]);
+        let us = |ticks: u64| {
+            format!("{:.1}us", ticks as f64 * 1e6 / self.ticks_per_sec as f64)
+        };
+        for (c, u) in self.cpus.iter().enumerate() {
+            t.row(vec![
+                c.to_string(),
+                us(u.busy_ticks),
+                us(u.idle_ticks),
+                format!("{:.0}%", 100.0 * u.utilization()),
+                us(u.longest_gap.1),
+                format!("{:.6}s", trace.seconds(u.longest_gap.0)),
+            ]);
+        }
+        let mut out = format!(
+            "utilization over {:.1}us span, mean {:.0}%:\n",
+            self.span as f64 * 1e6 / self.ticks_per_sec as f64,
+            100.0 * self.mean()
+        );
+        out.push_str(&t.render());
+        let flagged: Vec<String> = self
+            .cpus
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.longest_gap.1 > gap_threshold_ticks)
+            .map(|(c, u)| {
+                format!(
+                    "cpu{c}: {} idle starting at {:.6}s",
+                    us(u.longest_gap.1),
+                    trace.seconds(u.longest_gap.0)
+                )
+            })
+            .collect();
+        if flagged.is_empty() {
+            out.push_str("no idle gaps over threshold\n");
+        } else {
+            let _ = writeln!(out, "ANOMALOUS IDLE GAPS (threshold {}):", us(gap_threshold_ticks));
+            for f in flagged {
+                let _ = writeln!(out, "  {f}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::testutil::{ev, trace};
+
+    fn scenario() -> Trace {
+        trace(vec![
+            // cpu0: busy from the start, one 2000-tick idle gap.
+            ev(0, 0, MajorId::SCHED, sched::CTX_SWITCH, &[0, 1, 2]),
+            ev(0, 1_000, MajorId::SCHED, sched::IDLE_START, &[]),
+            ev(0, 3_000, MajorId::SCHED, sched::IDLE_END, &[2_000]),
+            ev(0, 10_000, MajorId::TEST, 1, &[]),
+            // cpu1: idle until 6_000 (the "poor start coordination" shape).
+            ev(1, 6_000, MajorId::SCHED, sched::CTX_SWITCH, &[0, 2, 3]),
+            ev(1, 10_000, MajorId::TEST, 1, &[]),
+        ])
+    }
+
+    #[test]
+    fn accounts_idle_and_busy() {
+        let u = Utilization::compute(&scenario());
+        assert_eq!(u.cpus.len(), 2);
+        // cpu0: lead-in 0 (event at origin) + gap 2000.
+        assert_eq!(u.cpus[0].idle_ticks, 2_000);
+        assert_eq!(u.cpus[0].busy_ticks, 8_000);
+        assert_eq!(u.cpus[0].longest_gap, (1_000, 2_000));
+        // cpu1: idle lead-in of 6000 ticks.
+        assert_eq!(u.cpus[1].idle_ticks, 6_000);
+        assert_eq!(u.cpus[1].longest_gap, (0, 6_000));
+        assert!((u.cpus[0].utilization() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_and_render_flag_gaps() {
+        let t = scenario();
+        let u = Utilization::compute(&t);
+        assert!(u.mean() > 0.5 && u.mean() < 0.8);
+        let s = u.render(&t, 3_000);
+        assert!(s.contains("ANOMALOUS IDLE GAPS"), "{s}");
+        assert!(s.contains("cpu1"), "{s}");
+        assert!(!s.contains("cpu0:"), "cpu0's 2us gap is under threshold: {s}");
+        let quiet = u.render(&t, 10_000);
+        assert!(quiet.contains("no idle gaps over threshold"));
+    }
+
+    #[test]
+    fn trailing_idle_counts_to_trace_end() {
+        let t = trace(vec![
+            ev(0, 0, MajorId::SCHED, sched::CTX_SWITCH, &[0, 1, 2]),
+            ev(0, 1_000, MajorId::SCHED, sched::IDLE_START, &[]),
+            ev(0, 5_000, MajorId::TEST, 9, &[]), // on another... same cpu: ends idle
+        ]);
+        let u = Utilization::compute(&t);
+        assert_eq!(u.cpus[0].idle_ticks, 4_000);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let u = Utilization::compute(&trace(vec![]));
+        assert!(u.cpus.is_empty());
+        assert_eq!(u.mean(), 0.0);
+    }
+}

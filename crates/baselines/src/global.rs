@@ -1,0 +1,83 @@
+//! One shared buffer for all CPUs (no per-CPU split).
+//!
+//! This baseline uses *exactly* the same variable-length lockless algorithm
+//! as the core — the same CAS reservation, fillers, and anchors — but a
+//! single region shared by every CPU. The reservation index becomes one
+//! contended cache line bounced between all processors, isolating the win of
+//! the paper's per-processor buffers ("all accesses to trace structures on
+//! separate processors to be independent, thereby yielding good
+//! scalability", §2). Experiment E5 plots the two against each other.
+
+use crate::sink::EventSink;
+use ktrace_clock::ClockSource;
+use ktrace_core::region::CpuRegion;
+use ktrace_core::TraceConfig;
+use ktrace_format::{MajorId, MinorId};
+use std::sync::Arc;
+
+/// Single-region CAS logger shared by every CPU.
+pub struct GlobalCasSink {
+    region: CpuRegion,
+}
+
+impl GlobalCasSink {
+    /// Builds the shared region (flight-recorder mode so it wraps forever).
+    pub fn new(config: TraceConfig, clock: Arc<dyn ClockSource>) -> GlobalCasSink {
+        GlobalCasSink { region: CpuRegion::new(config.flight_recorder(), clock, 0) }
+    }
+
+    /// The shared region, for snapshot-based inspection.
+    pub fn region(&self) -> &CpuRegion {
+        &self.region
+    }
+}
+
+impl EventSink for GlobalCasSink {
+    #[inline]
+    fn log(&self, _cpu: usize, major: MajorId, minor: MinorId, payload: &[u64]) -> bool {
+        self.region.log_raw(major, minor, payload).is_ok()
+    }
+
+    fn events_logged(&self) -> u64 {
+        self.region.events_logged()
+    }
+
+    fn name(&self) -> &'static str {
+        "lockless-global"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktrace_clock::SyncClock;
+    use ktrace_core::reader::parse_buffer;
+
+    #[test]
+    fn shared_region_logs_from_all_threads() {
+        let sink = Arc::new(GlobalCasSink::new(TraceConfig::small(), Arc::new(SyncClock::new())));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = sink.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        assert!(s.log(t, MajorId::TEST, t as u16, &[i]));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sink.events_logged(), 2000);
+        // The shared stream still decodes buffer-by-buffer.
+        let snap = sink.region().snapshot();
+        let mut decoded = 0;
+        for seq in snap.oldest_seq()..=snap.current_seq() {
+            let parsed = parse_buffer(0, seq, snap.buffer(seq).unwrap(), None);
+            assert!(parsed.clean(), "{:?}", parsed.notes);
+            decoded += parsed.data_events().count();
+        }
+        assert!(decoded > 0);
+    }
+}

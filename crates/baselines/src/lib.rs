@@ -1,0 +1,32 @@
+//! Baseline event-logging schemes the paper compares against.
+//!
+//! §5: "Previous work for tracing operating systems such as AIX, IRIX, or
+//! Linux have had limitations including using fixed-length events, only
+//! allowing tracing via system calls, requiring locking to log events, and
+//! using inefficient timestamp acquisition." Each limitation gets its own
+//! baseline here, all behind one [`EventSink`] trait so experiments swap them
+//! freely and isolate exactly one design dimension at a time:
+//!
+//! | Sink | Isolates |
+//! |---|---|
+//! | [`LocklessSink`] | the paper's scheme (reference) |
+//! | [`LockingSink`] | lock + interrupt-disable per event (LTT's locking mode, pre-K42 Linux) |
+//! | [`GlobalCasSink`] | one shared buffer for all CPUs (no per-CPU split) |
+//! | [`FixedSlotSink`] | fixed-length slots with valid bits (IRIX-style lockless) |
+//! | [`SyscallSink`] | a kernel-entry cost on every event (AIX-style) |
+//! | [`NullSink`] | harness overhead floor |
+//! | [`StaleTsSink`] | ablation: the timestamp **not** re-read inside the CAS loop (§3.1's monotonicity argument) |
+
+pub mod fixed;
+pub mod global;
+pub mod locking;
+pub mod sink;
+pub mod stale;
+pub mod syscall;
+
+pub use fixed::FixedSlotSink;
+pub use global::GlobalCasSink;
+pub use locking::LockingSink;
+pub use sink::{EventSink, LocklessSink, NullSink};
+pub use stale::StaleTsSink;
+pub use syscall::SyscallSink;

@@ -1,0 +1,93 @@
+//! Logging through a per-event kernel entry (AIX-style).
+//!
+//! §5 lists "only allowing tracing via system calls" as a limitation of prior
+//! tracing systems: K42 maps the per-CPU control structures into user space
+//! precisely so a log is just a CAS, not a kernel crossing. This sink charges
+//! a configurable syscall cost (mode switch + dispatch) before performing an
+//! otherwise identical lockless log, isolating exactly that design dimension.
+
+use crate::sink::{EventSink, LocklessSink};
+use ktrace_format::{MajorId, MinorId};
+use std::time::Instant;
+
+/// A lockless logger behind a simulated per-event system call.
+pub struct SyscallSink {
+    inner: LocklessSink,
+    syscall_cost_ns: u64,
+}
+
+impl SyscallSink {
+    /// Wraps `inner`, charging `syscall_cost_ns` of busy work per event
+    /// (a few hundred ns models a fast syscall of the paper's era).
+    pub fn new(inner: LocklessSink, syscall_cost_ns: u64) -> SyscallSink {
+        SyscallSink { inner, syscall_cost_ns }
+    }
+
+    fn enter_kernel(&self) {
+        let start = Instant::now();
+        while (start.elapsed().as_nanos() as u64) < self.syscall_cost_ns {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl EventSink for SyscallSink {
+    fn log(&self, cpu: usize, major: MajorId, minor: MinorId, payload: &[u64]) -> bool {
+        self.enter_kernel();
+        self.inner.log(cpu, major, minor, payload)
+    }
+
+    fn events_logged(&self) -> u64 {
+        self.inner.events_logged()
+    }
+
+    fn name(&self) -> &'static str {
+        "syscall-per-event"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktrace_clock::SyncClock;
+    use ktrace_core::{TraceConfig, TraceLogger};
+    use std::sync::Arc;
+
+    fn sink(cost_ns: u64) -> SyscallSink {
+        let logger = TraceLogger::new(
+            TraceConfig::small().flight_recorder(),
+            Arc::new(SyncClock::new()),
+            1,
+        )
+        .unwrap();
+        SyscallSink::new(LocklessSink::new(logger), cost_ns)
+    }
+
+    #[test]
+    fn logs_like_the_inner_sink() {
+        let s = sink(0);
+        assert!(s.log(0, MajorId::TEST, 1, &[42]));
+        assert_eq!(s.events_logged(), 1);
+    }
+
+    #[test]
+    fn syscall_cost_slows_logging_measurably() {
+        let fast = sink(0);
+        let slow = sink(5_000);
+        let n = 200;
+        let t0 = Instant::now();
+        for i in 0..n {
+            fast.log(0, MajorId::TEST, i, &[]);
+        }
+        let fast_time = t0.elapsed();
+        let t1 = Instant::now();
+        for i in 0..n {
+            slow.log(0, MajorId::TEST, i, &[]);
+        }
+        let slow_time = t1.elapsed();
+        assert!(
+            slow_time > fast_time * 3,
+            "syscall cost must dominate: fast {fast_time:?} slow {slow_time:?}"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Criterion: per-event logging cost vs payload size (E2's hot loop).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ktrace_bench::util::bench_logger;
+use ktrace_format::MajorId;
+use std::hint::black_box;
+
+fn bench_log(c: &mut Criterion) {
+    let logger = bench_logger(1);
+    let handle = logger.handle(0).expect("cpu 0");
+    let payload = [0x55u64; 8];
+    let mut group = c.benchmark_group("log_event");
+    for words in [0usize, 1, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(words), &words, |b, &w| {
+            b.iter(|| black_box(handle.log_slice(MajorId::TEST, 1, black_box(&payload[..w]))));
+        });
+    }
+    group.finish();
+
+    // The arity fast paths.
+    let mut group = c.benchmark_group("log_arity");
+    group.bench_function("log0", |b| b.iter(|| black_box(handle.log0(MajorId::TEST, 1))));
+    group.bench_function("log1", |b| {
+        b.iter(|| black_box(handle.log1(MajorId::TEST, 1, black_box(7))))
+    });
+    group.bench_function("log4", |b| {
+        b.iter(|| black_box(handle.log4(MajorId::TEST, 1, 1, 2, 3, black_box(4))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_log);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion: the disabled-major check (E3 — the paper's "4 instructions").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ktrace_bench::util::bench_logger;
+use ktrace_format::MajorId;
+use std::hint::black_box;
+
+fn bench_mask(c: &mut Criterion) {
+    let logger = bench_logger(1);
+    logger.mask().disable(MajorId::MEM);
+    let handle = logger.handle(0).expect("cpu 0");
+
+    c.bench_function("disabled_log_attempt", |b| {
+        b.iter(|| black_box(handle.log1(MajorId::MEM, 1, black_box(7))));
+    });
+    c.bench_function("mask_check_only", |b| {
+        b.iter(|| black_box(handle.mask().is_enabled(black_box(MajorId::MEM))));
+    });
+    c.bench_function("enabled_log_for_comparison", |b| {
+        b.iter(|| black_box(handle.log1(MajorId::TEST, 1, black_box(7))));
+    });
+}
+
+criterion_group!(benches, bench_mask);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion: decode-side throughput — buffer parsing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ktrace_bench::util::bench_logger;
+use ktrace_core::parse_buffer;
+use ktrace_format::MajorId;
+use std::hint::black_box;
+
+fn bench_reader(c: &mut Criterion) {
+    // Produce one full, realistic buffer.
+    let logger = bench_logger(1);
+    let handle = logger.handle(0).expect("cpu 0");
+    let payload = [9u64; 4];
+    for i in 0..100_000u64 {
+        handle.log_slice(MajorId::TEST, 1, &payload[..(i % 5) as usize]);
+    }
+    let snap = logger.snapshot(0);
+    let seq = snap.current_seq().saturating_sub(1);
+    let words = snap.buffer(seq).expect("full buffer").to_vec();
+    let events = parse_buffer(0, seq, &words, None).events.len();
+
+    let mut group = c.benchmark_group("parse_buffer");
+    group.throughput(Throughput::Elements(events as u64));
+    group.bench_function("128KiB_buffer", |b| {
+        b.iter(|| black_box(parse_buffer(0, seq, black_box(&words), None)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reader);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion: one 2-word event through each logging scheme (E4/E5 measured
+//! half).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ktrace_baselines::{EventSink, FixedSlotSink, GlobalCasSink, LockingSink, LocklessSink, SyscallSink};
+use ktrace_bench::util::bench_logger;
+use ktrace_clock::SyncClock;
+use ktrace_core::TraceConfig;
+use ktrace_format::MajorId;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_sinks(c: &mut Criterion) {
+    let clock = Arc::new(SyncClock::new());
+    let sinks: Vec<Box<dyn EventSink>> = vec![
+        Box::new(LocklessSink::new(bench_logger(1))),
+        Box::new(GlobalCasSink::new(TraceConfig::default(), clock.clone())),
+        Box::new(LockingSink::new(clock.clone(), 1 << 16, 0)),
+        Box::new(FixedSlotSink::new(clock.clone(), 1, 8, 4096)),
+        Box::new(SyscallSink::new(LocklessSink::new(bench_logger(1)), 400)),
+    ];
+    let payload = [1u64, 2];
+    let mut group = c.benchmark_group("sinks");
+    for sink in &sinks {
+        group.bench_function(sink.name(), |b| {
+            b.iter(|| black_box(sink.log(0, MajorId::TEST, 1, black_box(&payload))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sinks);
+criterion_main!(benches);

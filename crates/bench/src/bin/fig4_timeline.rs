@@ -1,0 +1,4 @@
+//! E11 / Fig. 4: the kmon-style timeline (ASCII + SVG artifact).
+fn main() {
+    println!("{}", ktrace_bench::tools::report_fig4(!ktrace_bench::util::full_requested()));
+}

@@ -1,0 +1,4 @@
+//! E6: filler waste and boundary alignment statistics.
+fn main() {
+    println!("{}", ktrace_bench::filler::report_filler(!ktrace_bench::util::full_requested()));
+}

@@ -1,0 +1,4 @@
+//! E12: variable-length vs fixed-slot space per event.
+fn main() {
+    println!("{}", ktrace_bench::filler::report_var_vs_fixed(!ktrace_bench::util::full_requested()));
+}

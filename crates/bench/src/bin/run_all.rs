@@ -1,0 +1,11 @@
+//! Runs every experiment in paper order (the source of EXPERIMENTS.md's
+//! measured values). Set KTRACE_BENCH_FULL=1 for longer runs.
+fn main() {
+    let fast = !ktrace_bench::util::full_requested();
+    for (id, report) in ktrace_bench::run_all(fast) {
+        println!("==================================================================");
+        println!("{id}");
+        println!("==================================================================");
+        println!("{report}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Clock sources for the tracing infrastructure.
+//!
+//! The paper distinguishes two hardware situations (§2, §4.1):
+//!
+//! * PowerPC/MIPS-class machines provide a **cheap synchronized timebase**
+//!   readable from user level. [`SyncClock`] models this: one global monotonic
+//!   nanosecond counter, identical on every CPU.
+//! * x86-class machines only provide per-CPU TSCs that are neither
+//!   synchronized nor drift-free. LTT's scheme (which absorbed this paper's
+//!   technology) logs the cheap TSC with each event and takes an expensive
+//!   `gettimeofday` reading only at the beginning and end of a buffer,
+//!   synchronizing buffers from different CPUs "through interpolation of the
+//!   tsc values between the gettimeofday values". [`TscClock`] models such a
+//!   skewed, drifting per-CPU counter and [`interpolate`] implements the
+//!   anchor-pair interpolation and lets us *measure* its residual error
+//!   (experiment E13).
+//!
+//! Only the low 32 bits of a timestamp are stored in each event header;
+//! [`wrap::WrapExtender`] reconstructs full 64-bit times from per-buffer
+//! anchors.
+
+pub mod interpolate;
+pub mod source;
+pub mod tsc;
+pub mod wrap;
+
+pub use interpolate::{AnchorPair, CpuTimeMap, TscSynchronizer};
+pub use source::{ClockSource, ManualClock, SyncClock};
+pub use tsc::{TscClock, TscParams};
+pub use wrap::WrapExtender;

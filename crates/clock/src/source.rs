@@ -1,0 +1,153 @@
+//! The [`ClockSource`] trait and the synchronized / manual implementations.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A timestamp source consulted inside the lockless reservation loop.
+///
+/// `now(cpu)` must be cheap (it runs on every CAS retry — the paper requires
+/// the timestamp to be re-read on each attempt so buffer order equals
+/// timestamp order) and must be monotonic **per CPU**. It need not be
+/// synchronized across CPUs; [`ClockSource::synchronized`] reports which.
+pub trait ClockSource: Send + Sync {
+    /// Current timestamp in ticks, as read from logical CPU `cpu`.
+    fn now(&self, cpu: usize) -> u64;
+
+    /// Nominal tick rate (ticks per second) for converting to wall time.
+    fn ticks_per_sec(&self) -> u64;
+
+    /// True if `now` returns globally comparable values on all CPUs
+    /// (PowerPC-timebase-like); false for TSC-like per-CPU counters.
+    fn synchronized(&self) -> bool;
+}
+
+/// A globally synchronized nanosecond clock (PowerPC timebase model).
+///
+/// All CPUs observe the same monotonically increasing value: nanoseconds since
+/// the clock was created.
+#[derive(Debug)]
+pub struct SyncClock {
+    origin: Instant,
+}
+
+impl SyncClock {
+    /// Creates a clock whose epoch is "now".
+    pub fn new() -> SyncClock {
+        SyncClock { origin: Instant::now() }
+    }
+}
+
+impl Default for SyncClock {
+    fn default() -> SyncClock {
+        SyncClock::new()
+    }
+}
+
+impl ClockSource for SyncClock {
+    #[inline]
+    fn now(&self, _cpu: usize) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    fn ticks_per_sec(&self) -> u64 {
+        1_000_000_000
+    }
+
+    fn synchronized(&self) -> bool {
+        true
+    }
+}
+
+/// A manually advanced clock for deterministic tests.
+///
+/// All CPUs observe the same atomic counter; tests advance it explicitly.
+/// `now` also auto-increments by `auto_step` per read so that two reads from
+/// a CAS retry loop are never forced to be identical (set `auto_step = 0` to
+/// disable).
+#[derive(Debug)]
+pub struct ManualClock {
+    ticks: AtomicU64,
+    auto_step: u64,
+}
+
+impl ManualClock {
+    /// A clock starting at `start` that advances by `auto_step` on each read.
+    pub fn new(start: u64, auto_step: u64) -> ManualClock {
+        ManualClock { ticks: AtomicU64::new(start), auto_step }
+    }
+
+    /// Advances the clock by `delta` ticks.
+    pub fn advance(&self, delta: u64) {
+        self.ticks.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the clock to an absolute value (must not move backwards in use).
+    pub fn set(&self, value: u64) {
+        self.ticks.store(value, Ordering::Relaxed);
+    }
+}
+
+impl ClockSource for ManualClock {
+    #[inline]
+    fn now(&self, _cpu: usize) -> u64 {
+        if self.auto_step == 0 {
+            self.ticks.load(Ordering::Relaxed)
+        } else {
+            self.ticks.fetch_add(self.auto_step, Ordering::Relaxed)
+        }
+    }
+
+    fn ticks_per_sec(&self) -> u64 {
+        1_000_000_000
+    }
+
+    fn synchronized(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_clock_is_monotonic_across_cpus() {
+        let c = SyncClock::new();
+        let mut last = 0;
+        for i in 0..1000 {
+            let t = c.now(i % 4);
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn sync_clock_reports_ns() {
+        let c = SyncClock::new();
+        assert_eq!(c.ticks_per_sec(), 1_000_000_000);
+        assert!(c.synchronized());
+        let a = c.now(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = c.now(1);
+        assert!(b - a >= 1_500_000, "elapsed {} ns", b - a);
+    }
+
+    #[test]
+    fn manual_clock_advances_explicitly() {
+        let c = ManualClock::new(100, 0);
+        assert_eq!(c.now(0), 100);
+        assert_eq!(c.now(3), 100);
+        c.advance(50);
+        assert_eq!(c.now(0), 150);
+        c.set(1000);
+        assert_eq!(c.now(0), 1000);
+    }
+
+    #[test]
+    fn manual_clock_auto_step_makes_reads_distinct() {
+        let c = ManualClock::new(0, 1);
+        let a = c.now(0);
+        let b = c.now(0);
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for the tracing core.
+
+use std::fmt;
+
+/// Errors from logger construction and logging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreError {
+    /// Invalid [`TraceConfig`](crate::TraceConfig).
+    BadConfig(&'static str),
+    /// Event payload exceeds [`TraceConfig::max_payload_words`](crate::TraceConfig::max_payload_words).
+    EventTooLarge {
+        /// Requested payload words.
+        payload_words: usize,
+        /// Maximum allowed.
+        max: usize,
+    },
+    /// CPU index out of range for this logger.
+    BadCpu {
+        /// Requested CPU.
+        cpu: usize,
+        /// Number of CPUs the logger was built with.
+        ncpus: usize,
+    },
+    /// Stream mode only: the consumer is too far behind and the event was
+    /// dropped (recorded in the dropped counter and a later marker event).
+    Overrun,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadConfig(why) => write!(f, "bad trace config: {why}"),
+            CoreError::EventTooLarge { payload_words, max } => {
+                write!(f, "event payload {payload_words} words exceeds max {max}")
+            }
+            CoreError::BadCpu { cpu, ncpus } => write!(f, "cpu {cpu} out of range ({ncpus} cpus)"),
+            CoreError::Overrun => write!(f, "event dropped: consumer overrun"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

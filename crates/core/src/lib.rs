@@ -1,0 +1,54 @@
+//! The K42 lockless tracing core (SC 2003).
+//!
+//! This crate implements the paper's central contribution: **logging
+//! variable-length events into per-processor buffers without locks**, using a
+//! compare-and-swap reservation whose timestamp is re-read on every retry so
+//! that buffer order equals timestamp order, with filler events keeping the
+//! stream randomly accessible at buffer-sized alignment boundaries, and
+//! per-buffer commit counts detecting garbled (interrupted) logging.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ktrace_core::{TraceConfig, TraceLogger};
+//! use ktrace_format::MajorId;
+//! use ktrace_clock::SyncClock;
+//! use std::sync::Arc;
+//!
+//! let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 2).unwrap();
+//! let h = logger.handle(0).unwrap(); // bind this thread to "CPU 0"'s buffer
+//! h.log2(MajorId::TEST, 7, 0xdead, 0xbeef);
+//! logger.flush_cpu(0);
+//! let buf = logger.take_buffer(0).unwrap();
+//! let parsed = ktrace_core::reader::parse_buffer(0, buf.seq, &buf.words, None);
+//! assert!(parsed.events.iter().any(|e| e.major == MajorId::TEST && e.minor == 7));
+//! ```
+//!
+//! # Structure
+//!
+//! * [`config`] — buffer geometry and operating mode.
+//! * [`region`] — one CPU's buffer region: the reservation CAS loop (the
+//!   paper's Figure 2), the boundary slow path, commit counts, the consumer
+//!   protocol, and flight-recorder snapshots.
+//! * [`logger`] — the user-facing [`TraceLogger`] / [`CpuHandle`] API with the
+//!   mask-gated fast paths.
+//! * [`reader`] — turning raw buffer words back into events, with garble
+//!   detection and 64-bit timestamp reconstruction.
+//!
+//! # Compiling tracing out
+//!
+//! Building with the `trace-off` feature turns every `log*` call into an
+//! inlined no-op (paper goal 6: "allow for zero impact by providing the
+//! ability to compile out events if desired").
+
+pub mod config;
+pub mod error;
+pub mod logger;
+pub mod reader;
+pub mod region;
+
+pub use config::{Mode, TraceConfig, ANCHOR_WORDS, DROPPED_WORDS};
+pub use error::CoreError;
+pub use logger::{CpuHandle, LoggerStats, RestrictedHandle, TraceLogger};
+pub use reader::{parse_buffer, GarbleNote, ParsedBuffer, RawEvent};
+pub use region::{CompletedBuffer, RegionSnapshot};

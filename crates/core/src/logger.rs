@@ -1,0 +1,641 @@
+//! The user-facing logging API.
+//!
+//! [`TraceLogger`] owns one [`CpuRegion`](crate::region::CpuRegion) per
+//! logical CPU (cache-padded so reservation CASes on different CPUs never
+//! share a line), the single [`TraceMask`] consulted by every log statement,
+//! and the self-describing [`EventRegistry`]. [`CpuHandle`] is the analogue
+//! of K42's user-mapped per-processor control structure: a cheap, cloneable
+//! binding of one thread to one CPU's buffers, through which events are
+//! logged with no syscall and no lock.
+//!
+//! The `log*` fast paths check the mask first and are `#[inline]`, so a
+//! disabled major costs a relaxed load, an AND, and a branch — the Rust
+//! rendering of the paper's "4 machine instructions" (measured in E3).
+
+use crate::config::{Mode, TraceConfig};
+use crate::error::CoreError;
+use crate::reader::{parse_buffer, RawEvent};
+use crate::region::{CompletedBuffer, CpuRegion, RegionSnapshot};
+use crossbeam::utils::CachePadded;
+use ktrace_clock::ClockSource;
+use ktrace_format::{EventDescriptor, EventRegistry, FieldValue, MajorId, MinorId, TraceMask};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+struct Shared {
+    config: TraceConfig,
+    mask: TraceMask,
+    regions: Box<[CachePadded<CpuRegion>]>,
+    registry: RwLock<EventRegistry>,
+}
+
+/// The unified, per-CPU, lockless trace logger.
+///
+/// Cloning is cheap (an `Arc` bump); clones share buffers, mask, and
+/// registry.
+#[derive(Clone)]
+pub struct TraceLogger {
+    shared: Arc<Shared>,
+}
+
+/// Aggregate logger statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoggerStats {
+    /// Events successfully logged across all CPUs.
+    pub events_logged: u64,
+    /// Events dropped to consumer overrun and not yet marked in-stream.
+    pub dropped_pending: u64,
+    /// Total words reserved across all CPUs (fillers and anchors included).
+    pub words_reserved: u64,
+    /// Buffers released by consumers.
+    pub buffers_consumed: u64,
+}
+
+impl TraceLogger {
+    /// Creates a logger with `ncpus` per-CPU regions sharing `clock`.
+    pub fn new(
+        config: TraceConfig,
+        clock: Arc<dyn ClockSource>,
+        ncpus: usize,
+    ) -> Result<TraceLogger, CoreError> {
+        config.validate()?;
+        if ncpus == 0 {
+            return Err(CoreError::BadConfig("ncpus must be at least 1"));
+        }
+        let regions = (0..ncpus)
+            .map(|cpu| CachePadded::new(CpuRegion::new(config, clock.clone(), cpu)))
+            .collect();
+        Ok(TraceLogger {
+            shared: Arc::new(Shared {
+                config,
+                mask: TraceMask::all_enabled(),
+                regions,
+                registry: RwLock::new(EventRegistry::with_builtin()),
+            }),
+        })
+    }
+
+    /// Number of per-CPU regions.
+    pub fn ncpus(&self) -> usize {
+        self.shared.regions.len()
+    }
+
+    /// The buffer geometry.
+    pub fn config(&self) -> TraceConfig {
+        self.shared.config
+    }
+
+    /// The trace mask gating all majors (shared by every handle).
+    pub fn mask(&self) -> &TraceMask {
+        &self.shared.mask
+    }
+
+    /// Registers a self-describing event descriptor.
+    pub fn register_event(&self, major: MajorId, minor: MinorId, desc: EventDescriptor) {
+        self.shared.registry.write().register(major, minor, desc);
+    }
+
+    /// A snapshot of the event registry (for embedding into trace files).
+    pub fn registry(&self) -> EventRegistry {
+        self.shared.registry.read().clone()
+    }
+
+    /// A handle binding the calling thread to `cpu`'s buffers.
+    pub fn handle(&self, cpu: usize) -> Result<CpuHandle, CoreError> {
+        if cpu >= self.ncpus() {
+            return Err(CoreError::BadCpu { cpu, ncpus: self.ncpus() });
+        }
+        Ok(CpuHandle { shared: self.shared.clone(), cpu: cpu as u32 })
+    }
+
+    #[cfg_attr(feature = "trace-off", allow(dead_code))]
+    fn region(&self, cpu: usize) -> &CpuRegion {
+        &self.shared.regions[cpu]
+    }
+
+    /// Logs an event on `cpu` if its major is enabled. Returns true if
+    /// logged. Errors (overrun, oversized) read as "not logged".
+    #[inline]
+    pub fn log(&self, cpu: usize, major: MajorId, minor: MinorId, payload: &[u64]) -> bool {
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = (cpu, major, minor, payload);
+            false
+        }
+        #[cfg(not(feature = "trace-off"))]
+        {
+            if !self.shared.mask.is_enabled(major) {
+                return false;
+            }
+            self.region(cpu).log_raw(major, minor, payload).is_ok()
+        }
+    }
+
+    /// Like [`log`](TraceLogger::log) but surfacing the error cause.
+    /// A disabled major is `Ok(false)`; a logged event is `Ok(true)`.
+    pub fn try_log(
+        &self,
+        cpu: usize,
+        major: MajorId,
+        minor: MinorId,
+        payload: &[u64],
+    ) -> Result<bool, CoreError> {
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = (cpu, major, minor, payload);
+            Ok(false)
+        }
+        #[cfg(not(feature = "trace-off"))]
+        {
+            if cpu >= self.ncpus() {
+                return Err(CoreError::BadCpu { cpu, ncpus: self.ncpus() });
+            }
+            if !self.shared.mask.is_enabled(major) {
+                return Ok(false);
+            }
+            self.region(cpu).log_raw(major, minor, payload).map(|()| true)
+        }
+    }
+
+    /// Encodes `values` according to the registered descriptor's field spec
+    /// and logs the event. Events with string fields go through here; hot
+    /// fixed-arity events should use the `logN` fast paths.
+    pub fn log_fields(
+        &self,
+        cpu: usize,
+        major: MajorId,
+        minor: MinorId,
+        values: &[FieldValue],
+    ) -> Result<bool, CoreError> {
+        if !self.shared.mask.is_enabled(major) {
+            return Ok(false);
+        }
+        let words = {
+            let registry = self.shared.registry.read();
+            match registry.lookup(major, minor) {
+                Some(desc) => desc
+                    .spec
+                    .encode(values)
+                    .map_err(|_| CoreError::BadConfig("field values do not match spec"))?,
+                None => values.iter().map(FieldValue::as_int).collect(),
+            }
+        };
+        self.try_log(cpu, major, minor, &words)
+    }
+
+    /// Force-closes `cpu`'s current partial buffer so it can be drained.
+    pub fn flush_cpu(&self, cpu: usize) -> bool {
+        self.region(cpu).flush()
+    }
+
+    /// Flushes every CPU.
+    pub fn flush_all(&self) {
+        for cpu in 0..self.ncpus() {
+            self.flush_cpu(cpu);
+        }
+    }
+
+    /// Takes the oldest completed buffer from `cpu` (stream mode).
+    pub fn take_buffer(&self, cpu: usize) -> Option<CompletedBuffer> {
+        self.region(cpu).take_buffer()
+    }
+
+    /// Takes every currently completed buffer from `cpu`.
+    pub fn drain_cpu(&self, cpu: usize) -> Vec<CompletedBuffer> {
+        std::iter::from_fn(|| self.take_buffer(cpu)).collect()
+    }
+
+    /// Flushes and drains every CPU, returning buffers grouped by CPU.
+    pub fn drain_all(&self) -> Vec<Vec<CompletedBuffer>> {
+        self.flush_all();
+        (0..self.ncpus()).map(|cpu| self.drain_cpu(cpu)).collect()
+    }
+
+    /// Snapshots `cpu`'s region (flight-recorder inspection).
+    pub fn snapshot(&self, cpu: usize) -> RegionSnapshot {
+        self.region(cpu).snapshot()
+    }
+
+    /// The flight-recorder dump (§4.2): the most recent `last_n` events
+    /// across all CPUs, optionally restricted to certain majors — mirroring
+    /// the debugger hook that "has features to show only certain type of
+    /// events and has control as to how many events it displays".
+    ///
+    /// Works in either mode; in stream mode it sees only undrained data.
+    pub fn flight_dump(&self, last_n: usize, majors: Option<&[MajorId]>) -> Vec<RawEvent> {
+        let mut events: Vec<RawEvent> = Vec::new();
+        for cpu in 0..self.ncpus() {
+            let snap = self.snapshot(cpu);
+            let mut hint = None;
+            for seq in snap.oldest_seq()..=snap.current_seq() {
+                if let Some(words) = snap.buffer(seq) {
+                    let parsed = parse_buffer(cpu, seq, words, hint);
+                    hint = parsed.end_time;
+                    events.extend(parsed.events);
+                }
+            }
+        }
+        events.retain(|e| !e.is_control());
+        if let Some(keep) = majors {
+            events.retain(|e| keep.contains(&e.major));
+        }
+        events.sort_by_key(|e| e.time);
+        if events.len() > last_n {
+            events.drain(..events.len() - last_n);
+        }
+        events
+    }
+
+    /// Aggregate statistics across all CPUs.
+    pub fn stats(&self) -> LoggerStats {
+        let mut s = LoggerStats::default();
+        for r in self.shared.regions.iter() {
+            s.events_logged += r.events_logged();
+            s.dropped_pending += r.dropped_pending();
+            s.words_reserved += r.index();
+            s.buffers_consumed += r.buffers_consumed();
+        }
+        s
+    }
+
+    /// Whether this logger streams to a consumer or runs as a flight
+    /// recorder.
+    pub fn mode(&self) -> Mode {
+        self.shared.config.mode
+    }
+}
+
+impl std::fmt::Debug for TraceLogger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceLogger")
+            .field("ncpus", &self.ncpus())
+            .field("config", &self.shared.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// A thread's binding to one CPU's trace buffers.
+///
+/// The K42 analogue is the per-processor trace control structure mapped into
+/// the application's address space: log calls through a handle touch only
+/// that CPU's cache lines.
+#[derive(Clone)]
+pub struct CpuHandle {
+    shared: Arc<Shared>,
+    cpu: u32,
+}
+
+macro_rules! arity_logger {
+    ($(#[$doc:meta])* $name:ident($($arg:ident),*)) => {
+        $(#[$doc])*
+        #[inline]
+        #[allow(clippy::too_many_arguments)]
+        pub fn $name(&self, major: MajorId, minor: MinorId $(, $arg: u64)*) -> bool {
+            #[cfg(feature = "trace-off")]
+            {
+                let _ = (major, minor $(, $arg)*);
+                false
+            }
+            #[cfg(not(feature = "trace-off"))]
+            {
+                if !self.shared.mask.is_enabled(major) {
+                    return false;
+                }
+                let payload = [$($arg),*];
+                self.region().log_raw(major, minor, &payload).is_ok()
+            }
+        }
+    };
+}
+
+impl CpuHandle {
+    #[inline]
+    fn region(&self) -> &CpuRegion {
+        &self.shared.regions[self.cpu as usize]
+    }
+
+    /// The CPU this handle is bound to.
+    pub fn cpu(&self) -> usize {
+        self.cpu as usize
+    }
+
+    /// The shared trace mask.
+    #[inline]
+    pub fn mask(&self) -> &TraceMask {
+        &self.shared.mask
+    }
+
+    /// Logs an event with an arbitrary payload slice.
+    #[inline]
+    pub fn log_slice(&self, major: MajorId, minor: MinorId, payload: &[u64]) -> bool {
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = (major, minor, payload);
+            false
+        }
+        #[cfg(not(feature = "trace-off"))]
+        {
+            if !self.shared.mask.is_enabled(major) {
+                return false;
+            }
+            self.region().log_raw(major, minor, payload).is_ok()
+        }
+    }
+
+    arity_logger!(
+        /// Logs a payload-less event (the cheapest kind).
+        log0()
+    );
+    arity_logger!(
+        /// Logs a 1-word event — the paper's 91-cycle case.
+        log1(a)
+    );
+    arity_logger!(
+        /// Logs a 2-word event.
+        log2(a, b)
+    );
+    arity_logger!(
+        /// Logs a 3-word event.
+        log3(a, b, c)
+    );
+    arity_logger!(
+        /// Logs a 4-word event.
+        log4(a, b, c, d)
+    );
+    arity_logger!(
+        /// Logs a 5-word event.
+        log5(a, b, c, d, e)
+    );
+    arity_logger!(
+        /// Logs a 6-word event.
+        log6(a, b, c, d, e, g)
+    );
+
+    /// Logs an event whose payload is built from descriptor field values
+    /// (convenient for events with strings).
+    pub fn log_fields(
+        &self,
+        major: MajorId,
+        minor: MinorId,
+        values: &[FieldValue],
+    ) -> Result<bool, CoreError> {
+        TraceLogger { shared: self.shared.clone() }.log_fields(self.cpu(), major, minor, values)
+    }
+}
+
+impl CpuHandle {
+    /// Derives a handle that may only log the given major classes.
+    ///
+    /// The paper's §5 future work scopes tracing per application ("different
+    /// users may not desire to have information about their behavior
+    /// available to other users… we intend to map in different buffers to
+    /// user applications that do not have sufficient privileges"). In a
+    /// single address space the writer-side half of that is a capability:
+    /// hand an untrusted component a [`RestrictedHandle`] and it can emit
+    /// only into its allowed classes — reader-side filtering (the mask, the
+    /// major filters on dumps and listings) covers the rest.
+    pub fn restricted(&self, majors: &[MajorId]) -> RestrictedHandle {
+        let mut allowed = 0u64;
+        for m in majors {
+            allowed |= m.bit();
+        }
+        RestrictedHandle { inner: self.clone(), allowed }
+    }
+}
+
+/// A [`CpuHandle`] limited to a fixed set of major classes (see
+/// [`CpuHandle::restricted`]). Logging outside the set returns `false`
+/// without touching the buffers.
+#[derive(Clone)]
+pub struct RestrictedHandle {
+    inner: CpuHandle,
+    allowed: u64,
+}
+
+impl RestrictedHandle {
+    /// The CPU this handle is bound to.
+    pub fn cpu(&self) -> usize {
+        self.inner.cpu()
+    }
+
+    /// True if this handle may log `major` (the trace mask still applies on
+    /// top).
+    pub fn allows(&self, major: MajorId) -> bool {
+        self.allowed & major.bit() != 0
+    }
+
+    /// Logs an event if the major is within this handle's grant.
+    #[inline]
+    pub fn log_slice(&self, major: MajorId, minor: MinorId, payload: &[u64]) -> bool {
+        if !self.allows(major) {
+            return false;
+        }
+        self.inner.log_slice(major, minor, payload)
+    }
+
+    /// Logs a 1-word event if permitted.
+    #[inline]
+    pub fn log1(&self, major: MajorId, minor: MinorId, a: u64) -> bool {
+        self.log_slice(major, minor, &[a])
+    }
+
+    /// Logs a 2-word event if permitted.
+    #[inline]
+    pub fn log2(&self, major: MajorId, minor: MinorId, a: u64, b: u64) -> bool {
+        self.log_slice(major, minor, &[a, b])
+    }
+}
+
+impl std::fmt::Debug for RestrictedHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RestrictedHandle")
+            .field("cpu", &self.inner.cpu)
+            .field("allowed", &format_args!("{:#018x}", self.allowed))
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for CpuHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuHandle").field("cpu", &self.cpu).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktrace_clock::{ManualClock, SyncClock};
+
+    fn logger(ncpus: usize) -> TraceLogger {
+        TraceLogger::new(TraceConfig::small(), Arc::new(ManualClock::new(1, 1)), ncpus).unwrap()
+    }
+
+    #[test]
+    fn restricted_handles_scope_majors() {
+        let l = logger(1);
+        let h = l.handle(0).unwrap();
+        let r = h.restricted(&[MajorId::USER, MajorId::LIB]);
+        assert!(r.allows(MajorId::USER));
+        assert!(!r.allows(MajorId::SCHED));
+        assert!(r.log1(MajorId::USER, 1, 42));
+        assert!(r.log2(MajorId::LIB, 2, 1, 2));
+        assert!(!r.log_slice(MajorId::SCHED, 1, &[9]), "outside the grant");
+        assert!(!r.log1(MajorId::CONTROL, 0, 0), "even control is denied");
+        assert_eq!(l.stats().events_logged, 2);
+        assert_eq!(r.cpu(), 0);
+        // The trace mask still applies on top of the grant.
+        l.mask().disable(MajorId::USER);
+        assert!(!r.log1(MajorId::USER, 1, 43));
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 0).is_err());
+        let mut bad = TraceConfig::small();
+        bad.buffer_words = 100;
+        assert!(TraceLogger::new(bad, Arc::new(SyncClock::new()), 1).is_err());
+        assert!(logger(4).handle(4).is_err());
+        assert!(logger(4).handle(3).is_ok());
+    }
+
+    #[test]
+    fn mask_gates_logging() {
+        let l = logger(1);
+        let h = l.handle(0).unwrap();
+        l.mask().disable(MajorId::MEM);
+        assert!(!h.log1(MajorId::MEM, 1, 42));
+        assert!(h.log1(MajorId::PROC, 1, 42));
+        l.mask().enable(MajorId::MEM);
+        assert!(h.log1(MajorId::MEM, 1, 42));
+        assert_eq!(l.stats().events_logged, 2);
+    }
+
+    #[test]
+    fn arity_helpers_log_expected_payloads() {
+        let l = logger(1);
+        let h = l.handle(0).unwrap();
+        h.log0(MajorId::TEST, 0);
+        h.log1(MajorId::TEST, 1, 1);
+        h.log2(MajorId::TEST, 2, 1, 2);
+        h.log3(MajorId::TEST, 3, 1, 2, 3);
+        h.log4(MajorId::TEST, 4, 1, 2, 3, 4);
+        h.log5(MajorId::TEST, 5, 1, 2, 3, 4, 5);
+        h.log6(MajorId::TEST, 6, 1, 2, 3, 4, 5, 6);
+        l.flush_all();
+        let bufs = l.drain_cpu(0);
+        let events: Vec<RawEvent> = bufs
+            .iter()
+            .flat_map(|b| parse_buffer(0, b.seq, &b.words, None).events)
+            .filter(|e| e.major == MajorId::TEST)
+            .collect();
+        assert_eq!(events.len(), 7);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.minor as usize, i);
+            assert_eq!(e.payload.len(), i);
+            assert_eq!(e.payload, (1..=i as u64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn log_fields_uses_registry_spec() {
+        let l = logger(1);
+        l.register_event(
+            MajorId::PROC,
+            1,
+            EventDescriptor::new("TRACE_PROC_EXEC", "64 str", "pid %0[%d] runs %1[%s]").unwrap(),
+        );
+        let h = l.handle(0).unwrap();
+        h.log_fields(
+            MajorId::PROC,
+            1,
+            &[FieldValue::Int(6), FieldValue::Str("/shellServer".into())],
+        )
+        .unwrap();
+        l.flush_all();
+        let bufs = l.drain_cpu(0);
+        let ev = bufs
+            .iter()
+            .flat_map(|b| parse_buffer(0, b.seq, &b.words, None).events)
+            .find(|e| e.major == MajorId::PROC)
+            .unwrap();
+        let registry = l.registry();
+        let desc = registry.lookup(MajorId::PROC, 1).unwrap();
+        assert_eq!(desc.describe(&ev.payload).unwrap(), "pid 6 runs /shellServer");
+    }
+
+    #[test]
+    fn drain_all_collects_everything() {
+        let l = logger(3);
+        for cpu in 0..3 {
+            let h = l.handle(cpu).unwrap();
+            for i in 0..40 {
+                h.log2(MajorId::TEST, cpu as u16, i, i * 2);
+            }
+        }
+        let drained = l.drain_all();
+        assert_eq!(drained.len(), 3);
+        let mut per_cpu = [0usize; 3];
+        for (cpu, bufs) in drained.iter().enumerate() {
+            for b in bufs {
+                assert!(b.complete);
+                per_cpu[cpu] += parse_buffer(cpu, b.seq, &b.words, None)
+                    .data_events()
+                    .count();
+            }
+        }
+        assert_eq!(per_cpu, [40, 40, 40]);
+    }
+
+    #[test]
+    fn flight_dump_returns_most_recent_filtered() {
+        let cfg = TraceConfig::small().flight_recorder();
+        let l = TraceLogger::new(cfg, Arc::new(ManualClock::new(1, 1)), 2).unwrap();
+        let h0 = l.handle(0).unwrap();
+        let h1 = l.handle(1).unwrap();
+        for i in 0..2000u64 {
+            h0.log1(MajorId::MEM, 1, i);
+            h1.log1(MajorId::SCHED, 2, i);
+        }
+        let dump = l.flight_dump(50, None);
+        assert_eq!(dump.len(), 50);
+        assert!(dump.windows(2).all(|w| w[0].time <= w[1].time));
+        // The dump holds the *most recent* events: high payload indices.
+        assert!(dump.iter().all(|e| e.payload[0] > 1500));
+
+        let mem_only = l.flight_dump(10, Some(&[MajorId::MEM]));
+        assert!(mem_only.iter().all(|e| e.major == MajorId::MEM));
+        assert_eq!(mem_only.len(), 10);
+    }
+
+    #[test]
+    fn try_log_reports_causes() {
+        let l = logger(1);
+        assert!(matches!(
+            l.try_log(9, MajorId::TEST, 0, &[]),
+            Err(CoreError::BadCpu { cpu: 9, ncpus: 1 })
+        ));
+        l.mask().disable(MajorId::MEM);
+        assert_eq!(l.try_log(0, MajorId::MEM, 0, &[]), Ok(false));
+        let huge = vec![0u64; 4096];
+        assert!(matches!(
+            l.try_log(0, MajorId::TEST, 0, &huge),
+            Err(CoreError::EventTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_track_consumption() {
+        let l = logger(1);
+        let h = l.handle(0).unwrap();
+        for i in 0..100 {
+            h.log1(MajorId::TEST, 0, i);
+        }
+        l.flush_all();
+        let before = l.stats();
+        assert_eq!(before.events_logged, 100);
+        assert!(before.words_reserved >= 200);
+        let n = l.drain_cpu(0).len() as u64;
+        assert_eq!(l.stats().buffers_consumed, n);
+    }
+}

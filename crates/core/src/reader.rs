@@ -1,0 +1,306 @@
+//! Decoding raw buffer words back into events.
+//!
+//! Because events never cross buffer boundaries, a reader can start at any
+//! alignment point of a large trace and interpret forward (§3.2's "random
+//! access" property). [`parse_buffer`] walks one buffer: it reconstructs full
+//! 64-bit timestamps from the buffer's time anchor, validates the event
+//! chain, and reports every anomaly (zero headers, overruns, missing anchors,
+//! timestamp regressions) as [`GarbleNote`]s instead of failing — "with high
+//! probability … errors can be detected by the post-processing tools" (§3.1).
+
+use ktrace_clock::WrapExtender;
+use ktrace_format::{EventHeader, MajorId, MinorId};
+
+/// One decoded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawEvent {
+    /// CPU whose region the event came from.
+    pub cpu: usize,
+    /// Buffer sequence number within that region.
+    pub seq: u64,
+    /// Word offset of the header within the buffer.
+    pub offset: usize,
+    /// Reconstructed full 64-bit timestamp (clock ticks).
+    pub time: u64,
+    /// The raw 32-bit stamp from the header.
+    pub ts32: u32,
+    /// Major ID.
+    pub major: MajorId,
+    /// Minor ID.
+    pub minor: MinorId,
+    /// Payload words.
+    pub payload: Vec<u64>,
+}
+
+impl RawEvent {
+    /// True for stream-control filler events.
+    pub fn is_filler(&self) -> bool {
+        self.major == MajorId::CONTROL && self.minor == ktrace_format::ids::control::FILLER
+    }
+
+    /// True for any tracing-infrastructure control event.
+    pub fn is_control(&self) -> bool {
+        self.major == MajorId::CONTROL
+    }
+
+    /// Total size in words (header + payload).
+    pub fn len_words(&self) -> usize {
+        1 + self.payload.len()
+    }
+}
+
+/// An anomaly detected while decoding a buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GarbleNote {
+    /// A zero header word: a reservation that was never filled in (killed or
+    /// long-blocked logger, §3.1). Decoding cannot continue past it.
+    ZeroHeader {
+        /// Word offset of the bad header.
+        offset: usize,
+    },
+    /// An event length that runs past the buffer end (random data where a
+    /// header was expected).
+    Overrun {
+        /// Word offset of the bad header.
+        offset: usize,
+        /// Claimed total length in words.
+        len_words: usize,
+    },
+    /// The buffer does not begin with a time anchor; timestamps in it can
+    /// only be approximated.
+    MissingAnchor,
+    /// A timestamp stepped backwards within the buffer, which the reservation
+    /// algorithm makes impossible for honestly logged events.
+    NonMonotonic {
+        /// Word offset of the offending event.
+        offset: usize,
+    },
+}
+
+/// The result of decoding one buffer.
+#[derive(Debug, Clone)]
+pub struct ParsedBuffer {
+    /// Every decoded event, control events included, in buffer order.
+    pub events: Vec<RawEvent>,
+    /// Anomalies found.
+    pub notes: Vec<GarbleNote>,
+    /// Words consumed by filler events (space overhead accounting, E6).
+    pub filler_words: usize,
+    /// The last reconstructed timestamp, to hint the next buffer if its
+    /// anchor is damaged.
+    pub end_time: Option<u64>,
+}
+
+impl ParsedBuffer {
+    /// Events excluding tracing-infrastructure control events.
+    pub fn data_events(&self) -> impl Iterator<Item = &RawEvent> {
+        self.events.iter().filter(|e| !e.is_control())
+    }
+
+    /// True if the buffer decoded without anomalies.
+    pub fn clean(&self) -> bool {
+        self.notes.is_empty()
+    }
+}
+
+/// Decodes the words of buffer `seq` from `cpu`'s region.
+///
+/// `time_hint` supplies an approximate full timestamp (e.g. the previous
+/// buffer's `end_time`) used when the buffer's own anchor is missing or
+/// damaged.
+pub fn parse_buffer(cpu: usize, seq: u64, words: &[u64], time_hint: Option<u64>) -> ParsedBuffer {
+    let mut events = Vec::new();
+    let mut notes = Vec::new();
+    let mut filler_words = 0usize;
+    let mut extender: Option<WrapExtender> = None;
+    let mut off = 0usize;
+
+    while off < words.len() {
+        let header = match EventHeader::decode(words[off]) {
+            Ok(h) => h,
+            Err(_) => {
+                notes.push(GarbleNote::ZeroHeader { offset: off });
+                break;
+            }
+        };
+        let len = header.len_words as usize;
+        if off + len > words.len() {
+            notes.push(GarbleNote::Overrun { offset: off, len_words: len });
+            break;
+        }
+        let payload = words[off + 1..off + len].to_vec();
+
+        // A time anchor re-seeds the extender with the full 64-bit time.
+        if header.is_time_anchor() && !payload.is_empty() {
+            let full = payload[0];
+            match &mut extender {
+                Some(e) => {
+                    if full < e.last() {
+                        notes.push(GarbleNote::NonMonotonic { offset: off });
+                    }
+                    e.reseed(full);
+                }
+                None => extender = Some(WrapExtender::new(full)),
+            }
+        } else if off == 0 {
+            notes.push(GarbleNote::MissingAnchor);
+        }
+
+        let time = match &mut extender {
+            Some(e) => {
+                let prev = e.last();
+                let t = e.extend(header.timestamp);
+                if t < prev {
+                    notes.push(GarbleNote::NonMonotonic { offset: off });
+                }
+                t
+            }
+            None => match time_hint {
+                Some(hint) => {
+                    let mut e = WrapExtender::new(hint);
+                    let t = e.extend(header.timestamp);
+                    extender = Some(e);
+                    t
+                }
+                None => header.timestamp as u64,
+            },
+        };
+
+        if header.is_filler() {
+            filler_words += len;
+        }
+        events.push(RawEvent {
+            cpu,
+            seq,
+            offset: off,
+            time,
+            ts32: header.timestamp,
+            major: header.major,
+            minor: header.minor,
+            payload,
+        });
+        off += len;
+    }
+
+    let end_time = events.last().map(|e| e.time);
+    ParsedBuffer { events, notes, filler_words, end_time }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktrace_format::ids::control;
+
+    fn anchor(full_ts: u64, cpu: u64) -> Vec<u64> {
+        let h = EventHeader::new(full_ts as u32, 2, MajorId::CONTROL, control::TIME_ANCHOR)
+            .unwrap();
+        vec![h.encode(), full_ts, cpu]
+    }
+
+    fn event(ts32: u32, major: MajorId, minor: u16, payload: &[u64]) -> Vec<u64> {
+        let h = EventHeader::new(ts32, payload.len(), major, minor).unwrap();
+        let mut v = vec![h.encode()];
+        v.extend_from_slice(payload);
+        v
+    }
+
+    #[test]
+    fn parses_anchored_buffer() {
+        let mut words = anchor(0x5_0000_0100, 2);
+        words.extend(event(0x0000_0150, MajorId::TEST, 1, &[10, 20]));
+        words.extend(event(0x0000_0200, MajorId::MEM, 2, &[]));
+        let p = parse_buffer(2, 0, &words, None);
+        assert!(p.clean(), "{:?}", p.notes);
+        assert_eq!(p.events.len(), 3);
+        assert_eq!(p.events[1].time, 0x5_0000_0150);
+        assert_eq!(p.events[1].payload, vec![10, 20]);
+        assert_eq!(p.events[2].time, 0x5_0000_0200);
+        assert_eq!(p.end_time, Some(0x5_0000_0200));
+        assert_eq!(p.data_events().count(), 2);
+    }
+
+    #[test]
+    fn timestamp_wrap_within_buffer() {
+        let mut words = anchor(0x5_ffff_fff0, 0);
+        words.extend(event(0xffff_fffa, MajorId::TEST, 1, &[]));
+        words.extend(event(0x0000_0004, MajorId::TEST, 2, &[]));
+        let p = parse_buffer(0, 0, &words, None);
+        assert!(p.clean());
+        assert_eq!(p.events[1].time, 0x5_ffff_fffa);
+        assert_eq!(p.events[2].time, 0x6_0000_0004);
+    }
+
+    #[test]
+    fn zero_header_stops_decode_with_note() {
+        let mut words = anchor(1000, 0);
+        words.extend(event(1001, MajorId::TEST, 1, &[7]));
+        words.push(0); // unwritten reservation
+        words.extend(event(1002, MajorId::TEST, 2, &[8])); // unreachable
+        let p = parse_buffer(0, 0, &words, None);
+        assert_eq!(p.events.len(), 2);
+        assert_eq!(p.notes, vec![GarbleNote::ZeroHeader { offset: 5 }]);
+    }
+
+    #[test]
+    fn overrun_detected() {
+        let mut words = anchor(1000, 0);
+        // Header claiming 500 words in a tiny buffer.
+        let h = EventHeader::new(1001, 499, MajorId::TEST, 1).unwrap();
+        words.push(h.encode());
+        let p = parse_buffer(0, 0, &words, None);
+        assert_eq!(p.events.len(), 1);
+        assert!(matches!(p.notes[0], GarbleNote::Overrun { offset: 3, len_words: 500 }));
+    }
+
+    #[test]
+    fn missing_anchor_uses_hint() {
+        let words = event(0x0000_0042, MajorId::TEST, 1, &[]);
+        let p = parse_buffer(0, 3, &words, Some(0x9_0000_0000));
+        assert!(p.notes.contains(&GarbleNote::MissingAnchor));
+        assert_eq!(p.events[0].time, 0x9_0000_0042);
+        // Without a hint the 32-bit stamp is used as-is.
+        let p2 = parse_buffer(0, 3, &words, None);
+        assert_eq!(p2.events[0].time, 0x42);
+    }
+
+    #[test]
+    fn nonmonotonic_flagged() {
+        let mut words = anchor(0x1000, 0);
+        words.extend(event(0x2000, MajorId::TEST, 1, &[]));
+        // A stamp "before" the previous one: the extender wraps it forward a
+        // full 2^32 and flags nothing... so craft a genuine regression by
+        // reseeding via a second (corrupt) anchor going backwards.
+        let mut bad_anchor = anchor(0x500, 0);
+        // Give the corrupt anchor a plausible 32-bit stamp.
+        words.append(&mut bad_anchor);
+        words.extend(event(0x600, MajorId::TEST, 2, &[]));
+        let p = parse_buffer(0, 0, &words, None);
+        assert!(
+            p.notes.iter().any(|n| matches!(n, GarbleNote::NonMonotonic { .. })),
+            "{:?}",
+            p.notes
+        );
+    }
+
+    #[test]
+    fn filler_words_counted_and_filtered() {
+        let mut words = anchor(10, 0);
+        words.extend(event(11, MajorId::TEST, 1, &[1]));
+        let f = EventHeader::filler(12, 5).unwrap();
+        words.push(f.encode());
+        words.extend([0u64; 4]); // filler body (uninitialized is fine)
+        let p = parse_buffer(0, 0, &words, None);
+        assert!(p.clean());
+        assert_eq!(p.filler_words, 5);
+        assert_eq!(p.data_events().count(), 1);
+        assert!(p.events.iter().any(|e| e.is_filler()));
+    }
+
+    #[test]
+    fn empty_buffer_parses_empty() {
+        let p = parse_buffer(0, 0, &[], None);
+        assert!(p.events.is_empty());
+        assert!(p.clean());
+        assert_eq!(p.end_time, None);
+    }
+}

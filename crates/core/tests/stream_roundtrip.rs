@@ -1,0 +1,115 @@
+//! Property-based stream roundtrip: any sequence of events logged through
+//! the lockless logger is recovered exactly — same order, same payloads —
+//! with clean buffer chains, for arbitrary buffer geometries.
+
+use ktrace_clock::ManualClock;
+use ktrace_core::{parse_buffer, Mode, TraceConfig, TraceLogger};
+use ktrace_format::MajorId;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct EventSpec {
+    major: u8,
+    minor: u16,
+    payload: Vec<u64>,
+}
+
+fn event_strategy(max_payload: usize) -> impl Strategy<Value = EventSpec> {
+    (
+        1u8..64,
+        any::<u16>(),
+        prop::collection::vec(any::<u64>(), 0..=max_payload),
+    )
+        .prop_map(|(major, minor, payload)| EventSpec { major, minor, payload })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn logged_stream_roundtrips_exactly(
+        buffer_words_pow in 5u32..10,       // 32..512-word buffers
+        nbuf_pow in 1u32..4,                // 2..8 buffers per region
+        events in prop::collection::vec(event_strategy(12), 1..300),
+    ) {
+        let config = TraceConfig {
+            buffer_words: 1usize << buffer_words_pow,
+            buffers_per_cpu: 1usize << nbuf_pow,
+            mode: Mode::Stream,
+        };
+        let logger = TraceLogger::new(config, Arc::new(ManualClock::new(1, 1)), 1).unwrap();
+        let handle = logger.handle(0).unwrap();
+
+        // Log, draining as we go so nothing drops; remember what was logged.
+        let mut logged: Vec<&EventSpec> = Vec::new();
+        let mut buffers = Vec::new();
+        for spec in &events {
+            let major = MajorId::new(spec.major).unwrap();
+            if spec.payload.len() <= config.max_payload_words()
+                && handle.log_slice(major, spec.minor, &spec.payload)
+            {
+                logged.push(spec);
+            }
+            while let Some(b) = logger.take_buffer(0) {
+                buffers.push(b);
+            }
+        }
+        logger.flush_all();
+        while let Some(b) = logger.take_buffer(0) {
+            buffers.push(b);
+        }
+
+        // Decode everything back.
+        let mut recovered = Vec::new();
+        let mut hint = None;
+        let mut last_time = 0u64;
+        for b in &buffers {
+            prop_assert!(b.complete, "seq {} garbled", b.seq);
+            let parsed = parse_buffer(0, b.seq, &b.words, hint);
+            prop_assert!(parsed.clean(), "{:?}", parsed.notes);
+            hint = parsed.end_time;
+            for e in parsed.events {
+                prop_assert!(e.time >= last_time, "time went backwards");
+                last_time = e.time;
+                if !e.is_control() {
+                    recovered.push(e);
+                }
+            }
+        }
+
+        prop_assert_eq!(recovered.len(), logged.len());
+        for (got, want) in recovered.iter().zip(&logged) {
+            prop_assert_eq!(got.major.raw(), want.major);
+            prop_assert_eq!(got.minor, want.minor);
+            prop_assert_eq!(&got.payload, &want.payload);
+        }
+    }
+
+    #[test]
+    fn flight_recorder_suffix_is_always_recoverable(
+        events in prop::collection::vec(event_strategy(6), 50..400),
+    ) {
+        let config = TraceConfig::small().flight_recorder();
+        let logger = TraceLogger::new(config, Arc::new(ManualClock::new(1, 1)), 1).unwrap();
+        let handle = logger.handle(0).unwrap();
+        let mut accepted = Vec::new();
+        for spec in &events {
+            let major = MajorId::new(spec.major).unwrap();
+            if handle.log_slice(major, spec.minor, &spec.payload) {
+                accepted.push(spec);
+            }
+        }
+        // Whatever survives the circular overwrite must be a *suffix* of
+        // what was logged, in order, undamaged.
+        let dump = logger.flight_dump(usize::MAX, None);
+        prop_assert!(!dump.is_empty());
+        prop_assert!(dump.len() <= accepted.len());
+        let offset = accepted.len() - dump.len();
+        for (got, want) in dump.iter().zip(&accepted[offset..]) {
+            prop_assert_eq!(got.major.raw(), want.major);
+            prop_assert_eq!(got.minor, want.minor);
+            prop_assert_eq!(&got.payload, &want.payload);
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! The simulated OS's event vocabulary.
+//!
+//! Minor IDs per major class, the simulated-function name table used by the
+//! PC sampler and lock call chains (names deliberately mirror the K42
+//! routines visible in the paper's Figures 6 and 7), and the descriptor
+//! registration that makes every event self-describing (§4.4).
+
+use ktrace_core::TraceLogger;
+use ktrace_format::{EventDescriptor, MajorId};
+
+/// `SCHED` minors.
+pub mod sched {
+    /// Context switch: `[old_tid, new_tid, new_pid]`.
+    pub const CTX_SWITCH: u16 = 1;
+    /// CPU went idle: `[]`.
+    pub const IDLE_START: u16 = 2;
+    /// CPU left idle: `[idle_ns]`.
+    pub const IDLE_END: u16 = 3;
+    /// Task migrated: `[tid, from_cpu, to_cpu]`.
+    pub const MIGRATE: u16 = 4;
+    /// Task became runnable: `[tid, pid]`.
+    pub const THREAD_START: u16 = 5;
+    /// Task finished: `[tid, pid]`.
+    pub const THREAD_EXIT: u16 = 6;
+}
+
+/// `PROC` minors.
+pub mod proc {
+    /// Process created: `[pid, parent_pid, name…]`.
+    pub const CREATE: u16 = 1;
+    /// Process exec'd a new image: `[pid, name…]`.
+    pub const EXEC: u16 = 2;
+    /// Process exited: `[pid]`.
+    pub const EXIT: u16 = 3;
+}
+
+/// `SYSCALL` minors.
+pub mod syscall {
+    /// Entry: `[pid, tid, sysno]`.
+    pub const ENTRY: u16 = 1;
+    /// Exit: `[pid, tid, sysno]`.
+    pub const EXIT: u16 = 2;
+}
+
+/// `EXCEPTION` minors (page faults and PPC-style IPC transitions).
+pub mod exception {
+    /// Page fault start: `[tid, fault_addr]`.
+    pub const PGFLT: u16 = 1;
+    /// Page fault done: `[tid, fault_addr]`.
+    pub const PGFLT_DONE: u16 = 2;
+    /// Protected procedure call: `[comm_id]`.
+    pub const PPC_CALL: u16 = 3;
+    /// Protected procedure return: `[comm_id]`.
+    pub const PPC_RETURN: u16 = 4;
+}
+
+/// `MEM` minors.
+pub mod mem {
+    /// Region attached to an FCM: `[region, fcm]` (the paper's example).
+    pub const FCM_ATCH_REG: u16 = 1;
+    /// Region created: `[addr, size]`.
+    pub const REG_CREATE: u16 = 2;
+    /// Allocation served: `[size, addr]`.
+    pub const ALLOC: u16 = 3;
+}
+
+/// `LOCK` minors.
+pub mod lock {
+    /// Lock requested: `[lock_id, tid, call_chain]`.
+    pub const REQUEST: u16 = 1;
+    /// Lock acquired: `[lock_id, tid, call_chain, spins, wait_ns]`.
+    pub const ACQUIRED: u16 = 2;
+    /// Lock released: `[lock_id, tid, hold_ns]`.
+    pub const RELEASED: u16 = 3;
+}
+
+/// `IPC` minors.
+pub mod ipc {
+    /// Call into a server: `[from_pid, to_pid, fn_id]`.
+    pub const CALL: u16 = 1;
+    /// Return from a server: `[from_pid, to_pid, fn_id]`.
+    pub const RETURN: u16 = 2;
+}
+
+/// `FS` minors (logged under the server's pid).
+pub mod fs {
+    /// Open: `[pid, path_hash]`.
+    pub const OPEN: u16 = 1;
+    /// Read: `[pid, bytes]`.
+    pub const READ: u16 = 2;
+    /// Write: `[pid, bytes]`.
+    pub const WRITE: u16 = 3;
+    /// Close: `[pid, path_hash]`.
+    pub const CLOSE: u16 = 4;
+}
+
+/// `USER` minors.
+pub mod user {
+    /// New user program loaded: `[creator_pid, new_pid, name…]`
+    /// (the paper's `TRACE_USER_RUN_UL_LOADER`).
+    pub const RUN_UL_LOADER: u16 = 1;
+    /// Program returned from main: `[pid]`
+    /// (the paper's `TRACE_USER_RETURNED_MAIN`).
+    pub const RETURNED_MAIN: u16 = 2;
+}
+
+/// `PROF` minors.
+pub mod prof {
+    /// Statistical PC sample: `[pid, tid, func_id]` (§4.5).
+    pub const PC_SAMPLE: u16 = 1;
+}
+
+/// `HWPERF` minors (§2: hardware-counter values logged through the unified
+/// stream, so "the counters [can] be sampled and understood at various
+/// stages throughout the program['s] … execution").
+pub mod hwperf {
+    /// Counter sample: `[counter_id, cumulative_value, delta_since_last]`.
+    pub const COUNTER_SAMPLE: u16 = 1;
+}
+
+/// Synthetic hardware-counter identities.
+pub mod counter {
+    /// Elapsed CPU cycles.
+    pub const CYCLES: u64 = 1;
+    /// Data-cache misses.
+    pub const CACHE_MISSES: u64 = 2;
+    /// TLB misses.
+    pub const TLB_MISSES: u64 = 3;
+
+    /// Display name for a counter.
+    pub fn name(id: u64) -> &'static str {
+        match id {
+            CYCLES => "cycles",
+            CACHE_MISSES => "cache_misses",
+            TLB_MISSES => "tlb_misses",
+            _ => "counter?",
+        }
+    }
+}
+
+/// Simulated system-call numbers.
+pub mod sysno {
+    pub const OPEN: u64 = 1;
+    pub const READ: u64 = 2;
+    pub const WRITE: u64 = 3;
+    pub const CLOSE: u64 = 4;
+    pub const FORK: u64 = 5;
+    pub const EXEC: u64 = 6;
+    pub const EXIT: u64 = 7;
+    pub const BRK: u64 = 8;
+    pub const MMAP: u64 = 9;
+    pub const GETPID: u64 = 10;
+
+    /// Human-readable system-call name.
+    pub fn name(no: u64) -> &'static str {
+        match no {
+            OPEN => "SCopen",
+            READ => "SCread",
+            WRITE => "SCwrite",
+            CLOSE => "SCclose",
+            FORK => "SCfork",
+            EXEC => "SCexecve",
+            EXIT => "SCexit",
+            BRK => "SCbrk",
+            MMAP => "SCmmap",
+            GETPID => "SCgetpid",
+            _ => "SCunknown",
+        }
+    }
+}
+
+/// Simulated function IDs: the "program counter" domain of the PC sampler
+/// and lock call chains. Names mirror the K42 routines in Figs. 6–7.
+pub mod func {
+    pub const UNKNOWN: u16 = 0;
+    pub const FAIRBLOCK_ACQUIRE: u16 = 1;
+    pub const GMALLOC: u16 = 2;
+    pub const PMALLOC: u16 = 3;
+    pub const ALLOC_REGION_ALLOC: u16 = 4;
+    pub const PAGEALLOC_DEALLOC: u16 = 5;
+    pub const PAGEALLOC_USER_DEALLOC: u16 = 6;
+    pub const ALLOCPOOL_LARGE_FREE: u16 = 7;
+    pub const ALLOCPOOL_LARGE_ALLOC: u16 = 8;
+    pub const HASH_FIND: u16 = 9;
+    pub const DIR_LOOKUP: u16 = 10;
+    pub const MEMDESC_ALLOC: u16 = 11;
+    pub const DENTRY_LOOKUP: u16 = 12;
+    pub const IPC_CALLEE_ENTRY: u16 = 13;
+    pub const XHANDLE_ALLOC: u16 = 14;
+    pub const WORDCOPY: u16 = 15;
+    pub const USER_COMPUTE: u16 = 16;
+    pub const PGFLT_HANDLER: u16 = 17;
+    pub const SYSCALL_DISPATCH: u16 = 18;
+    pub const FCM_MAP_PAGE: u16 = 19;
+    pub const PROCESS_FORK: u16 = 20;
+    pub const PROG_EXEC_LOADER: u16 = 21;
+    pub const SERVER_FILE_WRITE: u16 = 22;
+    pub const SERVER_FILE_READ: u16 = 23;
+    pub const RWLOCK_RELEASE: u16 = 24;
+    pub const HASH_ADD: u16 = 25;
+
+    /// Maps a function ID to its display name.
+    pub fn name(id: u16) -> &'static str {
+        match id {
+            FAIRBLOCK_ACQUIRE => "FairBLock::_acquire()",
+            GMALLOC => "GMalloc::gMalloc()",
+            PMALLOC => "PMallocDefault::pMalloc(unsigned)",
+            ALLOC_REGION_ALLOC => "AllocRegionManager::alloc(unsigned)",
+            PAGEALLOC_DEALLOC => "PageAllocatorDefault::deallocPages(unsigned)",
+            PAGEALLOC_USER_DEALLOC => "PageAllocatorUser::deallocPages(unsigned)",
+            ALLOCPOOL_LARGE_FREE => "AllocPool::largeFree(void*)",
+            ALLOCPOOL_LARGE_ALLOC => "AllocPool::largeAlloc(unsigned)",
+            HASH_FIND => "HashSimpleBase<AllocGlobal, 0l>::find(unsigned long)",
+            DIR_LOOKUP => "DirLinuxFS::externalLookupDirectory(char*)",
+            MEMDESC_ALLOC => "MemDesc::alloc(DataChunk*)",
+            DENTRY_LOOKUP => "DentryListHash::lookupPtr(char*)",
+            IPC_CALLEE_ENTRY => "DispatcherDefault_IPCalleeEntry",
+            XHANDLE_ALLOC => "XHandleTrans::alloc(Obj**)",
+            WORDCOPY => "_wordcopy_fwd_aligned",
+            USER_COMPUTE => "user_compute",
+            PGFLT_HANDLER => "ExceptionLocal_PgfltHandler",
+            SYSCALL_DISPATCH => "SysCallDispatch",
+            FCM_MAP_PAGE => "FCMDefault::mapPage",
+            PROCESS_FORK => "ProcessDefault::fork",
+            PROG_EXEC_LOADER => "ProgExec_Loader",
+            SERVER_FILE_WRITE => "ServerFileBlock::write",
+            SERVER_FILE_READ => "ServerFileBlock::read",
+            RWLOCK_RELEASE => "TmpRWLock<BLock>::releaseR()",
+            HASH_ADD => "HashSNBBase<AllocGlobal, 0l, 8l>::add(unsigned long)",
+            _ => "<unknown>",
+        }
+    }
+}
+
+/// Packs up to four function IDs (innermost first) into one 64-bit word.
+pub fn pack_chain(chain: &[u16]) -> u64 {
+    let mut word = 0u64;
+    for (i, &f) in chain.iter().rev().take(4).enumerate() {
+        word |= (f as u64) << (16 * i);
+    }
+    word
+}
+
+/// Unpacks a call-chain word into function IDs, innermost first.
+pub fn unpack_chain(word: u64) -> Vec<u16> {
+    (0..4)
+        .map(|i| ((word >> (16 * i)) & 0xffff) as u16)
+        .take_while(|&f| f != 0)
+        .collect()
+}
+
+/// Registers self-describing descriptors for every simulator event.
+pub fn register_all(logger: &TraceLogger) {
+    let reg = |major: MajorId, minor: u16, name: &str, spec: &str, tpl: &str| {
+        logger.register_event(
+            major,
+            minor,
+            EventDescriptor::new(name, spec, tpl).expect("static descriptor is valid"),
+        );
+    };
+
+    reg(MajorId::SCHED, sched::CTX_SWITCH, "TRACE_SCHED_CTX_SWITCH", "64 64 64",
+        "switch from thread %0[%x] to thread %1[%x] pid %2[%d]");
+    reg(MajorId::SCHED, sched::IDLE_START, "TRACE_SCHED_IDLE_START", "", "cpu idle");
+    reg(MajorId::SCHED, sched::IDLE_END, "TRACE_SCHED_IDLE_END", "64", "cpu busy after %0[%d] ns idle");
+    reg(MajorId::SCHED, sched::MIGRATE, "TRACE_SCHED_MIGRATE", "64 64 64",
+        "thread %0[%x] migrated cpu %1[%d] -> cpu %2[%d]");
+    reg(MajorId::SCHED, sched::THREAD_START, "TRACE_SCHED_THREAD_START", "64 64",
+        "thread %0[%x] of pid %1[%d] runnable");
+    reg(MajorId::SCHED, sched::THREAD_EXIT, "TRACE_SCHED_THREAD_EXIT", "64 64",
+        "thread %0[%x] of pid %1[%d] exited");
+
+    reg(MajorId::PROC, proc::CREATE, "TRACE_PROC_CREATE", "64 64 str",
+        "process %0[%d] created by %1[%d] name %2[%s]");
+    reg(MajorId::PROC, proc::EXEC, "TRACE_PROC_EXEC", "64 str", "process %0[%d] exec %1[%s]");
+    reg(MajorId::PROC, proc::EXIT, "TRACE_PROC_EXIT", "64", "process %0[%d] exited");
+
+    reg(MajorId::SYSCALL, syscall::ENTRY, "TRACE_SYSCALL_ENTRY", "64 64 64",
+        "pid %0[%d] thread %1[%x] syscall %2[%d] entry");
+    reg(MajorId::SYSCALL, syscall::EXIT, "TRACE_SYSCALL_EXIT", "64 64 64",
+        "pid %0[%d] thread %1[%x] syscall %2[%d] exit");
+
+    reg(MajorId::EXCEPTION, exception::PGFLT, "TRC_EXCEPTION_PGFLT", "64 64",
+        "PGFLT, kernel thread %0[%llx], faultAddr %1[%llx]");
+    reg(MajorId::EXCEPTION, exception::PGFLT_DONE, "TRC_EXCEPTION_PGFLT_DONE", "64 64",
+        "PGFLT DONE, kernel thread %0[%llx], faultAddr %1[%llx]");
+    reg(MajorId::EXCEPTION, exception::PPC_CALL, "TRC_EXCEPTION_PPC_CALL", "64",
+        "PPC CALL, commID %0[%llx]");
+    reg(MajorId::EXCEPTION, exception::PPC_RETURN, "TRC_EXCEPTION_PPC_RETURN", "64",
+        "PPC RETURN, commID %0[%llx]");
+
+    reg(MajorId::MEM, mem::FCM_ATCH_REG, "TRC_MEM_FCMCOM_ATCH_REG", "64 64",
+        "Region %0[%llx] attached to FCM %1[%llx]");
+    reg(MajorId::MEM, mem::REG_CREATE, "TRC_MEM_REG_CREATE_FIX", "64 64",
+        "Region created addr %0[%llx] size %1[%llx]");
+    reg(MajorId::MEM, mem::ALLOC, "TRC_MEM_ALLOC", "64 64",
+        "alloc size %0[%d] addr %1[%llx]");
+
+    reg(MajorId::LOCK, lock::REQUEST, "TRACE_LOCK_REQUEST", "64 64 64",
+        "lock %0[%llx] requested by thread %1[%x] chain %2[%llx]");
+    reg(MajorId::LOCK, lock::ACQUIRED, "TRACE_LOCK_ACQUIRED", "64 64 64 64 64",
+        "lock %0[%llx] acquired by thread %1[%x] chain %2[%llx] spins %3[%d] wait %4[%d] ns");
+    reg(MajorId::LOCK, lock::RELEASED, "TRACE_LOCK_RELEASED", "64 64 64",
+        "lock %0[%llx] released by thread %1[%x] held %2[%d] ns");
+
+    reg(MajorId::IPC, ipc::CALL, "TRACE_IPC_CALL", "64 64 64",
+        "IPC pid %0[%d] -> pid %1[%d] fn %2[%d]");
+    reg(MajorId::IPC, ipc::RETURN, "TRACE_IPC_RETURN", "64 64 64",
+        "IPC return pid %0[%d] <- pid %1[%d] fn %2[%d]");
+
+    reg(MajorId::FS, fs::OPEN, "TRACE_FS_OPEN", "64 64", "pid %0[%d] open path#%1[%x]");
+    reg(MajorId::FS, fs::READ, "TRACE_FS_READ", "64 64", "pid %0[%d] read %1[%d] bytes");
+    reg(MajorId::FS, fs::WRITE, "TRACE_FS_WRITE", "64 64", "pid %0[%d] write %1[%d] bytes");
+    reg(MajorId::FS, fs::CLOSE, "TRACE_FS_CLOSE", "64 64", "pid %0[%d] close path#%1[%x]");
+
+    reg(MajorId::USER, user::RUN_UL_LOADER, "TRACE_USER_RUN_UL_LOADER", "64 64 str",
+        "process %0[%d] created new process with id %1[%d] name %2[%s]");
+    reg(MajorId::USER, user::RETURNED_MAIN, "TRACE_USER_RETURNED_MAIN", "64",
+        "process %0[%d] returned from main");
+
+    reg(MajorId::PROF, prof::PC_SAMPLE, "TRACE_PROF_PC_SAMPLE", "64 64 64",
+        "pc sample pid %0[%d] thread %1[%x] func %2[%d]");
+
+    reg(MajorId::HWPERF, hwperf::COUNTER_SAMPLE, "TRACE_HWPERF_COUNTER", "64 64 64",
+        "counter %0[%d] value %1[%d] delta %2[%d]");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktrace_clock::SyncClock;
+    use ktrace_core::{TraceConfig, TraceLogger};
+    use std::sync::Arc;
+
+    #[test]
+    fn chain_pack_roundtrip() {
+        let chain = [func::GMALLOC, func::PMALLOC, func::ALLOC_REGION_ALLOC];
+        let word = pack_chain(&chain);
+        // Innermost (last pushed) function in the low bits.
+        assert_eq!(unpack_chain(word), vec![
+            func::ALLOC_REGION_ALLOC,
+            func::PMALLOC,
+            func::GMALLOC
+        ]);
+        assert_eq!(unpack_chain(pack_chain(&[])), Vec::<u16>::new());
+        // Deeper chains keep the innermost four.
+        let deep = [1u16, 2, 3, 4, 5, 6];
+        assert_eq!(unpack_chain(pack_chain(&deep)), vec![6, 5, 4, 3]);
+    }
+
+    #[test]
+    fn func_names_defined_for_all_ids() {
+        for id in 1..=25u16 {
+            assert_ne!(func::name(id), "<unknown>", "func {id}");
+        }
+        assert_eq!(func::name(999), "<unknown>");
+        assert_eq!(func::name(func::GMALLOC), "GMalloc::gMalloc()");
+    }
+
+    #[test]
+    fn all_descriptors_register_and_render() {
+        let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 1).unwrap();
+        register_all(&logger);
+        let registry = logger.registry();
+        // Builtin CONTROL (3) + the simulator's events.
+        assert!(registry.len() > 25);
+        // Spot-check the paper's example renders through the registry.
+        let (_, _, desc) = registry.by_name("TRC_MEM_FCMCOM_ATCH_REG").unwrap();
+        let words = desc
+            .spec
+            .encode(&[
+                ktrace_format::FieldValue::Int(0x800000001022cc98),
+                ktrace_format::FieldValue::Int(0xe100000000003f30),
+            ])
+            .unwrap();
+        assert_eq!(
+            desc.describe(&words).unwrap(),
+            "Region 800000001022cc98 attached to FCM e100000000003f30"
+        );
+    }
+
+    #[test]
+    fn sysno_names() {
+        assert_eq!(sysno::name(sysno::EXEC), "SCexecve");
+        assert_eq!(sysno::name(77), "SCunknown");
+    }
+}

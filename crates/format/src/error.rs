@@ -1,0 +1,83 @@
+//! Error type for event encoding, decoding, and descriptor parsing.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding trace events and descriptors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// An event length field was zero or larger than the containing buffer
+    /// allows. A zero length word is what an unwritten (garbled) header looks
+    /// like, so decoders surface it distinctly.
+    InvalidLength {
+        /// The raw length field value, in 64-bit words.
+        words: u16,
+    },
+    /// A major ID outside `0..64` was requested.
+    InvalidMajor(u16),
+    /// An event payload was too large to express in the 10-bit length field.
+    PayloadTooLarge {
+        /// Payload length in 64-bit words (excluding the header).
+        words: usize,
+    },
+    /// A field-spec token was not one of `8`, `16`, `32`, `64`, `str`.
+    BadSpecToken(String),
+    /// A display template referenced a field index that the spec does not have.
+    BadTemplateIndex {
+        /// Index referenced by the template (`%N[..]`).
+        index: usize,
+        /// Number of fields in the spec.
+        fields: usize,
+    },
+    /// A display template was syntactically malformed.
+    BadTemplate(String),
+    /// Payload words ran out while decoding fields according to a spec.
+    Truncated {
+        /// What was being decoded when the words ran out.
+        context: &'static str,
+    },
+    /// A string field contained a byte length inconsistent with the event size.
+    BadStringLength {
+        /// Claimed byte length.
+        len: u64,
+        /// Words remaining in the payload.
+        remaining_words: usize,
+    },
+    /// Descriptor registry text form could not be parsed.
+    BadRegistryLine {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::InvalidLength { words } => {
+                write!(f, "invalid event length field: {words} words")
+            }
+            FormatError::InvalidMajor(m) => write!(f, "major ID {m} out of range (max 63)"),
+            FormatError::PayloadTooLarge { words } => {
+                write!(f, "payload of {words} words exceeds the 10-bit length field")
+            }
+            FormatError::BadSpecToken(t) => write!(f, "bad field-spec token {t:?}"),
+            FormatError::BadTemplateIndex { index, fields } => {
+                write!(f, "template references field %{index} but spec has {fields} fields")
+            }
+            FormatError::BadTemplate(t) => write!(f, "malformed display template: {t}"),
+            FormatError::Truncated { context } => {
+                write!(f, "payload truncated while decoding {context}")
+            }
+            FormatError::BadStringLength { len, remaining_words } => write!(
+                f,
+                "string field claims {len} bytes but only {remaining_words} words remain"
+            ),
+            FormatError::BadRegistryLine { line, reason } => {
+                write!(f, "bad registry line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}

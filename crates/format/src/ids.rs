@@ -1,0 +1,191 @@
+//! Major and minor trace-event IDs.
+//!
+//! The paper limits the system to **64 major IDs** so that "a single comparison
+//! of a major class bit against a trace mask variable can determine whether an
+//! event should be logged". Major IDs map to subsystems (`MEM`, `PROC`, `LOCK`,
+//! ...); the 16-bit minor field is major-class-defined data, typically a minor
+//! ID enumerating the events of that subsystem.
+//!
+//! Major ID 0 is reserved for the tracing infrastructure itself (`CONTROL`):
+//! filler events that realign the stream at buffer boundaries, and time-anchor
+//! events that let readers reconstruct full 64-bit timestamps from the 32 bits
+//! stored per event. `CONTROL` events are always logged regardless of the mask,
+//! because the stream is undecodable without them.
+
+use crate::error::FormatError;
+use std::fmt;
+
+/// Number of distinct major IDs (the width of the trace mask word).
+pub const NUM_MAJOR_IDS: usize = 64;
+
+/// A major (subsystem) trace-event class, `0..64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MajorId(u8);
+
+impl MajorId {
+    /// Tracing-infrastructure control events (filler, time anchor). Always on.
+    pub const CONTROL: MajorId = MajorId(0);
+    /// Exception-level events: page faults, interrupts, PPC calls.
+    pub const EXCEPTION: MajorId = MajorId(1);
+    /// Memory subsystem: regions, FCMs, allocators.
+    pub const MEM: MajorId = MajorId(2);
+    /// Process lifecycle: creation, exec, exit.
+    pub const PROC: MajorId = MajorId(3);
+    /// Scheduler: context switches, migrations, idle.
+    pub const SCHED: MajorId = MajorId(4);
+    /// Lock instrumentation: request/acquire/release/contention.
+    pub const LOCK: MajorId = MajorId(5);
+    /// Inter-process communication (K42 PPC-style calls).
+    pub const IPC: MajorId = MajorId(6);
+    /// I/O and device events.
+    pub const IO: MajorId = MajorId(7);
+    /// File-system server events.
+    pub const FS: MajorId = MajorId(8);
+    /// System-call entry/exit.
+    pub const SYSCALL: MajorId = MajorId(9);
+    /// User/application-level events (the paper logs from applications too).
+    pub const USER: MajorId = MajorId(10);
+    /// Library-level events.
+    pub const LIB: MajorId = MajorId(11);
+    /// Statistical profiler samples (program counter).
+    pub const PROF: MajorId = MajorId(12);
+    /// Hardware-counter samples logged through the unified stream (§2).
+    pub const HWPERF: MajorId = MajorId(13);
+    /// Scratch class reserved for tests.
+    pub const TEST: MajorId = MajorId(63);
+
+    /// Creates a major ID, returning an error if `id >= 64`.
+    pub const fn new(id: u8) -> Result<MajorId, FormatError> {
+        if id as usize >= NUM_MAJOR_IDS {
+            Err(FormatError::InvalidMajor(id as u16))
+        } else {
+            Ok(MajorId(id))
+        }
+    }
+
+    /// Creates a major ID without range checking.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `id >= 64`.
+    #[inline]
+    pub const fn new_unchecked(id: u8) -> MajorId {
+        debug_assert!((id as usize) < NUM_MAJOR_IDS);
+        MajorId(id)
+    }
+
+    /// The raw value, `0..64`.
+    #[inline]
+    pub const fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// The single-bit mask for this major ID within a [`TraceMask`] word.
+    ///
+    /// [`TraceMask`]: crate::mask::TraceMask
+    #[inline]
+    pub const fn bit(self) -> u64 {
+        1u64 << self.0
+    }
+
+    /// Conventional subsystem name for the well-known IDs, or `None`.
+    pub const fn well_known_name(self) -> Option<&'static str> {
+        Some(match self.0 {
+            0 => "CONTROL",
+            1 => "EXCEPTION",
+            2 => "MEM",
+            3 => "PROC",
+            4 => "SCHED",
+            5 => "LOCK",
+            6 => "IPC",
+            7 => "IO",
+            8 => "FS",
+            9 => "SYSCALL",
+            10 => "USER",
+            11 => "LIB",
+            12 => "PROF",
+            13 => "HWPERF",
+            63 => "TEST",
+            _ => return None,
+        })
+    }
+
+    /// Iterates over every possible major ID.
+    pub fn all() -> impl Iterator<Item = MajorId> {
+        (0..NUM_MAJOR_IDS as u8).map(MajorId)
+    }
+}
+
+impl fmt::Display for MajorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.well_known_name() {
+            Some(name) => f.write_str(name),
+            None => write!(f, "MAJOR{}", self.0),
+        }
+    }
+}
+
+/// A minor event ID (or other major-class-defined 16-bit datum).
+pub type MinorId = u16;
+
+/// Minor IDs of the `CONTROL` major class.
+pub mod control {
+    use super::MinorId;
+
+    /// Filler event: a bare header whose length spans the remainder of the
+    /// current buffer so the next event starts on an alignment boundary.
+    pub const FILLER: MinorId = 0;
+    /// Time anchor: payload is `[full 64-bit timestamp, cpu id]`, logged at
+    /// the start of every buffer so 32-bit event stamps can be extended.
+    pub const TIME_ANCHOR: MinorId = 1;
+    /// Dropped-buffer marker: payload is the count of buffers overwritten in
+    /// flight-recorder mode since the previous marker.
+    pub const DROPPED: MinorId = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(MajorId::new(63).is_ok());
+        assert_eq!(MajorId::new(64), Err(FormatError::InvalidMajor(64)));
+        assert_eq!(MajorId::new(255), Err(FormatError::InvalidMajor(255)));
+    }
+
+    #[test]
+    fn bit_positions_are_distinct_and_cover_the_word() {
+        let mut acc = 0u64;
+        for id in MajorId::all() {
+            assert_eq!(acc & id.bit(), 0, "duplicate bit for {id}");
+            acc |= id.bit();
+        }
+        assert_eq!(acc, u64::MAX);
+    }
+
+    #[test]
+    fn display_uses_well_known_names() {
+        assert_eq!(MajorId::MEM.to_string(), "MEM");
+        assert_eq!(MajorId::new(42).unwrap().to_string(), "MAJOR42");
+    }
+
+    #[test]
+    fn well_known_ids_are_stable() {
+        // The file format stores raw major IDs; these must never change.
+        assert_eq!(MajorId::CONTROL.raw(), 0);
+        assert_eq!(MajorId::EXCEPTION.raw(), 1);
+        assert_eq!(MajorId::MEM.raw(), 2);
+        assert_eq!(MajorId::PROC.raw(), 3);
+        assert_eq!(MajorId::SCHED.raw(), 4);
+        assert_eq!(MajorId::LOCK.raw(), 5);
+        assert_eq!(MajorId::IPC.raw(), 6);
+        assert_eq!(MajorId::IO.raw(), 7);
+        assert_eq!(MajorId::FS.raw(), 8);
+        assert_eq!(MajorId::SYSCALL.raw(), 9);
+        assert_eq!(MajorId::USER.raw(), 10);
+        assert_eq!(MajorId::LIB.raw(), 11);
+        assert_eq!(MajorId::PROF.raw(), 12);
+        assert_eq!(MajorId::HWPERF.raw(), 13);
+        assert_eq!(MajorId::TEST.raw(), 63);
+    }
+}

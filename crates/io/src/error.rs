@@ -1,0 +1,66 @@
+//! Error type for trace file I/O.
+
+use std::fmt;
+
+/// Errors reading or writing trace files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Header fields are inconsistent (e.g. zero buffer size).
+    BadHeader(&'static str),
+    /// The embedded event registry failed to parse.
+    BadRegistry(ktrace_format::FormatError),
+    /// A record index beyond the end of the file.
+    RecordOutOfRange {
+        /// Requested record.
+        index: usize,
+        /// Records available.
+        count: usize,
+    },
+    /// A record's geometry disagrees with the file header.
+    CorruptRecord {
+        /// Record index.
+        index: usize,
+        /// Explanation.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::BadMagic => f.write_str("not a ktrace file (bad magic)"),
+            IoError::BadVersion(v) => write!(f, "unsupported trace file version {v}"),
+            IoError::BadHeader(why) => write!(f, "bad trace file header: {why}"),
+            IoError::BadRegistry(e) => write!(f, "bad embedded event registry: {e}"),
+            IoError::RecordOutOfRange { index, count } => {
+                write!(f, "record {index} out of range ({count} records)")
+            }
+            IoError::CorruptRecord { index, reason } => {
+                write!(f, "corrupt record {index}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::BadRegistry(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> IoError {
+        IoError::Io(e)
+    }
+}

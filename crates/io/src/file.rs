@@ -1,0 +1,235 @@
+//! The on-disk format.
+//!
+//! ```text
+//! +--------------------------------------------------------------+
+//! | magic "KTRACE01" (8)                                          |
+//! | version u32 | flags u32                                       |
+//! | ncpus u32   | buffer_words u32                                |
+//! | ticks_per_sec u64                                             |
+//! | registry_bytes u64                                            |
+//! | registry text (UTF-8, EventRegistry::to_text)                 |
+//! +--------------------------------------------------------------+
+//! | record 0 | record 1 | ...      (each fixed RECORD_HEADER_BYTES |
+//! |          |          |           + buffer_words * 8 bytes)      |
+//! +--------------------------------------------------------------+
+//! ```
+//!
+//! Every record is the same size, so record `k` is at
+//! `header_len + k * record_size`: seekable without scanning, the file-level
+//! counterpart of the paper's medium-scale alignment boundaries.
+//!
+//! Record layout: `record magic u32 | cpu u32 | seq u64 | flags u64 |
+//! words…`. Flag bit 0 = "complete" (commit count matched when drained).
+
+use crate::error::IoError;
+use bytes::{Buf, BufMut};
+use ktrace_format::EventRegistry;
+
+/// File magic: identifies a ktrace trace file.
+pub const FILE_MAGIC: [u8; 8] = *b"KTRACE01";
+
+/// Current format version.
+pub const FILE_VERSION: u32 = 1;
+
+/// Per-record magic guarding against corrupt offsets.
+pub const RECORD_MAGIC: u32 = 0xB0F4_0001;
+
+/// Fixed bytes before each record's buffer words.
+pub const RECORD_HEADER_BYTES: usize = 4 + 4 + 8 + 8;
+
+/// Header flag bit: the clock was globally synchronized.
+pub const FLAG_CLOCK_SYNCHRONIZED: u32 = 1;
+
+/// Record flag bit: the buffer's commit count matched when drained.
+pub const RECORD_FLAG_COMPLETE: u64 = 1;
+
+/// The decoded file header.
+#[derive(Debug, Clone)]
+pub struct FileHeader {
+    /// Number of CPUs that logged into this trace.
+    pub ncpus: u32,
+    /// Words per buffer (every record carries exactly this many words).
+    pub buffer_words: u32,
+    /// Clock rate, ticks per second.
+    pub ticks_per_sec: u64,
+    /// Whether the trace clock was globally synchronized.
+    pub clock_synchronized: bool,
+    /// The embedded self-describing event registry.
+    pub registry: EventRegistry,
+}
+
+impl FileHeader {
+    /// Size in bytes of one buffer record under this header.
+    pub fn record_size(&self) -> usize {
+        RECORD_HEADER_BYTES + self.buffer_words as usize * 8
+    }
+
+    /// Encodes the header (including the registry text).
+    pub fn encode(&self) -> Vec<u8> {
+        let registry_text = self.registry.to_text();
+        let mut out = Vec::with_capacity(40 + registry_text.len());
+        out.put_slice(&FILE_MAGIC);
+        out.put_u32_le(FILE_VERSION);
+        out.put_u32_le(if self.clock_synchronized { FLAG_CLOCK_SYNCHRONIZED } else { 0 });
+        out.put_u32_le(self.ncpus);
+        out.put_u32_le(self.buffer_words);
+        out.put_u64_le(self.ticks_per_sec);
+        out.put_u64_le(registry_text.len() as u64);
+        out.put_slice(registry_text.as_bytes());
+        out
+    }
+
+    /// Decodes a header from the start of `bytes`, returning it and the
+    /// number of bytes it occupied.
+    pub fn decode(mut bytes: &[u8]) -> Result<(FileHeader, usize), IoError> {
+        let total = bytes.len();
+        if bytes.len() < 8 + 4 + 4 + 4 + 4 + 8 + 8 {
+            return Err(IoError::BadHeader("file shorter than fixed header"));
+        }
+        let mut magic = [0u8; 8];
+        bytes.copy_to_slice(&mut magic);
+        if magic != FILE_MAGIC {
+            return Err(IoError::BadMagic);
+        }
+        let version = bytes.get_u32_le();
+        if version != FILE_VERSION {
+            return Err(IoError::BadVersion(version));
+        }
+        let flags = bytes.get_u32_le();
+        let ncpus = bytes.get_u32_le();
+        let buffer_words = bytes.get_u32_le();
+        let ticks_per_sec = bytes.get_u64_le();
+        let registry_bytes = bytes.get_u64_le() as usize;
+        if ncpus == 0 {
+            return Err(IoError::BadHeader("ncpus is zero"));
+        }
+        if buffer_words == 0 || !buffer_words.is_power_of_two() {
+            return Err(IoError::BadHeader("buffer_words not a power of two"));
+        }
+        if bytes.len() < registry_bytes {
+            return Err(IoError::BadHeader("registry text truncated"));
+        }
+        let registry_text = std::str::from_utf8(&bytes[..registry_bytes])
+            .map_err(|_| IoError::BadHeader("registry text not UTF-8"))?;
+        let registry = EventRegistry::from_text(registry_text).map_err(IoError::BadRegistry)?;
+        let used = total - (bytes.len() - registry_bytes);
+        Ok((
+            FileHeader {
+                ncpus,
+                buffer_words,
+                ticks_per_sec,
+                clock_synchronized: flags & FLAG_CLOCK_SYNCHRONIZED != 0,
+                registry,
+            },
+            used,
+        ))
+    }
+}
+
+/// Encodes one record's fixed prefix.
+pub fn encode_record_header(cpu: u32, seq: u64, complete: bool) -> [u8; RECORD_HEADER_BYTES] {
+    let mut out = [0u8; RECORD_HEADER_BYTES];
+    let mut buf = &mut out[..];
+    buf.put_u32_le(RECORD_MAGIC);
+    buf.put_u32_le(cpu);
+    buf.put_u64_le(seq);
+    buf.put_u64_le(if complete { RECORD_FLAG_COMPLETE } else { 0 });
+    out
+}
+
+/// Decodes one record's fixed prefix: `(cpu, seq, complete)`.
+pub fn decode_record_header(
+    mut bytes: &[u8],
+    index: usize,
+) -> Result<(u32, u64, bool), IoError> {
+    if bytes.len() < RECORD_HEADER_BYTES {
+        return Err(IoError::CorruptRecord { index, reason: "truncated record header" });
+    }
+    if bytes.get_u32_le() != RECORD_MAGIC {
+        return Err(IoError::CorruptRecord { index, reason: "bad record magic" });
+    }
+    let cpu = bytes.get_u32_le();
+    let seq = bytes.get_u64_le();
+    let flags = bytes.get_u64_le();
+    Ok((cpu, seq, flags & RECORD_FLAG_COMPLETE != 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktrace_format::EventDescriptor;
+    use ktrace_format::MajorId;
+
+    fn header() -> FileHeader {
+        let mut registry = EventRegistry::with_builtin();
+        registry.register(
+            MajorId::TEST,
+            1,
+            EventDescriptor::new("TRACE_TEST_E", "64", "v %0[%d]").unwrap(),
+        );
+        FileHeader {
+            ncpus: 4,
+            buffer_words: 1024,
+            ticks_per_sec: 1_000_000_000,
+            clock_synchronized: true,
+            registry,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = header();
+        let enc = h.encode();
+        let (dec, used) = FileHeader::decode(&enc).unwrap();
+        assert_eq!(used, enc.len());
+        assert_eq!(dec.ncpus, 4);
+        assert_eq!(dec.buffer_words, 1024);
+        assert_eq!(dec.ticks_per_sec, 1_000_000_000);
+        assert!(dec.clock_synchronized);
+        assert_eq!(dec.registry.len(), h.registry.len());
+        assert!(dec.registry.lookup(MajorId::TEST, 1).is_some());
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let mut enc = header().encode();
+        enc[0] = b'X';
+        assert!(matches!(FileHeader::decode(&enc), Err(IoError::BadMagic)));
+        let mut enc = header().encode();
+        enc[8] = 99;
+        assert!(matches!(FileHeader::decode(&enc), Err(IoError::BadVersion(_))));
+    }
+
+    #[test]
+    fn truncated_registry_rejected() {
+        let enc = header().encode();
+        assert!(matches!(
+            FileHeader::decode(&enc[..enc.len() - 10]),
+            Err(IoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn record_header_roundtrip() {
+        let enc = encode_record_header(3, 42, true);
+        assert_eq!(decode_record_header(&enc, 0).unwrap(), (3, 42, true));
+        let enc = encode_record_header(0, 0, false);
+        assert_eq!(decode_record_header(&enc, 0).unwrap(), (0, 0, false));
+    }
+
+    #[test]
+    fn record_magic_checked() {
+        let mut enc = encode_record_header(3, 42, true);
+        enc[0] ^= 0xff;
+        assert!(matches!(
+            decode_record_header(&enc, 7),
+            Err(IoError::CorruptRecord { index: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn record_size_matches_layout() {
+        let h = header();
+        assert_eq!(h.record_size(), 24 + 1024 * 8);
+    }
+}

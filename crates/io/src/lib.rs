@@ -1,0 +1,35 @@
+//! Trace file I/O: writing completed buffers out and reading them back.
+//!
+//! The paper separates collection from analysis (goal 5): full buffers are
+//! "written out to disk, or streamed over the network" and post-processing
+//! tools work from the file. Files can reach "gigabytes per processor", so
+//! tools "should not be forced to scan through the entire file when trying to
+//! display, for example, a middle 5 seconds of a program's execution" (§3.2).
+//!
+//! This crate provides:
+//!
+//! * [`file`] — the binary format: a self-describing header (geometry, clock
+//!   metadata, the serialized event registry) followed by **fixed-size buffer
+//!   records**, so record `k` lives at a computable offset: the file-level
+//!   realization of the paper's alignment-boundary random access.
+//! * [`writer`] — a streaming [`TraceFileWriter`] fed by the core consumer.
+//! * [`reader`] — [`TraceFileReader`]: random record access, a cheap
+//!   time index built from each buffer's anchor, time-windowed reads, and
+//!   per-record garble reporting.
+//! * [`merge`] — a k-way, timestamp-ordered merge of per-CPU event streams.
+//! * [`session`] — [`TraceSession`]: a logger plus a background drainer
+//!   thread writing to a file, the "always-on collection" deployment shape.
+
+pub mod error;
+pub mod file;
+pub mod merge;
+pub mod reader;
+pub mod session;
+pub mod writer;
+
+pub use error::IoError;
+pub use file::{FileHeader, FILE_MAGIC, FILE_VERSION};
+pub use merge::MergedEvents;
+pub use reader::{BufferRecord, RecordAnomaly, TraceFileReader};
+pub use session::TraceSession;
+pub use writer::TraceFileWriter;

@@ -1,0 +1,348 @@
+//! Random-access trace file reader.
+//!
+//! Records are fixed-size, so the reader can jump straight to any record —
+//! and because each buffer begins with a time anchor, a cheap index from
+//! record number to start time is built by reading just three words per
+//! record. Displaying "a middle 5 seconds" of a huge trace therefore touches
+//! only the overlapping records ([`TraceFileReader::events_between`]).
+
+use crate::error::IoError;
+use crate::file::{decode_record_header, FileHeader, RECORD_HEADER_BYTES};
+use crate::merge::MergedEvents;
+use ktrace_core::reader::{parse_buffer, GarbleNote, RawEvent};
+use ktrace_format::EventHeader;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+/// One buffer record read back from a file.
+#[derive(Debug, Clone)]
+pub struct BufferRecord {
+    /// Index of the record in the file.
+    pub index: usize,
+    /// CPU that produced the buffer.
+    pub cpu: u32,
+    /// Buffer sequence number within that CPU's region.
+    pub seq: u64,
+    /// Whether the commit count matched when the buffer was drained.
+    pub complete: bool,
+    /// The buffer words.
+    pub words: Vec<u64>,
+}
+
+/// A garbling report for one record (§3.1's anomaly reporting).
+#[derive(Debug, Clone)]
+pub struct RecordAnomaly {
+    /// Record index in the file.
+    pub record: usize,
+    /// CPU that produced the buffer.
+    pub cpu: u32,
+    /// Buffer sequence number.
+    pub seq: u64,
+    /// False if the commit count mismatched at drain time.
+    pub complete: bool,
+    /// Structural problems found while decoding the event chain.
+    pub notes: Vec<GarbleNote>,
+}
+
+/// Reader over any seekable source (usually a file).
+pub struct TraceFileReader<R: Read + Seek> {
+    source: R,
+    header: FileHeader,
+    data_start: u64,
+    record_count: usize,
+}
+
+impl TraceFileReader<std::io::BufReader<std::fs::File>> {
+    /// Opens a trace file.
+    pub fn open(
+        path: impl AsRef<Path>,
+    ) -> Result<TraceFileReader<std::io::BufReader<std::fs::File>>, IoError> {
+        let file = std::fs::File::open(path)?;
+        TraceFileReader::new(std::io::BufReader::new(file))
+    }
+}
+
+impl<R: Read + Seek> TraceFileReader<R> {
+    /// Wraps a seekable source, decoding the header eagerly.
+    pub fn new(mut source: R) -> Result<TraceFileReader<R>, IoError> {
+        let total = source.seek(SeekFrom::End(0))?;
+        source.seek(SeekFrom::Start(0))?;
+        // Headers are small; read a generous prefix to decode from.
+        let prefix_len = total.min(1 << 20) as usize;
+        let mut prefix = vec![0u8; prefix_len];
+        source.read_exact(&mut prefix)?;
+        let (header, header_len) = FileHeader::decode(&prefix)?;
+        let data_start = header_len as u64;
+        let record_size = header.record_size() as u64;
+        let data_bytes = total - data_start;
+        if !data_bytes.is_multiple_of(record_size) {
+            return Err(IoError::BadHeader("data section is not a whole number of records"));
+        }
+        Ok(TraceFileReader {
+            source,
+            header,
+            data_start,
+            record_count: (data_bytes / record_size) as usize,
+        })
+    }
+
+    /// The decoded file header.
+    pub fn header(&self) -> &FileHeader {
+        &self.header
+    }
+
+    /// Number of buffer records in the file.
+    pub fn record_count(&self) -> usize {
+        self.record_count
+    }
+
+    fn record_offset(&self, index: usize) -> u64 {
+        self.data_start + index as u64 * self.header.record_size() as u64
+    }
+
+    fn check_index(&self, index: usize) -> Result<(), IoError> {
+        if index >= self.record_count {
+            return Err(IoError::RecordOutOfRange { index, count: self.record_count });
+        }
+        Ok(())
+    }
+
+    /// Reads record `index` in full — a single seek, no scanning.
+    pub fn record(&mut self, index: usize) -> Result<BufferRecord, IoError> {
+        self.check_index(index)?;
+        self.source.seek(SeekFrom::Start(self.record_offset(index)))?;
+        let mut bytes = vec![0u8; self.header.record_size()];
+        self.source.read_exact(&mut bytes)?;
+        let (cpu, seq, complete) = decode_record_header(&bytes, index)?;
+        let words = bytes[RECORD_HEADER_BYTES..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        Ok(BufferRecord { index, cpu, seq, complete, words })
+    }
+
+    /// Reads only a record's identity and anchor time (header + 3 words):
+    /// the cheap per-record metadata the time index is built from.
+    pub fn record_meta(&mut self, index: usize) -> Result<(u32, u64, bool, Option<u64>), IoError> {
+        self.check_index(index)?;
+        self.source.seek(SeekFrom::Start(self.record_offset(index)))?;
+        let mut bytes = vec![0u8; RECORD_HEADER_BYTES + 3 * 8];
+        self.source.read_exact(&mut bytes)?;
+        let (cpu, seq, complete) = decode_record_header(&bytes, index)?;
+        let w0 = u64::from_le_bytes(bytes[RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + 8].try_into().expect("8"));
+        let w1 = u64::from_le_bytes(
+            bytes[RECORD_HEADER_BYTES + 8..RECORD_HEADER_BYTES + 16].try_into().expect("8"),
+        );
+        let anchor = EventHeader::decode(w0)
+            .ok()
+            .filter(|h| h.is_time_anchor())
+            .map(|_| w1);
+        Ok((cpu, seq, complete, anchor))
+    }
+
+    /// Decodes record `index` into events.
+    pub fn parse_record(&mut self, index: usize) -> Result<(BufferRecord, Vec<RawEvent>, Vec<GarbleNote>), IoError> {
+        let rec = self.record(index)?;
+        let parsed = parse_buffer(rec.cpu as usize, rec.seq, &rec.words, None);
+        Ok((rec, parsed.events, parsed.notes))
+    }
+
+    /// A timestamp-merged iterator over every event in the file.
+    pub fn events(&mut self) -> Result<MergedEvents<'_, R>, IoError> {
+        let all: Vec<usize> = (0..self.record_count).collect();
+        MergedEvents::over_records(self, all)
+    }
+
+    /// Events whose timestamps fall in `[t0, t1)`, touching only records
+    /// that can overlap the window (via the anchor-time index).
+    pub fn events_between(&mut self, t0: u64, t1: u64) -> Result<Vec<RawEvent>, IoError> {
+        // Build the cheap index: (cpu, record, anchor time).
+        let mut per_cpu: Vec<Vec<(usize, Option<u64>)>> =
+            vec![Vec::new(); self.header.ncpus as usize];
+        for k in 0..self.record_count {
+            let (cpu, _seq, _complete, anchor) = self.record_meta(k)?;
+            if (cpu as usize) < per_cpu.len() {
+                per_cpu[cpu as usize].push((k, anchor));
+            }
+        }
+        // A record spans [its anchor, next record-of-same-cpu's anchor).
+        let mut wanted = Vec::new();
+        for records in &per_cpu {
+            for (i, &(k, start)) in records.iter().enumerate() {
+                let start = start.unwrap_or(0);
+                let end = records
+                    .get(i + 1)
+                    .and_then(|&(_, a)| a)
+                    .unwrap_or(u64::MAX);
+                if start < t1 && end > t0 {
+                    wanted.push(k);
+                }
+            }
+        }
+        wanted.sort_unstable();
+        let merged = MergedEvents::over_records(self, wanted)?;
+        Ok(merged.filter(|e| e.time >= t0 && e.time < t1).collect())
+    }
+
+    /// Scans every record for garbling: drain-time commit mismatches and
+    /// structural decode anomalies.
+    pub fn anomalies(&mut self) -> Result<Vec<RecordAnomaly>, IoError> {
+        let mut out = Vec::new();
+        for k in 0..self.record_count {
+            let (rec, _events, notes) = self.parse_record(k)?;
+            if !rec.complete || !notes.is_empty() {
+                out.push(RecordAnomaly {
+                    record: k,
+                    cpu: rec.cpu,
+                    seq: rec.seq,
+                    complete: rec.complete,
+                    notes,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceFileWriter;
+    use ktrace_clock::ManualClock;
+    use ktrace_core::{TraceConfig, TraceLogger};
+    use ktrace_format::{EventRegistry, MajorId};
+    use std::io::Cursor;
+    use std::sync::Arc;
+
+    /// Logs events on 2 CPUs, writes a file into memory, returns its bytes.
+    fn sample_trace() -> (Vec<u8>, u64) {
+        let header = FileHeader {
+            ncpus: 2,
+            buffer_words: TraceConfig::small().buffer_words as u32,
+            ticks_per_sec: 1_000_000_000,
+            clock_synchronized: true,
+            registry: EventRegistry::with_builtin(),
+        };
+        let clock = Arc::new(ManualClock::new(1000, 10));
+        let logger = TraceLogger::new(TraceConfig::small(), clock, 2).unwrap();
+        let h0 = logger.handle(0).unwrap();
+        let h1 = logger.handle(1).unwrap();
+        let mut w = TraceFileWriter::new(Vec::new(), &header).unwrap();
+        let mut logged = 0u64;
+        for i in 0..300u64 {
+            assert!(h0.log2(MajorId::TEST, 1, i, i * 3));
+            logged += 1;
+            if i % 2 == 0 {
+                assert!(h1.log1(MajorId::MEM, 2, i));
+                logged += 1;
+            }
+            for cpu in 0..2 {
+                if let Some(b) = logger.take_buffer(cpu) {
+                    w.write_buffer(&b).unwrap();
+                }
+            }
+        }
+        for bufs in logger.drain_all() {
+            for b in bufs {
+                w.write_buffer(&b).unwrap();
+            }
+        }
+        (w.finish().unwrap(), logged)
+    }
+
+    #[test]
+    fn roundtrip_all_events_merged_in_time_order() {
+        let (bytes, logged) = sample_trace();
+        let mut r = TraceFileReader::new(Cursor::new(bytes)).unwrap();
+        assert!(r.record_count() > 2, "trace should span several buffers");
+        let events: Vec<RawEvent> = r.events().unwrap().collect();
+        let data: Vec<&RawEvent> = events.iter().filter(|e| !e.is_control()).collect();
+        assert_eq!(data.len() as u64, logged);
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time), "merged order");
+        // Both CPUs present.
+        assert!(data.iter().any(|e| e.cpu == 0));
+        assert!(data.iter().any(|e| e.cpu == 1));
+    }
+
+    #[test]
+    fn random_record_access() {
+        let (bytes, _) = sample_trace();
+        let mut r = TraceFileReader::new(Cursor::new(bytes)).unwrap();
+        let last = r.record_count() - 1;
+        // Read records out of order; each stands alone.
+        let rec_last = r.record(last).unwrap();
+        let rec_0 = r.record(0).unwrap();
+        assert_eq!(rec_0.index, 0);
+        assert_eq!(rec_last.index, last);
+        assert!(r.record(last + 1).is_err());
+        // Every complete record decodes cleanly on its own (random access).
+        for k in [last, 0, last / 2] {
+            let (rec, events, notes) = r.parse_record(k).unwrap();
+            assert!(rec.complete);
+            assert!(notes.is_empty());
+            assert!(!events.is_empty());
+            assert!(events[0].is_control(), "records start with an anchor");
+        }
+    }
+
+    #[test]
+    fn record_meta_reads_anchor_cheaply() {
+        let (bytes, _) = sample_trace();
+        let mut r = TraceFileReader::new(Cursor::new(bytes)).unwrap();
+        let (cpu, seq, complete, anchor) = r.record_meta(0).unwrap();
+        assert!(cpu < 2);
+        assert_eq!(seq, 0);
+        assert!(complete);
+        let full = r.parse_record(0).unwrap().1;
+        assert_eq!(anchor, Some(full[0].payload[0]));
+    }
+
+    #[test]
+    fn events_between_returns_exactly_the_window() {
+        let (bytes, _) = sample_trace();
+        let mut r = TraceFileReader::new(Cursor::new(bytes)).unwrap();
+        let all: Vec<RawEvent> = r.events().unwrap().filter(|e| !e.is_control()).collect();
+        let lo = all[all.len() / 4].time;
+        let hi = all[3 * all.len() / 4].time;
+        let expect: Vec<&RawEvent> =
+            all.iter().filter(|e| e.time >= lo && e.time < hi).collect();
+        let got = r.events_between(lo, hi).unwrap();
+        let got_data: Vec<&RawEvent> = got.iter().filter(|e| !e.is_control()).collect();
+        assert_eq!(got_data.len(), expect.len());
+        assert_eq!(got_data.first().map(|e| e.time), expect.first().map(|e| e.time));
+        assert_eq!(got_data.last().map(|e| e.time), expect.last().map(|e| e.time));
+    }
+
+    #[test]
+    fn clean_trace_has_no_anomalies() {
+        let (bytes, _) = sample_trace();
+        let mut r = TraceFileReader::new(Cursor::new(bytes)).unwrap();
+        assert!(r.anomalies().unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupted_record_reports_anomaly() {
+        let (mut bytes, _) = sample_trace();
+        // Zero the last record's first event header (its time anchor) to
+        // simulate an unfinished log at the start of the buffer.
+        let (hdr, hdr_len) = FileHeader::decode(&bytes).unwrap();
+        let records = (bytes.len() - hdr_len) / hdr.record_size();
+        let word0 = hdr_len + (records - 1) * hdr.record_size() + RECORD_HEADER_BYTES;
+        for b in &mut bytes[word0..word0 + 8] {
+            *b = 0;
+        }
+        let mut r = TraceFileReader::new(Cursor::new(bytes)).unwrap();
+        let anomalies = r.anomalies().unwrap();
+        assert!(!anomalies.is_empty(), "zeroed header must be detected");
+        assert!(anomalies
+            .iter()
+            .any(|a| a.notes.iter().any(|n| matches!(n, GarbleNote::ZeroHeader { .. }))));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let (bytes, _) = sample_trace();
+        let cut = bytes.len() - 3; // not a whole record
+        assert!(TraceFileReader::new(Cursor::new(bytes[..cut].to_vec())).is_err());
+    }
+}

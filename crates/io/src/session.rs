@@ -1,0 +1,207 @@
+//! A recording session: logger + background drainer thread + trace file.
+//!
+//! This is the deployment shape the paper describes: collection runs
+//! continuously and independently of the traced code ("the infrastructure
+//! allows the event log to be examined while the system is running, written
+//! out to disk, or streamed over the network"), and analysis happens later
+//! from the file.
+
+use crate::error::IoError;
+use crate::file::FileHeader;
+use crate::writer::TraceFileWriter;
+use ktrace_clock::ClockSource;
+use ktrace_core::{CoreError, TraceConfig, TraceLogger};
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A live tracing session draining completed buffers to a sink.
+///
+/// Register event descriptors on the logger *before* constructing the
+/// session: the registry snapshot is embedded in the file header, which is
+/// written first.
+pub struct TraceSession {
+    logger: TraceLogger,
+    stop: Arc<AtomicBool>,
+    drainer: Option<JoinHandle<Result<u64, IoError>>>,
+}
+
+impl TraceSession {
+    /// Starts a session writing to a file at `path`.
+    pub fn create(
+        path: impl AsRef<Path>,
+        logger: TraceLogger,
+        clock: &dyn ClockSource,
+    ) -> Result<TraceSession, IoError> {
+        let file = std::fs::File::create(path)?;
+        TraceSession::new(std::io::BufWriter::new(file), logger, clock)
+    }
+
+    /// Starts a session writing to any sink.
+    pub fn new<W: Write + Send + 'static>(
+        sink: W,
+        logger: TraceLogger,
+        clock: &dyn ClockSource,
+    ) -> Result<TraceSession, IoError> {
+        let header = FileHeader {
+            ncpus: logger.ncpus() as u32,
+            buffer_words: logger.config().buffer_words as u32,
+            ticks_per_sec: clock.ticks_per_sec(),
+            clock_synchronized: clock.synchronized(),
+            registry: logger.registry(),
+        };
+        let mut writer = TraceFileWriter::new(sink, &header)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let logger2 = logger.clone();
+        let drainer = std::thread::Builder::new()
+            .name("ktrace-drainer".into())
+            .spawn(move || -> Result<u64, IoError> {
+                loop {
+                    let mut drained_any = false;
+                    for cpu in 0..logger2.ncpus() {
+                        while let Some(buf) = logger2.take_buffer(cpu) {
+                            writer.write_buffer(&buf)?;
+                            drained_any = true;
+                        }
+                    }
+                    if stop2.load(Ordering::Acquire) {
+                        // Final sweep: flush partial buffers and drain.
+                        logger2.flush_all();
+                        for cpu in 0..logger2.ncpus() {
+                            while let Some(buf) = logger2.take_buffer(cpu) {
+                                writer.write_buffer(&buf)?;
+                            }
+                        }
+                        let n = writer.records_written();
+                        writer.finish()?;
+                        return Ok(n);
+                    }
+                    if !drained_any {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                }
+            })
+            .expect("spawn drainer thread");
+        Ok(TraceSession { logger, stop, drainer: Some(drainer) })
+    }
+
+    /// Convenience: build the logger and start the session in one call.
+    pub fn start(
+        path: impl AsRef<Path>,
+        config: TraceConfig,
+        clock: Arc<dyn ClockSource>,
+        ncpus: usize,
+    ) -> Result<TraceSession, SessionError> {
+        let logger = TraceLogger::new(config, clock.clone(), ncpus).map_err(SessionError::Core)?;
+        TraceSession::create(path, logger, clock.as_ref()).map_err(SessionError::Io)
+    }
+
+    /// The logger to hand to traced code.
+    pub fn logger(&self) -> &TraceLogger {
+        &self.logger
+    }
+
+    /// Stops collection, flushes every buffer to the sink, and returns the
+    /// number of records written.
+    pub fn finish(mut self) -> Result<u64, IoError> {
+        self.stop.store(true, Ordering::Release);
+        match self.drainer.take().expect("finish called once").join() {
+            Ok(result) => result,
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    }
+}
+
+impl Drop for TraceSession {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.drainer.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Errors starting a session.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Logger construction failed.
+    Core(CoreError),
+    /// File creation or header write failed.
+    Io(IoError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Core(e) => write!(f, "logger error: {e}"),
+            SessionError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::TraceFileReader;
+    use ktrace_clock::SyncClock;
+    use ktrace_format::MajorId;
+
+    #[test]
+    fn session_records_events_from_many_threads() {
+        let dir = std::env::temp_dir().join(format!("ktrace-session-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.ktrace");
+
+        let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
+        let ncpus = 4;
+        let session =
+            TraceSession::start(&path, TraceConfig::small(), clock, ncpus).unwrap();
+        let per_thread = 5_000u64;
+        let handles: Vec<_> = (0..ncpus)
+            .map(|cpu| {
+                let h = session.logger().handle(cpu).unwrap();
+                std::thread::spawn(move || {
+                    let mut logged = 0u64;
+                    for i in 0..per_thread {
+                        if h.log2(MajorId::TEST, cpu as u16, i, i * 2) {
+                            logged += 1;
+                        }
+                    }
+                    logged
+                })
+            })
+            .collect();
+        let logged: u64 = handles.into_iter().map(|t| t.join().unwrap()).sum();
+        let records = session.finish().unwrap();
+        assert!(records > 0);
+        assert!(logged > 0);
+
+        let mut r = TraceFileReader::open(&path).unwrap();
+        assert_eq!(r.record_count() as u64, records);
+        let data = r.events().unwrap().filter(|e| !e.is_control()).count() as u64;
+        assert_eq!(data, logged, "file contains every logged event");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_without_finish_does_not_hang() {
+        let dir = std::env::temp_dir().join(format!("ktrace-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dropped.ktrace");
+        let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
+        {
+            let session =
+                TraceSession::start(&path, TraceConfig::small(), clock, 1).unwrap();
+            session.logger().handle(0).unwrap().log0(MajorId::TEST, 1);
+            // dropped here
+        }
+        assert!(TraceFileReader::open(&path).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,45 @@
+//! A multiprocessor operating-system simulator: the K42 stand-in.
+//!
+//! The paper's tracing infrastructure lives inside K42, a scalable research
+//! OS; its evaluation (Figs. 3–8) traces real OS activity — context switches,
+//! page faults, PPC-style IPC, contended kernel locks, fork/exec storms —
+//! under the SPEC SDET workload. We obviously cannot ship K42, so this crate
+//! simulates the relevant machinery with real concurrency:
+//!
+//! * one **real OS thread per simulated CPU**, running a time-sliced
+//!   scheduler over simulated tasks ([`machine`]);
+//! * a kernel substrate ([`kernel`]) with a lock-protected allocator chain
+//!   (`GMalloc → PMallocDefault → AllocRegionManager`, the very call chains
+//!   in the paper's Fig. 7), a page allocator, a page-fault path, and an
+//!   in-memory file-system *server* reached by K42-style PPC calls;
+//! * instrumented ticket locks ([`lock::FairBLock`]) whose request/acquire/
+//!   release events carry spin counts, wait times, and call chains —
+//!   feeding the Fig. 7 lock-contention analysis;
+//! * a statistical PC sampler attributing time to simulated function names
+//!   (Fig. 6);
+//! * workloads ([`workload`]), foremost an SDET-like script mix (Fig. 3).
+//!
+//! Everything the simulator does is logged through a [`tracer::Tracer`],
+//! which is **generic**: `Machine<KTracer>` logs through the real lockless
+//! infrastructure, while `Machine<NoTracer>` monomorphizes every trace
+//! statement to nothing — the honest equivalent of the paper's
+//! "compiled out" configuration for experiment E1.
+
+pub mod config;
+
+/// The event vocabulary (re-exported from `ktrace-events`).
+pub use ktrace_events as events;
+pub mod kernel;
+pub mod lock;
+pub mod machine;
+pub mod task;
+pub mod tracer;
+pub mod workload;
+
+pub use config::MachineConfig;
+pub use kernel::Kernel;
+pub use lock::FairBLock;
+pub use machine::{Machine, RunReport};
+pub use task::{Op, ProcessSpec, Program};
+pub use tracer::{KTracer, NoTracer, TraceHandle, Tracer};
+pub use workload::Workload;

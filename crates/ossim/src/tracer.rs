@@ -1,0 +1,119 @@
+//! The tracing seam of the simulator.
+//!
+//! [`Tracer`] abstracts "how the OS logs events" so a whole machine can be
+//! monomorphized against the real lockless logger ([`KTracer`]), or against
+//! [`NoTracer`], whose log calls are empty inlined bodies — the compiled-out
+//! configuration of the paper's goal 6 and the baseline of Fig. 3.
+
+use ktrace_core::{CpuHandle, TraceLogger};
+use ktrace_format::{MajorId, MinorId};
+
+/// Per-CPU logging handle used inside the simulator's hot loops.
+pub trait TraceHandle: Clone + Send + 'static {
+    /// Logs one event from the bound CPU.
+    fn log(&self, major: MajorId, minor: MinorId, payload: &[u64]);
+
+    /// The mask check, exposed so callers can skip argument marshalling.
+    fn enabled(&self, major: MajorId) -> bool;
+}
+
+/// A machine-wide tracing backend.
+pub trait Tracer: Send + Sync + 'static {
+    /// The per-CPU handle type.
+    type Handle: TraceHandle;
+
+    /// Creates the handle for `cpu`.
+    fn handle(&self, cpu: usize) -> Self::Handle;
+}
+
+/// The real backend: the paper's lockless per-CPU tracing infrastructure.
+pub struct KTracer {
+    logger: TraceLogger,
+}
+
+impl KTracer {
+    /// Wraps a logger (whose CPU count must cover the machine's).
+    pub fn new(logger: TraceLogger) -> KTracer {
+        KTracer { logger }
+    }
+
+    /// The wrapped logger, for draining/analysis after a run.
+    pub fn logger(&self) -> &TraceLogger {
+        &self.logger
+    }
+}
+
+impl Tracer for KTracer {
+    type Handle = CpuHandle;
+
+    fn handle(&self, cpu: usize) -> CpuHandle {
+        self.logger.handle(cpu).expect("machine cpu count exceeds logger cpu count")
+    }
+}
+
+impl TraceHandle for CpuHandle {
+    #[inline]
+    fn log(&self, major: MajorId, minor: MinorId, payload: &[u64]) {
+        self.log_slice(major, minor, payload);
+    }
+
+    #[inline]
+    fn enabled(&self, major: MajorId) -> bool {
+        self.mask().is_enabled(major)
+    }
+}
+
+/// The compiled-out backend: every trace statement vanishes.
+pub struct NoTracer;
+
+/// Handle of [`NoTracer`]: all methods inline to nothing.
+#[derive(Clone, Copy)]
+pub struct NoHandle;
+
+impl Tracer for NoTracer {
+    type Handle = NoHandle;
+
+    fn handle(&self, _cpu: usize) -> NoHandle {
+        NoHandle
+    }
+}
+
+impl TraceHandle for NoHandle {
+    #[inline(always)]
+    fn log(&self, _major: MajorId, _minor: MinorId, _payload: &[u64]) {}
+
+    #[inline(always)]
+    fn enabled(&self, _major: MajorId) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ktrace_clock::SyncClock;
+    use ktrace_core::TraceConfig;
+    use std::sync::Arc;
+
+    #[test]
+    fn ktracer_logs_through_core() {
+        let logger = TraceLogger::new(
+            TraceConfig::small().flight_recorder(),
+            Arc::new(SyncClock::new()),
+            2,
+        )
+        .unwrap();
+        let tracer = KTracer::new(logger);
+        let h = tracer.handle(1);
+        assert!(h.enabled(MajorId::SCHED));
+        h.log(MajorId::SCHED, 1, &[1, 2]);
+        assert_eq!(tracer.logger().stats().events_logged, 1);
+    }
+
+    #[test]
+    fn notracer_is_inert() {
+        let h = NoTracer.handle(0);
+        assert!(!h.enabled(MajorId::SCHED));
+        h.log(MajorId::SCHED, 1, &[1, 2]); // must be a no-op
+    }
+}

@@ -1,0 +1,121 @@
+//! Targeted microworkloads for the non-SDET experiments.
+
+use crate::events::func;
+use crate::task::{Op, ProcessSpec, Program};
+use crate::workload::Workload;
+
+/// Pure allocator hammering: `nprocs` processes each performing
+/// `mallocs_per` allocations through the shared allocator lock. Generates
+/// the Fig. 7 contention picture on demand.
+pub fn alloc_contention(nprocs: usize, mallocs_per: usize) -> Workload {
+    let program = Program::new()
+        .repeat(mallocs_per, |p| p.malloc(256).compute(500, func::USER_COMPUTE))
+        .op(Op::FreePages { pages: 4 })
+        .op(Op::CountCompletion);
+    Workload::new(
+        (0..nprocs)
+            .map(|i| ProcessSpec::new(format!("alloc-hammer-{i}"), program.clone()))
+            .collect(),
+    )
+}
+
+/// A fork storm: one parent spawning `children` trivial processes and
+/// waiting — the fork/exec path the paper tuned with lazy state replication.
+pub fn fork_storm(children: usize) -> Workload {
+    let child = ProcessSpec::new(
+        "storm-child",
+        Program::new()
+            .page_fault(0x7000_0000)
+            .page_fault(0x7000_1000)
+            .compute(2_000, func::USER_COMPUTE),
+    );
+    let mut p = Program::new();
+    for _ in 0..children {
+        p = p.op(Op::Spawn { child: Box::new(child.clone()) });
+    }
+    p = p.op(Op::WaitChildren).op(Op::CountCompletion);
+    Workload::new(vec![ProcessSpec::new("storm-parent", p)])
+}
+
+/// Embarrassingly parallel compute: `nprocs` processes each burning
+/// `compute_ns`. The scaling control (no shared kernel state touched).
+pub fn compute_only(nprocs: usize, compute_ns: u64) -> Workload {
+    let program = Program::new()
+        .compute(compute_ns, func::USER_COMPUTE)
+        .op(Op::CountCompletion);
+    Workload::new(
+        (0..nprocs)
+            .map(|i| ProcessSpec::new(format!("compute-{i}"), program.clone()))
+            .collect(),
+    )
+}
+
+/// The AB-BA deadlock scenario (§4.2's correctness-debugging story): two
+/// processes acquiring two locks in opposite orders with a window wide
+/// enough to interleave.
+pub fn ab_ba_deadlock(hold_ns: u64) -> Workload {
+    let a = ProcessSpec::new(
+        "deadlockA",
+        Program::new()
+            .op(Op::UserLock { lock: 0 })
+            .compute(hold_ns, func::USER_COMPUTE)
+            .op(Op::UserLock { lock: 1 })
+            .op(Op::UserUnlock { lock: 1 })
+            .op(Op::UserUnlock { lock: 0 }),
+    );
+    let b = ProcessSpec::new(
+        "deadlockB",
+        Program::new()
+            .op(Op::UserLock { lock: 1 })
+            .compute(hold_ns, func::USER_COMPUTE)
+            .op(Op::UserLock { lock: 0 })
+            .op(Op::UserUnlock { lock: 0 })
+            .op(Op::UserUnlock { lock: 1 }),
+    );
+    Workload { processes: vec![a, b], user_locks: 2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_contention_shape() {
+        let w = alloc_contention(3, 10);
+        assert_eq!(w.processes.len(), 3);
+        let mallocs = w.processes[0]
+            .program
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Malloc { .. }))
+            .count();
+        assert_eq!(mallocs, 10);
+    }
+
+    #[test]
+    fn fork_storm_shape() {
+        let w = fork_storm(12);
+        assert_eq!(w.processes.len(), 1);
+        let spawns = w.processes[0]
+            .program
+            .ops
+            .iter()
+            .filter(|o| matches!(o, Op::Spawn { .. }))
+            .count();
+        assert_eq!(spawns, 12);
+    }
+
+    #[test]
+    fn deadlock_uses_two_locks_in_opposite_order() {
+        let w = ab_ba_deadlock(1000);
+        assert_eq!(w.user_locks, 2);
+        let first_lock = |spec: &ProcessSpec| {
+            spec.program.ops.iter().find_map(|o| match o {
+                Op::UserLock { lock } => Some(*lock),
+                _ => None,
+            })
+        };
+        assert_eq!(first_lock(&w.processes[0]), Some(0));
+        assert_eq!(first_lock(&w.processes[1]), Some(1));
+    }
+}

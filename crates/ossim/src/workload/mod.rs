@@ -1,0 +1,27 @@
+//! Workload definitions.
+//!
+//! A [`Workload`] is a set of root processes (plus any workload-defined
+//! locks). [`sdet`] builds the SPEC-SDET-like time-sharing mix of Fig. 3;
+//! [`micro`] builds targeted microworkloads (allocator contention, fork
+//! storms, pure compute) used by the other experiments.
+
+pub mod micro;
+pub mod sdet;
+
+use crate::task::ProcessSpec;
+
+/// A set of processes to boot the machine with.
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    /// Root processes (spawned at boot, round-robin across CPUs).
+    pub processes: Vec<ProcessSpec>,
+    /// Number of workload-defined locks (for `Op::UserLock`).
+    pub user_locks: usize,
+}
+
+impl Workload {
+    /// A workload from root processes, with no user locks.
+    pub fn new(processes: Vec<ProcessSpec>) -> Workload {
+        Workload { processes, user_locks: 0 }
+    }
+}

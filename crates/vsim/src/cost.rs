@@ -1,0 +1,261 @@
+//! Virtual-time cost models for the tracing schemes.
+//!
+//! Default parameters are calibrated from the paper's own numbers (§3.2):
+//! the mask check is "4 machine instructions" (~4 ns at 1 GHz), a 1-word
+//! event costs "91 cycles (100 ns on a 1GHz processor) with 11 cycles for
+//! each additional 64-bit word logged". Cross-CPU cache-line transfer and
+//! lock/IRQ costs use conventional early-2000s SMP magnitudes; the
+//! experiment harness can override any of them (e.g. with values measured
+//! on this host by the E2 microbenchmark).
+
+/// Which logging scheme is being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Trace statements compiled out: zero cost (paper goal 6).
+    CompiledOut,
+    /// Compiled in, mask disabled: the 4-instruction check only.
+    MaskedOff,
+    /// The paper's scheme: lockless reservation in per-CPU buffers.
+    LocklessPerCpu,
+    /// The same lockless algorithm on ONE buffer shared by all CPUs: the
+    /// reservation CAS serializes on a single bouncing cache line.
+    LocklessGlobal,
+    /// Global lock + interrupt disable per event (LTT locking mode / pre-K42
+    /// Linux): the whole event write is serialized.
+    LockingGlobal,
+    /// A kernel crossing per event (AIX-style syscall tracing), otherwise
+    /// per-CPU.
+    SyscallPerEvent,
+}
+
+impl Scheme {
+    /// Display name for result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::CompiledOut => "compiled-out",
+            Scheme::MaskedOff => "masked-off",
+            Scheme::LocklessPerCpu => "lockless-percpu",
+            Scheme::LocklessGlobal => "lockless-global",
+            Scheme::LockingGlobal => "locking-global",
+            Scheme::SyscallPerEvent => "syscall-per-event",
+        }
+    }
+}
+
+/// Cost parameters, in virtual nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// The trace-mask check (paper: 4 instructions).
+    pub check_ns: f64,
+    /// Base cost of logging a 1-word event (paper: 91 cycles ≈ 91–100 ns).
+    pub per_event_ns: f64,
+    /// Additional cost per payload word (paper: 11 cycles).
+    pub per_word_ns: f64,
+    /// Cache-line transfer when the shared index was last written by
+    /// another CPU.
+    pub line_transfer_ns: f64,
+    /// Serialized window of a CAS on the shared index.
+    pub cas_serial_ns: f64,
+    /// Interrupt disable/enable + state transitions (locking mode).
+    pub irq_ns: f64,
+    /// Kernel entry/exit for syscall-based tracing.
+    pub syscall_ns: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> CostParams {
+        CostParams {
+            check_ns: 4.0,
+            per_event_ns: 91.0,
+            per_word_ns: 11.0,
+            line_transfer_ns: 150.0,
+            cas_serial_ns: 15.0,
+            irq_ns: 200.0,
+            syscall_ns: 500.0,
+        }
+    }
+}
+
+/// A scheme's stateful cost model (shared-resource schemes carry the shared
+/// resource's availability time).
+#[derive(Debug, Clone)]
+pub struct TraceCostModel {
+    scheme: Scheme,
+    params: CostParams,
+    /// Virtual time at which the shared resource (index line / global lock)
+    /// becomes free.
+    serial_free_at: u64,
+    /// Which CPU last owned the shared index cache line.
+    last_writer: Option<usize>,
+    /// Events actually recorded.
+    pub events_logged: u64,
+    /// Total virtual time spent logging, across CPUs.
+    pub overhead_ns: u64,
+}
+
+impl TraceCostModel {
+    /// A model for `scheme` with the given parameters.
+    pub fn new(scheme: Scheme, params: CostParams) -> TraceCostModel {
+        TraceCostModel {
+            scheme,
+            params,
+            serial_free_at: 0,
+            last_writer: None,
+            events_logged: 0,
+            overhead_ns: 0,
+        }
+    }
+
+    /// The modelled scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Charges one log attempt of `payload_words` from `cpu` at virtual time
+    /// `t`; returns the time when the CPU can proceed.
+    pub fn charge(&mut self, cpu: usize, t: u64, payload_words: usize) -> u64 {
+        let p = &self.params;
+        let words_cost = p.per_event_ns + p.per_word_ns * payload_words as f64;
+        let done = match self.scheme {
+            Scheme::CompiledOut => t,
+            Scheme::MaskedOff => t + p.check_ns as u64,
+            Scheme::LocklessPerCpu => {
+                self.events_logged += 1;
+                t + (p.check_ns + words_cost) as u64
+            }
+            Scheme::SyscallPerEvent => {
+                self.events_logged += 1;
+                t + (p.check_ns + p.syscall_ns + words_cost) as u64
+            }
+            Scheme::LocklessGlobal => {
+                self.events_logged += 1;
+                let arrive = t + p.check_ns as u64;
+                // The reservation CAS serializes on the shared index line;
+                // if another CPU wrote it last, the line must transfer.
+                let start = arrive.max(self.serial_free_at);
+                let cross = self.last_writer.is_some_and(|w| w != cpu);
+                let serial = p.cas_serial_ns + if cross { p.line_transfer_ns } else { 0.0 };
+                self.serial_free_at = start + serial as u64;
+                self.last_writer = Some(cpu);
+                // Payload writes after the reservation proceed in parallel.
+                self.serial_free_at + words_cost as u64
+            }
+            Scheme::LockingGlobal => {
+                self.events_logged += 1;
+                let arrive = t + p.check_ns as u64;
+                let start = arrive.max(self.serial_free_at);
+                // Everything — IRQ disable, header, payload — under the lock.
+                let done = start + (p.irq_ns + words_cost) as u64;
+                self.serial_free_at = done;
+                done
+            }
+        };
+        self.overhead_ns += done - t;
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(s: Scheme) -> TraceCostModel {
+        TraceCostModel::new(s, CostParams::default())
+    }
+
+    #[test]
+    fn compiled_out_is_free() {
+        let mut m = model(Scheme::CompiledOut);
+        assert_eq!(m.charge(0, 1000, 4), 1000);
+        assert_eq!(m.events_logged, 0);
+        assert_eq!(m.overhead_ns, 0);
+    }
+
+    #[test]
+    fn masked_off_costs_only_the_check() {
+        let mut m = model(Scheme::MaskedOff);
+        assert_eq!(m.charge(0, 1000, 4), 1004);
+        assert_eq!(m.events_logged, 0);
+    }
+
+    #[test]
+    fn percpu_cost_is_linear_in_words() {
+        let mut m = model(Scheme::LocklessPerCpu);
+        let t1 = m.charge(0, 0, 0);
+        let t2 = m.charge(1, 0, 1) ;
+        let t5 = m.charge(2, 0, 4);
+        // 91 + 11/word, matching the paper's slope.
+        assert_eq!(t1, 95);
+        assert_eq!(t2 - t1, 11);
+        assert_eq!(t5 - t1, 44);
+        assert_eq!(m.events_logged, 3);
+    }
+
+    #[test]
+    fn percpu_never_serializes_across_cpus() {
+        let mut m = model(Scheme::LocklessPerCpu);
+        // Two CPUs logging at the same instant both finish at the same time.
+        let a = m.charge(0, 1_000, 1);
+        let b = m.charge(1, 1_000, 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn global_cas_serializes_and_pays_line_transfers() {
+        let mut m = model(Scheme::LocklessGlobal);
+        let a = m.charge(0, 0, 0); // first: no cross penalty
+        let b = m.charge(1, 0, 0); // same instant, other cpu: queued + transfer
+        assert!(b > a, "second CPU must queue behind the first ({a} vs {b})");
+        // Same CPU again immediately: no transfer penalty, but still queues.
+        let c = m.charge(1, 0, 0);
+        assert!(c > b);
+        let with_transfer = b - a;
+        let without_transfer = c - b;
+        assert!(with_transfer > without_transfer);
+    }
+
+    #[test]
+    fn locking_serializes_the_whole_event() {
+        let mut m = model(Scheme::LockingGlobal);
+        let n = 8;
+        let mut last = 0;
+        for cpu in 0..n {
+            last = m.charge(cpu, 0, 1);
+        }
+        // n events arriving together take ≈ n * (irq + event) serial time.
+        let per = CostParams::default().irq_ns + 91.0 + 11.0;
+        assert!(last as f64 >= (n as f64 - 0.5) * per, "last {last}");
+    }
+
+    #[test]
+    fn locking_is_an_order_of_magnitude_worse_than_percpu_under_load() {
+        // The §4.1 claim, in model form: P CPUs all logging continuously.
+        let p = 8;
+        let events_per_cpu = 1000;
+        let run = |scheme| {
+            let mut m = model(scheme);
+            let mut ts = vec![0u64; p];
+            for _ in 0..events_per_cpu {
+                for (cpu, t) in ts.iter_mut().enumerate() {
+                    *t = m.charge(cpu, *t, 2);
+                }
+            }
+            ts.into_iter().max().unwrap()
+        };
+        let lockless = run(Scheme::LocklessPerCpu);
+        let locking = run(Scheme::LockingGlobal);
+        assert!(
+            locking as f64 / lockless as f64 > 10.0,
+            "locking {locking} vs lockless {lockless}"
+        );
+    }
+
+    #[test]
+    fn syscall_scheme_adds_kernel_crossing() {
+        let mut per = model(Scheme::LocklessPerCpu);
+        let mut sys = model(Scheme::SyscallPerEvent);
+        let a = per.charge(0, 0, 1);
+        let b = sys.charge(0, 0, 1);
+        assert_eq!(b - a, 500);
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 3 in miniature: SDET-like throughput scaling with tracing
+//! compiled out / masked off / enabled, on the virtual-time multiprocessor.
+//!
+//! ```sh
+//! cargo run --release --example sdet_scaling
+//! ```
+
+use ktrace::ossim::workload::sdet;
+use ktrace::vsim::{CostParams, Scheme, VirtualMachine, VmConfig};
+
+fn run(ncpus: usize, scheme: Scheme) -> f64 {
+    let mut cfg = VmConfig::new(ncpus);
+    cfg.alloc_regions = 64; // the tuned system
+    cfg.idle_quantum_ns = 1_000;
+    let w = sdet::build(sdet::SdetConfig {
+        scripts: 6 * ncpus,
+        commands_per_script: 5,
+        ..Default::default()
+    });
+    VirtualMachine::new(cfg, scheme, CostParams::default())
+        .run(&w)
+        .throughput_per_hour()
+}
+
+fn main() {
+    println!("{:>5} {:>16} {:>16} {:>16} {:>7}", "cpus", "compiled-out", "masked-off", "enabled", "scale");
+    let mut base = None;
+    for ncpus in [1usize, 2, 4, 8, 16] {
+        let out = run(ncpus, Scheme::CompiledOut);
+        let masked = run(ncpus, Scheme::MaskedOff);
+        let on = run(ncpus, Scheme::LocklessPerCpu);
+        let b = *base.get_or_insert(out);
+        println!(
+            "{ncpus:>5} {out:>16.3e} {masked:>16.3e} {on:>16.3e} {:>6.2}x",
+            out / b
+        );
+    }
+    println!("\nthe paper's Fig. 3 shape: near-linear scaling; the masked-off curve is");
+    println!("indistinguishable from compiled-out (\"overall performance degradation is");
+    println!("less than 1 percent\"), so the instrumentation ships enabled-but-masked.");
+}

@@ -1,0 +1,104 @@
+//! `ktrace-tools` — the post-processing tool suite as a CLI.
+//!
+//! The paper ships its analyses as standalone tools over trace files; this
+//! binary is the equivalent front door:
+//!
+//! ```text
+//! ktrace-tools list <file> [limit]        Fig. 5 event listing
+//! ktrace-tools lockstat <file> [top]      Fig. 7 lock-contention table
+//! ktrace-tools profile <file>             Fig. 6 PC-sample histograms
+//! ktrace-tools breakdown <file> <pid>     Fig. 8 per-process breakdown
+//! ktrace-tools timeline <file> [width]    Fig. 4 ASCII timeline
+//! ktrace-tools stats <file>               event-frequency table
+//! ktrace-tools anomalies <file>           garble / drop report
+//! ktrace-tools export-csv <file>          CSV to stdout
+//! ktrace-tools deadlock <file>            wait-for-graph cycle search
+//! ```
+
+use ktrace::analysis::{
+    self, render_listing, Breakdown, EventStats, ListingOptions, LockStats, PcProfile, Timeline,
+    TimelineOptions, Trace,
+};
+use ktrace::io::TraceFileReader;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ktrace-tools <list|lockstat|profile|breakdown|timeline|stats|anomalies|export-csv|deadlock> <trace-file> [arg]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => return usage(),
+    };
+    let extra = args.get(2).map(String::as_str);
+
+    let trace = match Trace::from_file(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd {
+        "list" => {
+            let limit = extra.and_then(|s| s.parse().ok()).unwrap_or(50);
+            print!(
+                "{}",
+                render_listing(&trace, &ListingOptions { hide_control: true, limit, ..Default::default() })
+            );
+        }
+        "lockstat" => {
+            let top = extra.and_then(|s| s.parse().ok()).unwrap_or(10);
+            print!("{}", LockStats::compute(&trace).render(top, "time"));
+        }
+        "profile" => {
+            print!("{}", PcProfile::compute(&trace).render_all());
+        }
+        "breakdown" => {
+            let Some(pid) = extra.and_then(|s| s.parse().ok()) else {
+                eprintln!("breakdown needs a pid");
+                return usage();
+            };
+            print!("{}", Breakdown::compute(&trace).render_process(pid));
+        }
+        "timeline" => {
+            let width = extra.and_then(|s| s.parse().ok()).unwrap_or(100);
+            let tl = Timeline::build(&trace, &TimelineOptions { width, ..Default::default() });
+            print!("{}", tl.render_ascii());
+        }
+        "stats" => {
+            print!("{}", EventStats::compute(&trace).render(&trace));
+        }
+        "anomalies" => {
+            let mut reader = match TraceFileReader::open(path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("cannot open {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match reader.anomalies() {
+                Ok(list) => print!("{}", analysis::garble_report(&trace, &list)),
+                Err(e) => {
+                    eprintln!("scan failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "export-csv" => {
+            print!("{}", analysis::to_csv(&trace, false));
+        }
+        "deadlock" => match analysis::find_deadlock(&trace) {
+            Some(report) => print!("{}", report.render()),
+            None => println!("no deadlock cycle found"),
+        },
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

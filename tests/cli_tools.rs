@@ -1,0 +1,77 @@
+//! Integration: the `ktrace-tools` CLI over a real trace file.
+
+use ktrace::ossim::workload::sdet;
+use ktrace::ossim::{KTracer, Machine, MachineConfig};
+use ktrace::prelude::*;
+use std::process::Command;
+use std::sync::Arc;
+
+fn make_trace(path: &std::path::Path) {
+    let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
+    let logger = TraceLogger::new(
+        TraceConfig::default(),
+        clock.clone() as Arc<dyn ClockSource>,
+        2,
+    )
+    .unwrap();
+    ktrace::events::register_all(&logger);
+    let session = TraceSession::create(path, logger.clone(), clock.as_ref()).unwrap();
+    let machine = Machine::new(MachineConfig::fast_test(2), Arc::new(KTracer::new(logger)));
+    machine.run(sdet::build(sdet::SdetConfig {
+        scripts: 2,
+        commands_per_script: 2,
+        ..Default::default()
+    }));
+    session.finish().unwrap();
+}
+
+fn tool(args: &[&str]) -> (String, bool) {
+    let exe = env!("CARGO_BIN_EXE_ktrace-tools");
+    let out = Command::new(exe).args(args).output().expect("run tool");
+    (String::from_utf8_lossy(&out.stdout).into_owned(), out.status.success())
+}
+
+#[test]
+fn cli_subcommands_work_on_a_real_file() {
+    let dir = std::env::temp_dir().join(format!("ktrace-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cli.ktrace");
+    make_trace(&path);
+    let p = path.to_str().unwrap();
+
+    let (listing, ok) = tool(&["list", p, "5"]);
+    assert!(ok);
+    assert_eq!(listing.lines().count(), 5);
+    assert!(listing.contains("TRACE_"), "{listing}");
+
+    let (locks, ok) = tool(&["lockstat", p, "3"]);
+    assert!(ok);
+    assert!(locks.contains("top 3 contended locks"), "{locks}");
+
+    let (stats, ok) = tool(&["stats", p]);
+    assert!(ok);
+    assert!(stats.contains("events/sec"));
+
+    let (tl, ok) = tool(&["timeline", p, "40"]);
+    assert!(ok);
+    assert!(tl.contains("cpu0"));
+    assert!(tl.contains("legend:"));
+
+    let (anomalies, ok) = tool(&["anomalies", p]);
+    assert!(ok);
+    assert!(anomalies.contains("0 record(s) anomalous"), "{anomalies}");
+
+    let (csv, ok) = tool(&["export-csv", p]);
+    assert!(ok);
+    assert!(csv.starts_with("time_ns,cpu,"));
+    assert!(csv.lines().count() > 10);
+
+    let (dl, ok) = tool(&["deadlock", p]);
+    assert!(ok);
+    assert!(dl.contains("no deadlock cycle found"));
+
+    let (_, ok) = tool(&["nonsense", p]);
+    assert!(!ok, "unknown subcommand must fail");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,66 @@
+//! §1/§2: "This event log may be examined while the system is running,
+//! written out to disk, or **streamed over the network**."
+//!
+//! The writer side of the pipeline is sink-generic; here a session streams
+//! completed buffers over a real TCP loopback connection and the receiver
+//! reconstructs the identical trace.
+
+use ktrace::prelude::*;
+use std::io::Read as _;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+#[test]
+fn trace_streams_over_tcp() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("addr");
+
+    // Receiver: collect everything sent until the sender closes.
+    let receiver = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("accept");
+        let mut bytes = Vec::new();
+        conn.read_to_end(&mut bytes).expect("drain stream");
+        bytes
+    });
+
+    // Sender: a live session whose sink is the TCP connection.
+    let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
+    let logger = TraceLogger::new(
+        TraceConfig::small(),
+        clock.clone() as Arc<dyn ClockSource>,
+        2,
+    )
+    .expect("logger");
+    let conn = TcpStream::connect(addr).expect("connect");
+    let session = TraceSession::new(conn, logger.clone(), clock.as_ref()).expect("session");
+
+    let mut logged = 0u64;
+    for i in 0..5_000u64 {
+        for cpu in 0..2 {
+            if session
+                .logger()
+                .handle(cpu)
+                .expect("cpu")
+                .log2(MajorId::TEST, cpu as u16, i, i * 2)
+            {
+                logged += 1;
+            }
+        }
+    }
+    let records = session.finish().expect("finish"); // drops the socket → EOF
+
+    let bytes = receiver.join().expect("receiver");
+    assert!(!bytes.is_empty());
+
+    // The byte stream received over the wire is a complete trace file.
+    let mut reader =
+        TraceFileReader::new(std::io::Cursor::new(bytes)).expect("parse streamed trace");
+    assert_eq!(reader.record_count() as u64, records);
+    let data = reader
+        .events()
+        .expect("merged events")
+        .filter(|e| !e.is_control())
+        .count() as u64;
+    assert_eq!(data, logged, "every event crossed the wire intact");
+    assert!(reader.anomalies().expect("scan").is_empty());
+}
