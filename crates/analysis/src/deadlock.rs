@@ -58,7 +58,16 @@ pub fn find_deadlock(trace: &Trace) -> Option<DeadlockReport> {
     for e in trace.of_major(MajorId::LOCK) {
         match e.minor {
             lockev::REQUEST if e.payload.len() >= 2 => {
-                waiting_for.insert(e.payload[1], e.payload[0]);
+                let (lock, tid) = (e.payload[0], e.payload[1]);
+                // A re-entrant request (the thread already holds this lock)
+                // is not a wait: instrumented recursive acquisition logs a
+                // REQUEST but proceeds immediately. Recording it would put a
+                // self-edge in the wait-for graph and a spurious one-node
+                // "cycle" in the report.
+                if holder_of.get(&lock) == Some(&tid) {
+                    continue;
+                }
+                waiting_for.insert(tid, lock);
             }
             lockev::ACQUIRED if e.payload.len() >= 2 => {
                 waiting_for.remove(&e.payload[1]);
@@ -81,6 +90,12 @@ pub fn find_deadlock(trace: &Trace) -> Option<DeadlockReport> {
         loop {
             let Some(&lock) = waiting_for.get(&tid) else { break };
             let Some(&holder) = holder_of.get(&lock) else { break };
+            if holder == tid {
+                // Self-edge (thread "waiting" on a lock it holds): can only
+                // arise from duplicate or out-of-order events; never a real
+                // deadlock between threads.
+                break;
+            }
             path.push(WaitEdge { waiter: tid, lock, holder });
             if let Some(pos) = seen.iter().position(|&s| s == holder) {
                 // Trim the lead-in so the cycle is closed.
@@ -143,6 +158,35 @@ mod tests {
             req(3, 0xA, 200), // simple contention, holder isn't waiting
         ]);
         assert!(find_deadlock(&t).is_none());
+    }
+
+    #[test]
+    fn reentrant_request_is_not_a_cycle() {
+        // Thread 100 holds A and re-requests it (recursive acquisition).
+        // Before the fix this produced a one-edge "cycle" 100 -> A -> 100.
+        let t = trace(vec![
+            req(1, 0xA, 100), acq(2, 0xA, 100),
+            req(3, 0xA, 100), // re-entrant: still the holder
+        ]);
+        assert!(find_deadlock(&t).is_none());
+    }
+
+    #[test]
+    fn duplicate_requests_do_not_fake_a_cycle() {
+        // Duplicate REQUESTs (e.g. retried contention) plus a re-entrant one
+        // must leave a real AB-BA cycle detectable and nothing more.
+        let t = trace(vec![
+            req(1, 0xA, 100), acq(2, 0xA, 100),
+            req(3, 0xA, 100), // re-entrant noise
+            req(4, 0xB, 200), acq(5, 0xB, 200),
+            req(6, 0xB, 100), req(7, 0xB, 100), // duplicate wait
+            req(8, 0xA, 200),
+        ]);
+        let report = find_deadlock(&t).expect("real cycle still detected");
+        assert_eq!(report.cycle.len(), 2);
+        for e in &report.cycle {
+            assert_ne!(e.waiter, e.holder, "no self-edges in the cycle");
+        }
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Loom model of the reservation CAS path (`CpuRegion::reserve`, the
+//! paper's Fig. 2 `traceReserve`), exploring every interleaving of two
+//! concurrent loggers.
+//!
+//! Built only under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p ktrace-core --test loom_reserve --release
+//! ```
+//!
+//! The model mirrors the production loop structurally — unwrapped index,
+//! fast-path CAS within a buffer, boundary slow path claiming anchor words —
+//! and checks the three properties the lockless design promises:
+//!
+//! 1. **No overlap**: every claimed word interval is disjoint.
+//! 2. **Alignment**: no claim crosses a buffer boundary, and each buffer
+//!    begins with exactly one anchor claim.
+//! 3. **Buffer order = timestamp order** (§3.1): because the timestamp is
+//!    re-read on every CAS attempt, claims ordered by start index carry
+//!    non-decreasing timestamps.
+
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+
+/// Words per modeled buffer (small so two threads cross a boundary).
+const BW: u64 = 8;
+/// Modeled anchor size (header + full timestamp word).
+const ANCHOR: u64 = 2;
+
+#[derive(Debug, Clone, Copy)]
+struct Claim {
+    start: u64,
+    len: u64,
+    ts: u64,
+    anchor: bool,
+}
+
+/// The Fig. 2 reservation loop over a loom atomic: returns (start, ts) and
+/// records the anchor claim when the boundary slow path wins.
+///
+/// The model runs at `SeqCst` where production uses `Relaxed` loads +
+/// `AcqRel` CAS: the timestamp-ordering property leans on the platform's
+/// total store order (and on real clocks being globally monotonic), and the
+/// model checks the algorithm, not the weakest theoretical C11 execution.
+fn reserve(index: &AtomicU64, clock: &AtomicU64, total: u64, claims: &Mutex<Vec<Claim>>) -> (u64, u64) {
+    loop {
+        let old = index.load(Ordering::SeqCst);
+        let pos = old % BW;
+        // Re-determine the timestamp during each attempt (§3.1).
+        let ts = clock.fetch_add(1, Ordering::SeqCst);
+        if pos != 0 && pos + total <= BW {
+            if index
+                .compare_exchange(old, old + total, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return (old, ts);
+            }
+            continue;
+        }
+        // Boundary slow path: claim the next buffer's anchor + the event.
+        let next_seq = if pos == 0 { old / BW } else { old / BW + 1 };
+        let base = next_seq * BW;
+        let new = base + ANCHOR + total;
+        if index
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            claims.lock().unwrap().push(Claim { start: base, len: ANCHOR, ts, anchor: true });
+            return (base + ANCHOR, ts);
+        }
+    }
+}
+
+#[test]
+fn reservation_claims_are_disjoint_aligned_and_time_ordered() {
+    loom::model(|| {
+        let index = Arc::new(AtomicU64::new(0));
+        let clock = Arc::new(AtomicU64::new(1));
+        let claims = Arc::new(Mutex::new(Vec::new()));
+
+        let mut handles = Vec::new();
+        for event_words in [3u64, 2] {
+            let (index, clock, claims) = (index.clone(), clock.clone(), claims.clone());
+            handles.push(thread::spawn(move || {
+                for _ in 0..2 {
+                    let (start, ts) = reserve(&index, &clock, event_words, &claims);
+                    claims
+                        .lock()
+                        .unwrap()
+                        .push(Claim { start, len: event_words, ts, anchor: false });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let mut claims = Arc::try_unwrap(claims).unwrap().into_inner().unwrap();
+        claims.sort_by_key(|c| c.start);
+
+        for w in claims.windows(2) {
+            // 1. Disjoint intervals.
+            assert!(
+                w[0].start + w[0].len <= w[1].start,
+                "overlap: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+            // 3. Buffer order is timestamp order.
+            assert!(
+                w[0].ts <= w[1].ts,
+                "time regression: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        for c in &claims {
+            // 2a. Nothing crosses an alignment boundary.
+            assert!(c.start % BW + c.len <= BW, "boundary crossed: {c:?}");
+        }
+        // 2b. Every touched buffer starts with exactly one anchor claim.
+        let touched: std::collections::BTreeSet<u64> =
+            claims.iter().map(|c| c.start / BW).collect();
+        for seq in touched {
+            let anchors = claims
+                .iter()
+                .filter(|c| c.anchor && c.start == seq * BW)
+                .count();
+            assert_eq!(anchors, 1, "buffer {seq} must have exactly one anchor");
+            assert!(
+                !claims.iter().any(|c| !c.anchor && c.start == seq * BW),
+                "buffer {seq} must not start with a data event"
+            );
+        }
+    });
+}

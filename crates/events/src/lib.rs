@@ -62,6 +62,12 @@ pub mod mem {
     pub const REG_CREATE: u16 = 2;
     /// Allocation served: `[size, addr]`.
     pub const ALLOC: u16 = 3;
+    /// Shared-state read annotation: `[addr, tid]`. Emitted at shared-memory
+    /// touch points so post-hoc race detectors (lockset / happens-before over
+    /// the trace stream) can see the accesses, not just the locks.
+    pub const ACCESS_READ: u16 = 4;
+    /// Shared-state write annotation: `[addr, tid]`.
+    pub const ACCESS_WRITE: u16 = 5;
 }
 
 /// `LOCK` minors.
@@ -295,6 +301,10 @@ pub fn register_all(logger: &TraceLogger) {
         "Region created addr %0[%llx] size %1[%llx]");
     reg(MajorId::MEM, mem::ALLOC, "TRC_MEM_ALLOC", "64 64",
         "alloc size %0[%d] addr %1[%llx]");
+    reg(MajorId::MEM, mem::ACCESS_READ, "TRC_MEM_ACCESS_READ", "64 64",
+        "shared read addr %0[%llx] by thread %1[%x]");
+    reg(MajorId::MEM, mem::ACCESS_WRITE, "TRC_MEM_ACCESS_WRITE", "64 64",
+        "shared write addr %0[%llx] by thread %1[%x]");
 
     reg(MajorId::LOCK, lock::REQUEST, "TRACE_LOCK_REQUEST", "64 64 64",
         "lock %0[%llx] requested by thread %1[%x] chain %2[%llx]");

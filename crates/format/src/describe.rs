@@ -228,14 +228,24 @@ impl EventDescriptor {
 }
 
 fn validate_template(template: &str, fields: usize) -> Result<(), FormatError> {
+    let mut referenced = vec![false; fields];
     walk_template(template, |piece| {
         if let TemplatePiece::Field { index, .. } = piece {
             if index >= fields {
                 return Err(FormatError::BadTemplateIndex { index, fields });
             }
+            referenced[index] = true;
         }
         Ok(())
-    })
+    })?;
+    // A declared field the template never shows is a spec/template count
+    // mismatch: the developer either logged a value no tool will display or
+    // numbered the references wrongly. Catch it here, at registration, rather
+    // than shipping a descriptor that silently drops data at display time.
+    if let Some(index) = referenced.iter().position(|&r| !r) {
+        return Err(FormatError::UnreferencedField { index, fields });
+    }
+    Ok(())
 }
 
 fn render_template(template: &str, values: &[FieldValue]) -> Result<String, FormatError> {
@@ -580,6 +590,36 @@ mod tests {
             Err(FormatError::BadTemplateIndex { index: 1, fields: 1 })
         ));
         assert!(EventDescriptor::new("E", "64", "val %0[%d]").is_ok());
+    }
+
+    #[test]
+    fn template_validation_catches_unreferenced_fields() {
+        // Two declared fields but the template only shows one: registration
+        // must fail, not misrender later.
+        assert!(matches!(
+            EventDescriptor::new("E", "64 64", "val %0[%d]"),
+            Err(FormatError::UnreferencedField { index: 1, fields: 2 })
+        ));
+        // The lowest missing index is reported even with later refs present.
+        assert!(matches!(
+            EventDescriptor::new("E", "64 64 64", "a %0[%d] c %2[%d]"),
+            Err(FormatError::UnreferencedField { index: 1, fields: 3 })
+        ));
+        // Referencing a field twice is fine as long as all are covered.
+        assert!(EventDescriptor::new("E", "64", "val %0[%d] (hex %0[%x])").is_ok());
+        // Zero fields, zero references is fine.
+        assert!(EventDescriptor::new("E", "", "no payload").is_ok());
+    }
+
+    #[test]
+    fn from_text_rejects_spec_template_mismatch() {
+        // A registry line whose template ignores a declared field must be
+        // rejected at load time with the descriptor error, not accepted.
+        let text = "2\t9\tTRACE_BAD\t64 64\tonly %0[%d]\n";
+        assert!(matches!(
+            EventRegistry::from_text(text),
+            Err(FormatError::UnreferencedField { index: 1, fields: 2 })
+        ));
     }
 
     #[test]

@@ -30,6 +30,14 @@ pub enum FormatError {
     },
     /// A display template was syntactically malformed.
     BadTemplate(String),
+    /// A display template never references one of the spec's declared fields,
+    /// so the spec token count and the template's references disagree.
+    UnreferencedField {
+        /// Lowest field index the template never references.
+        index: usize,
+        /// Number of fields in the spec.
+        fields: usize,
+    },
     /// Payload words ran out while decoding fields according to a spec.
     Truncated {
         /// What was being decoded when the words ran out.
@@ -66,6 +74,10 @@ impl fmt::Display for FormatError {
                 write!(f, "template references field %{index} but spec has {fields} fields")
             }
             FormatError::BadTemplate(t) => write!(f, "malformed display template: {t}"),
+            FormatError::UnreferencedField { index, fields } => write!(
+                f,
+                "template never references field %{index} (spec declares {fields} fields)"
+            ),
             FormatError::Truncated { context } => {
                 write!(f, "payload truncated while decoding {context}")
             }

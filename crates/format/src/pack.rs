@@ -273,5 +273,41 @@ mod tests {
             prop_assert!(w * 8 >= len);
             prop_assert!(w == 0 || (w - 1) * 8 < len);
         }
+
+        /// Mixed integer and string fields in arbitrary order, including
+        /// strings long enough to cross word boundaries, roundtrip exactly
+        /// and consume exactly the words the packer produced.
+        #[test]
+        fn mixed_field_sequences_roundtrip(fields in prop::collection::vec(
+            prop_oneof![
+                (0u64..=u64::MAX, prop::sample::select(vec![8u32, 16, 32, 64]))
+                    .prop_map(|(v, bits)| (Some((v, bits)), None)),
+                ".{0,40}".prop_map(|s: String| (None, Some(s))),
+            ], 0..24)) {
+            let mut p = WordPacker::new();
+            for f in &fields {
+                match f {
+                    (Some((v, bits)), None) => { p.push(*v, *bits); }
+                    (None, Some(s)) => { p.push_str(s); }
+                    _ => unreachable!(),
+                }
+            }
+            let words = p.finish();
+            let mut u = WordUnpacker::new(&words);
+            for f in &fields {
+                match f {
+                    (Some((v, bits)), None) => {
+                        let mask = if *bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+                        prop_assert_eq!(u.read(*bits), Some(v & mask));
+                    }
+                    (None, Some(s)) => {
+                        prop_assert_eq!(u.read_str().as_deref(), Some(s.as_str()));
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            // Nothing left over: the unpacker lands exactly on the packed end.
+            prop_assert_eq!(u.words_consumed(), words.len());
+        }
     }
 }

@@ -60,6 +60,10 @@ pub struct Kernel {
     next_addr: AtomicU64,
     /// Monotonic IPC communication IDs.
     next_comm: AtomicU64,
+    /// Shared-memory cells touched by `Op::SharedRead`/`Op::SharedWrite`.
+    /// Accesses emit `MEM` access annotations; whether they race is up to
+    /// the workload (wrap them in user locks or don't).
+    shared_cells: Vec<AtomicU64>,
 }
 
 /// Lock identity space: region locks are 0x100+, page lock 0x200,
@@ -68,6 +72,12 @@ const ALLOC_LOCK_BASE: u64 = 0x100;
 const PAGE_LOCK_ID: u64 = 0x200;
 const DIR_LOCK_ID: u64 = 0x300;
 const USER_LOCK_BASE: u64 = 0x400;
+
+/// Trace-visible base address of the shared-cell array.
+const SHARED_CELL_BASE: u64 = 0x5000_0000;
+
+/// Number of shared-memory cells every kernel exposes.
+pub const SHARED_CELLS: usize = 16;
 
 impl Kernel {
     /// Builds kernel state with `alloc_regions` allocator locks and
@@ -86,6 +96,7 @@ impl Kernel {
                 .collect(),
             next_addr: AtomicU64::new(0x1000_0000),
             next_comm: AtomicU64::new(1),
+            shared_cells: (0..SHARED_CELLS).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -123,8 +134,11 @@ impl Kernel {
         let held = Instant::now();
         critical();
         let hold_ns = held.elapsed().as_nanos() as u64;
-        lock.release();
+        // Log RELEASED *before* the lock becomes available: the event's
+        // timestamp must precede any successor's ACQUIRED so the trace's
+        // release → acquire order matches the real synchronization order.
         h.log(MajorId::LOCK, lockev::RELEASED, &[lock.id(), task.tid, hold_ns]);
+        lock.release();
         true
     }
 
@@ -254,16 +268,50 @@ impl Kernel {
         true
     }
 
-    /// Release a workload-defined lock.
+    /// Release a workload-defined lock. RELEASED is logged while still
+    /// holding, so its timestamp precedes any successor's ACQUIRED.
     pub fn user_unlock<H: TraceHandle>(&self, h: &H, task: &Task, index: usize) {
         let lock = &self.user_locks[index];
-        lock.release();
         h.log(MajorId::LOCK, lockev::RELEASED, &[lock.id(), task.tid, 0]);
+        lock.release();
     }
 
     /// A fresh fake address (regions, fault addresses…).
     pub fn fresh_addr(&self, size: u64) -> u64 {
         self.next_addr.fetch_add(size.max(8), Ordering::Relaxed)
+    }
+
+    /// The trace address of shared cell `index` as it appears in `MEM`
+    /// access-annotation events.
+    pub fn shared_cell_addr(index: usize) -> u64 {
+        SHARED_CELL_BASE + 8 * (index % SHARED_CELLS) as u64
+    }
+
+    /// Reads shared cell `index`, annotating the access in the trace stream
+    /// (`TRC_MEM_ACCESS_READ [addr, tid]`).
+    pub fn shared_read<H: TraceHandle>(&self, h: &H, task: &Task, index: usize) -> u64 {
+        let cell = &self.shared_cells[index % SHARED_CELLS];
+        h.log(MajorId::MEM, mem::ACCESS_READ, &[Self::shared_cell_addr(index), task.tid]);
+        cell.load(Ordering::Relaxed)
+    }
+
+    /// Increments shared cell `index` with a non-atomic read-modify-write
+    /// (load, compute, store), annotating the access in the trace stream
+    /// (`TRC_MEM_ACCESS_WRITE [addr, tid]`). The cell itself is an atomic so
+    /// the *process* stays well-defined; the lost-update race belongs to the
+    /// simulated program and is what trace-driven detectors should flag when
+    /// the workload leaves the cell unprotected.
+    pub fn shared_write<H: TraceHandle>(&self, h: &H, task: &Task, index: usize) {
+        let cell = &self.shared_cells[index % SHARED_CELLS];
+        h.log(MajorId::MEM, mem::ACCESS_WRITE, &[Self::shared_cell_addr(index), task.tid]);
+        let v = cell.load(Ordering::Relaxed);
+        busy(self.config.scaled(200));
+        cell.store(v.wrapping_add(1), Ordering::Relaxed);
+    }
+
+    /// Final value of shared cell `index` (workload assertions).
+    pub fn shared_cell(&self, index: usize) -> u64 {
+        self.shared_cells[index % SHARED_CELLS].load(Ordering::Relaxed)
     }
 }
 
@@ -399,6 +447,22 @@ mod tests {
         let ppc = events_of(&tracer, MajorId::EXCEPTION);
         assert_eq!(ppc.iter().filter(|(m, _)| *m == exception::PPC_CALL).count(), 2);
         assert_eq!(ppc.iter().filter(|(m, _)| *m == exception::PPC_RETURN).count(), 2);
+    }
+
+    #[test]
+    fn shared_access_emits_mem_annotations() {
+        let (tracer, kernel, task) = fixture();
+        let h = tracer.handle(0);
+        kernel.shared_write(&h, &task, 3);
+        kernel.shared_write(&h, &task, 3);
+        assert_eq!(kernel.shared_read(&h, &task, 3), 2);
+        let mems = events_of(&tracer, MajorId::MEM);
+        let addr = Kernel::shared_cell_addr(3);
+        assert_eq!(
+            mems.iter().map(|(m, _)| *m).collect::<Vec<_>>(),
+            vec![mem::ACCESS_WRITE, mem::ACCESS_WRITE, mem::ACCESS_READ]
+        );
+        assert!(mems.iter().all(|(_, p)| p[0] == addr && p[1] == task.tid));
     }
 
     #[test]

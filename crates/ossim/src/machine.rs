@@ -386,6 +386,14 @@ fn run_slice<H: TraceHandle>(
                 }
                 task.advance();
             }
+            Op::SharedRead { cell } => {
+                kernel.shared_read(h, task, cell);
+                task.advance();
+            }
+            Op::SharedWrite { cell } => {
+                kernel.shared_write(h, task, cell);
+                task.advance();
+            }
             Op::UserLock { lock } => {
                 if !kernel.user_lock(h, task, lock) {
                     return SliceOutcome::Finished;

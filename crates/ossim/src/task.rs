@@ -67,6 +67,18 @@ pub enum Op {
         /// Hash of the path.
         path: u64,
     },
+    /// Read a shared-memory cell, emitting a `MEM` access annotation so
+    /// trace-driven race detectors see the access (race experiments).
+    SharedRead {
+        /// Index into the machine's shared-cell table.
+        cell: usize,
+    },
+    /// Read-modify-write a shared-memory cell, emitting a `MEM` access
+    /// annotation.
+    SharedWrite {
+        /// Index into the machine's shared-cell table.
+        cell: usize,
+    },
     /// Acquire a workload-defined lock (deadlock experiments).
     UserLock {
         /// Index into the machine's user-lock table.

@@ -75,6 +75,47 @@ pub fn ab_ba_deadlock(hold_ns: u64) -> Workload {
     Workload { processes: vec![a, b], user_locks: 2 }
 }
 
+/// A deliberately racy shared counter: `nprocs` processes each performing
+/// `writes_per` unprotected read-modify-writes of the same shared cell,
+/// interleaved with compute so the scheduler mixes them across CPUs. Every
+/// access is annotated in the trace stream, so a trace-driven race detector
+/// (lockset or happens-before) must flag cell 0.
+pub fn racy_counter(nprocs: usize, writes_per: usize) -> Workload {
+    let program = Program::new()
+        .repeat(writes_per, |p| {
+            p.op(Op::SharedRead { cell: 0 })
+                .op(Op::SharedWrite { cell: 0 })
+                .compute(300, func::USER_COMPUTE)
+        })
+        .op(Op::CountCompletion);
+    Workload::new(
+        (0..nprocs)
+            .map(|i| ProcessSpec::new(format!("racy-{i}"), program.clone()))
+            .collect(),
+    )
+}
+
+/// The lock-disciplined twin of [`racy_counter`]: identical accesses to the
+/// same shared cell, but every read-modify-write is bracketed by user lock 0.
+/// A sound race detector must stay silent on this workload.
+pub fn locked_counter(nprocs: usize, writes_per: usize) -> Workload {
+    let program = Program::new()
+        .repeat(writes_per, |p| {
+            p.op(Op::UserLock { lock: 0 })
+                .op(Op::SharedRead { cell: 0 })
+                .op(Op::SharedWrite { cell: 0 })
+                .op(Op::UserUnlock { lock: 0 })
+                .compute(300, func::USER_COMPUTE)
+        })
+        .op(Op::CountCompletion);
+    Workload {
+        processes: (0..nprocs)
+            .map(|i| ProcessSpec::new(format!("locked-{i}"), program.clone()))
+            .collect(),
+        user_locks: 1,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +144,26 @@ mod tests {
             .filter(|o| matches!(o, Op::Spawn { .. }))
             .count();
         assert_eq!(spawns, 12);
+    }
+
+    #[test]
+    fn counter_workloads_differ_only_in_locking() {
+        let racy = racy_counter(2, 5);
+        let locked = locked_counter(2, 5);
+        assert_eq!(racy.user_locks, 0);
+        assert_eq!(locked.user_locks, 1);
+        let writes = |w: &Workload| {
+            w.processes[0]
+                .program
+                .ops
+                .iter()
+                .filter(|o| matches!(o, Op::SharedWrite { cell: 0 }))
+                .count()
+        };
+        assert_eq!(writes(&racy), 5);
+        assert_eq!(writes(&locked), 5);
+        assert!(!racy.processes[0].program.ops.iter().any(|o| matches!(o, Op::UserLock { .. })));
+        assert!(locked.processes[0].program.ops.iter().any(|o| matches!(o, Op::UserLock { .. })));
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! `ktrace-verify` — trace-stream integrity linting and dynamic race
+//! detection for the lockless tracing core.
+//!
+//! The paper's §3 design makes strong structural promises about every trace
+//! stream: per-CPU buffer order *is* timestamp order, filler events land
+//! exactly on buffer boundaries, commit counts expose garbled buffers, and
+//! the embedded registry makes the stream self-describing. This crate checks
+//! those promises after the fact:
+//!
+//! * [`lint`] — the [`StreamLinter`]: replays a trace file, a live
+//!   [`RegionSnapshot`](ktrace_core::RegionSnapshot), or drained buffers and
+//!   reports every invariant violation with a distinct exit code.
+//! * [`race`] — [`detect_races`]: an Eraser-style lockset detector refined
+//!   with vector-clock happens-before, driven by the stream's LOCK, SCHED,
+//!   and MEM access-annotation events.
+//! * [`report`] — the shared violation vocabulary and exit-code mapping.
+//!
+//! # Example
+//!
+//! ```
+//! use ktrace_verify::{StreamLinter, lint::lint_completed_buffers};
+//! use ktrace_core::{TraceConfig, TraceLogger};
+//! use ktrace_clock::SyncClock;
+//! use ktrace_format::MajorId;
+//! use std::sync::Arc;
+//!
+//! let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 1).unwrap();
+//! ktrace_events::register_all(&logger);
+//! let h = logger.handle(0).unwrap();
+//! h.log2(MajorId::SCHED, ktrace_events::sched::THREAD_START, 100, 1);
+//! logger.flush_all();
+//! let bufs: Vec<_> = logger.drain_all().into_iter().flatten().collect();
+//! let report = lint_completed_buffers(&bufs, &logger.registry(), logger.config().buffer_words);
+//! assert!(report.is_clean(), "{}", report.render());
+//! ```
+
+pub mod lint;
+pub mod lockset;
+pub mod race;
+pub mod report;
+pub mod vclock;
+
+pub use lint::{lint_file, lint_registry, lint_snapshot, StreamLinter};
+pub use lockset::{AddrState, LocksetTracker, LocksetVerdict};
+pub use race::{detect_races, races_in_file, AccessSite, RaceAnalysis, RaceFinding};
+pub use report::{Report, Violation, ViolationKind};
+pub use vclock::VectorClock;

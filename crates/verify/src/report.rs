@@ -1,0 +1,226 @@
+//! Violation vocabulary and the lint report.
+//!
+//! Every invariant the paper's stream design guarantees gets its own
+//! [`ViolationKind`] with a stable, distinct process exit code, so CI and
+//! scripted experiment runs can tell *which* invariant broke without parsing
+//! prose.
+
+use std::fmt;
+
+/// The class of a detected violation. Each class maps to a distinct nonzero
+/// exit code (see [`ViolationKind::exit_code`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ViolationKind {
+    /// A buffer record is shorter than the declared buffer size, or the file
+    /// ends mid-record.
+    TruncatedBuffer,
+    /// Commit-count garbling (§3.1): the record was drained before every
+    /// reservation in it was committed, or an unwritten (zero-header)
+    /// reservation sits mid-buffer.
+    GarbledCommit,
+    /// A timestamp stepped backwards, within a buffer or across a CPU's
+    /// consecutive buffers — impossible for honestly logged events, because
+    /// the reservation algorithm re-reads the clock on every CAS retry.
+    NonMonotonicTimestamp,
+    /// An event's `(major, minor)` has no descriptor in the registry: the
+    /// stream is not self-describing for this event.
+    UndeclaredEvent,
+    /// Filler events that do not realign the stream exactly to the buffer
+    /// boundary, or data events logged after a filler.
+    FillerMisaligned,
+    /// An event's declared length disagrees with what its descriptor's field
+    /// spec actually decodes to, or the length runs past the buffer end.
+    LengthMismatch,
+    /// A buffer does not begin with a time anchor.
+    MissingAnchor,
+    /// The embedded event registry itself is inconsistent (a template
+    /// referencing undeclared fields, unparseable registry text, …).
+    BadRegistry,
+    /// A data race found by the lockset / vector-clock detector.
+    DataRace,
+}
+
+impl ViolationKind {
+    /// The stable process exit code for this violation class.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ViolationKind::TruncatedBuffer => 10,
+            ViolationKind::GarbledCommit => 11,
+            ViolationKind::NonMonotonicTimestamp => 12,
+            ViolationKind::UndeclaredEvent => 13,
+            ViolationKind::FillerMisaligned => 14,
+            ViolationKind::LengthMismatch => 15,
+            ViolationKind::MissingAnchor => 16,
+            ViolationKind::BadRegistry => 17,
+            ViolationKind::DataRace => 20,
+        }
+    }
+
+    /// Short machine-greppable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::TruncatedBuffer => "truncated-buffer",
+            ViolationKind::GarbledCommit => "garbled-commit",
+            ViolationKind::NonMonotonicTimestamp => "non-monotonic-timestamp",
+            ViolationKind::UndeclaredEvent => "undeclared-event",
+            ViolationKind::FillerMisaligned => "filler-misaligned",
+            ViolationKind::LengthMismatch => "length-mismatch",
+            ViolationKind::MissingAnchor => "missing-anchor",
+            ViolationKind::BadRegistry => "bad-registry",
+            ViolationKind::DataRace => "data-race",
+        }
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One detected violation, locatable in the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The invariant class that broke.
+    pub kind: ViolationKind,
+    /// CPU whose stream the violation is in, if attributable.
+    pub cpu: Option<usize>,
+    /// Buffer sequence number, if attributable.
+    pub seq: Option<u64>,
+    /// Word offset within the buffer, if attributable.
+    pub offset: Option<usize>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.kind)?;
+        if let Some(cpu) = self.cpu {
+            write!(f, " cpu{cpu}")?;
+        }
+        if let Some(seq) = self.seq {
+            write!(f, " buf#{seq}")?;
+        }
+        if let Some(off) = self.offset {
+            write!(f, " @word {off}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// The outcome of a lint or race-detection pass.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Every violation found, in stream order.
+    pub violations: Vec<Violation>,
+    /// Buffers examined.
+    pub buffers_checked: usize,
+    /// Events examined.
+    pub events_checked: usize,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// True if no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Records a violation.
+    pub fn push(
+        &mut self,
+        kind: ViolationKind,
+        cpu: Option<usize>,
+        seq: Option<u64>,
+        offset: Option<usize>,
+        detail: impl Into<String>,
+    ) {
+        self.violations.push(Violation { kind, cpu, seq, offset, detail: detail.into() });
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.violations.extend(other.violations);
+        self.buffers_checked += other.buffers_checked;
+        self.events_checked += other.events_checked;
+    }
+
+    /// The process exit code: 0 when clean, otherwise the code of the
+    /// highest-priority violation class present (the smallest code, so a
+    /// single-corruption stream reports its own distinct code).
+    pub fn exit_code(&self) -> u8 {
+        self.violations.iter().map(|v| v.kind.exit_code()).min().unwrap_or(0)
+    }
+
+    /// Distinct violation kinds present, in priority order.
+    pub fn kinds(&self) -> Vec<ViolationKind> {
+        let mut kinds: Vec<ViolationKind> = self.violations.iter().map(|v| v.kind).collect();
+        kinds.sort();
+        kinds.dedup();
+        kinds
+    }
+
+    /// Human-readable summary, one violation per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "checked {} buffer(s), {} event(s): {} violation(s)",
+            self.buffers_checked,
+            self.events_checked,
+            self.violations.len()
+        );
+        for v in &self.violations {
+            let _ = writeln!(out, "  {v}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let kinds = [
+            ViolationKind::TruncatedBuffer,
+            ViolationKind::GarbledCommit,
+            ViolationKind::NonMonotonicTimestamp,
+            ViolationKind::UndeclaredEvent,
+            ViolationKind::FillerMisaligned,
+            ViolationKind::LengthMismatch,
+            ViolationKind::MissingAnchor,
+            ViolationKind::BadRegistry,
+            ViolationKind::DataRace,
+        ];
+        let mut codes: Vec<u8> = kinds.iter().map(|k| k.exit_code()).collect();
+        assert!(codes.iter().all(|&c| c != 0 && c != 1 && c != 2), "reserve 0/1/2");
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), kinds.len(), "exit codes must be distinct");
+    }
+
+    #[test]
+    fn report_exit_code_and_render() {
+        let mut r = Report::new();
+        assert!(r.is_clean());
+        assert_eq!(r.exit_code(), 0);
+        r.push(ViolationKind::UndeclaredEvent, Some(1), Some(3), Some(40), "MAJOR9/7");
+        r.push(ViolationKind::TruncatedBuffer, Some(0), None, None, "short record");
+        assert_eq!(r.exit_code(), ViolationKind::TruncatedBuffer.exit_code());
+        assert_eq!(
+            r.kinds(),
+            vec![ViolationKind::TruncatedBuffer, ViolationKind::UndeclaredEvent]
+        );
+        let text = r.render();
+        assert!(text.contains("2 violation(s)"));
+        assert!(text.contains("[undeclared-event] cpu1 buf#3 @word 40"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Vector clocks for happens-before reasoning over trace streams.
+//!
+//! Thread IDs in a trace are sparse 64-bit values, so the clock is a map
+//! rather than the dense array of a classic in-kernel implementation. The
+//! detector keeps one clock per thread, per lock, and per CPU; join edges
+//! come from lock hand-offs and context switches recorded in the stream.
+
+use std::collections::HashMap;
+
+/// A vector clock over sparse 64-bit thread IDs. Missing entries are zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    clocks: HashMap<u64, u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> VectorClock {
+        VectorClock::default()
+    }
+
+    /// This clock's component for `tid` (zero if never ticked).
+    pub fn get(&self, tid: u64) -> u64 {
+        self.clocks.get(&tid).copied().unwrap_or(0)
+    }
+
+    /// Advances `tid`'s own component, marking a new local epoch.
+    pub fn tick(&mut self, tid: u64) {
+        *self.clocks.entry(tid).or_insert(0) += 1;
+    }
+
+    /// Pointwise maximum: after `a.join(&b)`, everything ordered before `b`
+    /// is ordered before `a`.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (&tid, &t) in &other.clocks {
+            let slot = self.clocks.entry(tid).or_insert(0);
+            *slot = (*slot).max(t);
+        }
+    }
+
+    /// True when `self` happens-before-or-equals `other` (pointwise `<=`).
+    /// Two clocks where neither `le` the other are concurrent.
+    pub fn le(&self, other: &VectorClock) -> bool {
+        self.clocks.iter().all(|(&tid, &t)| t <= other.get(tid))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_le_everything() {
+        let zero = VectorClock::new();
+        let mut c = VectorClock::new();
+        c.tick(7);
+        assert!(zero.le(&c));
+        assert!(zero.le(&zero));
+        assert!(!c.le(&zero));
+    }
+
+    #[test]
+    fn join_orders_through_a_release_acquire_chain() {
+        // t1 does work, "releases" (its clock is stored), t2 "acquires".
+        let mut t1 = VectorClock::new();
+        t1.tick(1);
+        let lock = t1.clone();
+        let mut t2 = VectorClock::new();
+        t2.tick(2);
+        assert!(!t1.le(&t2), "concurrent before the hand-off");
+        t2.join(&lock);
+        assert!(t1.le(&t2), "ordered after acquire joins the release clock");
+    }
+
+    #[test]
+    fn concurrent_clocks_are_unordered_both_ways() {
+        let mut a = VectorClock::new();
+        a.tick(1);
+        let mut b = VectorClock::new();
+        b.tick(2);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+    }
+}

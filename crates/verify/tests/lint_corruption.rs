@@ -1,0 +1,171 @@
+//! End-to-end linter tests: a clean trace file lints clean, and each seeded
+//! corruption produces its own distinct violation kind / exit code.
+
+use ktrace_clock::ManualClock;
+use ktrace_core::{TraceConfig, TraceLogger};
+use ktrace_format::{EventDescriptor, EventRegistry, MajorId};
+use ktrace_io::file::{FileHeader, RECORD_HEADER_BYTES};
+use ktrace_io::{TraceFileReader, TraceFileWriter};
+use ktrace_verify::{lint_file, ViolationKind};
+use std::io::Cursor;
+use std::sync::Arc;
+
+fn test_registry() -> EventRegistry {
+    let mut r = EventRegistry::with_builtin();
+    r.register(
+        MajorId::TEST,
+        1,
+        EventDescriptor::new("TRACE_TEST_PAIR", "64 64", "a %0[%d] b %1[%d]").unwrap(),
+    );
+    r.register(
+        MajorId::TEST,
+        2,
+        EventDescriptor::new("TRACE_TEST_ONE", "64", "v %0[%d]").unwrap(),
+    );
+    r
+}
+
+/// Logs on 2 CPUs and returns the trace file's bytes. When `declare` is
+/// false the TEST events are left out of the embedded registry.
+fn sample_trace(declare: bool) -> Vec<u8> {
+    let registry = if declare { test_registry() } else { EventRegistry::with_builtin() };
+    let header = FileHeader {
+        ncpus: 2,
+        buffer_words: TraceConfig::small().buffer_words as u32,
+        ticks_per_sec: 1_000_000_000,
+        clock_synchronized: true,
+        registry,
+    };
+    let clock = Arc::new(ManualClock::new(1000, 10));
+    let logger = TraceLogger::new(TraceConfig::small(), clock, 2).unwrap();
+    let h0 = logger.handle(0).unwrap();
+    let h1 = logger.handle(1).unwrap();
+    let mut w = TraceFileWriter::new(Vec::new(), &header).unwrap();
+    for i in 0..400u64 {
+        assert!(h0.log2(MajorId::TEST, 1, i, i * 3));
+        if i % 2 == 0 {
+            assert!(h1.log1(MajorId::TEST, 2, i));
+        }
+        for cpu in 0..2 {
+            if let Some(b) = logger.take_buffer(cpu) {
+                w.write_buffer(&b).unwrap();
+            }
+        }
+    }
+    for bufs in logger.drain_all() {
+        for b in bufs {
+            w.write_buffer(&b).unwrap();
+        }
+    }
+    w.finish().unwrap()
+}
+
+fn write_temp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ktrace-lint-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, bytes).unwrap();
+    path
+}
+
+/// Byte offset of record `k` in the file.
+fn record_offset(bytes: &[u8], k: usize) -> usize {
+    let (hdr, hdr_len) = FileHeader::decode(bytes).unwrap();
+    hdr_len + k * hdr.record_size()
+}
+
+/// Index of the record on `cpu` with sequence number `seq`.
+fn record_of(bytes: &[u8], cpu: u32, seq: u64) -> usize {
+    let mut r = TraceFileReader::new(Cursor::new(bytes.to_vec())).unwrap();
+    for k in 0..r.record_count() {
+        let (c, s, _, _) = r.record_meta(k).unwrap();
+        if c == cpu && s == seq {
+            return k;
+        }
+    }
+    panic!("no cpu{cpu} record with seq {seq} in sample trace");
+}
+
+#[test]
+fn clean_trace_lints_clean() {
+    let path = write_temp("clean.ktrace", &sample_trace(true));
+    let report = lint_file(&path).unwrap();
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(report.buffers_checked > 2, "trace should span several buffers");
+    assert!(report.events_checked > 400);
+    assert_eq!(report.exit_code(), 0);
+}
+
+#[test]
+fn truncated_file_reports_truncated_buffer() {
+    let mut bytes = sample_trace(true);
+    let cut = bytes.len() - 3; // not a whole record
+    bytes.truncate(cut);
+    let path = write_temp("truncated.ktrace", &bytes);
+    let report = lint_file(&path).unwrap();
+    assert_eq!(report.kinds(), vec![ViolationKind::TruncatedBuffer], "{}", report.render());
+    assert_eq!(report.exit_code(), ViolationKind::TruncatedBuffer.exit_code());
+}
+
+#[test]
+fn cleared_commit_flag_reports_garbled_commit() {
+    let mut bytes = sample_trace(true);
+    // Record header layout: magic u32 | cpu u32 | seq u64 | flags u64.
+    let flags_at = record_offset(&bytes, 0) + 16;
+    bytes[flags_at] &= !1; // clear RECORD_FLAG_COMPLETE
+    let path = write_temp("garbled-flag.ktrace", &bytes);
+    let report = lint_file(&path).unwrap();
+    assert_eq!(report.kinds(), vec![ViolationKind::GarbledCommit], "{}", report.render());
+    assert_eq!(report.exit_code(), ViolationKind::GarbledCommit.exit_code());
+}
+
+#[test]
+fn zeroed_header_word_reports_garbled_commit() {
+    let mut bytes = sample_trace(true);
+    // Zero a mid-buffer event header in record 0: an unwritten reservation.
+    let word = record_offset(&bytes, 0) + RECORD_HEADER_BYTES + 3 * 8;
+    bytes[word..word + 8].fill(0);
+    let path = write_temp("garbled-zero.ktrace", &bytes);
+    let report = lint_file(&path).unwrap();
+    assert!(
+        report.kinds().contains(&ViolationKind::GarbledCommit),
+        "{}",
+        report.render()
+    );
+    assert_eq!(report.exit_code(), ViolationKind::GarbledCommit.exit_code());
+}
+
+#[test]
+fn rewound_timestamp_reports_non_monotonic() {
+    let mut bytes = sample_trace(true);
+    // Rewind the 32-bit stamp of the first data event in cpu0's first
+    // buffer. The wrap extender reads the regression as a wrap and inflates
+    // that buffer's reconstructed times by 2^32, so every later cpu0 buffer
+    // steps backwards relative to it.
+    let k = record_of(&bytes, 0, 0);
+    let hdr_at = record_offset(&bytes, k) + RECORD_HEADER_BYTES + 3 * 8;
+    let word = u64::from_le_bytes(bytes[hdr_at..hdr_at + 8].try_into().unwrap());
+    let rewound = (word & 0xffff_ffff) | (5u64 << 32);
+    bytes[hdr_at..hdr_at + 8].copy_from_slice(&rewound.to_le_bytes());
+    let path = write_temp("rewound.ktrace", &bytes);
+    let report = lint_file(&path).unwrap();
+    assert!(
+        report.kinds().contains(&ViolationKind::NonMonotonicTimestamp),
+        "{}",
+        report.render()
+    );
+    assert_eq!(
+        report.exit_code(),
+        ViolationKind::NonMonotonicTimestamp.exit_code(),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn undeclared_events_reported() {
+    let path = write_temp("undeclared.ktrace", &sample_trace(false));
+    let report = lint_file(&path).unwrap();
+    assert_eq!(report.kinds(), vec![ViolationKind::UndeclaredEvent], "{}", report.render());
+    assert_eq!(report.exit_code(), ViolationKind::UndeclaredEvent.exit_code());
+}

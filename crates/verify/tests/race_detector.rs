@@ -1,0 +1,62 @@
+//! End-to-end race detection over the OS simulator: the deliberately racy
+//! shared-counter workload must be flagged, and its lock-disciplined twin
+//! must stay silent.
+
+use ktrace_clock::SyncClock;
+use ktrace_core::{parse_buffer, RawEvent, TraceConfig, TraceLogger};
+use ktrace_ossim::workload::micro;
+use ktrace_ossim::{KTracer, Machine, MachineConfig, Workload};
+use ktrace_verify::detect_races;
+use std::sync::Arc;
+
+/// Runs `workload` on a 2-CPU simulated machine and returns every traced
+/// event, per-CPU streams merged.
+fn run_and_collect(workload: Workload) -> Vec<RawEvent> {
+    let logger =
+        TraceLogger::new(TraceConfig::default(), Arc::new(SyncClock::new()), 2).unwrap();
+    ktrace_events::register_all(&logger);
+    let machine = Machine::new(MachineConfig::fast_test(2), Arc::new(KTracer::new(logger.clone())));
+    machine.run(workload);
+    logger.flush_all();
+    assert_eq!(
+        logger.stats().dropped_pending,
+        0,
+        "trace capacity too small: dropped events would skew the verdict"
+    );
+    let mut events = Vec::new();
+    for bufs in logger.drain_all() {
+        for b in bufs {
+            events.extend(parse_buffer(b.cpu, b.seq, &b.words, None).events);
+        }
+    }
+    events
+}
+
+#[test]
+fn racy_counter_workload_is_flagged() {
+    let events = run_and_collect(micro::racy_counter(4, 20));
+    let analysis = detect_races(&events);
+    assert!(analysis.accesses > 0, "MEM access annotations must be traced");
+    assert!(
+        !analysis.is_clean(),
+        "unprotected shared counter must be flagged ({} accesses seen)",
+        analysis.accesses
+    );
+    let f = &analysis.findings[0];
+    assert!(f.lockset_empty, "no lock protects the racy cell");
+    assert_ne!(f.first.tid, f.second.tid, "a race needs two threads");
+    let rendered = analysis.render();
+    assert!(rendered.contains("data-race"), "{rendered}");
+}
+
+#[test]
+fn locked_counter_workload_is_silent() {
+    let events = run_and_collect(micro::locked_counter(4, 20));
+    let analysis = detect_races(&events);
+    assert!(analysis.accesses > 0, "MEM access annotations must be traced");
+    assert!(
+        analysis.is_clean(),
+        "lock-disciplined counter must not be flagged:\n{}",
+        analysis.render()
+    );
+}

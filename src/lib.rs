@@ -71,6 +71,7 @@ pub use ktrace_events as events;
 pub use ktrace_format as format;
 pub use ktrace_io as io;
 pub use ktrace_ossim as ossim;
+pub use ktrace_verify as verify;
 pub use ktrace_vsim as vsim;
 
 /// The names needed by typical users of the tracing facility.
