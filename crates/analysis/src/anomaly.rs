@@ -38,7 +38,11 @@ pub fn garble_report(trace: &Trace, anomalies: &[RecordAnomaly]) -> String {
             a.record,
             a.cpu,
             a.seq,
-            if a.complete { "commit count ok" } else { "COMMIT COUNT MISMATCH" }
+            if a.complete {
+                "commit count ok"
+            } else {
+                "COMMIT COUNT MISMATCH"
+            }
         );
         if a.notes.is_empty() {
             out.push('\n');
@@ -76,7 +80,10 @@ mod tests {
             notes: vec![GarbleNote::ZeroHeader { offset: 17 }],
         }];
         let s = garble_report(&t, &anomalies);
-        assert!(s.contains("1 record(s) anomalous, 2 event(s) dropped"), "{s}");
+        assert!(
+            s.contains("1 record(s) anomalous, 2 event(s) dropped"),
+            "{s}"
+        );
         assert!(s.contains("record 4 (cpu 1 seq 9): COMMIT COUNT MISMATCH"));
         assert!(s.contains("ZeroHeader"));
     }

@@ -14,7 +14,7 @@
 
 use crate::model::Trace;
 use crate::table::{Align, TextTable};
-use ktrace_events::{exception, ipc, sched, sysno, syscall as sysev};
+use ktrace_events::{exception, ipc, sched, syscall as sysev, sysno};
 use ktrace_format::MajorId;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -96,11 +96,13 @@ impl Breakdown {
             names: &std::collections::HashMap<u64, String>,
             pid: u64,
         ) -> &'a mut ProcessBreakdown {
-            out.processes.entry(pid).or_insert_with(|| ProcessBreakdown {
-                pid,
-                name: names.get(&pid).cloned().unwrap_or_default(),
-                ..Default::default()
-            })
+            out.processes
+                .entry(pid)
+                .or_insert_with(|| ProcessBreakdown {
+                    pid,
+                    name: names.get(&pid).cloned().unwrap_or_default(),
+                    ..Default::default()
+                })
         }
 
         for e in &trace.events {
@@ -114,10 +116,20 @@ impl Breakdown {
                 match stacks[c].last().copied() {
                     Some(Frame::User { pid }) => proc_mut(&mut out, &names, pid).user.time_ns += dt,
                     Some(Frame::Syscall { pid, no }) => {
-                        proc_mut(&mut out, &names, pid).syscalls.entry(no).or_default().time_ns += dt;
+                        proc_mut(&mut out, &names, pid)
+                            .syscalls
+                            .entry(no)
+                            .or_default()
+                            .time_ns += dt;
                     }
-                    Some(Frame::Fault { pid }) => proc_mut(&mut out, &names, pid).faults.time_ns += dt,
-                    Some(Frame::Ipc { caller, server, func }) => {
+                    Some(Frame::Fault { pid }) => {
+                        proc_mut(&mut out, &names, pid).faults.time_ns += dt
+                    }
+                    Some(Frame::Ipc {
+                        caller,
+                        server,
+                        func,
+                    }) => {
                         let p = proc_mut(&mut out, &names, server);
                         p.served.time_ns += dt;
                         p.served_by_fn.entry(func).or_default().time_ns += dt;
@@ -132,7 +144,11 @@ impl Breakdown {
             match stacks[c].last().copied() {
                 Some(Frame::User { pid }) => proc_mut(&mut out, &names, pid).user.events += 1,
                 Some(Frame::Syscall { pid, no }) => {
-                    proc_mut(&mut out, &names, pid).syscalls.entry(no).or_default().events += 1;
+                    proc_mut(&mut out, &names, pid)
+                        .syscalls
+                        .entry(no)
+                        .or_default()
+                        .events += 1;
                 }
                 Some(Frame::Fault { pid }) => proc_mut(&mut out, &names, pid).faults.events += 1,
                 Some(Frame::Ipc { server, .. }) => {
@@ -157,7 +173,11 @@ impl Breakdown {
                 (MajorId::SCHED, sched::IDLE_END) => stacks[c].clear(),
                 (MajorId::SYSCALL, sysev::ENTRY) if e.payload.len() >= 3 => {
                     let (pid, no) = (e.payload[0], e.payload[2]);
-                    proc_mut(&mut out, &names, pid).syscalls.entry(no).or_default().calls += 1;
+                    proc_mut(&mut out, &names, pid)
+                        .syscalls
+                        .entry(no)
+                        .or_default()
+                        .calls += 1;
                     stacks[c].push(Frame::Syscall { pid, no });
                 }
                 (MajorId::SYSCALL, sysev::EXIT) => {
@@ -182,11 +202,17 @@ impl Breakdown {
                 }
                 (MajorId::EXCEPTION, exception::PPC_CALL) => {
                     let (caller, server, func) =
-                        pending_ipc[c].take().unwrap_or((cur_pid.unwrap_or(0), 1, 0));
+                        pending_ipc[c]
+                            .take()
+                            .unwrap_or((cur_pid.unwrap_or(0), 1, 0));
                     let p = proc_mut(&mut out, &names, server);
                     p.served.calls += 1;
                     p.served_by_fn.entry(func).or_default().calls += 1;
-                    stacks[c].push(Frame::Ipc { caller, server, func });
+                    stacks[c].push(Frame::Ipc {
+                        caller,
+                        server,
+                        func,
+                    });
                 }
                 (MajorId::EXCEPTION, exception::PPC_RETURN) => {
                     if matches!(stacks[c].last(), Some(Frame::Ipc { .. })) {
@@ -206,14 +232,22 @@ impl Breakdown {
             return format!("no data for pid {pid}\n");
         };
         let us = |ns: u64| format!("{:.2}", ns as f64 / 1_000.0);
-        let mut out = format!("Process {pid} ({})\n", if p.name.is_empty() { "?" } else { &p.name });
+        let mut out = format!(
+            "Process {pid} ({})\n",
+            if p.name.is_empty() { "?" } else { &p.name }
+        );
         let mut t = TextTable::new(&[
             ("category", Align::Left),
             ("time(us)", Align::Right),
             ("calls", Align::Right),
             ("events", Align::Right),
         ]);
-        t.row(vec!["user".into(), us(p.user.time_ns), "-".into(), p.user.events.to_string()]);
+        t.row(vec![
+            "user".into(),
+            us(p.user.time_ns),
+            "-".into(),
+            p.user.events.to_string(),
+        ]);
         for (&no, s) in &p.syscalls {
             t.row(vec![
                 sysno::name(no).into(),
@@ -228,8 +262,18 @@ impl Breakdown {
             p.faults.calls.to_string(),
             p.faults.events.to_string(),
         ]);
-        t.row(vec!["IPC calls made".into(), "-".into(), p.ipc_out.calls.to_string(), "-".into()]);
-        t.row(vec!["Ex-process".into(), us(p.ex_process_ns), "-".into(), "-".into()]);
+        t.row(vec![
+            "IPC calls made".into(),
+            "-".into(),
+            p.ipc_out.calls.to_string(),
+            "-".into(),
+        ]);
+        t.row(vec![
+            "Ex-process".into(),
+            us(p.ex_process_ns),
+            "-".into(),
+            "-".into(),
+        ]);
         t.row(vec![
             "served IPC".into(),
             us(p.served.time_ns),
@@ -261,18 +305,48 @@ mod tests {
         trace(vec![
             ev(0, 1_000, MajorId::SCHED, sched::CTX_SWITCH, &[0, 0x50, 5]),
             // user until 2_000
-            ev(0, 2_000, MajorId::SYSCALL, sysev::ENTRY, &[5, 0x50, sysno::EXEC]),
+            ev(
+                0,
+                2_000,
+                MajorId::SYSCALL,
+                sysev::ENTRY,
+                &[5, 0x50, sysno::EXEC],
+            ),
             // in-syscall until 2_500
             ev(0, 2_500, MajorId::IPC, ipc::CALL, &[5, 1, 2]),
             ev(0, 2_500, MajorId::EXCEPTION, exception::PPC_CALL, &[9]),
             // server time until 4_500
             ev(0, 4_500, MajorId::EXCEPTION, exception::PPC_RETURN, &[9]),
             // back in syscall until 5_000
-            ev(0, 5_000, MajorId::SYSCALL, sysev::EXIT, &[5, 0x50, sysno::EXEC]),
+            ev(
+                0,
+                5_000,
+                MajorId::SYSCALL,
+                sysev::EXIT,
+                &[5, 0x50, sysno::EXEC],
+            ),
             // user until 6_000
-            ev(0, 6_000, MajorId::EXCEPTION, exception::PGFLT, &[0x50, 0x9000]),
-            ev(0, 7_500, MajorId::EXCEPTION, exception::PGFLT_DONE, &[0x50, 0x9000]),
-            ev(0, 8_000, MajorId::SCHED, sched::CTX_SWITCH, &[0x50, 0x60, 6]),
+            ev(
+                0,
+                6_000,
+                MajorId::EXCEPTION,
+                exception::PGFLT,
+                &[0x50, 0x9000],
+            ),
+            ev(
+                0,
+                7_500,
+                MajorId::EXCEPTION,
+                exception::PGFLT_DONE,
+                &[0x50, 0x9000],
+            ),
+            ev(
+                0,
+                8_000,
+                MajorId::SCHED,
+                sched::CTX_SWITCH,
+                &[0x50, 0x60, 6],
+            ),
         ])
     }
 

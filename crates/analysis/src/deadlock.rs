@@ -73,10 +73,11 @@ pub fn find_deadlock(trace: &Trace) -> Option<DeadlockReport> {
                 waiting_for.remove(&e.payload[1]);
                 holder_of.insert(e.payload[0], e.payload[1]);
             }
-            lockev::RELEASED if e.payload.len() >= 2
-                && holder_of.get(&e.payload[0]) == Some(&e.payload[1]) => {
-                    holder_of.remove(&e.payload[0]);
-                }
+            lockev::RELEASED
+                if e.payload.len() >= 2 && holder_of.get(&e.payload[0]) == Some(&e.payload[1]) =>
+            {
+                holder_of.remove(&e.payload[0]);
+            }
             _ => {}
         }
     }
@@ -88,18 +89,28 @@ pub fn find_deadlock(trace: &Trace) -> Option<DeadlockReport> {
         let mut tid = start;
         #[allow(clippy::while_let_loop)] // two fallible lookups per step
         loop {
-            let Some(&lock) = waiting_for.get(&tid) else { break };
-            let Some(&holder) = holder_of.get(&lock) else { break };
+            let Some(&lock) = waiting_for.get(&tid) else {
+                break;
+            };
+            let Some(&holder) = holder_of.get(&lock) else {
+                break;
+            };
             if holder == tid {
                 // Self-edge (thread "waiting" on a lock it holds): can only
                 // arise from duplicate or out-of-order events; never a real
                 // deadlock between threads.
                 break;
             }
-            path.push(WaitEdge { waiter: tid, lock, holder });
+            path.push(WaitEdge {
+                waiter: tid,
+                lock,
+                holder,
+            });
             if let Some(pos) = seen.iter().position(|&s| s == holder) {
                 // Trim the lead-in so the cycle is closed.
-                return Some(DeadlockReport { cycle: path.split_off(pos) });
+                return Some(DeadlockReport {
+                    cycle: path.split_off(pos),
+                });
             }
             seen.push(holder);
             tid = holder;
@@ -126,8 +137,10 @@ mod tests {
     #[test]
     fn detects_ab_ba_cycle() {
         let t = trace(vec![
-            req(1, 0xA, 100), acq(2, 0xA, 100),
-            req(3, 0xB, 200), acq(4, 0xB, 200),
+            req(1, 0xA, 100),
+            acq(2, 0xA, 100),
+            req(3, 0xB, 200),
+            acq(4, 0xB, 200),
             req(5, 0xB, 100), // 100 waits for B (held by 200)
             req(6, 0xA, 200), // 200 waits for A (held by 100)
         ]);
@@ -142,8 +155,10 @@ mod tests {
     #[test]
     fn no_cycle_when_lock_released() {
         let t = trace(vec![
-            req(1, 0xA, 100), acq(2, 0xA, 100),
-            req(3, 0xB, 200), acq(4, 0xB, 200),
+            req(1, 0xA, 100),
+            acq(2, 0xA, 100),
+            req(3, 0xB, 200),
+            acq(4, 0xB, 200),
             req(5, 0xB, 100),
             rel(6, 0xB, 200), // 200 released B: no cycle
             req(7, 0xA, 200),
@@ -154,7 +169,8 @@ mod tests {
     #[test]
     fn waiting_without_cycle_is_fine() {
         let t = trace(vec![
-            req(1, 0xA, 100), acq(2, 0xA, 100),
+            req(1, 0xA, 100),
+            acq(2, 0xA, 100),
             req(3, 0xA, 200), // simple contention, holder isn't waiting
         ]);
         assert!(find_deadlock(&t).is_none());
@@ -165,7 +181,8 @@ mod tests {
         // Thread 100 holds A and re-requests it (recursive acquisition).
         // Before the fix this produced a one-edge "cycle" 100 -> A -> 100.
         let t = trace(vec![
-            req(1, 0xA, 100), acq(2, 0xA, 100),
+            req(1, 0xA, 100),
+            acq(2, 0xA, 100),
             req(3, 0xA, 100), // re-entrant: still the holder
         ]);
         assert!(find_deadlock(&t).is_none());
@@ -176,10 +193,13 @@ mod tests {
         // Duplicate REQUESTs (e.g. retried contention) plus a re-entrant one
         // must leave a real AB-BA cycle detectable and nothing more.
         let t = trace(vec![
-            req(1, 0xA, 100), acq(2, 0xA, 100),
+            req(1, 0xA, 100),
+            acq(2, 0xA, 100),
             req(3, 0xA, 100), // re-entrant noise
-            req(4, 0xB, 200), acq(5, 0xB, 200),
-            req(6, 0xB, 100), req(7, 0xB, 100), // duplicate wait
+            req(4, 0xB, 200),
+            acq(5, 0xB, 200),
+            req(6, 0xB, 100),
+            req(7, 0xB, 100), // duplicate wait
             req(8, 0xA, 200),
         ]);
         let report = find_deadlock(&t).expect("real cycle still detected");
@@ -192,8 +212,12 @@ mod tests {
     #[test]
     fn three_way_cycle() {
         let t = trace(vec![
-            acq(1, 0xA, 1), acq(2, 0xB, 2), acq(3, 0xC, 3),
-            req(4, 0xB, 1), req(5, 0xC, 2), req(6, 0xA, 3),
+            acq(1, 0xA, 1),
+            acq(2, 0xB, 2),
+            acq(3, 0xC, 3),
+            req(4, 0xB, 1),
+            req(5, 0xC, 2),
+            req(6, 0xA, 3),
         ]);
         let report = find_deadlock(&t).expect("3-cycle expected");
         assert_eq!(report.cycle.len(), 3);

@@ -107,7 +107,13 @@ mod tests {
 
     fn sample() -> Trace {
         trace(vec![
-            ev(0, 100, MajorId::EXCEPTION, exception::PGFLT, &[0x1, 0x405e628]),
+            ev(
+                0,
+                100,
+                MajorId::EXCEPTION,
+                exception::PGFLT,
+                &[0x1, 0x405e628],
+            ),
             ev(1, 200, MajorId::CONTROL, control::FILLER, &[]),
             ev(1, 300, MajorId::TEST, 5, &[7, 8]),
         ])

@@ -55,7 +55,11 @@ impl CounterReport {
 
     /// Total across CPUs for one counter.
     pub fn total(&self, id: u64) -> u64 {
-        self.totals.iter().filter(|&(&(c, _), _)| c == id).map(|(_, &v)| v).sum()
+        self.totals
+            .iter()
+            .filter(|&(&(c, _), _)| c == id)
+            .map(|(_, &v)| v)
+            .sum()
     }
 
     /// An ASCII intensity strip (`.:-=+*#%@`) of one counter over `width`
@@ -66,8 +70,8 @@ impl CounterReport {
         let mut buckets = vec![0u64; width];
         if let Some(samples) = self.samples.get(&id) {
             for &(t, delta) in samples {
-                let b = ((t.saturating_sub(self.origin)) as u128 * width as u128
-                    / span as u128) as usize;
+                let b = ((t.saturating_sub(self.origin)) as u128 * width as u128 / span as u128)
+                    as usize;
                 buckets[b.min(width - 1)] += delta;
             }
         }
@@ -88,20 +92,28 @@ impl CounterReport {
             ("total", Align::Right),
             ("rate/s", Align::Right),
         ]);
-        let secs =
-            (self.end.saturating_sub(self.origin)) as f64 / self.ticks_per_sec as f64;
+        let secs = (self.end.saturating_sub(self.origin)) as f64 / self.ticks_per_sec as f64;
         for (&(id, cpu), &total) in &self.totals {
             t.row(vec![
                 counter::name(id).to_string(),
                 cpu.to_string(),
                 total.to_string(),
-                if secs > 0.0 { format!("{:.0}", total as f64 / secs) } else { "-".into() },
+                if secs > 0.0 {
+                    format!("{:.0}", total as f64 / secs)
+                } else {
+                    "-".into()
+                },
             ]);
         }
         out.push_str(&t.render());
         out.push('\n');
         for &id in self.samples.keys() {
-            let _ = writeln!(out, "{:>13} |{}|", counter::name(id), self.intensity_strip(id, width));
+            let _ = writeln!(
+                out,
+                "{:>13} |{}|",
+                counter::name(id),
+                self.intensity_strip(id, width)
+            );
         }
         out
     }

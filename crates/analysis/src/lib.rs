@@ -41,10 +41,10 @@ pub mod timeline;
 pub mod utilization;
 
 pub use anomaly::garble_report;
-pub use export::{to_csv, to_jsonl};
-pub use hwperf::CounterReport;
 pub use breakdown::{Breakdown, ProcessBreakdown};
 pub use deadlock::{find_deadlock, DeadlockReport};
+pub use export::{to_csv, to_jsonl};
+pub use hwperf::CounterReport;
 pub use listing::{render_listing, ListingOptions};
 pub use lockstat::{LockSortKey, LockStats};
 pub use model::Trace;

@@ -25,7 +25,10 @@ pub struct ListingOptions {
 impl ListingOptions {
     /// Default options but hiding control events.
     pub fn data_only() -> ListingOptions {
-        ListingOptions { hide_control: true, ..Default::default() }
+        ListingOptions {
+            hide_control: true,
+            ..Default::default()
+        }
     }
 }
 
@@ -52,8 +55,7 @@ pub fn render_listing(trace: &Trace, opts: &ListingOptions) -> String {
                 let _ = writeln!(out, "{secs:.7} {} {rendered}", desc.name);
             }
             None => {
-                let words: Vec<String> =
-                    e.payload.iter().map(|w| format!("{w:x}")).collect();
+                let words: Vec<String> = e.payload.iter().map(|w| format!("{w:x}")).collect();
                 let _ = writeln!(
                     out,
                     "{secs:.7} UNKNOWN_{}_{} [{}]",
@@ -80,8 +82,20 @@ mod tests {
         name.push(6, 64).push(7, 64).push_str("/shellServer");
         trace(vec![
             ev(0, 1_000, MajorId::USER, user::RUN_UL_LOADER, &name.finish()),
-            ev(0, 1_100, MajorId::EXCEPTION, exception::PGFLT, &[0x80000000c12b0f90, 0x405e628]),
-            ev(0, 1_200, MajorId::EXCEPTION, exception::PGFLT_DONE, &[0x80000000c12b0f90, 0x405e628]),
+            ev(
+                0,
+                1_100,
+                MajorId::EXCEPTION,
+                exception::PGFLT,
+                &[0x80000000c12b0f90, 0x405e628],
+            ),
+            ev(
+                0,
+                1_200,
+                MajorId::EXCEPTION,
+                exception::PGFLT_DONE,
+                &[0x80000000c12b0f90, 0x405e628],
+            ),
             ev(0, 1_300, MajorId::TEST, 42, &[0xabc, 0xdef]),
         ])
     }
@@ -115,11 +129,19 @@ mod tests {
         let t = sample();
         let only_exc = render_listing(
             &t,
-            &ListingOptions { majors: vec![MajorId::EXCEPTION], ..Default::default() },
+            &ListingOptions {
+                majors: vec![MajorId::EXCEPTION],
+                ..Default::default()
+            },
         );
         assert_eq!(only_exc.lines().count(), 2);
-        let limited =
-            render_listing(&t, &ListingOptions { limit: 1, ..Default::default() });
+        let limited = render_listing(
+            &t,
+            &ListingOptions {
+                limit: 1,
+                ..Default::default()
+            },
+        );
         assert_eq!(limited.lines().count(), 1);
     }
 }

@@ -70,8 +70,13 @@ impl LockStats {
             if e.minor != lockev::ACQUIRED || e.payload.len() < 5 {
                 continue;
             }
-            let [lock_id, tid, chain, spins, wait_ns] =
-                [e.payload[0], e.payload[1], e.payload[2], e.payload[3], e.payload[4]];
+            let [lock_id, tid, chain, spins, wait_ns] = [
+                e.payload[0],
+                e.payload[1],
+                e.payload[2],
+                e.payload[3],
+                e.payload[4],
+            ];
             let pid = tid_pid.get(&tid).copied().unwrap_or(0);
             let row = rows.entry((lock_id, chain, pid)).or_insert(LockRow {
                 lock_id,
@@ -91,7 +96,9 @@ impl LockStats {
                 row.contended += 1;
             }
         }
-        let mut stats = LockStats { rows: rows.into_values().collect() };
+        let mut stats = LockStats {
+            rows: rows.into_values().collect(),
+        };
         stats.sort_by(LockSortKey::Time);
         stats
     }
@@ -113,9 +120,8 @@ impl LockStats {
     /// Renders the Fig. 7 report: `top N contended locks by <key>`, one
     /// stanza per instance with the call chain underneath.
     pub fn render(&self, top: usize, key_name: &str) -> String {
-        let mut out = format!(
-            "top {top} contended locks by {key_name} - for full list see traceLockStats\n"
-        );
+        let mut out =
+            format!("top {top} contended locks by {key_name} - for full list see traceLockStats\n");
         out.push_str("time  count  spin  max time  pid\ncall chain\n\n");
         for r in self.rows.iter().take(top) {
             let _ = writeln!(
@@ -148,8 +154,21 @@ mod tests {
     use crate::model::testutil::{ev, trace};
     use ktrace_events::{pack_chain, sched};
 
-    fn acquired(t: u64, lock: u64, tid: u64, chain: u64, spins: u64, wait: u64) -> ktrace_core::RawEvent {
-        ev(0, t, MajorId::LOCK, lockev::ACQUIRED, &[lock, tid, chain, spins, wait])
+    fn acquired(
+        t: u64,
+        lock: u64,
+        tid: u64,
+        chain: u64,
+        spins: u64,
+        wait: u64,
+    ) -> ktrace_core::RawEvent {
+        ev(
+            0,
+            t,
+            MajorId::LOCK,
+            lockev::ACQUIRED,
+            &[lock, tid, chain, spins, wait],
+        )
     }
 
     fn sample() -> Trace {
@@ -160,8 +179,8 @@ mod tests {
             ev(0, 2, MajorId::SCHED, sched::THREAD_START, &[200, 2]),
             acquired(10, 0x100, 100, chain_a, 50, 1_000),
             acquired(20, 0x100, 100, chain_a, 150, 3_000),
-            acquired(30, 0x100, 200, chain_a, 10, 500),  // same lock+chain, other pid
-            acquired(40, 0x200, 100, chain_b, 0, 0),     // uncontended
+            acquired(30, 0x100, 200, chain_a, 10, 500), // same lock+chain, other pid
+            acquired(40, 0x200, 100, chain_b, 0, 0),    // uncontended
             acquired(50, 0x200, 100, chain_b, 5, 200),
         ])
     }
@@ -195,9 +214,15 @@ mod tests {
         stats.sort_by(LockSortKey::Spins);
         assert!(stats.rows.windows(2).all(|w| w[0].spins >= w[1].spins));
         stats.sort_by(LockSortKey::MaxTime);
-        assert!(stats.rows.windows(2).all(|w| w[0].max_wait_ns >= w[1].max_wait_ns));
+        assert!(stats
+            .rows
+            .windows(2)
+            .all(|w| w[0].max_wait_ns >= w[1].max_wait_ns));
         stats.sort_by(LockSortKey::Count);
-        assert!(stats.rows.windows(2).all(|w| w[0].contended >= w[1].contended));
+        assert!(stats
+            .rows
+            .windows(2)
+            .all(|w| w[0].contended >= w[1].contended));
     }
 
     #[test]

@@ -26,7 +26,11 @@ impl Trace {
         ticks_per_sec: u64,
     ) -> Trace {
         events.sort_by_key(|e| e.time);
-        Trace { events, registry, ticks_per_sec }
+        Trace {
+            events,
+            registry,
+            ticks_per_sec,
+        }
     }
 
     /// Loads a trace file.
@@ -103,14 +107,17 @@ impl Trace {
         map.insert(0, "kernel".to_string());
         map.insert(1, "baseServers".to_string());
         for e in self.of_major(MajorId::PROC) {
-            if e.minor == ktrace_events::proc::CREATE {
-                if let Some(desc) = self.registry.lookup(e.major, e.minor) {
-                    if let Ok(values) = desc.spec.decode(&e.payload) {
-                        if values.len() >= 3 {
-                            map.insert(values[0].as_int(), values[2].to_string());
-                        }
-                    }
-                }
+            if e.minor != ktrace_events::proc::CREATE {
+                continue;
+            }
+            let Some(desc) = self.registry.lookup(e.major, e.minor) else {
+                continue;
+            };
+            let Ok(values) = desc.spec.decode(&e.payload) else {
+                continue;
+            };
+            if values.len() >= 3 {
+                map.insert(values[0].as_int(), values[2].to_string());
             }
         }
         map
@@ -143,8 +150,7 @@ pub(crate) mod testutil {
         use ktrace_clock::SyncClock;
         use ktrace_core::{TraceConfig, TraceLogger};
         use std::sync::Arc;
-        let logger =
-            TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 1).unwrap();
+        let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 1).unwrap();
         ktrace_events::register_all(&logger);
         Trace::from_events(events, logger.registry(), 1_000_000_000)
     }
@@ -172,7 +178,11 @@ mod tests {
 
     #[test]
     fn window_filters_absolute_ticks() {
-        let t = trace((0..10).map(|i| ev(0, i * 100, MajorId::TEST, i as u16, &[])).collect());
+        let t = trace(
+            (0..10)
+                .map(|i| ev(0, i * 100, MajorId::TEST, i as u16, &[]))
+                .collect(),
+        );
         let w = t.window(250, 650);
         assert_eq!(w.events.len(), 4); // 300,400,500,600
         assert_eq!(w.events[0].minor, 3);

@@ -36,7 +36,10 @@ impl PcProfile {
                     .or_default() += 1;
             }
         }
-        PcProfile { by_pid, names: trace.pid_names() }
+        PcProfile {
+            by_pid,
+            names: trace.pid_names(),
+        }
     }
 
     /// Total samples for a pid.
@@ -90,7 +93,13 @@ mod tests {
         let mut push = |pid: u64, f: u16, n: usize, events: &mut Vec<_>| {
             for _ in 0..n {
                 t += 10;
-                events.push(ev(0, t, MajorId::PROF, prof::PC_SAMPLE, &[pid, 0x99, f as u64]));
+                events.push(ev(
+                    0,
+                    t,
+                    MajorId::PROF,
+                    prof::PC_SAMPLE,
+                    &[pid, 0x99, f as u64],
+                ));
             }
         };
         push(1, func::FAIRBLOCK_ACQUIRE, 904, &mut events);
@@ -116,7 +125,10 @@ mod tests {
     fn render_matches_fig6_shape() {
         let p = PcProfile::compute(&sample_trace());
         let s = p.render(1);
-        assert!(s.starts_with("histogram for pid 0x1 mapped filename baseServers"), "{s}");
+        assert!(
+            s.starts_with("histogram for pid 0x1 mapped filename baseServers"),
+            "{s}"
+        );
         let lines: Vec<&str> = s.lines().collect();
         assert!(lines[1].contains("count") && lines[1].contains("method"));
         assert!(lines[2].contains("904") && lines[2].contains("FairBLock::_acquire()"));

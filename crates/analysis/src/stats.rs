@@ -95,7 +95,13 @@ mod tests {
     fn sample() -> Trace {
         let mut events = Vec::new();
         for i in 0..10u64 {
-            events.push(ev(0, i * 100, MajorId::SCHED, sched::CTX_SWITCH, &[0, 1, 2]));
+            events.push(ev(
+                0,
+                i * 100,
+                MajorId::SCHED,
+                sched::CTX_SWITCH,
+                &[0, 1, 2],
+            ));
         }
         for i in 0..3u64 {
             events.push(ev(0, i * 100 + 5, MajorId::TEST, 7, &[]));

@@ -74,7 +74,12 @@ pub struct TimelineOptions {
 
 impl Default for TimelineOptions {
     fn default() -> TimelineOptions {
-        TimelineOptions { width: 100, t0: None, t1: None, marks: Vec::new() }
+        TimelineOptions {
+            width: 100,
+            t0: None,
+            t1: None,
+            marks: Vec::new(),
+        }
     }
 }
 
@@ -164,14 +169,24 @@ impl Timeline {
             })
             .collect();
 
-        Timeline { t0, t1, lanes, marks, ticks_per_sec: trace.ticks_per_sec }
+        Timeline {
+            t0,
+            t1,
+            lanes,
+            marks,
+            ticks_per_sec: trace.ticks_per_sec,
+        }
     }
 
     /// ASCII rendering: one line per CPU plus mark rows and a legend.
     pub fn render_ascii(&self) -> String {
         let mut out = String::new();
         let span_s = (self.t1 - self.t0) as f64 / self.ticks_per_sec as f64;
-        let _ = writeln!(out, "timeline: {span_s:.6}s window, {} buckets", self.lanes.first().map_or(0, Vec::len));
+        let _ = writeln!(
+            out,
+            "timeline: {span_s:.6}s window, {} buckets",
+            self.lanes.first().map_or(0, Vec::len)
+        );
         for (c, lane) in self.lanes.iter().enumerate() {
             let cells: String = lane.iter().map(|a| a.glyph()).collect();
             let _ = writeln!(out, "cpu{c:<2} |{cells}|");
@@ -253,7 +268,13 @@ mod tests {
     #[test]
     fn lanes_reflect_activity_phases() {
         let t = scenario();
-        let tl = Timeline::build(&t, &TimelineOptions { width: 10, ..Default::default() });
+        let tl = Timeline::build(
+            &t,
+            &TimelineOptions {
+                width: 10,
+                ..Default::default()
+            },
+        );
         assert_eq!(tl.lanes.len(), 2);
         // cpu0: user 0-400 (buckets 0-3), kernel 4-5, user, idle 8+.
         assert_eq!(tl.lanes[0][0], Activity::User);
@@ -268,10 +289,21 @@ mod tests {
     #[test]
     fn zoom_window_narrows_view() {
         let t = scenario();
-        let full = Timeline::build(&t, &TimelineOptions { width: 10, ..Default::default() });
+        let full = Timeline::build(
+            &t,
+            &TimelineOptions {
+                width: 10,
+                ..Default::default()
+            },
+        );
         let zoom = Timeline::build(
             &t,
-            &TimelineOptions { width: 10, t0: Some(400), t1: Some(600), ..Default::default() },
+            &TimelineOptions {
+                width: 10,
+                t0: Some(400),
+                t1: Some(600),
+                ..Default::default()
+            },
         );
         assert_eq!(zoom.t0, 400);
         assert_eq!(zoom.t1, 600);
@@ -301,7 +333,11 @@ mod tests {
         let t = scenario();
         let tl = Timeline::build(
             &t,
-            &TimelineOptions { width: 20, marks: vec!["TRACE_SYSCALL_ENTRY".into()], ..Default::default() },
+            &TimelineOptions {
+                width: 20,
+                marks: vec!["TRACE_SYSCALL_ENTRY".into()],
+                ..Default::default()
+            },
         );
         let s = tl.render_ascii();
         assert!(s.contains("cpu0  |"), "{s}");
@@ -309,13 +345,22 @@ mod tests {
         assert!(s.contains("legend:"));
         assert!(s.contains("TRACE_SYSCALL_ENTRY x1"));
         let lane_line = s.lines().find(|l| l.starts_with("cpu0")).unwrap();
-        assert_eq!(lane_line.matches(['U', 'K', '.', 'F', 'I', 'L']).count(), 20);
+        assert_eq!(
+            lane_line.matches(['U', 'K', '.', 'F', 'I', 'L']).count(),
+            20
+        );
     }
 
     #[test]
     fn svg_rendering_contains_rects() {
         let t = scenario();
-        let tl = Timeline::build(&t, &TimelineOptions { width: 10, ..Default::default() });
+        let tl = Timeline::build(
+            &t,
+            &TimelineOptions {
+                width: 10,
+                ..Default::default()
+            },
+        );
         let svg = tl.render_svg();
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));

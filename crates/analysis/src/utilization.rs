@@ -94,7 +94,11 @@ impl Utilization {
         for util in &mut cpus {
             util.busy_ticks = span.saturating_sub(util.idle_ticks);
         }
-        Utilization { cpus, span, ticks_per_sec: trace.ticks_per_sec }
+        Utilization {
+            cpus,
+            span,
+            ticks_per_sec: trace.ticks_per_sec,
+        }
     }
 
     /// Mean utilization across CPUs.
@@ -116,9 +120,7 @@ impl Utilization {
             ("longest gap", Align::Right),
             ("at", Align::Right),
         ]);
-        let us = |ticks: u64| {
-            format!("{:.1}us", ticks as f64 * 1e6 / self.ticks_per_sec as f64)
-        };
+        let us = |ticks: u64| format!("{:.1}us", ticks as f64 * 1e6 / self.ticks_per_sec as f64);
         for (c, u) in self.cpus.iter().enumerate() {
             t.row(vec![
                 c.to_string(),
@@ -151,7 +153,11 @@ impl Utilization {
         if flagged.is_empty() {
             out.push_str("no idle gaps over threshold\n");
         } else {
-            let _ = writeln!(out, "ANOMALOUS IDLE GAPS (threshold {}):", us(gap_threshold_ticks));
+            let _ = writeln!(
+                out,
+                "ANOMALOUS IDLE GAPS (threshold {}):",
+                us(gap_threshold_ticks)
+            );
             for f in flagged {
                 let _ = writeln!(out, "  {f}");
             }
@@ -200,7 +206,10 @@ mod tests {
         let s = u.render(&t, 3_000);
         assert!(s.contains("ANOMALOUS IDLE GAPS"), "{s}");
         assert!(s.contains("cpu1"), "{s}");
-        assert!(!s.contains("cpu0:"), "cpu0's 2us gap is under threshold: {s}");
+        assert!(
+            !s.contains("cpu0:"),
+            "cpu0's 2us gap is under threshold: {s}"
+        );
         let quiet = u.render(&t, 10_000);
         assert!(quiet.contains("no idle gaps over threshold"));
     }

@@ -13,10 +13,10 @@ use proptest::prelude::*;
 
 fn arb_event() -> impl Strategy<Value = RawEvent> {
     (
-        0usize..6,          // cpu
-        any::<u64>(),       // time
-        0u8..64,            // major
-        any::<u16>(),       // minor
+        0usize..6,    // cpu
+        any::<u64>(), // time
+        0u8..64,      // major
+        any::<u16>(), // minor
         prop::collection::vec(any::<u64>(), 0..6),
     )
         .prop_map(|(cpu, time, major, minor, payload)| RawEvent {

@@ -49,13 +49,21 @@ impl FixedSlotSink {
         let cpus = (0..ncpus)
             .map(|_| {
                 CachePadded::new(CpuRing {
-                    words: (0..slot_words * slots_per_cpu).map(|_| AtomicU64::new(0)).collect(),
+                    words: (0..slot_words * slots_per_cpu)
+                        .map(|_| AtomicU64::new(0))
+                        .collect(),
                     valid: (0..slots_per_cpu).map(|_| AtomicU64::new(0)).collect(),
                     next: AtomicU64::new(0),
                 })
             })
             .collect();
-        FixedSlotSink { clock, slot_words, slots_per_cpu, cpus, truncated: AtomicU64::new(0) }
+        FixedSlotSink {
+            clock,
+            slot_words,
+            slots_per_cpu,
+            cpus,
+            truncated: AtomicU64::new(0),
+        }
     }
 
     /// Events whose payload exceeded the slot and was truncated — the
@@ -115,7 +123,10 @@ impl EventSink for FixedSlotSink {
     }
 
     fn events_logged(&self) -> u64 {
-        self.cpus.iter().map(|r| r.next.load(Ordering::Relaxed)).sum()
+        self.cpus
+            .iter()
+            .map(|r| r.next.load(Ordering::Relaxed))
+            .sum()
     }
 
     fn name(&self) -> &'static str {

@@ -23,7 +23,9 @@ pub struct GlobalCasSink {
 impl GlobalCasSink {
     /// Builds the shared region (flight-recorder mode so it wraps forever).
     pub fn new(config: TraceConfig, clock: Arc<dyn ClockSource>) -> GlobalCasSink {
-        GlobalCasSink { region: CpuRegion::new(config.flight_recorder(), clock, 0) }
+        GlobalCasSink {
+            region: CpuRegion::new(config.flight_recorder(), clock, 0),
+        }
     }
 
     /// The shared region, for snapshot-based inspection.
@@ -55,7 +57,10 @@ mod tests {
 
     #[test]
     fn shared_region_logs_from_all_threads() {
-        let sink = Arc::new(GlobalCasSink::new(TraceConfig::small(), Arc::new(SyncClock::new())));
+        let sink = Arc::new(GlobalCasSink::new(
+            TraceConfig::small(),
+            Arc::new(SyncClock::new()),
+        ));
         let handles: Vec<_> = (0..4)
             .map(|t| {
                 let s = sink.clone();

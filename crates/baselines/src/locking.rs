@@ -37,7 +37,11 @@ impl LockingSink {
     pub fn new(clock: Arc<dyn ClockSource>, ring_words: usize, irq_cost_ns: u64) -> LockingSink {
         LockingSink {
             clock,
-            ring: Mutex::new(Ring { words: vec![0; ring_words.max(64)], pos: 0, events: 0 }),
+            ring: Mutex::new(Ring {
+                words: vec![0; ring_words.max(64)],
+                pos: 0,
+                events: 0,
+            }),
             irq_cost_ns,
         }
     }

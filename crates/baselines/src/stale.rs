@@ -178,7 +178,10 @@ mod tests {
                 break;
             }
         }
-        assert!(total_inversions > 0, "stale-timestamp protocol never inverted");
+        assert!(
+            total_inversions > 0,
+            "stale-timestamp protocol never inverted"
+        );
     }
 
     #[test]

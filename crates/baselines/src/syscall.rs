@@ -20,7 +20,10 @@ impl SyscallSink {
     /// Wraps `inner`, charging `syscall_cost_ns` of busy work per event
     /// (a few hundred ns models a fast syscall of the paper's era).
     pub fn new(inner: LocklessSink, syscall_cost_ns: u64) -> SyscallSink {
-        SyscallSink { inner, syscall_cost_ns }
+        SyscallSink {
+            inner,
+            syscall_cost_ns,
+        }
     }
 
     fn enter_kernel(&self) {

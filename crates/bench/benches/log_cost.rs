@@ -19,7 +19,9 @@ fn bench_log(c: &mut Criterion) {
 
     // The arity fast paths.
     let mut group = c.benchmark_group("log_arity");
-    group.bench_function("log0", |b| b.iter(|| black_box(handle.log0(MajorId::TEST, 1))));
+    group.bench_function("log0", |b| {
+        b.iter(|| black_box(handle.log0(MajorId::TEST, 1)))
+    });
     group.bench_function("log1", |b| {
         b.iter(|| black_box(handle.log1(MajorId::TEST, 1, black_box(7))))
     });

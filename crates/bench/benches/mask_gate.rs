@@ -2,19 +2,20 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ktrace_bench::util::bench_logger;
+use ktrace_events::exception;
 use ktrace_format::MajorId;
 use std::hint::black_box;
 
 fn bench_mask(c: &mut Criterion) {
     let logger = bench_logger(1);
-    logger.mask().disable(MajorId::MEM);
+    logger.mask().disable(MajorId::EXCEPTION);
     let handle = logger.handle(0).expect("cpu 0");
 
     c.bench_function("disabled_log_attempt", |b| {
-        b.iter(|| black_box(handle.log1(MajorId::MEM, 1, black_box(7))));
+        b.iter(|| black_box(handle.log1(MajorId::EXCEPTION, exception::PPC_CALL, black_box(7))));
     });
     c.bench_function("mask_check_only", |b| {
-        b.iter(|| black_box(handle.mask().is_enabled(black_box(MajorId::MEM))));
+        b.iter(|| black_box(handle.mask().is_enabled(black_box(MajorId::EXCEPTION))));
     });
     c.bench_function("enabled_log_for_comparison", |b| {
         b.iter(|| black_box(handle.log1(MajorId::TEST, 1, black_box(7))));

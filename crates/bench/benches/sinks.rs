@@ -2,7 +2,9 @@
 //! half).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ktrace_baselines::{EventSink, FixedSlotSink, GlobalCasSink, LockingSink, LocklessSink, SyscallSink};
+use ktrace_baselines::{
+    EventSink, FixedSlotSink, GlobalCasSink, LockingSink, LocklessSink, SyscallSink,
+};
 use ktrace_bench::util::bench_logger;
 use ktrace_clock::SyncClock;
 use ktrace_core::TraceConfig;

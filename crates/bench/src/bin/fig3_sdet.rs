@@ -1,4 +1,7 @@
 //! E1 / Fig. 3: SDET throughput scaling.
 fn main() {
-    println!("{}", ktrace_bench::sdet_fig3::report(!ktrace_bench::util::full_requested()));
+    println!(
+        "{}",
+        ktrace_bench::sdet_fig3::report(!ktrace_bench::util::full_requested())
+    );
 }

@@ -1,4 +1,7 @@
 //! E11 / Fig. 4: the kmon-style timeline (ASCII + SVG artifact).
 fn main() {
-    println!("{}", ktrace_bench::tools::report_fig4(!ktrace_bench::util::full_requested()));
+    println!(
+        "{}",
+        ktrace_bench::tools::report_fig4(!ktrace_bench::util::full_requested())
+    );
 }

@@ -1,4 +1,7 @@
 //! E10 / Fig. 5: the event listing, plus random access into the stream.
 fn main() {
-    println!("{}", ktrace_bench::tools::report_fig5(!ktrace_bench::util::full_requested()));
+    println!(
+        "{}",
+        ktrace_bench::tools::report_fig5(!ktrace_bench::util::full_requested())
+    );
 }

@@ -1,4 +1,7 @@
 //! E8 / Fig. 6: statistical PC-sample profile.
 fn main() {
-    println!("{}", ktrace_bench::tools::report_fig6(!ktrace_bench::util::full_requested()));
+    println!(
+        "{}",
+        ktrace_bench::tools::report_fig6(!ktrace_bench::util::full_requested())
+    );
 }

@@ -1,4 +1,7 @@
 //! E7 / Fig. 7: the lock-contention analysis table.
 fn main() {
-    println!("{}", ktrace_bench::tools::report_fig7(!ktrace_bench::util::full_requested()));
+    println!(
+        "{}",
+        ktrace_bench::tools::report_fig7(!ktrace_bench::util::full_requested())
+    );
 }

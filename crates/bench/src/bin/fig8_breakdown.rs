@@ -1,4 +1,7 @@
 //! E9 / Fig. 8: fine-grained per-process time breakdown.
 fn main() {
-    println!("{}", ktrace_bench::tools::report_fig8(!ktrace_bench::util::full_requested()));
+    println!(
+        "{}",
+        ktrace_bench::tools::report_fig8(!ktrace_bench::util::full_requested())
+    );
 }

@@ -1,4 +1,7 @@
 //! E2 + E3: per-event logging cost and the disabled-check cost.
 fn main() {
-    println!("{}", ktrace_bench::event_cost::report(!ktrace_bench::util::full_requested()));
+    println!(
+        "{}",
+        ktrace_bench::event_cost::report(!ktrace_bench::util::full_requested())
+    );
 }

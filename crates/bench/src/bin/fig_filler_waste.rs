@@ -1,4 +1,7 @@
 //! E6: filler waste and boundary alignment statistics.
 fn main() {
-    println!("{}", ktrace_bench::filler::report_filler(!ktrace_bench::util::full_requested()));
+    println!(
+        "{}",
+        ktrace_bench::filler::report_filler(!ktrace_bench::util::full_requested())
+    );
 }

@@ -1,4 +1,7 @@
 //! E14: garble and dropped-event detection.
 fn main() {
-    println!("{}", ktrace_bench::garble::report(!ktrace_bench::util::full_requested()));
+    println!(
+        "{}",
+        ktrace_bench::garble::report(!ktrace_bench::util::full_requested())
+    );
 }

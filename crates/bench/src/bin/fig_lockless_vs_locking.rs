@@ -1,4 +1,7 @@
 //! E4: lockless vs locking logger (the §4.1 order-of-magnitude claim).
 fn main() {
-    println!("{}", ktrace_bench::schemes::report_lockless_vs_locking(!ktrace_bench::util::full_requested()));
+    println!(
+        "{}",
+        ktrace_bench::schemes::report_lockless_vs_locking(!ktrace_bench::util::full_requested())
+    );
 }

@@ -1,4 +1,7 @@
 //! E5: per-CPU buffers vs a single shared buffer.
 fn main() {
-    println!("{}", ktrace_bench::schemes::report_percpu_vs_global(!ktrace_bench::util::full_requested()));
+    println!(
+        "{}",
+        ktrace_bench::schemes::report_percpu_vs_global(!ktrace_bench::util::full_requested())
+    );
 }

@@ -1,4 +1,7 @@
 //! E13: TSC interpolation error under injected skew and drift.
 fn main() {
-    println!("{}", ktrace_bench::tsc::report(!ktrace_bench::util::full_requested()));
+    println!(
+        "{}",
+        ktrace_bench::tsc::report(!ktrace_bench::util::full_requested())
+    );
 }

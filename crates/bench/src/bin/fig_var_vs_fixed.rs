@@ -1,4 +1,7 @@
 //! E12: variable-length vs fixed-slot space per event.
 fn main() {
-    println!("{}", ktrace_bench::filler::report_var_vs_fixed(!ktrace_bench::util::full_requested()));
+    println!(
+        "{}",
+        ktrace_bench::filler::report_var_vs_fixed(!ktrace_bench::util::full_requested())
+    );
 }

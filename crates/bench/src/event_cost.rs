@@ -13,6 +13,7 @@
 
 use crate::util::{bench_logger, linear_fit, time_per_call};
 use ktrace_analysis::table::{Align, TextTable};
+use ktrace_events::exception;
 use ktrace_format::MajorId;
 use std::fmt::Write as _;
 
@@ -49,18 +50,32 @@ pub fn measure(fast: bool) -> EventCosts {
         });
         per_words.push((words, ns));
     }
-    let (per_word_ns, base_ns) =
-        linear_fit(&per_words.iter().map(|&(w, ns)| (w as f64, ns)).collect::<Vec<_>>());
+    let (per_word_ns, base_ns) = linear_fit(
+        &per_words
+            .iter()
+            .map(|&(w, ns)| (w as f64, ns))
+            .collect::<Vec<_>>(),
+    );
 
-    logger.mask().disable(MajorId::MEM);
+    logger.mask().disable(MajorId::EXCEPTION);
     let disabled_ns = time_per_call(iters * 4, || {
-        std::hint::black_box(handle.log1(MajorId::MEM, 1, std::hint::black_box(7)));
+        std::hint::black_box(handle.log1(
+            MajorId::EXCEPTION,
+            exception::PPC_CALL,
+            std::hint::black_box(7),
+        ));
     });
     let floor_ns = time_per_call(iters * 4, || {
         std::hint::black_box(std::hint::black_box(7u64).wrapping_add(1));
     });
 
-    EventCosts { per_words, base_ns, per_word_ns, disabled_ns, floor_ns }
+    EventCosts {
+        per_words,
+        base_ns,
+        per_word_ns,
+        disabled_ns,
+        floor_ns,
+    }
 }
 
 /// Renders the E2/E3 report table.
@@ -99,11 +114,25 @@ mod tests {
     fn shape_matches_paper() {
         let c = measure(true);
         // Base cost positive and bounded (not microseconds).
-        assert!(c.base_ns > 0.0 && c.base_ns < 10_000.0, "base {}", c.base_ns);
+        assert!(
+            c.base_ns > 0.0 && c.base_ns < 10_000.0,
+            "base {}",
+            c.base_ns
+        );
         // Cost grows gently with words: slope well under the base.
-        assert!(c.per_word_ns < c.base_ns, "slope {} base {}", c.per_word_ns, c.base_ns);
+        assert!(
+            c.per_word_ns < c.base_ns,
+            "slope {} base {}",
+            c.per_word_ns,
+            c.base_ns
+        );
         // Disabled check is much cheaper than logging.
-        assert!(c.disabled_ns < c.base_ns / 2.0, "disabled {} base {}", c.disabled_ns, c.base_ns);
+        assert!(
+            c.disabled_ns < c.base_ns / 2.0,
+            "disabled {} base {}",
+            c.disabled_ns,
+            c.base_ns
+        );
     }
 
     #[test]

@@ -52,7 +52,11 @@ pub struct FillerStats {
 
 /// Measures filler waste for one buffer size.
 pub fn measure_filler(buffer_words: usize, events: usize, seed: u64) -> FillerStats {
-    let config = TraceConfig { buffer_words, buffers_per_cpu: 4, mode: Mode::Stream };
+    let config = TraceConfig {
+        buffer_words,
+        buffers_per_cpu: 4,
+        mode: Mode::Stream,
+    };
     let logger = TraceLogger::new(config, Arc::new(SyncClock::new()), 1).expect("valid config");
     let handle = logger.handle(0).expect("cpu 0");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -208,7 +212,11 @@ mod tests {
         let s = measure_filler(512, 80_000, 3);
         // The paper saw 30–40%; any clearly-nonzero rate confirms the
         // mechanism (the rate depends on the size mix).
-        assert!(s.exact_end_fraction > 0.02, "exact-end {:.3}", s.exact_end_fraction);
+        assert!(
+            s.exact_end_fraction > 0.02,
+            "exact-end {:.3}",
+            s.exact_end_fraction
+        );
     }
 
     #[test]

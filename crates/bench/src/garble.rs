@@ -11,9 +11,9 @@ use ktrace_analysis::table::{Align, TextTable};
 use ktrace_clock::SyncClock;
 use ktrace_core::{Mode, TraceConfig, TraceLogger};
 use ktrace_format::ids::control;
+use ktrace_format::EventRegistry;
 use ktrace_format::MajorId;
 use ktrace_io::{FileHeader, TraceFileReader, TraceFileWriter};
-use ktrace_format::EventRegistry;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -23,7 +23,11 @@ use std::sync::Arc;
 /// Part 1: overrun accounting — attempted = logged + dropped, with the drop
 /// count recoverable from in-stream markers.
 pub fn overrun_accounting(attempts: u64) -> (u64, u64, u64) {
-    let config = TraceConfig { buffer_words: 128, buffers_per_cpu: 2, mode: Mode::Stream };
+    let config = TraceConfig {
+        buffer_words: 128,
+        buffers_per_cpu: 2,
+        mode: Mode::Stream,
+    };
     let logger = TraceLogger::new(config, Arc::new(SyncClock::new()), 1).expect("logger");
     let handle = logger.handle(0).expect("cpu 0");
     let mut logged = 0u64;
@@ -101,11 +105,9 @@ pub fn corruption_detection(records_to_corrupt: usize, seed: u64) -> (usize, usi
             // Find the record's event header offsets and hit a random one
             // past the anchor.
             let (_, events, _) = reader.parse_record(rec).expect("parse");
-            let victims: Vec<usize> =
-                events.iter().skip(1).map(|e| e.offset).collect();
+            let victims: Vec<usize> = events.iter().skip(1).map(|e| e.offset).collect();
             let word = victims[rng.gen_range(0..victims.len())];
-            let at =
-                hdr_len + rec * record_size + ktrace_io::file::RECORD_HEADER_BYTES + word * 8;
+            let at = hdr_len + rec * record_size + ktrace_io::file::RECORD_HEADER_BYTES + word * 8;
             let value: u64 = if n % 2 == 0 { 0 } else { rng.gen() };
             bytes[at..at + 8].copy_from_slice(&value.to_le_bytes());
         }

@@ -30,18 +30,39 @@ pub mod util;
 pub fn run_all(fast: bool) -> Vec<(&'static str, String)> {
     vec![
         ("E1/Fig3 SDET throughput scaling", sdet_fig3::report(fast)),
-        ("E2+E3 per-event cost and mask gate", event_cost::report(fast)),
-        ("E4 lockless vs locking (order of magnitude)", schemes::report_lockless_vs_locking(fast)),
-        ("E5 per-CPU vs shared buffers", schemes::report_percpu_vs_global(fast)),
-        ("E6 filler waste and boundary alignment", filler::report_filler(fast)),
-        ("E12 variable vs fixed-length space", filler::report_var_vs_fixed(fast)),
+        (
+            "E2+E3 per-event cost and mask gate",
+            event_cost::report(fast),
+        ),
+        (
+            "E4 lockless vs locking (order of magnitude)",
+            schemes::report_lockless_vs_locking(fast),
+        ),
+        (
+            "E5 per-CPU vs shared buffers",
+            schemes::report_percpu_vs_global(fast),
+        ),
+        (
+            "E6 filler waste and boundary alignment",
+            filler::report_filler(fast),
+        ),
+        (
+            "E12 variable vs fixed-length space",
+            filler::report_var_vs_fixed(fast),
+        ),
         ("E7/Fig7 lock contention analysis", tools::report_fig7(fast)),
         ("E8/Fig6 PC-sample profile", tools::report_fig6(fast)),
         ("E9/Fig8 fine-grained breakdown", tools::report_fig8(fast)),
-        ("E10/Fig5 event listing + random access", tools::report_fig5(fast)),
+        (
+            "E10/Fig5 event listing + random access",
+            tools::report_fig5(fast),
+        ),
         ("E11/Fig4 timeline", tools::report_fig4(fast)),
         ("E13 TSC interpolation error", tsc::report(fast)),
-        ("E17 timestamp-re-read ablation", schemes::report_stale_ablation(fast)),
+        (
+            "E17 timestamp-re-read ablation",
+            schemes::report_stale_ablation(fast),
+        ),
         ("E14 garble detection", garble::report(fast)),
     ]
 }

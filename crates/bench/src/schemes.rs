@@ -78,7 +78,11 @@ pub fn report_lockless_vs_locking(fast: bool) -> String {
         ("locking ns/ev", Align::Right),
         ("ratio", Align::Right),
     ]);
-    let cpus: &[usize] = if fast { &[1, 4, 8] } else { &[1, 2, 4, 8, 16, 24] };
+    let cpus: &[usize] = if fast {
+        &[1, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 24]
+    };
     let mut last_ratio = 0.0;
     for &p in cpus {
         let (lockless, ev1) = modelled_overhead(Scheme::LocklessPerCpu, p, fast);
@@ -111,7 +115,11 @@ pub fn report_percpu_vs_global(fast: bool) -> String {
         ("shared ns/ev", Align::Right),
         ("penalty", Align::Right),
     ]);
-    let cpus: &[usize] = if fast { &[1, 4, 8] } else { &[1, 2, 4, 8, 16, 24] };
+    let cpus: &[usize] = if fast {
+        &[1, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 16, 24]
+    };
     for &p in cpus {
         let (percpu, ev1) = modelled_overhead(Scheme::LocklessPerCpu, p, fast);
         let (shared, ev2) = modelled_overhead(Scheme::LocklessGlobal, p, fast);
@@ -191,7 +199,10 @@ mod tests {
         };
         let base = cost(&lockless);
         assert!(cost(&locking) > base + 10_000.0, "irq window must dominate");
-        assert!(cost(&syscall) > base + 10_000.0, "kernel crossing must dominate");
+        assert!(
+            cost(&syscall) > base + 10_000.0,
+            "kernel crossing must dominate"
+        );
     }
 
     #[test]

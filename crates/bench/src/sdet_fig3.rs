@@ -72,7 +72,11 @@ fn busy(r: &ktrace_vsim::VReport) -> f64 {
 
 /// Produces the scaling curve with explicit cost parameters.
 pub fn measure_with(params: CostParams, fast: bool) -> Vec<ScalingPoint> {
-    let cpus: &[usize] = if fast { &[1, 2, 4, 8] } else { &[1, 2, 4, 8, 12, 16, 24] };
+    let cpus: &[usize] = if fast {
+        &[1, 2, 4, 8]
+    } else {
+        &[1, 2, 4, 8, 12, 16, 24]
+    };
     let scripts_per_cpu = if fast { 4 } else { 8 };
     cpus.iter()
         .map(|&ncpus| {
@@ -159,7 +163,12 @@ mod tests {
         );
         // Masked-off adds under 1% of work at every point (the §3.2 claim).
         for p in &pts {
-            assert!(p.masked_cost.abs() < 0.01, "masked-off cost {} at {} cpus", p.masked_cost, p.ncpus);
+            assert!(
+                p.masked_cost.abs() < 0.01,
+                "masked-off cost {} at {} cpus",
+                p.masked_cost,
+                p.ncpus
+            );
         }
         // Enabled tracing costs something but stays in the same league.
         assert!(last.enabled > 0.5 * last.compiled_out);

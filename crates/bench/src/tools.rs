@@ -18,7 +18,11 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 fn emission_geometry() -> TraceConfig {
-    TraceConfig { buffer_words: 16 * 1024, buffers_per_cpu: 16, ..TraceConfig::default() }
+    TraceConfig {
+        buffer_words: 16 * 1024,
+        buffers_per_cpu: 16,
+        ..TraceConfig::default()
+    }
 }
 
 /// Runs an SDET-like workload on the virtual `ncpus`-way machine and returns
@@ -27,11 +31,18 @@ pub fn sdet_trace(ncpus: usize, fast: bool) -> Trace {
     let mut cfg = VmConfig::new(ncpus);
     cfg.alloc_regions = 1; // leave the allocator contended: Fig. 7 needs it
     let scripts = if fast { 2 * ncpus } else { 6 * ncpus };
-    let w = sdet::build(sdet::SdetConfig { scripts, commands_per_script: 4, ..Default::default() });
+    let w = sdet::build(sdet::SdetConfig {
+        scripts,
+        commands_per_script: 4,
+        ..Default::default()
+    });
     let mut machine = VirtualMachine::new(cfg, Scheme::LocklessPerCpu, CostParams::default())
         .with_emission(emission_geometry());
     machine.run(&w);
-    Trace::from_logger(machine.emitted_logger().expect("emission enabled"), 1_000_000_000)
+    Trace::from_logger(
+        machine.emitted_logger().expect("emission enabled"),
+        1_000_000_000,
+    )
 }
 
 /// E7 / Fig. 7: the lock-contention table.
@@ -119,7 +130,11 @@ pub fn report_fig5(fast: bool) -> String {
     // Small buffers so even a short run spans many records and the
     // random-access window demonstrably touches only a few of them.
     let logger = ktrace_core::TraceLogger::new(
-        TraceConfig { buffer_words: 512, buffers_per_cpu: 16, ..TraceConfig::default() },
+        TraceConfig {
+            buffer_words: 512,
+            buffers_per_cpu: 16,
+            ..TraceConfig::default()
+        },
         clock.clone() as Arc<dyn ktrace_clock::ClockSource>,
         2,
     )
@@ -139,7 +154,11 @@ pub fn report_fig5(fast: bool) -> String {
     let mut out = String::from("First 25 events (cf. Fig. 5):\n");
     out.push_str(&render_listing(
         &trace,
-        &ListingOptions { hide_control: true, limit: 25, ..Default::default() },
+        &ListingOptions {
+            hide_control: true,
+            limit: 25,
+            ..Default::default()
+        },
     ));
 
     // Random access: jump straight into the middle half of the trace.

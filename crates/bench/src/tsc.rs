@@ -32,9 +32,21 @@ pub struct InterpError {
 
 /// Measures interpolation error over a `span_ns` window with `anchors`
 /// evenly spaced anchor pairs.
-pub fn measure(drift_ppm: f64, skew: i64, anchors: usize, span_ns: u64, probes: usize) -> InterpError {
+pub fn measure(
+    drift_ppm: f64,
+    skew: i64,
+    anchors: usize,
+    span_ns: u64,
+    probes: usize,
+) -> InterpError {
     let inner = Arc::new(ManualClock::new(0, 0));
-    let clock = TscClock::new(inner.clone(), vec![TscParams { offset: skew, drift_ppm }]);
+    let clock = TscClock::new(
+        inner.clone(),
+        vec![TscParams {
+            offset: skew,
+            drift_ppm,
+        }],
+    );
     let mut sync = TscSynchronizer::new();
     // A base offset keeps distorted readings away from the zero clamp (a
     // real TSC never reads negative either; traces never start at t = 0).
@@ -42,7 +54,13 @@ pub fn measure(drift_ppm: f64, skew: i64, anchors: usize, span_ns: u64, probes: 
     for i in 0..anchors {
         let wall = base + span_ns * i as u64 / (anchors.max(2) - 1) as u64;
         inner.set(wall);
-        sync.add_anchor(0, AnchorPair { tsc: clock.now(0), wall });
+        sync.add_anchor(
+            0,
+            AnchorPair {
+                tsc: clock.now(0),
+                wall,
+            },
+        );
     }
     let mut max_error = 0u64;
     let mut sum = 0f64;
@@ -54,7 +72,13 @@ pub fn measure(drift_ppm: f64, skew: i64, anchors: usize, span_ns: u64, probes: 
         max_error = max_error.max(err);
         sum += err as f64;
     }
-    InterpError { drift_ppm, skew, anchors, max_error, mean_error: sum / probes as f64 }
+    InterpError {
+        drift_ppm,
+        skew,
+        anchors,
+        max_error,
+        mean_error: sum / probes as f64,
+    }
 }
 
 /// E13 report.
@@ -68,7 +92,12 @@ pub fn report(fast: bool) -> String {
         ("max err ns", Align::Right),
         ("mean err ns", Align::Right),
     ]);
-    for &(drift, skew) in &[(0.0, 0i64), (50.0, 1_000_000), (200.0, -5_000_000), (500.0, 50_000_000)] {
+    for &(drift, skew) in &[
+        (0.0, 0i64),
+        (50.0, 1_000_000),
+        (200.0, -5_000_000),
+        (500.0, 50_000_000),
+    ] {
         for &anchors in &[1usize, 2, 8] {
             let e = measure(drift, skew, anchors, span, probes);
             t.row(vec![

@@ -15,8 +15,12 @@ pub fn full_requested() -> bool {
 /// on a consumer).
 pub fn bench_logger(ncpus: usize) -> TraceLogger {
     TraceLogger::new(
-        TraceConfig { buffer_words: 16 * 1024, buffers_per_cpu: 8, ..TraceConfig::default() }
-            .flight_recorder(),
+        TraceConfig {
+            buffer_words: 16 * 1024,
+            buffers_per_cpu: 8,
+            ..TraceConfig::default()
+        }
+        .flight_recorder(),
         Arc::new(SyncClock::new()),
         ncpus,
     )

@@ -61,7 +61,10 @@ impl CpuTimeMap {
                     sxy += dx * dy;
                 }
                 let slope = if sxx == 0.0 { 1.0 } else { sxy / sxx };
-                Some(CpuTimeMap { slope, intercept: my - slope * mx })
+                Some(CpuTimeMap {
+                    slope,
+                    intercept: my - slope * mx,
+                })
             }
         }
     }
@@ -143,7 +146,11 @@ mod tests {
 
     #[test]
     fn single_anchor_offset_map() {
-        let m = CpuTimeMap::fit(&[AnchorPair { tsc: 1000, wall: 5000 }]).unwrap();
+        let m = CpuTimeMap::fit(&[AnchorPair {
+            tsc: 1000,
+            wall: 5000,
+        }])
+        .unwrap();
         assert_eq!(m.map(1000), 5000);
         assert_eq!(m.map(1500), 5500);
     }
@@ -153,7 +160,10 @@ mod tests {
         // CPU runs 2x fast with offset: wall = tsc/2 + 100.
         let m = CpuTimeMap::fit(&[
             AnchorPair { tsc: 0, wall: 100 },
-            AnchorPair { tsc: 2000, wall: 1100 },
+            AnchorPair {
+                tsc: 2000,
+                wall: 1100,
+            },
         ])
         .unwrap();
         assert_eq!(m.map(1000), 600);
@@ -163,8 +173,14 @@ mod tests {
     #[test]
     fn identical_tsc_anchors_do_not_divide_by_zero() {
         let m = CpuTimeMap::fit(&[
-            AnchorPair { tsc: 500, wall: 100 },
-            AnchorPair { tsc: 500, wall: 200 },
+            AnchorPair {
+                tsc: 500,
+                wall: 100,
+            },
+            AnchorPair {
+                tsc: 500,
+                wall: 200,
+            },
         ])
         .unwrap();
         // Degenerate fit falls back to slope 1; must not panic or NaN.
@@ -176,14 +192,23 @@ mod tests {
         // End-to-end against the TscClock distortion model (experiment E13's
         // inner loop): anchors at start and end, events in between.
         let inner = Arc::new(ManualClock::new(0, 0));
-        let params = TscParams { offset: 987_654, drift_ppm: 120.0 };
+        let params = TscParams {
+            offset: 987_654,
+            drift_ppm: 120.0,
+        };
         let clock = TscClock::new(inner.clone(), vec![TscParams::IDEAL, params]);
 
         let mut sync = TscSynchronizer::new();
         let span = 2_000_000_000u64; // 2 simulated seconds
         for &t in &[0u64, span] {
             inner.set(t);
-            sync.add_anchor(1, AnchorPair { tsc: clock.now(1), wall: t });
+            sync.add_anchor(
+                1,
+                AnchorPair {
+                    tsc: clock.now(1),
+                    wall: t,
+                },
+            );
         }
 
         let mut worst = 0u64;
@@ -224,7 +249,13 @@ mod tests {
         s.add_anchor(0, AnchorPair { tsc: 0, wall: 0 });
         assert_eq!(s.to_global(0, 100), Some(100));
         // Second anchor reveals a 2x slope; the map must refit.
-        s.add_anchor(0, AnchorPair { tsc: 1000, wall: 2000 });
+        s.add_anchor(
+            0,
+            AnchorPair {
+                tsc: 1000,
+                wall: 2000,
+            },
+        );
         assert_eq!(s.to_global(0, 100), Some(200));
         assert_eq!(s.anchor_count(0), 2);
     }

@@ -33,7 +33,9 @@ pub struct SyncClock {
 impl SyncClock {
     /// Creates a clock whose epoch is "now".
     pub fn new() -> SyncClock {
-        SyncClock { origin: Instant::now() }
+        SyncClock {
+            origin: Instant::now(),
+        }
     }
 }
 
@@ -73,7 +75,10 @@ pub struct ManualClock {
 impl ManualClock {
     /// A clock starting at `start` that advances by `auto_step` on each read.
     pub fn new(start: u64, auto_step: u64) -> ManualClock {
-        ManualClock { ticks: AtomicU64::new(start), auto_step }
+        ManualClock {
+            ticks: AtomicU64::new(start),
+            auto_step,
+        }
     }
 
     /// Advances the clock by `delta` ticks.

@@ -22,7 +22,10 @@ pub struct TscParams {
 
 impl TscParams {
     /// No distortion.
-    pub const IDEAL: TscParams = TscParams { offset: 0, drift_ppm: 0.0 };
+    pub const IDEAL: TscParams = TscParams {
+        offset: 0,
+        drift_ppm: 0.0,
+    };
 
     fn distort(&self, true_ticks: u64) -> u64 {
         let scaled = true_ticks as f64 * (1.0 + self.drift_ppm * 1e-6);
@@ -73,7 +76,9 @@ impl TscClock {
 
 impl std::fmt::Debug for TscClock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TscClock").field("params", &self.params).finish_non_exhaustive()
+        f.debug_struct("TscClock")
+            .field("params", &self.params)
+            .finish_non_exhaustive()
     }
 }
 
@@ -103,8 +108,14 @@ mod tests {
             inner.clone(),
             vec![
                 TscParams::IDEAL,
-                TscParams { offset: 1_000_000, drift_ppm: 0.0 },
-                TscParams { offset: -500, drift_ppm: 100.0 },
+                TscParams {
+                    offset: 1_000_000,
+                    drift_ppm: 0.0,
+                },
+                TscParams {
+                    offset: -500,
+                    drift_ppm: 100.0,
+                },
             ],
         );
         (inner, clock)
@@ -135,7 +146,10 @@ mod tests {
 
     #[test]
     fn undistort_inverts_distort() {
-        let p = TscParams { offset: 12345, drift_ppm: -75.0 };
+        let p = TscParams {
+            offset: 12345,
+            drift_ppm: -75.0,
+        };
         for true_t in [0u64, 1_000, 1_000_000_000, 123_456_789_012] {
             let tsc = p.distort(true_t);
             let back = p.undistort(tsc);

@@ -40,12 +40,20 @@ pub struct TraceConfig {
 impl TraceConfig {
     /// The paper's example geometry: 128 KiB buffers, 8 per CPU (1 MiB/CPU).
     pub fn paper() -> TraceConfig {
-        TraceConfig { buffer_words: 16 * 1024, buffers_per_cpu: 8, mode: Mode::Stream }
+        TraceConfig {
+            buffer_words: 16 * 1024,
+            buffers_per_cpu: 8,
+            mode: Mode::Stream,
+        }
     }
 
     /// A small geometry convenient for tests: 1 KiB buffers, 4 per CPU.
     pub fn small() -> TraceConfig {
-        TraceConfig { buffer_words: 128, buffers_per_cpu: 4, mode: Mode::Stream }
+        TraceConfig {
+            buffer_words: 128,
+            buffers_per_cpu: 4,
+            mode: Mode::Stream,
+        }
     }
 
     /// Same geometry as `self` but in flight-recorder mode.
@@ -74,10 +82,14 @@ impl TraceConfig {
     /// Validates the geometry.
     pub fn validate(&self) -> Result<(), CoreError> {
         if !self.buffer_words.is_power_of_two() || self.buffer_words < 16 {
-            return Err(CoreError::BadConfig("buffer_words must be a power of two >= 16"));
+            return Err(CoreError::BadConfig(
+                "buffer_words must be a power of two >= 16",
+            ));
         }
         if !self.buffers_per_cpu.is_power_of_two() || self.buffers_per_cpu < 2 {
-            return Err(CoreError::BadConfig("buffers_per_cpu must be a power of two >= 2"));
+            return Err(CoreError::BadConfig(
+                "buffers_per_cpu must be a power of two >= 2",
+            ));
         }
         Ok(())
     }
@@ -85,7 +97,11 @@ impl TraceConfig {
 
 impl Default for TraceConfig {
     fn default() -> TraceConfig {
-        TraceConfig { buffer_words: 8 * 1024, buffers_per_cpu: 8, mode: Mode::Stream }
+        TraceConfig {
+            buffer_words: 8 * 1024,
+            buffers_per_cpu: 8,
+            mode: Mode::Stream,
+        }
     }
 }
 
@@ -123,7 +139,11 @@ mod tests {
     #[test]
     fn max_event_words_respects_both_limits() {
         // Small buffers: limited by buffer size.
-        let c = TraceConfig { buffer_words: 128, buffers_per_cpu: 2, mode: Mode::Stream };
+        let c = TraceConfig {
+            buffer_words: 128,
+            buffers_per_cpu: 2,
+            mode: Mode::Stream,
+        };
         assert_eq!(c.max_event_words(), 128 - ANCHOR_WORDS - DROPPED_WORDS);
         // Large buffers: limited by the 10-bit length field.
         let c = TraceConfig::paper();
@@ -133,6 +153,9 @@ mod tests {
 
     #[test]
     fn flight_recorder_builder_sets_mode() {
-        assert_eq!(TraceConfig::small().flight_recorder().mode, Mode::FlightRecorder);
+        assert_eq!(
+            TraceConfig::small().flight_recorder().mode,
+            Mode::FlightRecorder
+        );
     }
 }

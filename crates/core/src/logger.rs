@@ -103,9 +103,15 @@ impl TraceLogger {
     /// A handle binding the calling thread to `cpu`'s buffers.
     pub fn handle(&self, cpu: usize) -> Result<CpuHandle, CoreError> {
         if cpu >= self.ncpus() {
-            return Err(CoreError::BadCpu { cpu, ncpus: self.ncpus() });
+            return Err(CoreError::BadCpu {
+                cpu,
+                ncpus: self.ncpus(),
+            });
         }
-        Ok(CpuHandle { shared: self.shared.clone(), cpu: cpu as u32 })
+        Ok(CpuHandle {
+            shared: self.shared.clone(),
+            cpu: cpu as u32,
+        })
     }
 
     #[cfg_attr(feature = "trace-off", allow(dead_code))]
@@ -148,12 +154,17 @@ impl TraceLogger {
         #[cfg(not(feature = "trace-off"))]
         {
             if cpu >= self.ncpus() {
-                return Err(CoreError::BadCpu { cpu, ncpus: self.ncpus() });
+                return Err(CoreError::BadCpu {
+                    cpu,
+                    ncpus: self.ncpus(),
+                });
             }
             if !self.shared.mask.is_enabled(major) {
                 return Ok(false);
             }
-            self.region(cpu).log_raw(major, minor, payload).map(|()| true)
+            self.region(cpu)
+                .log_raw(major, minor, payload)
+                .map(|()| true)
         }
     }
 
@@ -167,6 +178,8 @@ impl TraceLogger {
         minor: MinorId,
         values: &[FieldValue],
     ) -> Result<bool, CoreError> {
+        // ktrace-lint: allow(hot-path) — the registry lookup under RwLock is
+        // the documented slow path for string-bearing events.
         if !self.shared.mask.is_enabled(major) {
             return Ok(false);
         }
@@ -380,7 +393,11 @@ impl CpuHandle {
         minor: MinorId,
         values: &[FieldValue],
     ) -> Result<bool, CoreError> {
-        TraceLogger { shared: self.shared.clone() }.log_fields(self.cpu(), major, minor, values)
+        // ktrace-lint: allow(hot-path) — delegates to the slow path above.
+        TraceLogger {
+            shared: self.shared.clone(),
+        }
+        .log_fields(self.cpu(), major, minor, values)
     }
 }
 
@@ -400,7 +417,10 @@ impl CpuHandle {
         for m in majors {
             allowed |= m.bit();
         }
-        RestrictedHandle { inner: self.clone(), allowed }
+        RestrictedHandle {
+            inner: self.clone(),
+            allowed,
+        }
     }
 }
 
@@ -468,7 +488,12 @@ mod tests {
     use ktrace_clock::{ManualClock, SyncClock};
 
     fn logger(ncpus: usize) -> TraceLogger {
-        TraceLogger::new(TraceConfig::small(), Arc::new(ManualClock::new(1, 1)), ncpus).unwrap()
+        TraceLogger::new(
+            TraceConfig::small(),
+            Arc::new(ManualClock::new(1, 1)),
+            ncpus,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -561,7 +586,10 @@ mod tests {
             .unwrap();
         let registry = l.registry();
         let desc = registry.lookup(MajorId::PROC, 1).unwrap();
-        assert_eq!(desc.describe(&ev.payload).unwrap(), "pid 6 runs /shellServer");
+        assert_eq!(
+            desc.describe(&ev.payload).unwrap(),
+            "pid 6 runs /shellServer"
+        );
     }
 
     #[test]

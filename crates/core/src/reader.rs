@@ -125,7 +125,10 @@ pub fn parse_buffer(cpu: usize, seq: u64, words: &[u64], time_hint: Option<u64>)
         };
         let len = header.len_words as usize;
         if off + len > words.len() {
-            notes.push(GarbleNote::Overrun { offset: off, len_words: len });
+            notes.push(GarbleNote::Overrun {
+                offset: off,
+                len_words: len,
+            });
             break;
         }
         let payload = words[off + 1..off + len].to_vec();
@@ -183,7 +186,12 @@ pub fn parse_buffer(cpu: usize, seq: u64, words: &[u64], time_hint: Option<u64>)
     }
 
     let end_time = events.last().map(|e| e.time);
-    ParsedBuffer { events, notes, filler_words, end_time }
+    ParsedBuffer {
+        events,
+        notes,
+        filler_words,
+        end_time,
+    }
 }
 
 #[cfg(test)]
@@ -192,8 +200,8 @@ mod tests {
     use ktrace_format::ids::control;
 
     fn anchor(full_ts: u64, cpu: u64) -> Vec<u64> {
-        let h = EventHeader::new(full_ts as u32, 2, MajorId::CONTROL, control::TIME_ANCHOR)
-            .unwrap();
+        let h =
+            EventHeader::new(full_ts as u32, 2, MajorId::CONTROL, control::TIME_ANCHOR).unwrap();
         vec![h.encode(), full_ts, cpu]
     }
 
@@ -249,7 +257,13 @@ mod tests {
         words.push(h.encode());
         let p = parse_buffer(0, 0, &words, None);
         assert_eq!(p.events.len(), 1);
-        assert!(matches!(p.notes[0], GarbleNote::Overrun { offset: 3, len_words: 500 }));
+        assert!(matches!(
+            p.notes[0],
+            GarbleNote::Overrun {
+                offset: 3,
+                len_words: 500
+            }
+        ));
     }
 
     #[test]
@@ -276,7 +290,9 @@ mod tests {
         words.extend(event(0x600, MajorId::TEST, 2, &[]));
         let p = parse_buffer(0, 0, &words, None);
         assert!(
-            p.notes.iter().any(|n| matches!(n, GarbleNote::NonMonotonic { .. })),
+            p.notes
+                .iter()
+                .any(|n| matches!(n, GarbleNote::NonMonotonic { .. })),
             "{:?}",
             p.notes
         );

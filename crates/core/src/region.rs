@@ -144,7 +144,9 @@ impl CpuRegion {
             clock,
             words: (0..total).map(|_| AtomicU64::new(0)).collect(),
             index: AtomicU64::new(0),
-            committed: (0..config.buffers_per_cpu).map(|_| AtomicU64::new(0)).collect(),
+            committed: (0..config.buffers_per_cpu)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
             consumed: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             events: AtomicU64::new(0),
@@ -159,7 +161,12 @@ impl CpuRegion {
 
     /// Logs one event. This is `traceLog` from Fig. 2: reserve, write data,
     /// write header, commit.
-    pub fn log_raw(&self, major: MajorId, minor: MinorId, payload: &[u64]) -> Result<(), CoreError> {
+    pub fn log_raw(
+        &self,
+        major: MajorId,
+        minor: MinorId,
+        payload: &[u64],
+    ) -> Result<(), CoreError> {
         let total = payload.len() + 1;
         if total > self.config.max_event_words() {
             return Err(CoreError::EventTooLarge {
@@ -191,7 +198,12 @@ impl CpuRegion {
                 // Fast path: fits in the current buffer.
                 if self
                     .index
-                    .compare_exchange_weak(old, old + total_words as u64, Ordering::AcqRel, Ordering::Relaxed)
+                    .compare_exchange_weak(
+                        old,
+                        old + total_words as u64,
+                        Ordering::AcqRel,
+                        Ordering::Relaxed,
+                    )
                     .is_ok()
                 {
                     return Some((old, ts));
@@ -273,8 +285,8 @@ impl CpuRegion {
     /// `traceCommit`: adds `len` words to the commit count of the buffer
     /// containing index `at`.
     fn commit(&self, at: u64, len: usize) {
-        let slot = ((at / self.config.buffer_words as u64)
-            % self.config.buffers_per_cpu as u64) as usize;
+        let slot =
+            ((at / self.config.buffer_words as u64) % self.config.buffers_per_cpu as u64) as usize;
         self.committed[slot].fetch_add(len as u64, Ordering::Release);
     }
 
@@ -362,7 +374,11 @@ impl CpuRegion {
             index: self.index.load(Ordering::Acquire),
             buffer_words: self.config.buffer_words,
             buffers_per_cpu: self.config.buffers_per_cpu,
-            words: self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect(),
+            words: self
+                .words
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 
@@ -447,7 +463,10 @@ mod tests {
             }
             off += h.len_words as usize;
         }
-        assert_eq!(off, cfg.buffer_words, "events chain exactly to the boundary");
+        assert_eq!(
+            off, cfg.buffer_words,
+            "events chain exactly to the boundary"
+        );
         let leftover = cfg.buffer_words - ANCHOR_WORDS - fit * per;
         assert_eq!(seen_filler, leftover > 0);
         // Buffer 1 starts with an anchor.
@@ -464,7 +483,8 @@ mod tests {
         let rest = cfg.buffer_words - ANCHOR_WORDS; // 125
         let first = rest / 2 + 1; // 63
         r.log_raw(MajorId::TEST, 0, &vec![7u64; first - 1]).unwrap();
-        r.log_raw(MajorId::TEST, 0, &vec![8u64; rest - first - 1]).unwrap();
+        r.log_raw(MajorId::TEST, 0, &vec![8u64; rest - first - 1])
+            .unwrap();
         assert_eq!(r.index() % cfg.buffer_words as u64, 0);
         // Next event opens buffer 1 via the pos==0 slow path.
         r.log_raw(MajorId::TEST, 1, &[]).unwrap();
@@ -478,7 +498,9 @@ mod tests {
             off += h.len_words as usize;
         }
         assert_eq!(fillers, 0);
-        assert!(EventHeader::decode(snap.buffer(1).unwrap()[0]).unwrap().is_time_anchor());
+        assert!(EventHeader::decode(snap.buffer(1).unwrap()[0])
+            .unwrap()
+            .is_time_anchor());
     }
 
     #[test]
@@ -572,14 +594,24 @@ mod tests {
         let payload = [3u64; 10];
         // Log far more than the region holds.
         for i in 0..5000u64 {
-            r.log_raw(MajorId::TEST, (i % 100) as u16, &payload).unwrap();
+            r.log_raw(MajorId::TEST, (i % 100) as u16, &payload)
+                .unwrap();
         }
         assert_eq!(r.dropped_pending(), 0);
-        assert!(r.index() > cfg.region_words() as u64, "wrapped at least once");
-        assert!(r.take_buffer().is_none(), "no consumer in flight-recorder mode");
+        assert!(
+            r.index() > cfg.region_words() as u64,
+            "wrapped at least once"
+        );
+        assert!(
+            r.take_buffer().is_none(),
+            "no consumer in flight-recorder mode"
+        );
         let snap = r.snapshot();
         // Oldest visible buffer is within one region of the index.
-        assert_eq!(snap.oldest_seq(), snap.current_seq() - (cfg.buffers_per_cpu as u64 - 1));
+        assert_eq!(
+            snap.oldest_seq(),
+            snap.current_seq() - (cfg.buffers_per_cpu as u64 - 1)
+        );
         assert!(snap.buffer(snap.oldest_seq() - 1).is_none());
     }
 
@@ -607,7 +639,11 @@ mod tests {
     fn concurrent_producers_never_corrupt_the_chain() {
         // The core lockless property: many threads, one region, every
         // completed buffer chains perfectly and commit counts match.
-        let cfg = TraceConfig { buffer_words: 512, buffers_per_cpu: 4, mode: Mode::Stream };
+        let cfg = TraceConfig {
+            buffer_words: 512,
+            buffers_per_cpu: 4,
+            mode: Mode::Stream,
+        };
         let clock = Arc::new(ktrace_clock::SyncClock::new());
         let r = Arc::new(CpuRegion::new(cfg, clock, 0));
         let nthreads = 8;
@@ -642,7 +678,9 @@ mod tests {
                     let mut logged = 0u64;
                     for i in 0..per_thread {
                         let payload = [t as u64, i, i ^ t as u64];
-                        if r.log_raw(MajorId::TEST, t as u16, &payload[..(i % 4) as usize]).is_ok() {
+                        if r.log_raw(MajorId::TEST, t as u16, &payload[..(i % 4) as usize])
+                            .is_ok()
+                        {
                             logged += 1;
                         }
                     }
@@ -658,12 +696,19 @@ mod tests {
         let mut events = 0u64;
         let mut marked_dropped = 0u64;
         for b in &buffers {
-            assert!(b.complete, "buffer seq {} garbled: {}/{}", b.seq, b.committed_words, b.expected_words);
+            assert!(
+                b.complete,
+                "buffer seq {} garbled: {}/{}",
+                b.seq, b.committed_words, b.expected_words
+            );
             let mut off = 0;
             while off < b.words.len() {
                 let h = EventHeader::decode(b.words[off])
                     .unwrap_or_else(|e| panic!("zero header at seq {} off {off}: {e}", b.seq));
-                assert!(off + h.len_words as usize <= b.words.len(), "event overruns buffer");
+                assert!(
+                    off + h.len_words as usize <= b.words.len(),
+                    "event overruns buffer"
+                );
                 if h.major == MajorId::CONTROL && h.minor == control::DROPPED {
                     marked_dropped += b.words[off + 1];
                 }
@@ -674,9 +719,10 @@ mod tests {
                         let t = b.words[off + 1];
                         let i = b.words[off + 2];
                         assert_eq!(h.minor as u64, t);
-                        if h.payload_words() == 3 {
-                            assert_eq!(b.words[off + 3], i ^ t);
-                        }
+                        assert!(
+                            h.payload_words() != 3 || b.words[off + 3] == (i ^ t),
+                            "third payload word must be thread ^ index"
+                        );
                     }
                 }
                 off += h.len_words as usize;

@@ -45,7 +45,12 @@ struct Claim {
 /// `AcqRel` CAS: the timestamp-ordering property leans on the platform's
 /// total store order (and on real clocks being globally monotonic), and the
 /// model checks the algorithm, not the weakest theoretical C11 execution.
-fn reserve(index: &AtomicU64, clock: &AtomicU64, total: u64, claims: &Mutex<Vec<Claim>>) -> (u64, u64) {
+fn reserve(
+    index: &AtomicU64,
+    clock: &AtomicU64,
+    total: u64,
+    claims: &Mutex<Vec<Claim>>,
+) -> (u64, u64) {
     loop {
         let old = index.load(Ordering::SeqCst);
         let pos = old % BW;
@@ -68,7 +73,12 @@ fn reserve(index: &AtomicU64, clock: &AtomicU64, total: u64, claims: &Mutex<Vec<
             .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
         {
-            claims.lock().unwrap().push(Claim { start: base, len: ANCHOR, ts, anchor: true });
+            claims.lock().unwrap().push(Claim {
+                start: base,
+                len: ANCHOR,
+                ts,
+                anchor: true,
+            });
             return (base + ANCHOR, ts);
         }
     }
@@ -87,10 +97,12 @@ fn reservation_claims_are_disjoint_aligned_and_time_ordered() {
             handles.push(thread::spawn(move || {
                 for _ in 0..2 {
                     let (start, ts) = reserve(&index, &clock, event_words, &claims);
-                    claims
-                        .lock()
-                        .unwrap()
-                        .push(Claim { start, len: event_words, ts, anchor: false });
+                    claims.lock().unwrap().push(Claim {
+                        start,
+                        len: event_words,
+                        ts,
+                        anchor: false,
+                    });
                 }
             }));
         }

@@ -21,7 +21,11 @@ fn event_strategy(max_payload: usize) -> impl Strategy<Value = EventSpec> {
         any::<u16>(),
         prop::collection::vec(any::<u64>(), 0..=max_payload),
     )
-        .prop_map(|(major, minor, payload)| EventSpec { major, minor, payload })
+        .prop_map(|(major, minor, payload)| EventSpec {
+            major,
+            minor,
+            payload,
+        })
 }
 
 proptest! {

@@ -4,125 +4,359 @@
 //! PC sampler and lock call chains (names deliberately mirror the K42
 //! routines visible in the paper's Figures 6 and 7), and the descriptor
 //! registration that makes every event self-describing (§4.4).
+//!
+//! Every event module is declared through [`ktrace_event!`], which generates
+//! the minor-ID consts, the per-module registration table, and compile-time
+//! schema checks in one place — so an event cannot be logged under a name
+//! the registry doesn't know, and the source-level linter (`ktrace-lint`)
+//! has a single structured declaration to cross-check call sites against.
 
 use ktrace_core::TraceLogger;
 use ktrace_format::{EventDescriptor, MajorId};
 
-/// `SCHED` minors.
-pub mod sched {
-    /// Context switch: `[old_tid, new_tid, new_pid]`.
-    pub const CTX_SWITCH: u16 = 1;
-    /// CPU went idle: `[]`.
-    pub const IDLE_START: u16 = 2;
-    /// CPU left idle: `[idle_ns]`.
-    pub const IDLE_END: u16 = 3;
-    /// Task migrated: `[tid, from_cpu, to_cpu]`.
-    pub const MIGRATE: u16 = 4;
-    /// Task became runnable: `[tid, pid]`.
-    pub const THREAD_START: u16 = 5;
-    /// Task finished: `[tid, pid]`.
-    pub const THREAD_EXIT: u16 = 6;
+#[doc(hidden)]
+pub use ktrace_format as __format;
+
+/// One event registration row: everything the self-describing registry
+/// needs, produced by [`ktrace_event!`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventDef {
+    /// Minor ID within the module's major class.
+    pub minor: u16,
+    /// Symbolic event name (the K42-style `TRACE_…` identifier).
+    pub name: &'static str,
+    /// Field spec: space-separated `8|16|32|64|str` tokens.
+    pub spec: &'static str,
+    /// Render template with `%N[%fmt]` field references.
+    pub template: &'static str,
 }
 
-/// `PROC` minors.
-pub mod proc {
-    /// Process created: `[pid, parent_pid, name…]`.
-    pub const CREATE: u16 = 1;
-    /// Process exec'd a new image: `[pid, name…]`.
-    pub const EXEC: u16 = 2;
-    /// Process exited: `[pid]`.
-    pub const EXIT: u16 = 3;
+/// Declares the event vocabulary of one (or more) major classes.
+///
+/// For every module block this generates:
+///
+/// * a `pub const NAME: u16` per event (doc comments — including the
+///   `[field, …]` payload annotation convention — pass through, so rustdoc
+///   and `ktrace-lint` both see them);
+/// * `MAJOR`, the module's [`MajorId`];
+/// * `EVENTS`, a const [`EventDef`] table driving [`register_all`];
+/// * compile-time assertions: the major is registerable (not the reserved
+///   `CONTROL`/`TEST` classes, within the 64-ID mask space), every field
+///   spec parses, no spec can exceed [`MAX_PAYLOAD_WORDS`]
+///   (`ktrace_format::MAX_PAYLOAD_WORDS`), and minor IDs are distinct
+///   within the module. The minor is typed `u16`, so a literal that
+///   overflows the header's 16-bit minor field is itself a compile error.
+///
+/// [`MAX_PAYLOAD_WORDS`]: ktrace_format::MAX_PAYLOAD_WORDS
+///
+/// ```
+/// ktrace_events::ktrace_event! {
+///     /// Demo minors.
+///     pub mod demo [ktrace_events::__format::MajorId::USER] {
+///         /// Something happened: `[value]`.
+///         HAPPENED = 1 => ("TRACE_DEMO_HAPPENED", "64", "value %0[%d]"),
+///     }
+/// }
+/// # fn main() {}
+/// ```
+#[macro_export]
+macro_rules! ktrace_event {
+    ($(
+        $(#[$modmeta:meta])*
+        $vis:vis mod $module:ident [$major:expr] {
+            $(
+                $(#[$evmeta:meta])*
+                $name:ident = $minor:literal => ($evname:literal, $spec:literal, $template:literal)
+            ),* $(,)?
+        }
+    )*) => {
+        $(
+            $(#[$modmeta])*
+            $vis mod $module {
+                #[allow(unused_imports)]
+                use super::*;
+
+                $(
+                    $(#[$evmeta])*
+                    pub const $name: u16 = $minor;
+                )*
+
+                /// The major ID every event in this module is logged under.
+                pub const MAJOR: $crate::__format::MajorId = $major;
+
+                /// Registration rows for this module, one per event.
+                pub const EVENTS: &[$crate::EventDef] = &[
+                    $($crate::EventDef {
+                        minor: $minor,
+                        name: $evname,
+                        spec: $spec,
+                        template: $template,
+                    }),*
+                ];
+
+                const _: () = {
+                    assert!(
+                        $crate::__major_is_registerable(MAJOR),
+                        "major is reserved (CONTROL/TEST) or outside the trace-mask ID space"
+                    );
+                    $(
+                        assert!(
+                            $crate::__spec_is_valid($spec),
+                            concat!("invalid field spec for ", $evname)
+                        );
+                        assert!(
+                            $crate::__spec_min_words($spec)
+                                <= $crate::__format::MAX_PAYLOAD_WORDS,
+                            concat!("payload cannot fit one event for ", $evname)
+                        );
+                    )*
+                    assert!(
+                        $crate::__minors_distinct(EVENTS),
+                        "duplicate minor ID within this module"
+                    );
+                };
+            }
+        )*
+    };
 }
 
-/// `SYSCALL` minors.
-pub mod syscall {
-    /// Entry: `[pid, tid, sysno]`.
-    pub const ENTRY: u16 = 1;
-    /// Exit: `[pid, tid, sysno]`.
-    pub const EXIT: u16 = 2;
+/// Const validity check for a field spec: space-separated tokens, each one
+/// of `8`, `16`, `32`, `64`, `str`. The empty spec (no payload) is valid.
+#[doc(hidden)]
+pub const fn __spec_is_valid(spec: &str) -> bool {
+    let b = spec.as_bytes();
+    if b.is_empty() {
+        return true;
+    }
+    let mut i = 0;
+    loop {
+        let start = i;
+        while i < b.len() && b[i] != b' ' {
+            i += 1;
+        }
+        let ok = match i - start {
+            1 => b[start] == b'8',
+            2 => matches!(
+                (b[start], b[start + 1]),
+                (b'1', b'6') | (b'3', b'2') | (b'6', b'4')
+            ),
+            3 => b[start] == b's' && b[start + 1] == b't' && b[start + 2] == b'r',
+            _ => false,
+        };
+        if !ok {
+            return false;
+        }
+        if i == b.len() {
+            return true;
+        }
+        i += 1; // consume the separating space
+        if i == b.len() {
+            return false; // trailing space
+        }
+    }
 }
 
-/// `EXCEPTION` minors (page faults and PPC-style IPC transitions).
-pub mod exception {
-    /// Page fault start: `[tid, fault_addr]`.
-    pub const PGFLT: u16 = 1;
-    /// Page fault done: `[tid, fault_addr]`.
-    pub const PGFLT_DONE: u16 = 2;
-    /// Protected procedure call: `[comm_id]`.
-    pub const PPC_CALL: u16 = 3;
-    /// Protected procedure return: `[comm_id]`.
-    pub const PPC_RETURN: u16 = 4;
+/// Const minimum payload word count of a field spec: one word per token
+/// (a `str` token occupies at least its length word).
+#[doc(hidden)]
+pub const fn __spec_min_words(spec: &str) -> usize {
+    let b = spec.as_bytes();
+    if b.is_empty() {
+        return 0;
+    }
+    let mut words = 1;
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == b' ' {
+            words += 1;
+        }
+        i += 1;
+    }
+    words
 }
 
-/// `MEM` minors.
-pub mod mem {
-    /// Region attached to an FCM: `[region, fcm]` (the paper's example).
-    pub const FCM_ATCH_REG: u16 = 1;
-    /// Region created: `[addr, size]`.
-    pub const REG_CREATE: u16 = 2;
-    /// Allocation served: `[size, addr]`.
-    pub const ALLOC: u16 = 3;
-    /// Shared-state read annotation: `[addr, tid]`. Emitted at shared-memory
-    /// touch points so post-hoc race detectors (lockset / happens-before over
-    /// the trace stream) can see the accesses, not just the locks.
-    pub const ACCESS_READ: u16 = 4;
-    /// Shared-state write annotation: `[addr, tid]`.
-    pub const ACCESS_WRITE: u16 = 5;
+/// Const check that every row in a module table has a distinct minor.
+#[doc(hidden)]
+pub const fn __minors_distinct(events: &[EventDef]) -> bool {
+    let mut i = 0;
+    while i < events.len() {
+        let mut j = i + 1;
+        while j < events.len() {
+            if events[i].minor == events[j].minor {
+                return false;
+            }
+            j += 1;
+        }
+        i += 1;
+    }
+    true
 }
 
-/// `LOCK` minors.
-pub mod lock {
-    /// Lock requested: `[lock_id, tid, call_chain]`.
-    pub const REQUEST: u16 = 1;
-    /// Lock acquired: `[lock_id, tid, call_chain, spins, wait_ns]`.
-    pub const ACQUIRED: u16 = 2;
-    /// Lock released: `[lock_id, tid, hold_ns]`.
-    pub const RELEASED: u16 = 3;
+/// Const check that a major may carry registered simulator events: inside
+/// the 64-ID mask space and not one of the reserved classes (`CONTROL`
+/// carries the stream's own filler/anchor/dropped events; `TEST` is the
+/// harness scratch class).
+#[doc(hidden)]
+pub const fn __major_is_registerable(major: MajorId) -> bool {
+    let raw = major.raw();
+    (raw as usize) < ktrace_format::NUM_MAJOR_IDS
+        && raw != MajorId::CONTROL.raw()
+        && raw != MajorId::TEST.raw()
 }
 
-/// `IPC` minors.
-pub mod ipc {
-    /// Call into a server: `[from_pid, to_pid, fn_id]`.
-    pub const CALL: u16 = 1;
-    /// Return from a server: `[from_pid, to_pid, fn_id]`.
-    pub const RETURN: u16 = 2;
+ktrace_event! {
+    /// `SCHED` minors.
+    pub mod sched [MajorId::SCHED] {
+        /// Context switch: `[old_tid, new_tid, new_pid]`.
+        CTX_SWITCH = 1 => ("TRACE_SCHED_CTX_SWITCH", "64 64 64",
+            "switch from thread %0[%x] to thread %1[%x] pid %2[%d]"),
+        /// CPU went idle: `[]`.
+        IDLE_START = 2 => ("TRACE_SCHED_IDLE_START", "", "cpu idle"),
+        /// CPU left idle: `[idle_ns]`.
+        IDLE_END = 3 => ("TRACE_SCHED_IDLE_END", "64", "cpu busy after %0[%d] ns idle"),
+        /// Task migrated: `[tid, from_cpu, to_cpu]`.
+        MIGRATE = 4 => ("TRACE_SCHED_MIGRATE", "64 64 64",
+            "thread %0[%x] migrated cpu %1[%d] -> cpu %2[%d]"),
+        /// Task became runnable: `[tid, pid]`.
+        THREAD_START = 5 => ("TRACE_SCHED_THREAD_START", "64 64",
+            "thread %0[%x] of pid %1[%d] runnable"),
+        /// Task finished: `[tid, pid]`.
+        THREAD_EXIT = 6 => ("TRACE_SCHED_THREAD_EXIT", "64 64",
+            "thread %0[%x] of pid %1[%d] exited"),
+    }
+
+    /// `PROC` minors.
+    pub mod proc [MajorId::PROC] {
+        /// Process created: `[pid, parent_pid, name…]`.
+        CREATE = 1 => ("TRACE_PROC_CREATE", "64 64 str",
+            "process %0[%d] created by %1[%d] name %2[%s]"),
+        /// Process exec'd a new image: `[pid, name…]`.
+        EXEC = 2 => ("TRACE_PROC_EXEC", "64 str", "process %0[%d] exec %1[%s]"),
+        /// Process exited: `[pid]`.
+        EXIT = 3 => ("TRACE_PROC_EXIT", "64", "process %0[%d] exited"),
+    }
+
+    /// `SYSCALL` minors.
+    pub mod syscall [MajorId::SYSCALL] {
+        /// Entry: `[pid, tid, sysno]`.
+        ENTRY = 1 => ("TRACE_SYSCALL_ENTRY", "64 64 64",
+            "pid %0[%d] thread %1[%x] syscall %2[%d] entry"),
+        /// Exit: `[pid, tid, sysno]`.
+        EXIT = 2 => ("TRACE_SYSCALL_EXIT", "64 64 64",
+            "pid %0[%d] thread %1[%x] syscall %2[%d] exit"),
+    }
+
+    /// `EXCEPTION` minors (page faults and PPC-style IPC transitions).
+    pub mod exception [MajorId::EXCEPTION] {
+        /// Page fault start: `[tid, fault_addr]`.
+        PGFLT = 1 => ("TRC_EXCEPTION_PGFLT", "64 64",
+            "PGFLT, kernel thread %0[%llx], faultAddr %1[%llx]"),
+        /// Page fault done: `[tid, fault_addr]`.
+        PGFLT_DONE = 2 => ("TRC_EXCEPTION_PGFLT_DONE", "64 64",
+            "PGFLT DONE, kernel thread %0[%llx], faultAddr %1[%llx]"),
+        /// Protected procedure call: `[comm_id]`.
+        PPC_CALL = 3 => ("TRC_EXCEPTION_PPC_CALL", "64", "PPC CALL, commID %0[%llx]"),
+        /// Protected procedure return: `[comm_id]`.
+        PPC_RETURN = 4 => ("TRC_EXCEPTION_PPC_RETURN", "64", "PPC RETURN, commID %0[%llx]"),
+    }
+
+    /// `MEM` minors.
+    pub mod mem [MajorId::MEM] {
+        /// Region attached to an FCM: `[region, fcm]` (the paper's example).
+        FCM_ATCH_REG = 1 => ("TRC_MEM_FCMCOM_ATCH_REG", "64 64",
+            "Region %0[%llx] attached to FCM %1[%llx]"),
+        /// Region created: `[addr, size]`.
+        REG_CREATE = 2 => ("TRC_MEM_REG_CREATE_FIX", "64 64",
+            "Region created addr %0[%llx] size %1[%llx]"),
+        /// Allocation served: `[size, addr]`.
+        ALLOC = 3 => ("TRC_MEM_ALLOC", "64 64", "alloc size %0[%d] addr %1[%llx]"),
+        /// Shared-state read annotation: `[addr, tid]`. Emitted at shared-memory
+        /// touch points so post-hoc race detectors (lockset / happens-before over
+        /// the trace stream) can see the accesses, not just the locks.
+        ACCESS_READ = 4 => ("TRC_MEM_ACCESS_READ", "64 64",
+            "shared read addr %0[%llx] by thread %1[%x]"),
+        /// Shared-state write annotation: `[addr, tid]`.
+        ACCESS_WRITE = 5 => ("TRC_MEM_ACCESS_WRITE", "64 64",
+            "shared write addr %0[%llx] by thread %1[%x]"),
+    }
+
+    /// `LOCK` minors.
+    pub mod lock [MajorId::LOCK] {
+        /// Lock requested: `[lock_id, tid, call_chain]`.
+        REQUEST = 1 => ("TRACE_LOCK_REQUEST", "64 64 64",
+            "lock %0[%llx] requested by thread %1[%x] chain %2[%llx]"),
+        /// Lock acquired: `[lock_id, tid, call_chain, spins, wait_ns]`.
+        ACQUIRED = 2 => ("TRACE_LOCK_ACQUIRED", "64 64 64 64 64",
+            "lock %0[%llx] acquired by thread %1[%x] chain %2[%llx] spins %3[%d] wait %4[%d] ns"),
+        /// Lock released: `[lock_id, tid, hold_ns]`.
+        RELEASED = 3 => ("TRACE_LOCK_RELEASED", "64 64 64",
+            "lock %0[%llx] released by thread %1[%x] held %2[%d] ns"),
+    }
+
+    /// `IPC` minors.
+    pub mod ipc [MajorId::IPC] {
+        /// Call into a server: `[from_pid, to_pid, fn_id]`.
+        CALL = 1 => ("TRACE_IPC_CALL", "64 64 64", "IPC pid %0[%d] -> pid %1[%d] fn %2[%d]"),
+        /// Return from a server: `[from_pid, to_pid, fn_id]`.
+        RETURN = 2 => ("TRACE_IPC_RETURN", "64 64 64",
+            "IPC return pid %0[%d] <- pid %1[%d] fn %2[%d]"),
+    }
+
+    /// `FS` minors (logged under the server's pid).
+    pub mod fs [MajorId::FS] {
+        /// Open: `[pid, path_hash]`.
+        OPEN = 1 => ("TRACE_FS_OPEN", "64 64", "pid %0[%d] open path#%1[%x]"),
+        /// Read: `[pid, bytes]`.
+        READ = 2 => ("TRACE_FS_READ", "64 64", "pid %0[%d] read %1[%d] bytes"),
+        /// Write: `[pid, bytes]`.
+        WRITE = 3 => ("TRACE_FS_WRITE", "64 64", "pid %0[%d] write %1[%d] bytes"),
+        /// Close: `[pid, path_hash]`.
+        CLOSE = 4 => ("TRACE_FS_CLOSE", "64 64", "pid %0[%d] close path#%1[%x]"),
+    }
+
+    /// `USER` minors.
+    pub mod user [MajorId::USER] {
+        /// New user program loaded: `[creator_pid, new_pid, name…]`
+        /// (the paper's `TRACE_USER_RUN_UL_LOADER`).
+        RUN_UL_LOADER = 1 => ("TRACE_USER_RUN_UL_LOADER", "64 64 str",
+            "process %0[%d] created new process with id %1[%d] name %2[%s]"),
+        /// Program returned from main: `[pid]`
+        /// (the paper's `TRACE_USER_RETURNED_MAIN`).
+        RETURNED_MAIN = 2 => ("TRACE_USER_RETURNED_MAIN", "64",
+            "process %0[%d] returned from main"),
+    }
+
+    /// `PROF` minors.
+    pub mod prof [MajorId::PROF] {
+        /// Statistical PC sample: `[pid, tid, func_id]` (§4.5).
+        PC_SAMPLE = 1 => ("TRACE_PROF_PC_SAMPLE", "64 64 64",
+            "pc sample pid %0[%d] thread %1[%x] func %2[%d]"),
+    }
+
+    /// `HWPERF` minors (§2: hardware-counter values logged through the unified
+    /// stream, so "the counters [can] be sampled and understood at various
+    /// stages throughout the program['s] … execution").
+    pub mod hwperf [MajorId::HWPERF] {
+        /// Counter sample: `[counter_id, cumulative_value, delta_since_last]`.
+        COUNTER_SAMPLE = 1 => ("TRACE_HWPERF_COUNTER", "64 64 64",
+            "counter %0[%d] value %1[%d] delta %2[%d]"),
+    }
 }
 
-/// `FS` minors (logged under the server's pid).
-pub mod fs {
-    /// Open: `[pid, path_hash]`.
-    pub const OPEN: u16 = 1;
-    /// Read: `[pid, bytes]`.
-    pub const READ: u16 = 2;
-    /// Write: `[pid, bytes]`.
-    pub const WRITE: u16 = 3;
-    /// Close: `[pid, path_hash]`.
-    pub const CLOSE: u16 = 4;
-}
-
-/// `USER` minors.
-pub mod user {
-    /// New user program loaded: `[creator_pid, new_pid, name…]`
-    /// (the paper's `TRACE_USER_RUN_UL_LOADER`).
-    pub const RUN_UL_LOADER: u16 = 1;
-    /// Program returned from main: `[pid]`
-    /// (the paper's `TRACE_USER_RETURNED_MAIN`).
-    pub const RETURNED_MAIN: u16 = 2;
-}
-
-/// `PROF` minors.
-pub mod prof {
-    /// Statistical PC sample: `[pid, tid, func_id]` (§4.5).
-    pub const PC_SAMPLE: u16 = 1;
-}
-
-/// `HWPERF` minors (§2: hardware-counter values logged through the unified
-/// stream, so "the counters [can] be sampled and understood at various
-/// stages throughout the program['s] … execution").
-pub mod hwperf {
-    /// Counter sample: `[counter_id, cumulative_value, delta_since_last]`.
-    pub const COUNTER_SAMPLE: u16 = 1;
-}
+/// Every declared module's registration table, in major-ID order.
+pub const ALL_EVENTS: &[(MajorId, &[EventDef])] = &[
+    (sched::MAJOR, sched::EVENTS),
+    (proc::MAJOR, proc::EVENTS),
+    (syscall::MAJOR, syscall::EVENTS),
+    (exception::MAJOR, exception::EVENTS),
+    (mem::MAJOR, mem::EVENTS),
+    (lock::MAJOR, lock::EVENTS),
+    (ipc::MAJOR, ipc::EVENTS),
+    (fs::MAJOR, fs::EVENTS),
+    (user::MAJOR, user::EVENTS),
+    (prof::MAJOR, prof::EVENTS),
+    (hwperf::MAJOR, hwperf::EVENTS),
+];
 
 /// Synthetic hardware-counter identities.
 pub mod counter {
@@ -257,82 +491,16 @@ pub fn unpack_chain(word: u64) -> Vec<u16> {
 
 /// Registers self-describing descriptors for every simulator event.
 pub fn register_all(logger: &TraceLogger) {
-    let reg = |major: MajorId, minor: u16, name: &str, spec: &str, tpl: &str| {
-        logger.register_event(
-            major,
-            minor,
-            EventDescriptor::new(name, spec, tpl).expect("static descriptor is valid"),
-        );
-    };
-
-    reg(MajorId::SCHED, sched::CTX_SWITCH, "TRACE_SCHED_CTX_SWITCH", "64 64 64",
-        "switch from thread %0[%x] to thread %1[%x] pid %2[%d]");
-    reg(MajorId::SCHED, sched::IDLE_START, "TRACE_SCHED_IDLE_START", "", "cpu idle");
-    reg(MajorId::SCHED, sched::IDLE_END, "TRACE_SCHED_IDLE_END", "64", "cpu busy after %0[%d] ns idle");
-    reg(MajorId::SCHED, sched::MIGRATE, "TRACE_SCHED_MIGRATE", "64 64 64",
-        "thread %0[%x] migrated cpu %1[%d] -> cpu %2[%d]");
-    reg(MajorId::SCHED, sched::THREAD_START, "TRACE_SCHED_THREAD_START", "64 64",
-        "thread %0[%x] of pid %1[%d] runnable");
-    reg(MajorId::SCHED, sched::THREAD_EXIT, "TRACE_SCHED_THREAD_EXIT", "64 64",
-        "thread %0[%x] of pid %1[%d] exited");
-
-    reg(MajorId::PROC, proc::CREATE, "TRACE_PROC_CREATE", "64 64 str",
-        "process %0[%d] created by %1[%d] name %2[%s]");
-    reg(MajorId::PROC, proc::EXEC, "TRACE_PROC_EXEC", "64 str", "process %0[%d] exec %1[%s]");
-    reg(MajorId::PROC, proc::EXIT, "TRACE_PROC_EXIT", "64", "process %0[%d] exited");
-
-    reg(MajorId::SYSCALL, syscall::ENTRY, "TRACE_SYSCALL_ENTRY", "64 64 64",
-        "pid %0[%d] thread %1[%x] syscall %2[%d] entry");
-    reg(MajorId::SYSCALL, syscall::EXIT, "TRACE_SYSCALL_EXIT", "64 64 64",
-        "pid %0[%d] thread %1[%x] syscall %2[%d] exit");
-
-    reg(MajorId::EXCEPTION, exception::PGFLT, "TRC_EXCEPTION_PGFLT", "64 64",
-        "PGFLT, kernel thread %0[%llx], faultAddr %1[%llx]");
-    reg(MajorId::EXCEPTION, exception::PGFLT_DONE, "TRC_EXCEPTION_PGFLT_DONE", "64 64",
-        "PGFLT DONE, kernel thread %0[%llx], faultAddr %1[%llx]");
-    reg(MajorId::EXCEPTION, exception::PPC_CALL, "TRC_EXCEPTION_PPC_CALL", "64",
-        "PPC CALL, commID %0[%llx]");
-    reg(MajorId::EXCEPTION, exception::PPC_RETURN, "TRC_EXCEPTION_PPC_RETURN", "64",
-        "PPC RETURN, commID %0[%llx]");
-
-    reg(MajorId::MEM, mem::FCM_ATCH_REG, "TRC_MEM_FCMCOM_ATCH_REG", "64 64",
-        "Region %0[%llx] attached to FCM %1[%llx]");
-    reg(MajorId::MEM, mem::REG_CREATE, "TRC_MEM_REG_CREATE_FIX", "64 64",
-        "Region created addr %0[%llx] size %1[%llx]");
-    reg(MajorId::MEM, mem::ALLOC, "TRC_MEM_ALLOC", "64 64",
-        "alloc size %0[%d] addr %1[%llx]");
-    reg(MajorId::MEM, mem::ACCESS_READ, "TRC_MEM_ACCESS_READ", "64 64",
-        "shared read addr %0[%llx] by thread %1[%x]");
-    reg(MajorId::MEM, mem::ACCESS_WRITE, "TRC_MEM_ACCESS_WRITE", "64 64",
-        "shared write addr %0[%llx] by thread %1[%x]");
-
-    reg(MajorId::LOCK, lock::REQUEST, "TRACE_LOCK_REQUEST", "64 64 64",
-        "lock %0[%llx] requested by thread %1[%x] chain %2[%llx]");
-    reg(MajorId::LOCK, lock::ACQUIRED, "TRACE_LOCK_ACQUIRED", "64 64 64 64 64",
-        "lock %0[%llx] acquired by thread %1[%x] chain %2[%llx] spins %3[%d] wait %4[%d] ns");
-    reg(MajorId::LOCK, lock::RELEASED, "TRACE_LOCK_RELEASED", "64 64 64",
-        "lock %0[%llx] released by thread %1[%x] held %2[%d] ns");
-
-    reg(MajorId::IPC, ipc::CALL, "TRACE_IPC_CALL", "64 64 64",
-        "IPC pid %0[%d] -> pid %1[%d] fn %2[%d]");
-    reg(MajorId::IPC, ipc::RETURN, "TRACE_IPC_RETURN", "64 64 64",
-        "IPC return pid %0[%d] <- pid %1[%d] fn %2[%d]");
-
-    reg(MajorId::FS, fs::OPEN, "TRACE_FS_OPEN", "64 64", "pid %0[%d] open path#%1[%x]");
-    reg(MajorId::FS, fs::READ, "TRACE_FS_READ", "64 64", "pid %0[%d] read %1[%d] bytes");
-    reg(MajorId::FS, fs::WRITE, "TRACE_FS_WRITE", "64 64", "pid %0[%d] write %1[%d] bytes");
-    reg(MajorId::FS, fs::CLOSE, "TRACE_FS_CLOSE", "64 64", "pid %0[%d] close path#%1[%x]");
-
-    reg(MajorId::USER, user::RUN_UL_LOADER, "TRACE_USER_RUN_UL_LOADER", "64 64 str",
-        "process %0[%d] created new process with id %1[%d] name %2[%s]");
-    reg(MajorId::USER, user::RETURNED_MAIN, "TRACE_USER_RETURNED_MAIN", "64",
-        "process %0[%d] returned from main");
-
-    reg(MajorId::PROF, prof::PC_SAMPLE, "TRACE_PROF_PC_SAMPLE", "64 64 64",
-        "pc sample pid %0[%d] thread %1[%x] func %2[%d]");
-
-    reg(MajorId::HWPERF, hwperf::COUNTER_SAMPLE, "TRACE_HWPERF_COUNTER", "64 64 64",
-        "counter %0[%d] value %1[%d] delta %2[%d]");
+    for &(major, events) in ALL_EVENTS {
+        for def in events {
+            logger.register_event(
+                major,
+                def.minor,
+                EventDescriptor::new(def.name, def.spec, def.template)
+                    .expect("static descriptor is valid"),
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -347,11 +515,10 @@ mod tests {
         let chain = [func::GMALLOC, func::PMALLOC, func::ALLOC_REGION_ALLOC];
         let word = pack_chain(&chain);
         // Innermost (last pushed) function in the low bits.
-        assert_eq!(unpack_chain(word), vec![
-            func::ALLOC_REGION_ALLOC,
-            func::PMALLOC,
-            func::GMALLOC
-        ]);
+        assert_eq!(
+            unpack_chain(word),
+            vec![func::ALLOC_REGION_ALLOC, func::PMALLOC, func::GMALLOC]
+        );
         assert_eq!(unpack_chain(pack_chain(&[])), Vec::<u16>::new());
         // Deeper chains keep the innermost four.
         let deep = [1u16, 2, 3, 4, 5, 6];
@@ -393,5 +560,80 @@ mod tests {
     fn sysno_names() {
         assert_eq!(sysno::name(sysno::EXEC), "SCexecve");
         assert_eq!(sysno::name(77), "SCunknown");
+    }
+
+    #[test]
+    fn macro_tables_match_consts() {
+        // The generated consts and the EVENTS rows must agree — the linter
+        // leans on this correspondence.
+        assert_eq!(sched::MAJOR, ktrace_format::MajorId::SCHED);
+        assert!(sched::EVENTS.iter().any(|d| d.minor == sched::CTX_SWITCH));
+        assert_eq!(sched::EVENTS.len(), 6);
+        assert_eq!(
+            lock::EVENTS
+                .iter()
+                .find(|d| d.minor == lock::ACQUIRED)
+                .unwrap()
+                .spec,
+            "64 64 64 64 64"
+        );
+        // Every module is in ALL_EVENTS exactly once, majors distinct.
+        let mut majors: Vec<u8> = ALL_EVENTS.iter().map(|(m, _)| m.raw()).collect();
+        majors.sort_unstable();
+        majors.dedup();
+        assert_eq!(majors.len(), ALL_EVENTS.len());
+    }
+
+    #[test]
+    fn every_table_spec_parses_at_runtime_too() {
+        for &(major, events) in ALL_EVENTS {
+            for def in events {
+                assert!(
+                    ktrace_format::FieldSpec::parse(def.spec).is_ok(),
+                    "{major:?}/{} has unparseable spec {:?}",
+                    def.name,
+                    def.spec
+                );
+                assert!(
+                    __spec_is_valid(def.spec),
+                    "const check disagrees for {}",
+                    def.name
+                );
+                assert_eq!(
+                    __spec_min_words(def.spec),
+                    def.spec.split_ascii_whitespace().count(),
+                    "const word count disagrees for {}",
+                    def.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn const_checks_reject_bad_inputs() {
+        assert!(!__spec_is_valid("64 65"));
+        assert!(!__spec_is_valid("64  64")); // double space
+        assert!(!__spec_is_valid("64 ")); // trailing space
+        assert!(__spec_is_valid(""));
+        assert!(__spec_is_valid("8 16 32 64 str"));
+        assert!(!__major_is_registerable(ktrace_format::MajorId::CONTROL));
+        assert!(!__major_is_registerable(ktrace_format::MajorId::TEST));
+        assert!(__major_is_registerable(ktrace_format::MajorId::SCHED));
+        let dup = [
+            EventDef {
+                minor: 1,
+                name: "A",
+                spec: "",
+                template: "",
+            },
+            EventDef {
+                minor: 1,
+                name: "B",
+                spec: "",
+                template: "",
+            },
+        ];
+        assert!(!__minors_distinct(&dup));
+        assert!(__minors_distinct(&dup[..1]));
     }
 }

@@ -120,7 +120,9 @@ impl FieldSpec {
     /// greedily as the paper's macros do.
     pub fn encode(&self, values: &[FieldValue]) -> Result<Vec<u64>, FormatError> {
         if values.len() != self.tokens.len() {
-            return Err(FormatError::Truncated { context: "field values" });
+            return Err(FormatError::Truncated {
+                context: "field values",
+            });
         }
         let mut packer = WordPacker::new();
         for (tok, val) in self.tokens.iter().zip(values) {
@@ -132,10 +134,14 @@ impl FieldSpec {
                     packer.push_str(s);
                 }
                 (Some(_), FieldValue::Str(_)) => {
-                    return Err(FormatError::Truncated { context: "int field given a string" })
+                    return Err(FormatError::Truncated {
+                        context: "int field given a string",
+                    })
                 }
                 (None, FieldValue::Int(_)) => {
-                    return Err(FormatError::Truncated { context: "str field given an int" })
+                    return Err(FormatError::Truncated {
+                        context: "str field given an int",
+                    })
                 }
             }
         }
@@ -149,15 +155,15 @@ impl FieldSpec {
         for tok in &self.tokens {
             match tok.bits() {
                 Some(bits) => {
-                    let v = unpacker
-                        .read(bits)
-                        .ok_or(FormatError::Truncated { context: "int field" })?;
+                    let v = unpacker.read(bits).ok_or(FormatError::Truncated {
+                        context: "int field",
+                    })?;
                     out.push(FieldValue::Int(v));
                 }
                 None => {
-                    let s = unpacker
-                        .read_str()
-                        .ok_or(FormatError::Truncated { context: "str field" })?;
+                    let s = unpacker.read_str().ok_or(FormatError::Truncated {
+                        context: "str field",
+                    })?;
                     out.push(FieldValue::Str(s));
                 }
             }
@@ -212,7 +218,11 @@ impl EventDescriptor {
     pub fn new(name: &str, spec: &str, template: &str) -> Result<EventDescriptor, FormatError> {
         let spec = FieldSpec::parse(spec)?;
         validate_template(template, spec.len())?;
-        Ok(EventDescriptor { name: name.to_string(), spec, template: template.to_string() })
+        Ok(EventDescriptor {
+            name: name.to_string(),
+            spec,
+            template: template.to_string(),
+        })
     }
 
     /// Renders the display line for decoded field values.
@@ -313,7 +323,10 @@ fn walk_template<'a>(
             .find(']')
             .map(|off| fmt_start + off)
             .ok_or_else(|| FormatError::BadTemplate(format!("unclosed '[' in {template:?}")))?;
-        f(TemplatePiece::Field { index, format: &template[fmt_start..fmt_end] })?;
+        f(TemplatePiece::Field {
+            index,
+            format: &template[fmt_start..fmt_end],
+        })?;
         i = fmt_end + 1;
         lit_start = i;
     }
@@ -349,14 +362,14 @@ fn render_printf(out: &mut String, fmt: &str, value: &FieldValue) -> Result<(), 
         .ok_or_else(|| FormatError::BadTemplate(format!("format {fmt:?} missing conversion")))?
         as char;
     if i + 1 != bytes.len() {
-        return Err(FormatError::BadTemplate(format!("trailing junk in format {fmt:?}")));
+        return Err(FormatError::BadTemplate(format!(
+            "trailing junk in format {fmt:?}"
+        )));
     }
 
     let rendered = match (conv, value) {
         ('s', v) => v.to_string(),
-        ('c', FieldValue::Int(v)) => {
-            char::from_u32(*v as u32).unwrap_or('\u{fffd}').to_string()
-        }
+        ('c', FieldValue::Int(v)) => char::from_u32(*v as u32).unwrap_or('\u{fffd}').to_string(),
         ('d' | 'i', FieldValue::Int(v)) => format!("{}", *v as i64),
         ('u', FieldValue::Int(v)) => format!("{v}"),
         ('x', FieldValue::Int(v)) => format!("{v:x}"),
@@ -369,7 +382,9 @@ fn render_printf(out: &mut String, fmt: &str, value: &FieldValue) -> Result<(), 
             )))
         }
         (c, _) => {
-            return Err(FormatError::BadTemplate(format!("unsupported conversion %{c}")))
+            return Err(FormatError::BadTemplate(format!(
+                "unsupported conversion %{c}"
+            )))
         }
     };
 
@@ -404,14 +419,31 @@ impl EventRegistry {
     /// `CONTROL` events (filler, time anchor, dropped marker).
     pub fn with_builtin() -> EventRegistry {
         let mut r = EventRegistry::new();
-        r.register(MajorId::CONTROL, control::FILLER,
-            EventDescriptor::new("TRACE_CONTROL_FILLER", "", "filler").unwrap());
-        r.register(MajorId::CONTROL, control::TIME_ANCHOR,
-            EventDescriptor::new("TRACE_CONTROL_TIME_ANCHOR", "64 64",
-                "time anchor full_ts %0[%d] cpu %1[%d]").unwrap());
-        r.register(MajorId::CONTROL, control::DROPPED,
-            EventDescriptor::new("TRACE_CONTROL_DROPPED", "64",
-                "dropped %0[%d] buffers (flight recorder wrap)").unwrap());
+        r.register(
+            MajorId::CONTROL,
+            control::FILLER,
+            EventDescriptor::new("TRACE_CONTROL_FILLER", "", "filler").unwrap(),
+        );
+        r.register(
+            MajorId::CONTROL,
+            control::TIME_ANCHOR,
+            EventDescriptor::new(
+                "TRACE_CONTROL_TIME_ANCHOR",
+                "64 64",
+                "time anchor full_ts %0[%d] cpu %1[%d]",
+            )
+            .unwrap(),
+        );
+        r.register(
+            MajorId::CONTROL,
+            control::DROPPED,
+            EventDescriptor::new(
+                "TRACE_CONTROL_DROPPED",
+                "64",
+                "dropped %0[%d] buffers (flight recorder wrap)",
+            )
+            .unwrap(),
+        );
         r
     }
 
@@ -553,7 +585,10 @@ mod tests {
         let d = mem_attach();
         let payload = d
             .spec
-            .encode(&[FieldValue::Int(0x800000001022cc98), FieldValue::Int(0xe100000000003f30)])
+            .encode(&[
+                FieldValue::Int(0x800000001022cc98),
+                FieldValue::Int(0xe100000000003f30),
+            ])
             .unwrap();
         assert_eq!(
             d.describe(&payload).unwrap(),
@@ -566,7 +601,10 @@ mod tests {
         let s = FieldSpec::parse("8 16 32 64 str").unwrap();
         assert_eq!(s.to_spec_string(), "8 16 32 64 str");
         assert_eq!(FieldSpec::parse("").unwrap().len(), 0);
-        assert!(matches!(FieldSpec::parse("64 foo"), Err(FormatError::BadSpecToken(_))));
+        assert!(matches!(
+            FieldSpec::parse("64 foo"),
+            Err(FormatError::BadSpecToken(_))
+        ));
     }
 
     #[test]
@@ -587,7 +625,10 @@ mod tests {
     fn template_validation_catches_bad_index() {
         assert!(matches!(
             EventDescriptor::new("E", "64", "val %1[%d]"),
-            Err(FormatError::BadTemplateIndex { index: 1, fields: 1 })
+            Err(FormatError::BadTemplateIndex {
+                index: 1,
+                fields: 1
+            })
         ));
         assert!(EventDescriptor::new("E", "64", "val %0[%d]").is_ok());
     }
@@ -598,12 +639,18 @@ mod tests {
         // must fail, not misrender later.
         assert!(matches!(
             EventDescriptor::new("E", "64 64", "val %0[%d]"),
-            Err(FormatError::UnreferencedField { index: 1, fields: 2 })
+            Err(FormatError::UnreferencedField {
+                index: 1,
+                fields: 2
+            })
         ));
         // The lowest missing index is reported even with later refs present.
         assert!(matches!(
             EventDescriptor::new("E", "64 64 64", "a %0[%d] c %2[%d]"),
-            Err(FormatError::UnreferencedField { index: 1, fields: 3 })
+            Err(FormatError::UnreferencedField {
+                index: 1,
+                fields: 3
+            })
         ));
         // Referencing a field twice is fine as long as all are covered.
         assert!(EventDescriptor::new("E", "64", "val %0[%d] (hex %0[%x])").is_ok());
@@ -618,7 +665,10 @@ mod tests {
         let text = "2\t9\tTRACE_BAD\t64 64\tonly %0[%d]\n";
         assert!(matches!(
             EventRegistry::from_text(text),
-            Err(FormatError::UnreferencedField { index: 1, fields: 2 })
+            Err(FormatError::UnreferencedField {
+                index: 1,
+                fields: 2
+            })
         ));
     }
 

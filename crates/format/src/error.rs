@@ -67,11 +67,17 @@ impl fmt::Display for FormatError {
             }
             FormatError::InvalidMajor(m) => write!(f, "major ID {m} out of range (max 63)"),
             FormatError::PayloadTooLarge { words } => {
-                write!(f, "payload of {words} words exceeds the 10-bit length field")
+                write!(
+                    f,
+                    "payload of {words} words exceeds the 10-bit length field"
+                )
             }
             FormatError::BadSpecToken(t) => write!(f, "bad field-spec token {t:?}"),
             FormatError::BadTemplateIndex { index, fields } => {
-                write!(f, "template references field %{index} but spec has {fields} fields")
+                write!(
+                    f,
+                    "template references field %{index} but spec has {fields} fields"
+                )
             }
             FormatError::BadTemplate(t) => write!(f, "malformed display template: {t}"),
             FormatError::UnreferencedField { index, fields } => write!(
@@ -81,7 +87,10 @@ impl fmt::Display for FormatError {
             FormatError::Truncated { context } => {
                 write!(f, "payload truncated while decoding {context}")
             }
-            FormatError::BadStringLength { len, remaining_words } => write!(
+            FormatError::BadStringLength {
+                len,
+                remaining_words,
+            } => write!(
                 f,
                 "string field claims {len} bytes but only {remaining_words} words remain"
             ),

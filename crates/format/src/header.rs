@@ -55,7 +55,9 @@ impl EventHeader {
         minor: MinorId,
     ) -> Result<EventHeader, FormatError> {
         if payload_words > MAX_PAYLOAD_WORDS {
-            return Err(FormatError::PayloadTooLarge { words: payload_words });
+            return Err(FormatError::PayloadTooLarge {
+                words: payload_words,
+            });
         }
         Ok(EventHeader {
             timestamp,
@@ -73,7 +75,9 @@ impl EventHeader {
     /// consecutive filler headers).
     pub fn filler(timestamp: u32, total_words: usize) -> Result<EventHeader, FormatError> {
         if total_words == 0 || total_words > MAX_EVENT_WORDS {
-            return Err(FormatError::InvalidLength { words: total_words.min(u16::MAX as usize) as u16 });
+            return Err(FormatError::InvalidLength {
+                words: total_words.min(u16::MAX as usize) as u16,
+            });
         }
         Ok(EventHeader {
             timestamp,
@@ -132,8 +136,7 @@ impl EventHeader {
 pub fn filler_chain(total_words: usize) -> impl Iterator<Item = usize> {
     let full = total_words / MAX_EVENT_WORDS;
     let rem = total_words % MAX_EVENT_WORDS;
-    std::iter::repeat_n(MAX_EVENT_WORDS, full)
-        .chain(std::iter::once(rem).filter(|&r| r > 0))
+    std::iter::repeat_n(MAX_EVENT_WORDS, full).chain(std::iter::once(rem).filter(|&r| r > 0))
 }
 
 #[cfg(test)]
@@ -157,13 +160,18 @@ mod tests {
         assert!(EventHeader::new(0, MAX_PAYLOAD_WORDS, MajorId::TEST, 0).is_ok());
         assert_eq!(
             EventHeader::new(0, MAX_PAYLOAD_WORDS + 1, MajorId::TEST, 0),
-            Err(FormatError::PayloadTooLarge { words: MAX_PAYLOAD_WORDS + 1 })
+            Err(FormatError::PayloadTooLarge {
+                words: MAX_PAYLOAD_WORDS + 1
+            })
         );
     }
 
     #[test]
     fn zero_word_is_an_invalid_header() {
-        assert_eq!(EventHeader::decode(0), Err(FormatError::InvalidLength { words: 0 }));
+        assert_eq!(
+            EventHeader::decode(0),
+            Err(FormatError::InvalidLength { words: 0 })
+        );
     }
 
     #[test]
@@ -178,7 +186,13 @@ mod tests {
 
     #[test]
     fn filler_chain_covers_extent_exactly() {
-        for total in [1, MAX_EVENT_WORDS, MAX_EVENT_WORDS + 1, 3 * MAX_EVENT_WORDS + 17, 16384] {
+        for total in [
+            1,
+            MAX_EVENT_WORDS,
+            MAX_EVENT_WORDS + 1,
+            3 * MAX_EVENT_WORDS + 17,
+            16384,
+        ] {
             let segs: Vec<usize> = filler_chain(total).collect();
             assert_eq!(segs.iter().sum::<usize>(), total, "total {total}");
             assert!(segs.iter().all(|&s| (1..=MAX_EVENT_WORDS).contains(&s)));

@@ -26,13 +26,17 @@ pub struct TraceMask {
 impl TraceMask {
     /// A mask with every major ID enabled.
     pub fn all_enabled() -> TraceMask {
-        TraceMask { bits: AtomicU64::new(u64::MAX) }
+        TraceMask {
+            bits: AtomicU64::new(u64::MAX),
+        }
     }
 
     /// A mask with only the mandatory `CONTROL` class enabled — i.e. tracing
     /// effectively off, at the cost of one relaxed load per log attempt.
     pub fn all_disabled() -> TraceMask {
-        TraceMask { bits: AtomicU64::new(MajorId::CONTROL.bit()) }
+        TraceMask {
+            bits: AtomicU64::new(MajorId::CONTROL.bit()),
+        }
     }
 
     /// A mask with exactly the given majors (plus `CONTROL`) enabled.
@@ -41,7 +45,9 @@ impl TraceMask {
         for m in majors {
             bits |= m.bit();
         }
-        TraceMask { bits: AtomicU64::new(bits) }
+        TraceMask {
+            bits: AtomicU64::new(bits),
+        }
     }
 
     /// The fast-path test: is logging enabled for `major`?
@@ -67,7 +73,8 @@ impl TraceMask {
 
     /// Replaces the whole mask (forcing `CONTROL` on).
     pub fn set(&self, bits: u64) {
-        self.bits.store(bits | MajorId::CONTROL.bit(), Ordering::Relaxed);
+        self.bits
+            .store(bits | MajorId::CONTROL.bit(), Ordering::Relaxed);
     }
 
     /// Reads the whole mask word.
@@ -84,7 +91,9 @@ impl Default for TraceMask {
 
 impl Clone for TraceMask {
     fn clone(&self) -> TraceMask {
-        TraceMask { bits: AtomicU64::new(self.get()) }
+        TraceMask {
+            bits: AtomicU64::new(self.get()),
+        }
     }
 }
 

@@ -127,7 +127,11 @@ pub struct WordUnpacker<'a> {
 impl<'a> WordUnpacker<'a> {
     /// Starts decoding from `words`.
     pub fn new(words: &'a [u64]) -> WordUnpacker<'a> {
-        WordUnpacker { words, pos: 0, bit_pos: 0 }
+        WordUnpacker {
+            words,
+            pos: 0,
+            bit_pos: 0,
+        }
     }
 
     /// Reads the next field of `bits` width. Returns `None` when the words
@@ -191,7 +195,10 @@ mod tests {
 
     #[test]
     fn fixed_packers_roundtrip() {
-        assert_eq!(unpack2x32(pack2x32(0xaabbccdd, 0x11223344)), (0xaabbccdd, 0x11223344));
+        assert_eq!(
+            unpack2x32(pack2x32(0xaabbccdd, 0x11223344)),
+            (0xaabbccdd, 0x11223344)
+        );
         assert_eq!(unpack4x16(pack4x16(1, 2, 3, 4)), (1, 2, 3, 4));
     }
 
@@ -200,7 +207,10 @@ mod tests {
         // 8 + 8 + 16 + 32 = 64 bits -> one word.
         let words = {
             let mut p = WordPacker::new();
-            p.push(0x12, 8).push(0x34, 8).push(0x5678, 16).push(0x9abcdef0, 32);
+            p.push(0x12, 8)
+                .push(0x34, 8)
+                .push(0x5678, 16)
+                .push(0x9abcdef0, 32);
             p.finish()
         };
         assert_eq!(words.len(), 1);

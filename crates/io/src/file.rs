@@ -70,7 +70,11 @@ impl FileHeader {
         let mut out = Vec::with_capacity(40 + registry_text.len());
         out.put_slice(&FILE_MAGIC);
         out.put_u32_le(FILE_VERSION);
-        out.put_u32_le(if self.clock_synchronized { FLAG_CLOCK_SYNCHRONIZED } else { 0 });
+        out.put_u32_le(if self.clock_synchronized {
+            FLAG_CLOCK_SYNCHRONIZED
+        } else {
+            0
+        });
         out.put_u32_le(self.ncpus);
         out.put_u32_le(self.buffer_words);
         out.put_u64_le(self.ticks_per_sec);
@@ -138,15 +142,18 @@ pub fn encode_record_header(cpu: u32, seq: u64, complete: bool) -> [u8; RECORD_H
 }
 
 /// Decodes one record's fixed prefix: `(cpu, seq, complete)`.
-pub fn decode_record_header(
-    mut bytes: &[u8],
-    index: usize,
-) -> Result<(u32, u64, bool), IoError> {
+pub fn decode_record_header(mut bytes: &[u8], index: usize) -> Result<(u32, u64, bool), IoError> {
     if bytes.len() < RECORD_HEADER_BYTES {
-        return Err(IoError::CorruptRecord { index, reason: "truncated record header" });
+        return Err(IoError::CorruptRecord {
+            index,
+            reason: "truncated record header",
+        });
     }
     if bytes.get_u32_le() != RECORD_MAGIC {
-        return Err(IoError::CorruptRecord { index, reason: "bad record magic" });
+        return Err(IoError::CorruptRecord {
+            index,
+            reason: "bad record magic",
+        });
     }
     let cpu = bytes.get_u32_le();
     let seq = bytes.get_u64_le();
@@ -197,7 +204,10 @@ mod tests {
         assert!(matches!(FileHeader::decode(&enc), Err(IoError::BadMagic)));
         let mut enc = header().encode();
         enc[8] = 99;
-        assert!(matches!(FileHeader::decode(&enc), Err(IoError::BadVersion(_))));
+        assert!(matches!(
+            FileHeader::decode(&enc),
+            Err(IoError::BadVersion(_))
+        ));
     }
 
     #[test]

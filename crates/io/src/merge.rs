@@ -76,8 +76,12 @@ impl<'a, R: Read + Seek> MergedEvents<'a, R> {
                 return Ok(());
             };
             let rec = self.reader.record(k)?;
-            let parsed =
-                parse_buffer(rec.cpu as usize, rec.seq, &rec.words, self.cursors[cpu].hint);
+            let parsed = parse_buffer(
+                rec.cpu as usize,
+                rec.seq,
+                &rec.words,
+                self.cursors[cpu].hint,
+            );
             self.cursors[cpu].hint = parsed.end_time.or(self.cursors[cpu].hint);
             self.cursors[cpu].current = parsed.events.into_iter();
         }
@@ -180,8 +184,9 @@ mod tests {
                 firsts.push(k);
             }
         }
-        let events: Vec<RawEvent> =
-            MergedEvents::over_records(&mut r, firsts).unwrap().collect();
+        let events: Vec<RawEvent> = MergedEvents::over_records(&mut r, firsts)
+            .unwrap()
+            .collect();
         assert!(!events.is_empty());
         assert!(events.iter().all(|e| e.seq == 0));
         assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
@@ -191,8 +196,9 @@ mod tests {
     fn empty_selection_yields_nothing() {
         let bytes = trace_with(1, 10);
         let mut r = TraceFileReader::new(Cursor::new(bytes)).unwrap();
-        let events: Vec<RawEvent> =
-            MergedEvents::over_records(&mut r, Vec::new()).unwrap().collect();
+        let events: Vec<RawEvent> = MergedEvents::over_records(&mut r, Vec::new())
+            .unwrap()
+            .collect();
         assert!(events.is_empty());
     }
 }

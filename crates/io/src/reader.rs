@@ -76,7 +76,9 @@ impl<R: Read + Seek> TraceFileReader<R> {
         let record_size = header.record_size() as u64;
         let data_bytes = total - data_start;
         if !data_bytes.is_multiple_of(record_size) {
-            return Err(IoError::BadHeader("data section is not a whole number of records"));
+            return Err(IoError::BadHeader(
+                "data section is not a whole number of records",
+            ));
         }
         Ok(TraceFileReader {
             source,
@@ -102,7 +104,10 @@ impl<R: Read + Seek> TraceFileReader<R> {
 
     fn check_index(&self, index: usize) -> Result<(), IoError> {
         if index >= self.record_count {
-            return Err(IoError::RecordOutOfRange { index, count: self.record_count });
+            return Err(IoError::RecordOutOfRange {
+                index,
+                count: self.record_count,
+            });
         }
         Ok(())
     }
@@ -110,7 +115,8 @@ impl<R: Read + Seek> TraceFileReader<R> {
     /// Reads record `index` in full — a single seek, no scanning.
     pub fn record(&mut self, index: usize) -> Result<BufferRecord, IoError> {
         self.check_index(index)?;
-        self.source.seek(SeekFrom::Start(self.record_offset(index)))?;
+        self.source
+            .seek(SeekFrom::Start(self.record_offset(index)))?;
         let mut bytes = vec![0u8; self.header.record_size()];
         self.source.read_exact(&mut bytes)?;
         let (cpu, seq, complete) = decode_record_header(&bytes, index)?;
@@ -118,20 +124,33 @@ impl<R: Read + Seek> TraceFileReader<R> {
             .chunks_exact(8)
             .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
             .collect();
-        Ok(BufferRecord { index, cpu, seq, complete, words })
+        Ok(BufferRecord {
+            index,
+            cpu,
+            seq,
+            complete,
+            words,
+        })
     }
 
     /// Reads only a record's identity and anchor time (header + 3 words):
     /// the cheap per-record metadata the time index is built from.
     pub fn record_meta(&mut self, index: usize) -> Result<(u32, u64, bool, Option<u64>), IoError> {
         self.check_index(index)?;
-        self.source.seek(SeekFrom::Start(self.record_offset(index)))?;
+        self.source
+            .seek(SeekFrom::Start(self.record_offset(index)))?;
         let mut bytes = vec![0u8; RECORD_HEADER_BYTES + 3 * 8];
         self.source.read_exact(&mut bytes)?;
         let (cpu, seq, complete) = decode_record_header(&bytes, index)?;
-        let w0 = u64::from_le_bytes(bytes[RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + 8].try_into().expect("8"));
+        let w0 = u64::from_le_bytes(
+            bytes[RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + 8]
+                .try_into()
+                .expect("8"),
+        );
         let w1 = u64::from_le_bytes(
-            bytes[RECORD_HEADER_BYTES + 8..RECORD_HEADER_BYTES + 16].try_into().expect("8"),
+            bytes[RECORD_HEADER_BYTES + 8..RECORD_HEADER_BYTES + 16]
+                .try_into()
+                .expect("8"),
         );
         let anchor = EventHeader::decode(w0)
             .ok()
@@ -141,7 +160,10 @@ impl<R: Read + Seek> TraceFileReader<R> {
     }
 
     /// Decodes record `index` into events.
-    pub fn parse_record(&mut self, index: usize) -> Result<(BufferRecord, Vec<RawEvent>, Vec<GarbleNote>), IoError> {
+    pub fn parse_record(
+        &mut self,
+        index: usize,
+    ) -> Result<(BufferRecord, Vec<RawEvent>, Vec<GarbleNote>), IoError> {
         let rec = self.record(index)?;
         let parsed = parse_buffer(rec.cpu as usize, rec.seq, &rec.words, None);
         Ok((rec, parsed.events, parsed.notes))
@@ -170,10 +192,7 @@ impl<R: Read + Seek> TraceFileReader<R> {
         for records in &per_cpu {
             for (i, &(k, start)) in records.iter().enumerate() {
                 let start = start.unwrap_or(0);
-                let end = records
-                    .get(i + 1)
-                    .and_then(|&(_, a)| a)
-                    .unwrap_or(u64::MAX);
+                let end = records.get(i + 1).and_then(|&(_, a)| a).unwrap_or(u64::MAX);
                 if start < t1 && end > t0 {
                     wanted.push(k);
                 }
@@ -258,7 +277,10 @@ mod tests {
         let events: Vec<RawEvent> = r.events().unwrap().collect();
         let data: Vec<&RawEvent> = events.iter().filter(|e| !e.is_control()).collect();
         assert_eq!(data.len() as u64, logged);
-        assert!(events.windows(2).all(|w| w[0].time <= w[1].time), "merged order");
+        assert!(
+            events.windows(2).all(|w| w[0].time <= w[1].time),
+            "merged order"
+        );
         // Both CPUs present.
         assert!(data.iter().any(|e| e.cpu == 0));
         assert!(data.iter().any(|e| e.cpu == 1));
@@ -304,13 +326,18 @@ mod tests {
         let all: Vec<RawEvent> = r.events().unwrap().filter(|e| !e.is_control()).collect();
         let lo = all[all.len() / 4].time;
         let hi = all[3 * all.len() / 4].time;
-        let expect: Vec<&RawEvent> =
-            all.iter().filter(|e| e.time >= lo && e.time < hi).collect();
+        let expect: Vec<&RawEvent> = all.iter().filter(|e| e.time >= lo && e.time < hi).collect();
         let got = r.events_between(lo, hi).unwrap();
         let got_data: Vec<&RawEvent> = got.iter().filter(|e| !e.is_control()).collect();
         assert_eq!(got_data.len(), expect.len());
-        assert_eq!(got_data.first().map(|e| e.time), expect.first().map(|e| e.time));
-        assert_eq!(got_data.last().map(|e| e.time), expect.last().map(|e| e.time));
+        assert_eq!(
+            got_data.first().map(|e| e.time),
+            expect.first().map(|e| e.time)
+        );
+        assert_eq!(
+            got_data.last().map(|e| e.time),
+            expect.last().map(|e| e.time)
+        );
     }
 
     #[test]
@@ -334,9 +361,10 @@ mod tests {
         let mut r = TraceFileReader::new(Cursor::new(bytes)).unwrap();
         let anomalies = r.anomalies().unwrap();
         assert!(!anomalies.is_empty(), "zeroed header must be detected");
-        assert!(anomalies
+        assert!(anomalies.iter().any(|a| a
+            .notes
             .iter()
-            .any(|a| a.notes.iter().any(|n| matches!(n, GarbleNote::ZeroHeader { .. }))));
+            .any(|n| matches!(n, GarbleNote::ZeroHeader { .. }))));
     }
 
     #[test]

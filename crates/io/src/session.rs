@@ -57,25 +57,28 @@ impl TraceSession {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         let logger2 = logger.clone();
+        fn drain<W: Write>(
+            logger: &TraceLogger,
+            writer: &mut TraceFileWriter<W>,
+        ) -> Result<bool, IoError> {
+            let mut drained_any = false;
+            for cpu in 0..logger.ncpus() {
+                while let Some(buf) = logger.take_buffer(cpu) {
+                    writer.write_buffer(&buf)?;
+                    drained_any = true;
+                }
+            }
+            Ok(drained_any)
+        }
         let drainer = std::thread::Builder::new()
             .name("ktrace-drainer".into())
             .spawn(move || -> Result<u64, IoError> {
                 loop {
-                    let mut drained_any = false;
-                    for cpu in 0..logger2.ncpus() {
-                        while let Some(buf) = logger2.take_buffer(cpu) {
-                            writer.write_buffer(&buf)?;
-                            drained_any = true;
-                        }
-                    }
+                    let drained_any = drain(&logger2, &mut writer)?;
                     if stop2.load(Ordering::Acquire) {
                         // Final sweep: flush partial buffers and drain.
                         logger2.flush_all();
-                        for cpu in 0..logger2.ncpus() {
-                            while let Some(buf) = logger2.take_buffer(cpu) {
-                                writer.write_buffer(&buf)?;
-                            }
-                        }
+                        drain(&logger2, &mut writer)?;
                         let n = writer.records_written();
                         writer.finish()?;
                         return Ok(n);
@@ -86,7 +89,11 @@ impl TraceSession {
                 }
             })
             .expect("spawn drainer thread");
-        Ok(TraceSession { logger, stop, drainer: Some(drainer) })
+        Ok(TraceSession {
+            logger,
+            stop,
+            drainer: Some(drainer),
+        })
     }
 
     /// Convenience: build the logger and start the session in one call.
@@ -160,8 +167,7 @@ mod tests {
 
         let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
         let ncpus = 4;
-        let session =
-            TraceSession::start(&path, TraceConfig::small(), clock, ncpus).unwrap();
+        let session = TraceSession::start(&path, TraceConfig::small(), clock, ncpus).unwrap();
         let per_thread = 5_000u64;
         let handles: Vec<_> = (0..ncpus)
             .map(|cpu| {
@@ -196,8 +202,7 @@ mod tests {
         let path = dir.join("dropped.ktrace");
         let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
         {
-            let session =
-                TraceSession::start(&path, TraceConfig::small(), clock, 1).unwrap();
+            let session = TraceSession::start(&path, TraceConfig::small(), clock, 1).unwrap();
             session.logger().handle(0).unwrap().log0(MajorId::TEST, 1);
             // dropped here
         }

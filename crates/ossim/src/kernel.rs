@@ -122,7 +122,11 @@ impl Kernel {
         critical: impl FnOnce(),
     ) -> bool {
         let chain = events::pack_chain(&task.func_stack);
-        h.log(MajorId::LOCK, lockev::REQUEST, &[lock.id(), task.tid, chain]);
+        h.log(
+            MajorId::LOCK,
+            lockev::REQUEST,
+            &[lock.id(), task.tid, chain],
+        );
         let Some(stats) = lock.acquire(&self.abort) else {
             return false;
         };
@@ -137,7 +141,11 @@ impl Kernel {
         // Log RELEASED *before* the lock becomes available: the event's
         // timestamp must precede any successor's ACQUIRED so the trace's
         // release → acquire order matches the real synchronization order.
-        h.log(MajorId::LOCK, lockev::RELEASED, &[lock.id(), task.tid, hold_ns]);
+        h.log(
+            MajorId::LOCK,
+            lockev::RELEASED,
+            &[lock.id(), task.tid, hold_ns],
+        );
         lock.release();
         true
     }
@@ -213,14 +221,22 @@ impl Kernel {
     /// directory lock for opens/closes), and control returns.
     pub fn fs_call<H: TraceHandle>(&self, h: &H, task: &mut Task, op: FsOp) -> bool {
         let comm = self.next_comm.fetch_add(1, Ordering::Relaxed);
-        h.log(MajorId::IPC, ipc::CALL, &[task.pid, FS_SERVER_PID, op.fn_id()]);
+        h.log(
+            MajorId::IPC,
+            ipc::CALL,
+            &[task.pid, FS_SERVER_PID, op.fn_id()],
+        );
         h.log(MajorId::EXCEPTION, exception::PPC_CALL, &[comm]);
         task.func_stack.push(events::func::IPC_CALLEE_ENTRY);
         let cost = self.config.scaled(self.config.fs_op_cost_ns);
         let ok = match op {
             FsOp::Open { path } | FsOp::Close { path } => {
                 task.func_stack.push(events::func::DIR_LOOKUP);
-                let minor = if matches!(op, FsOp::Open { .. }) { fs::OPEN } else { fs::CLOSE };
+                let minor = if matches!(op, FsOp::Open { .. }) {
+                    fs::OPEN
+                } else {
+                    fs::CLOSE
+                };
                 let ok = self.locked_section(h, task, &self.dir_lock, || busy(cost));
                 if ok {
                     // Server-side event, attributed to the server pid.
@@ -247,7 +263,11 @@ impl Kernel {
         task.func_stack.pop();
         busy(self.config.scaled(self.config.ipc_cost_ns));
         h.log(MajorId::EXCEPTION, exception::PPC_RETURN, &[comm]);
-        h.log(MajorId::IPC, ipc::RETURN, &[task.pid, FS_SERVER_PID, op.fn_id()]);
+        h.log(
+            MajorId::IPC,
+            ipc::RETURN,
+            &[task.pid, FS_SERVER_PID, op.fn_id()],
+        );
         ok
     }
 
@@ -256,7 +276,11 @@ impl Kernel {
     pub fn user_lock<H: TraceHandle>(&self, h: &H, task: &Task, index: usize) -> bool {
         let lock = &self.user_locks[index];
         let chain = events::pack_chain(&task.func_stack);
-        h.log(MajorId::LOCK, lockev::REQUEST, &[lock.id(), task.tid, chain]);
+        h.log(
+            MajorId::LOCK,
+            lockev::REQUEST,
+            &[lock.id(), task.tid, chain],
+        );
         let Some(stats) = lock.acquire(&self.abort) else {
             return false;
         };
@@ -291,7 +315,11 @@ impl Kernel {
     /// (`TRC_MEM_ACCESS_READ [addr, tid]`).
     pub fn shared_read<H: TraceHandle>(&self, h: &H, task: &Task, index: usize) -> u64 {
         let cell = &self.shared_cells[index % SHARED_CELLS];
-        h.log(MajorId::MEM, mem::ACCESS_READ, &[Self::shared_cell_addr(index), task.tid]);
+        h.log(
+            MajorId::MEM,
+            mem::ACCESS_READ,
+            &[Self::shared_cell_addr(index), task.tid],
+        );
         cell.load(Ordering::Relaxed)
     }
 
@@ -303,7 +331,11 @@ impl Kernel {
     /// the workload leaves the cell unprotected.
     pub fn shared_write<H: TraceHandle>(&self, h: &H, task: &Task, index: usize) {
         let cell = &self.shared_cells[index % SHARED_CELLS];
-        h.log(MajorId::MEM, mem::ACCESS_WRITE, &[Self::shared_cell_addr(index), task.tid]);
+        h.log(
+            MajorId::MEM,
+            mem::ACCESS_WRITE,
+            &[Self::shared_cell_addr(index), task.tid],
+        );
         let v = cell.load(Ordering::Relaxed);
         busy(self.config.scaled(200));
         cell.store(v.wrapping_add(1), Ordering::Relaxed);
@@ -445,8 +477,18 @@ mod tests {
         // Server-side events carry the server pid.
         assert!(fs_evs.iter().all(|(_, p)| p[0] == FS_SERVER_PID));
         let ppc = events_of(&tracer, MajorId::EXCEPTION);
-        assert_eq!(ppc.iter().filter(|(m, _)| *m == exception::PPC_CALL).count(), 2);
-        assert_eq!(ppc.iter().filter(|(m, _)| *m == exception::PPC_RETURN).count(), 2);
+        assert_eq!(
+            ppc.iter()
+                .filter(|(m, _)| *m == exception::PPC_CALL)
+                .count(),
+            2
+        );
+        assert_eq!(
+            ppc.iter()
+                .filter(|(m, _)| *m == exception::PPC_RETURN)
+                .count(),
+            2
+        );
     }
 
     #[test]
@@ -482,8 +524,12 @@ mod tests {
         // Long critical sections (200µs) so that even on a single-core host
         // the OS preempts holders mid-section and waiters observe contention.
         let logger = TraceLogger::new(
-            TraceConfig { buffer_words: 8192, buffers_per_cpu: 8, ..TraceConfig::small() }
-                .flight_recorder(),
+            TraceConfig {
+                buffer_words: 8192,
+                buffers_per_cpu: 8,
+                ..TraceConfig::small()
+            }
+            .flight_recorder(),
             Arc::new(SyncClock::new()),
             1,
         )
@@ -514,6 +560,9 @@ mod tests {
             .iter()
             .filter(|(m, p)| *m == lockev::ACQUIRED && p[4] > 0)
             .collect();
-        assert!(!contended.is_empty(), "4 threads on one allocator lock must contend");
+        assert!(
+            !contended.is_empty(),
+            "4 threads on one allocator lock must contend"
+        );
     }
 }

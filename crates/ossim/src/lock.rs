@@ -42,7 +42,11 @@ pub struct FairBLock {
 impl FairBLock {
     /// Creates a lock with a stable identity (logged with every event).
     pub fn new(id: u64) -> FairBLock {
-        FairBLock { id, locked: AtomicBool::new(false), acquisitions: AtomicU64::new(0) }
+        FairBLock {
+            id,
+            locked: AtomicBool::new(false),
+            acquisitions: AtomicU64::new(0),
+        }
     }
 
     /// The lock's identity.
@@ -65,7 +69,11 @@ impl FairBLock {
             .is_ok()
         {
             self.acquisitions.fetch_add(1, Ordering::Relaxed);
-            return Some(AcquireStats { spins: 0, wait_ns: 0, contended: false });
+            return Some(AcquireStats {
+                spins: 0,
+                wait_ns: 0,
+                contended: false,
+            });
         }
         let start = Instant::now();
         let mut spins = 0u64;

@@ -73,12 +73,22 @@ impl Shared {
             procev::CREATE,
             &name_payload(pid, creator_pid, &spec.name),
         );
-        h.log(MajorId::USER, user::RUN_UL_LOADER, &name_payload(creator_pid, pid, &spec.name));
+        h.log(
+            MajorId::USER,
+            user::RUN_UL_LOADER,
+            &name_payload(creator_pid, pid, &spec.name),
+        );
         h.log(MajorId::SCHED, sched::THREAD_START, &[tid, pid]);
         if let Some(c) = creator {
             c.child_spawned();
         }
-        let task = Task::from_spec(spec, pid, tid, cpu, creator.map(|c| c.pending_children.clone()));
+        let task = Task::from_spec(
+            spec,
+            pid,
+            tid,
+            cpu,
+            creator.map(|c| c.pending_children.clone()),
+        );
         self.live.fetch_add(1, Ordering::AcqRel);
         self.spawned.fetch_add(1, Ordering::Relaxed);
         self.queues[cpu].lock().push_back(task);
@@ -118,7 +128,11 @@ impl<T: Tracer> Machine<T> {
     /// Builds a machine with one allocator region lock (the contended
     /// default of the paper's tuning story).
     pub fn new(config: MachineConfig, tracer: Arc<T>) -> Machine<T> {
-        Machine { config, tracer, alloc_regions: 1 }
+        Machine {
+            config,
+            tracer,
+            alloc_regions: 1,
+        }
     }
 
     /// Sets the number of allocator region locks (modelling the scalability
@@ -138,7 +152,9 @@ impl<T: Tracer> Machine<T> {
         let shared = Arc::new(Shared {
             config: self.config,
             kernel: Kernel::new(self.config, self.alloc_regions, workload.user_locks),
-            queues: (0..self.config.ncpus).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queues: (0..self.config.ncpus)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
             live: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             completions: AtomicU64::new(0),
@@ -207,9 +223,10 @@ fn cpu_loop<H: TraceHandle>(cpu: usize, shared: Arc<Shared>, h: H) {
     let mut hw = HwCounters::default();
     let run_start = Instant::now();
     loop {
-        if shared.live.load(Ordering::Acquire) == 0
-            || shared.kernel.abort.load(Ordering::Relaxed)
-        {
+        if shared.live.load(Ordering::Acquire) == 0 || shared.kernel.abort.load(Ordering::Relaxed) {
+            // Final counter flush: activity between the last sampler tick and
+            // shutdown must still reach the stream.
+            hw.emit(&h, run_start);
             return;
         }
         let Some(mut task) = shared.next_task(cpu) else {
@@ -221,14 +238,26 @@ fn cpu_loop<H: TraceHandle>(cpu: usize, shared: Arc<Shared>, h: H) {
             continue;
         };
         if let Some(t0) = idle_since.take() {
-            h.log(MajorId::SCHED, sched::IDLE_END, &[t0.elapsed().as_nanos() as u64]);
+            h.log(
+                MajorId::SCHED,
+                sched::IDLE_END,
+                &[t0.elapsed().as_nanos() as u64],
+            );
         }
         if task.started && task.last_cpu != cpu {
-            h.log(MajorId::SCHED, sched::MIGRATE, &[task.tid, task.last_cpu as u64, cpu as u64]);
+            h.log(
+                MajorId::SCHED,
+                sched::MIGRATE,
+                &[task.tid, task.last_cpu as u64, cpu as u64],
+            );
         }
         task.started = true;
         task.last_cpu = cpu;
-        h.log(MajorId::SCHED, sched::CTX_SWITCH, &[prev_tid, task.tid, task.pid]);
+        h.log(
+            MajorId::SCHED,
+            sched::CTX_SWITCH,
+            &[prev_tid, task.tid, task.pid],
+        );
         prev_tid = task.tid;
 
         let outcome = run_slice(&shared, &h, &mut task, &mut last_sample, &mut hw, run_start);
@@ -279,7 +308,11 @@ impl HwCounters {
         let cycles = run_start.elapsed().as_nanos() as u64;
         let samples = [
             (counter::CYCLES, cycles, &mut self.last_cycles),
-            (counter::CACHE_MISSES, self.cache_misses, &mut self.last_cache),
+            (
+                counter::CACHE_MISSES,
+                self.cache_misses,
+                &mut self.last_cache,
+            ),
             (counter::TLB_MISSES, self.tlb_misses, &mut self.last_tlb),
         ];
         for (id, value, last) in samples {
@@ -433,14 +466,21 @@ mod tests {
 
     fn traced_machine(ncpus: usize) -> Machine<KTracer> {
         let logger = TraceLogger::new(
-            TraceConfig { buffer_words: 4096, buffers_per_cpu: 8, ..TraceConfig::small() }
-                .flight_recorder(),
+            TraceConfig {
+                buffer_words: 4096,
+                buffers_per_cpu: 8,
+                ..TraceConfig::small()
+            }
+            .flight_recorder(),
             Arc::new(SyncClock::new()),
             ncpus,
         )
         .unwrap();
         crate::events::register_all(&logger);
-        Machine::new(MachineConfig::fast_test(ncpus), Arc::new(KTracer::new(logger)))
+        Machine::new(
+            MachineConfig::fast_test(ncpus),
+            Arc::new(KTracer::new(logger)),
+        )
     }
 
     fn simple_workload(n: usize) -> Workload {
@@ -455,7 +495,9 @@ mod tests {
             .page_fault(0x4000)
             .op(Op::CountCompletion);
         Workload {
-            processes: (0..n).map(|i| ProcessSpec::new(format!("proc{i}"), program.clone())).collect(),
+            processes: (0..n)
+                .map(|i| ProcessSpec::new(format!("proc{i}"), program.clone()))
+                .collect(),
             user_locks: 0,
         }
     }
@@ -472,9 +514,19 @@ mod tests {
         // The trace contains scheduling, syscall, lock, and fault events.
         let logger = m.tracer().logger();
         let dump = logger.flight_dump(100_000, None);
-        for major in [MajorId::SCHED, MajorId::SYSCALL, MajorId::LOCK, MajorId::EXCEPTION,
-                      MajorId::PROC, MajorId::USER, MajorId::MEM] {
-            assert!(dump.iter().any(|e| e.major == major), "missing {major} events");
+        for major in [
+            MajorId::SCHED,
+            MajorId::SYSCALL,
+            MajorId::LOCK,
+            MajorId::EXCEPTION,
+            MajorId::PROC,
+            MajorId::USER,
+            MajorId::MEM,
+        ] {
+            assert!(
+                dump.iter().any(|e| e.major == major),
+                "missing {major} events"
+            );
         }
     }
 
@@ -484,7 +536,10 @@ mod tests {
         // Long enough that the 20µs sampler certainly fires.
         let report = m.run(workload_with_compute(4, 2_000_000));
         assert!(!report.aborted);
-        let dump = m.tracer().logger().flight_dump(100_000, Some(&[MajorId::HWPERF]));
+        let dump = m
+            .tracer()
+            .logger()
+            .flight_dump(100_000, Some(&[MajorId::HWPERF]));
         assert!(!dump.is_empty(), "HWPERF samples expected");
         for e in &dump {
             assert_eq!(e.minor, crate::events::hwperf::COUNTER_SAMPLE);
@@ -508,18 +563,27 @@ mod tests {
     fn spawn_and_wait_children() {
         let child = ProcessSpec::new(
             "child",
-            Program::new().compute(1_000, func::USER_COMPUTE).op(Op::CountCompletion),
+            Program::new()
+                .compute(1_000, func::USER_COMPUTE)
+                .op(Op::CountCompletion),
         );
         let parent = ProcessSpec::new(
             "parent",
             Program::new()
-                .op(Op::Spawn { child: Box::new(child.clone()) })
-                .op(Op::Spawn { child: Box::new(child) })
+                .op(Op::Spawn {
+                    child: Box::new(child.clone()),
+                })
+                .op(Op::Spawn {
+                    child: Box::new(child),
+                })
                 .op(Op::WaitChildren)
                 .op(Op::CountCompletion),
         );
         let m = traced_machine(2);
-        let report = m.run(Workload { processes: vec![parent], user_locks: 0 });
+        let report = m.run(Workload {
+            processes: vec![parent],
+            user_locks: 0,
+        });
         assert!(!report.aborted);
         assert_eq!(report.tasks_spawned, 3);
         assert_eq!(report.tasks_completed, 3);
@@ -527,8 +591,10 @@ mod tests {
         // PROC_CREATE events carry the parent/child relationship.
         let logger = m.tracer().logger();
         let creates = logger.flight_dump(100_000, Some(&[MajorId::PROC]));
-        let create_events: Vec<_> =
-            creates.iter().filter(|e| e.minor == procev::CREATE).collect();
+        let create_events: Vec<_> = creates
+            .iter()
+            .filter(|e| e.minor == procev::CREATE)
+            .collect();
         assert_eq!(create_events.len(), 3);
     }
 
@@ -566,10 +632,16 @@ mod tests {
         let mut cfg = MachineConfig::fast_test(2);
         cfg.watchdog = Duration::from_millis(300);
         let m = Machine::new(cfg, Arc::new(KTracer::new(logger)));
-        let report = m.run(Workload { processes: vec![a, b], user_locks: 2 });
+        let report = m.run(Workload {
+            processes: vec![a, b],
+            user_locks: 2,
+        });
         assert!(report.aborted, "watchdog must fire");
         // The flight recorder holds the lock events needed for diagnosis.
-        let dump = m.tracer().logger().flight_dump(10_000, Some(&[MajorId::LOCK]));
+        let dump = m
+            .tracer()
+            .logger()
+            .flight_dump(10_000, Some(&[MajorId::LOCK]));
         assert!(dump.iter().any(|e| e.minor == crate::events::lock::REQUEST));
     }
 

@@ -162,7 +162,10 @@ pub struct ProcessSpec {
 impl ProcessSpec {
     /// Creates a spec.
     pub fn new(name: impl Into<String>, program: Program) -> ProcessSpec {
-        ProcessSpec { name: name.into(), program }
+        ProcessSpec {
+            name: name.into(),
+            program,
+        }
     }
 }
 
@@ -224,7 +227,10 @@ impl Task {
 
     /// The innermost simulated function (what a PC sample reports).
     pub fn current_func(&self) -> u16 {
-        self.func_stack.last().copied().unwrap_or(crate::events::func::UNKNOWN)
+        self.func_stack
+            .last()
+            .copied()
+            .unwrap_or(crate::events::func::UNKNOWN)
     }
 
     /// Number of live children.
@@ -275,7 +281,11 @@ mod tests {
         parent.child_spawned();
         assert_eq!(parent.live_children(), 2);
         let child = Task::from_spec(&spec, 2, 2, 0, Some(parent.pending_children.clone()));
-        child.parent_pending.as_ref().unwrap().fetch_sub(1, Ordering::AcqRel);
+        child
+            .parent_pending
+            .as_ref()
+            .unwrap()
+            .fetch_sub(1, Ordering::AcqRel);
         assert_eq!(parent.live_children(), 1);
     }
 

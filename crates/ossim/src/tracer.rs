@@ -47,7 +47,9 @@ impl Tracer for KTracer {
     type Handle = CpuHandle;
 
     fn handle(&self, cpu: usize) -> CpuHandle {
-        self.logger.handle(cpu).expect("machine cpu count exceeds logger cpu count")
+        self.logger
+            .handle(cpu)
+            .expect("machine cpu count exceeds logger cpu count")
     }
 }
 

@@ -9,7 +9,9 @@ use crate::workload::Workload;
 /// the Fig. 7 contention picture on demand.
 pub fn alloc_contention(nprocs: usize, mallocs_per: usize) -> Workload {
     let program = Program::new()
-        .repeat(mallocs_per, |p| p.malloc(256).compute(500, func::USER_COMPUTE))
+        .repeat(mallocs_per, |p| {
+            p.malloc(256).compute(500, func::USER_COMPUTE)
+        })
         .op(Op::FreePages { pages: 4 })
         .op(Op::CountCompletion);
     Workload::new(
@@ -31,7 +33,9 @@ pub fn fork_storm(children: usize) -> Workload {
     );
     let mut p = Program::new();
     for _ in 0..children {
-        p = p.op(Op::Spawn { child: Box::new(child.clone()) });
+        p = p.op(Op::Spawn {
+            child: Box::new(child.clone()),
+        });
     }
     p = p.op(Op::WaitChildren).op(Op::CountCompletion);
     Workload::new(vec![ProcessSpec::new("storm-parent", p)])
@@ -72,7 +76,10 @@ pub fn ab_ba_deadlock(hold_ns: u64) -> Workload {
             .op(Op::UserUnlock { lock: 0 })
             .op(Op::UserUnlock { lock: 1 }),
     );
-    Workload { processes: vec![a, b], user_locks: 2 }
+    Workload {
+        processes: vec![a, b],
+        user_locks: 2,
+    }
 }
 
 /// A deliberately racy shared counter: `nprocs` processes each performing
@@ -162,8 +169,16 @@ mod tests {
         };
         assert_eq!(writes(&racy), 5);
         assert_eq!(writes(&locked), 5);
-        assert!(!racy.processes[0].program.ops.iter().any(|o| matches!(o, Op::UserLock { .. })));
-        assert!(locked.processes[0].program.ops.iter().any(|o| matches!(o, Op::UserLock { .. })));
+        assert!(!racy.processes[0]
+            .program
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::UserLock { .. })));
+        assert!(locked.processes[0]
+            .program
+            .ops
+            .iter()
+            .any(|o| matches!(o, Op::UserLock { .. })));
     }
 
     #[test]

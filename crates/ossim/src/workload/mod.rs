@@ -22,6 +22,9 @@ pub struct Workload {
 impl Workload {
     /// A workload from root processes, with no user locks.
     pub fn new(processes: Vec<ProcessSpec>) -> Workload {
-        Workload { processes, user_locks: 0 }
+        Workload {
+            processes,
+            user_locks: 0,
+        }
     }
 }

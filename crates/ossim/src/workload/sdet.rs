@@ -28,7 +28,12 @@ pub struct SdetConfig {
 
 impl Default for SdetConfig {
     fn default() -> SdetConfig {
-        SdetConfig { scripts: 8, commands_per_script: 6, work_scale: 1, seed: 42 }
+        SdetConfig {
+            scripts: 8,
+            commands_per_script: 6,
+            work_scale: 1,
+            seed: 42,
+        }
     }
 }
 
@@ -38,8 +43,12 @@ const COMMANDS: &[&str] = &["awk", "grep", "nroff", "ls", "ed", "spell", "cc", "
 fn command(name: &str, rng: &mut StdRng, scale: u64) -> ProcessSpec {
     let mut p = Program::new();
     // exec: the loader maps text+data regions, then demand-faults them in.
-    p = p.op(Op::MapRegion { bytes: rng.gen_range(0x10_000..0x100_000) });
-    p = p.op(Op::MapRegion { bytes: rng.gen_range(0x4_000..0x20_000) });
+    p = p.op(Op::MapRegion {
+        bytes: rng.gen_range(0x10_000..0x100_000),
+    });
+    p = p.op(Op::MapRegion {
+        bytes: rng.gen_range(0x4_000..0x20_000),
+    });
     let faults = rng.gen_range(2..6);
     for i in 0..faults {
         p = p.page_fault(0x4000_0000 + i * 0x1000);
@@ -52,14 +61,20 @@ fn command(name: &str, rng: &mut StdRng, scale: u64) -> ProcessSpec {
     let path = rng.gen::<u32>() as u64;
     p = p.op(Op::FsOpen { path });
     for _ in 0..rng.gen_range(1..4) {
-        p = p.op(Op::FsRead { bytes: rng.gen_range(256..8192) });
+        p = p.op(Op::FsRead {
+            bytes: rng.gen_range(256..8192),
+        });
     }
-    p = p.op(Op::FsWrite { bytes: rng.gen_range(128..2048) });
+    p = p.op(Op::FsWrite {
+        bytes: rng.gen_range(128..2048),
+    });
     p = p.op(Op::FsClose { path });
     // the command's own computation.
     p = p.compute(rng.gen_range(5_000..20_000) * scale, func::USER_COMPUTE);
     // cleanup.
-    p = p.op(Op::FreePages { pages: rng.gen_range(1..8) });
+    p = p.op(Op::FreePages {
+        pages: rng.gen_range(1..8),
+    });
     p = p.syscall(sysno::EXIT);
     ProcessSpec::new(name, p)
 }
@@ -70,7 +85,9 @@ fn script(index: usize, cfg: &SdetConfig, rng: &mut StdRng) -> ProcessSpec {
     for c in 0..cfg.commands_per_script {
         let name = COMMANDS[(index + c) % COMMANDS.len()];
         p = p.syscall(sysno::FORK);
-        p = p.op(Op::Spawn { child: Box::new(command(name, rng, cfg.work_scale)) });
+        p = p.op(Op::Spawn {
+            child: Box::new(command(name, rng, cfg.work_scale)),
+        });
         p = p.op(Op::WaitChildren);
     }
     p = p.op(Op::CountCompletion);
@@ -80,7 +97,11 @@ fn script(index: usize, cfg: &SdetConfig, rng: &mut StdRng) -> ProcessSpec {
 /// Builds the full workload.
 pub fn build(cfg: SdetConfig) -> Workload {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    Workload::new((0..cfg.scripts).map(|i| script(i, &cfg, &mut rng)).collect())
+    Workload::new(
+        (0..cfg.scripts)
+            .map(|i| script(i, &cfg, &mut rng))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -89,14 +110,28 @@ mod tests {
 
     #[test]
     fn builds_requested_shape() {
-        let w = build(SdetConfig { scripts: 5, commands_per_script: 3, work_scale: 1, seed: 7 });
+        let w = build(SdetConfig {
+            scripts: 5,
+            commands_per_script: 3,
+            work_scale: 1,
+            seed: 7,
+        });
         assert_eq!(w.processes.len(), 5);
         for (i, p) in w.processes.iter().enumerate() {
             assert_eq!(p.name, format!("sdet-script-{i}"));
-            let spawns = p.program.ops.iter().filter(|o| matches!(o, Op::Spawn { .. })).count();
+            let spawns = p
+                .program
+                .ops
+                .iter()
+                .filter(|o| matches!(o, Op::Spawn { .. }))
+                .count();
             assert_eq!(spawns, 3);
-            let waits =
-                p.program.ops.iter().filter(|o| matches!(o, Op::WaitChildren)).count();
+            let waits = p
+                .program
+                .ops
+                .iter()
+                .filter(|o| matches!(o, Op::WaitChildren))
+                .count();
             assert_eq!(waits, 3, "each command is waited for");
             assert!(matches!(p.program.ops.last(), Some(Op::CountCompletion)));
         }
@@ -104,8 +139,14 @@ mod tests {
 
     #[test]
     fn deterministic_for_a_seed() {
-        let a = build(SdetConfig { seed: 9, ..Default::default() });
-        let b = build(SdetConfig { seed: 9, ..Default::default() });
+        let a = build(SdetConfig {
+            seed: 9,
+            ..Default::default()
+        });
+        let b = build(SdetConfig {
+            seed: 9,
+            ..Default::default()
+        });
         assert_eq!(a.processes.len(), b.processes.len());
         for (x, y) in a.processes.iter().zip(&b.processes) {
             assert_eq!(x.program.ops.len(), y.program.ops.len());

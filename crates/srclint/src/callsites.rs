@@ -1,0 +1,292 @@
+//! Extraction of event-logging call sites from simulator and benchmark
+//! source.
+//!
+//! A call site is any method call named `log`, `log0`…`log6`, `log_slice`,
+//! `try_log`, or `emit` whose argument list names a major class literally
+//! (`MajorId::SCHED`). The argument after the major is the minor; everything
+//! after that is payload. Calls that pass the major through a variable are
+//! invisible to static checking and are skipped (counted, not flagged —
+//! wrapper plumbing like `logger.log(cpu, major, minor, payload)` is
+//! legitimate).
+
+use crate::lexer::{parse_int, strip_test_modules, tokenize, Tok, TokKind};
+
+/// The method names recognized as event-logging calls.
+pub const LOG_METHODS: &[&str] = &[
+    "log",
+    "log0",
+    "log1",
+    "log2",
+    "log3",
+    "log4",
+    "log5",
+    "log6",
+    "log_slice",
+    "try_log",
+    "emit",
+];
+
+/// How a call site names its minor ID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MinorRef {
+    /// A named const, e.g. `sched::CTX_SWITCH` (path prefix ignored —
+    /// aliased imports like `procev::EXIT` are common).
+    Const(String),
+    /// A bare integer literal.
+    Literal(u64),
+    /// A variable or computed expression — not statically checkable.
+    Dynamic,
+}
+
+/// One extracted call site.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Repo-relative path of the file.
+    pub file: String,
+    /// 1-based line of the method name.
+    pub line: u32,
+    /// The method called (`log`, `log2`, `emit`, …).
+    pub method: String,
+    /// Major const name, e.g. `SCHED`.
+    pub major: String,
+    /// The minor reference.
+    pub minor: MinorRef,
+    /// Statically known payload word count, when determinable: the `N` of
+    /// `logN`, or the element count of a literal `&[…]` payload.
+    pub arity: Option<usize>,
+}
+
+/// Extracts every recognizable call site from `src`. Unit-test modules
+/// (`#[cfg(test)] mod …`) are skipped.
+pub fn extract_call_sites(src: &str, file: &str) -> Vec<CallSite> {
+    let toks = strip_test_modules(tokenize(src));
+    let mut sites = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        let is_method = toks[i].kind == TokKind::Ident
+            && LOG_METHODS.contains(&toks[i].text.as_str())
+            && toks[i + 1].is_punct("(")
+            && i > 0
+            && toks[i - 1].is_punct(".");
+        if !is_method {
+            i += 1;
+            continue;
+        }
+        let end = crate::lexer::skip_group(&toks, i + 1);
+        let args = split_args(&toks[i + 2..end.saturating_sub(1)]);
+        if let Some(site) = analyze_call(&toks[i], &args, file) {
+            sites.push(site);
+        }
+        i = end;
+    }
+    sites
+}
+
+/// Splits an argument token slice on top-level commas.
+fn split_args(toks: &[Tok]) -> Vec<&[Tok]> {
+    let mut args = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                "," if depth == 0 => {
+                    args.push(&toks[start..k]);
+                    start = k + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if start < toks.len() {
+        args.push(&toks[start..]);
+    }
+    args
+}
+
+fn analyze_call(method: &Tok, args: &[&[Tok]], file: &str) -> Option<CallSite> {
+    // Locate the literal major argument.
+    let major_idx = args.iter().position(|a| {
+        a.windows(3)
+            .any(|w| w[0].is_ident("MajorId") && w[1].is_punct("::") && w[2].kind == TokKind::Ident)
+    })?;
+    let major = args[major_idx]
+        .windows(3)
+        .find(|w| w[0].is_ident("MajorId") && w[1].is_punct("::"))
+        .map(|w| w[2].text.clone())?;
+
+    let minor = args
+        .get(major_idx + 1)
+        .map_or(MinorRef::Dynamic, |a| classify_minor(a));
+
+    let arity = match method.text.as_str() {
+        "log_slice" => None,
+        m if m.len() == 4 && m.starts_with("log") => {
+            m[3..].parse::<usize>().ok() // log0..log6
+        }
+        _ => {
+            let payload = &args[major_idx + 2..];
+            if payload.len() == 1 {
+                literal_array_arity(payload[0])
+            } else {
+                None
+            }
+        }
+    };
+
+    Some(CallSite {
+        file: file.to_string(),
+        line: method.line,
+        method: method.text.clone(),
+        major,
+        minor,
+        arity,
+    })
+}
+
+fn classify_minor(toks: &[Tok]) -> MinorRef {
+    match toks {
+        [t] if t.kind == TokKind::Number => {
+            parse_int(&t.text).map_or(MinorRef::Dynamic, MinorRef::Literal)
+        }
+        // `path::to::CONST` — last segment must look like a const.
+        [.., sep, last]
+            if sep.is_punct("::")
+                && last.kind == TokKind::Ident
+                && last
+                    .text
+                    .chars()
+                    .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_') =>
+        {
+            MinorRef::Const(last.text.clone())
+        }
+        _ => MinorRef::Dynamic,
+    }
+}
+
+/// Arity of a literal `&[…]` (or `[…]`) payload argument; `None` for
+/// anything dynamic (function calls producing slices, slicing suffixes,
+/// repeat counts that aren't literals, …).
+fn literal_array_arity(toks: &[Tok]) -> Option<usize> {
+    let mut i = 0;
+    while i < toks.len() && toks[i].is_punct("&") {
+        i += 1;
+    }
+    if !toks.get(i)?.is_punct("[") {
+        return None;
+    }
+    let end = crate::lexer::skip_group(toks, i);
+    if end != toks.len() {
+        return None; // trailing tokens, e.g. a `[..n]` slicing suffix
+    }
+    let inner = &toks[i + 1..end - 1];
+    if inner.is_empty() {
+        return Some(0);
+    }
+    // `[expr; N]` repeat form.
+    let mut depth = 0usize;
+    for (k, t) in inner.iter().enumerate() {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => {
+                    let count = inner[k + 1..].iter().find(|t| t.kind == TokKind::Number)?;
+                    return parse_int(&count.text).map(|v| v as usize);
+                }
+                _ => {}
+            }
+        }
+    }
+    let commas = {
+        let mut depth = 0usize;
+        let mut n = 0;
+        for t in inner {
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                    "," if depth == 0 => n += 1,
+                    _ => {}
+                }
+            }
+        }
+        n
+    };
+    Some(commas + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_handle_and_logger_styles() {
+        let src = r#"
+            fn f() {
+                h.log(MajorId::SCHED, sched::CTX_SWITCH, &[a, b, c]);
+                logger.log(cpu, MajorId::MEM, mem::ALLOC, &[size, addr]);
+                self.emit(cpu, MajorId::LOCK, lockev::ACQUIRED, &[id, tid, chain, s, w]);
+                h.log1(MajorId::EXCEPTION, exception::PPC_CALL, comm);
+                h.log_slice(MajorId::PROC, procev::CREATE, &payload[..n]);
+                h.log(MajorId::FS, minor, &[pid, path]);
+                em.logger.log(cpu, major, minor, payload);
+            }
+        "#;
+        let sites = extract_call_sites(src, "f.rs");
+        assert_eq!(sites.len(), 6); // the all-variables call is skipped
+        assert_eq!(sites[0].major, "SCHED");
+        assert_eq!(sites[0].minor, MinorRef::Const("CTX_SWITCH".into()));
+        assert_eq!(sites[0].arity, Some(3));
+        assert_eq!(sites[1].major, "MEM");
+        assert_eq!(sites[1].arity, Some(2));
+        assert_eq!(sites[2].arity, Some(5));
+        assert_eq!(sites[3].method, "log1");
+        assert_eq!(sites[3].arity, Some(1));
+        assert_eq!(sites[4].method, "log_slice");
+        assert_eq!(sites[4].arity, None);
+        assert_eq!(sites[5].minor, MinorRef::Dynamic);
+    }
+
+    #[test]
+    fn literal_and_repeat_payloads() {
+        let src = r#"
+            fn f() {
+                s.log(0, MajorId::TEST, 1, &[1, 2, 3]);
+                s.log(0, MajorId::TEST, 0, &[i; 7]);
+                s.log(0, MajorId::TEST, 2, &[]);
+                h.log(MajorId::SCHED, sched::IDLE_END, &[t0.elapsed().as_nanos() as u64]);
+            }
+        "#;
+        let sites = extract_call_sites(src, "f.rs");
+        assert_eq!(sites[0].minor, MinorRef::Literal(1));
+        assert_eq!(sites[0].arity, Some(3));
+        assert_eq!(sites[1].arity, Some(7));
+        assert_eq!(sites[2].arity, Some(0));
+        assert_eq!(sites[3].arity, Some(1), "nested parens inside one element");
+    }
+
+    #[test]
+    fn test_modules_are_skipped() {
+        let src = r#"
+            fn live(h: &H) { h.log(MajorId::SCHED, sched::IDLE_START, &[]); }
+            #[cfg(test)]
+            mod tests {
+                fn t(h: &H) { h.log(MajorId::SCHED, 1, &[1, 2]); }
+            }
+        "#;
+        let sites = extract_call_sites(src, "f.rs");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].minor, MinorRef::Const("IDLE_START".into()));
+    }
+
+    #[test]
+    fn multiline_calls_parse() {
+        let src = "fn f() {\n h.log(\n MajorId::PROF,\n prof::PC_SAMPLE,\n &[task.pid, task.tid, task.current_func() as u64],\n );\n}";
+        let sites = extract_call_sites(src, "f.rs");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].arity, Some(3));
+    }
+}

@@ -1,0 +1,396 @@
+//! Parsing the declared event schema out of source text.
+//!
+//! Two inputs make up the schema:
+//!
+//! * `crates/events/src/lib.rs` — the `ktrace_event!` invocation(s)
+//!   declaring every event module: minor consts, symbolic names, field
+//!   specs, templates, and the doc-comment payload annotations
+//!   (`` `[old_tid, new_tid, …]` ``) this linter cross-checks;
+//! * `crates/format/src/ids.rs` — the `MajorId` constants mapping major
+//!   names to raw mask-bit positions, and `NUM_MAJOR_IDS`.
+
+use crate::lexer::{parse_int, skip_group, tokenize, Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// Major classes that user code must never register events under:
+/// `CONTROL` carries the stream's own filler/anchor/dropped records, and
+/// `TEST` is the test-harness scratch class.
+pub const RESERVED_MAJORS: &[&str] = &["CONTROL", "TEST"];
+
+/// One event row of a `ktrace_event!` module.
+#[derive(Debug, Clone)]
+pub struct EventEntry {
+    /// The generated minor-ID const's name, e.g. `CTX_SWITCH`.
+    pub const_name: String,
+    /// Declared minor value.
+    pub minor: u64,
+    /// Symbolic event name, e.g. `TRACE_SCHED_CTX_SWITCH`.
+    pub ev_name: String,
+    /// Field spec string, e.g. `"64 64 64"`.
+    pub spec: String,
+    /// Render template.
+    pub template: String,
+    /// Parsed doc-comment payload annotation: field count plus whether the
+    /// annotation ends in a standalone ellipsis wildcard. `None` when the
+    /// entry's doc comment carries no `` `[…]` `` annotation at all.
+    pub doc_fields: Option<DocAnnotation>,
+    /// 1-based line of the entry in the events source.
+    pub line: u32,
+}
+
+/// A parsed `` `[a, b, …]` `` payload annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DocAnnotation {
+    /// Number of named fields.
+    pub fields: usize,
+    /// True when the annotation ends with a standalone `…`/`...` element,
+    /// meaning "at least `fields` fields" rather than exactly.
+    pub open_ended: bool,
+}
+
+/// One `pub mod name [MajorId::X] { … }` block.
+#[derive(Debug, Clone)]
+pub struct EventModule {
+    /// Module name, e.g. `sched`.
+    pub module: String,
+    /// The major const name from the bracket expression, e.g. `SCHED`.
+    pub major_name: String,
+    /// 1-based line of the module header.
+    pub line: u32,
+    /// The module's event rows.
+    pub entries: Vec<EventEntry>,
+}
+
+/// The complete declared schema.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    /// `MajorId` const name → raw value, from ids.rs.
+    pub majors: BTreeMap<String, u64>,
+    /// Width of the trace-mask ID space, from ids.rs (64 in this design).
+    pub num_major_ids: u64,
+    /// Every declared event module, in source order.
+    pub modules: Vec<EventModule>,
+}
+
+impl Schema {
+    /// The module declared for `major_name`, if any.
+    pub fn module_for_major(&self, major_name: &str) -> Option<&EventModule> {
+        self.modules.iter().find(|m| m.major_name == major_name)
+    }
+
+    /// Total number of declared events.
+    pub fn events_declared(&self) -> usize {
+        self.modules.iter().map(|m| m.entries.len()).sum()
+    }
+}
+
+/// The set of valid field-spec tokens (mirrors `FieldToken::parse` in
+/// `crates/format/src/describe.rs`).
+pub fn spec_token_valid(tok: &str) -> bool {
+    matches!(tok, "8" | "16" | "32" | "64" | "str")
+}
+
+/// Number of fields in a spec string.
+pub fn spec_field_count(spec: &str) -> usize {
+    spec.split_whitespace().count()
+}
+
+/// True if the spec contains a variable-length `str` field (call sites for
+/// such events build payloads dynamically, so arity is not statically
+/// checkable).
+pub fn spec_has_str(spec: &str) -> bool {
+    spec.split_whitespace().any(|t| t == "str")
+}
+
+/// Parses `MajorId` consts and `NUM_MAJOR_IDS` out of ids.rs source.
+pub fn parse_ids_source(src: &str) -> (BTreeMap<String, u64>, u64) {
+    let toks = tokenize(src);
+    let mut majors = BTreeMap::new();
+    let mut num = 64u64;
+    let mut i = 0;
+    while i < toks.len() {
+        let header = (toks.get(i), toks.get(i + 1), toks.get(i + 2));
+        let (Some(kw), Some(name), Some(colon)) = header else {
+            break;
+        };
+        if !kw.is_ident("const") || name.kind != TokKind::Ident || !colon.is_punct(":") {
+            i += 1;
+            continue;
+        }
+        // Scan the initializer up to `;`, remembering the last number —
+        // covers `MajorId(4)` and `MajorId::new_unchecked(4)`.
+        let ty_is_major = toks.get(i + 3).is_some_and(|t| t.is_ident("MajorId"));
+        let mut j = i + 3;
+        let mut last_num = None;
+        while j < toks.len() && !toks[j].is_punct(";") {
+            if toks[j].kind == TokKind::Number {
+                last_num = parse_int(&toks[j].text);
+            }
+            j += 1;
+        }
+        match last_num {
+            Some(v) if ty_is_major => {
+                majors.insert(name.text.clone(), v);
+            }
+            Some(v) if name.text == "NUM_MAJOR_IDS" => num = v,
+            _ => {}
+        }
+        i = j;
+    }
+    (majors, num)
+}
+
+/// Parses every `ktrace_event! { … }` invocation in the events source.
+pub fn parse_events_source(src: &str) -> Vec<EventModule> {
+    let toks = tokenize(src);
+    let mut modules = Vec::new();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        if toks[i].is_ident("ktrace_event")
+            && toks[i + 1].is_punct("!")
+            && toks[i + 2].is_punct("{")
+        {
+            let end = skip_group(&toks, i + 2);
+            parse_invocation(&toks[i + 3..end.saturating_sub(1)], &mut modules);
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    modules
+}
+
+/// Parses the inside of one `ktrace_event! { … }` invocation.
+fn parse_invocation(toks: &[Tok], modules: &mut Vec<EventModule>) {
+    let mut i = 0;
+    while i < toks.len() {
+        // Skip doc comments and attributes before the module header.
+        match toks[i].kind {
+            TokKind::DocComment | TokKind::LintComment => {
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if toks[i].is_punct("#") {
+            if toks.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+                i = skip_group(toks, i + 1);
+            } else {
+                i += 1;
+            }
+            continue;
+        }
+        if toks[i].is_ident("pub") {
+            i += 1;
+            continue;
+        }
+        if toks[i].is_ident("mod") {
+            let Some(name) = toks.get(i + 1) else { break };
+            let line = name.line;
+            // `[MajorId::X]` — take the last identifier before the close.
+            let Some(open) = toks.get(i + 2).filter(|t| t.is_punct("[")) else {
+                i += 2;
+                continue;
+            };
+            let _ = open;
+            let bracket_end = skip_group(toks, i + 2);
+            let major_name = toks[i + 2..bracket_end]
+                .iter()
+                .rev()
+                .find(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            // Module body.
+            let Some(body_open) = toks.get(bracket_end).filter(|t| t.is_punct("{")) else {
+                i = bracket_end;
+                continue;
+            };
+            let _ = body_open;
+            let body_end = skip_group(toks, bracket_end);
+            let entries = parse_entries(&toks[bracket_end + 1..body_end.saturating_sub(1)]);
+            modules.push(EventModule {
+                module: name.text.clone(),
+                major_name,
+                line,
+                entries,
+            });
+            i = body_end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Parses `NAME = minor => ("EV", "spec", "template"),` rows.
+fn parse_entries(toks: &[Tok]) -> Vec<EventEntry> {
+    let mut entries = Vec::new();
+    let mut docs: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        match toks[i].kind {
+            TokKind::DocComment => {
+                docs.push(toks[i].text.clone());
+                i += 1;
+                continue;
+            }
+            TokKind::LintComment => {
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        if toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            i = skip_group(toks, i + 1);
+            continue;
+        }
+        // NAME = minor => ( "ev", "spec", "tpl" )
+        if toks[i].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct("="))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Number)
+            && toks.get(i + 3).is_some_and(|t| t.is_punct("=>"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct("("))
+        {
+            let tuple_end = skip_group(toks, i + 4);
+            let strs: Vec<&Tok> = toks[i + 4..tuple_end]
+                .iter()
+                .filter(|t| t.kind == TokKind::Str)
+                .collect();
+            if strs.len() == 3 {
+                entries.push(EventEntry {
+                    const_name: toks[i].text.clone(),
+                    minor: parse_int(&toks[i + 2].text).unwrap_or(u64::MAX),
+                    ev_name: strs[0].text.clone(),
+                    spec: strs[1].text.clone(),
+                    template: strs[2].text.clone(),
+                    doc_fields: parse_doc_annotation(&docs),
+                    line: toks[i].line,
+                });
+            }
+            docs.clear();
+            i = tuple_end;
+            // Optional trailing comma.
+            if toks.get(i).is_some_and(|t| t.is_punct(",")) {
+                i += 1;
+            }
+            continue;
+        }
+        docs.clear();
+        i += 1;
+    }
+    entries
+}
+
+/// Extracts the first `` `[a, b, …]` `` annotation from an entry's doc lines.
+fn parse_doc_annotation(docs: &[String]) -> Option<DocAnnotation> {
+    let joined = docs.join(" ");
+    let start = joined.find("`[")? + 2;
+    let end = start + joined[start..].find(']')?;
+    let inner = joined[start..end].trim();
+    if inner.is_empty() {
+        return Some(DocAnnotation {
+            fields: 0,
+            open_ended: false,
+        });
+    }
+    let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+    let open_ended = matches!(parts.last(), Some(&"…") | Some(&"...") | Some(&".."));
+    let fields = if open_ended {
+        parts.len() - 1
+    } else {
+        parts.len()
+    };
+    Some(DocAnnotation { fields, open_ended })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EVENTS_SRC: &str = r#"
+ktrace_event! {
+    /// `SCHED` minors.
+    pub mod sched [MajorId::SCHED] {
+        /// Context switch: `[old_tid, new_tid, new_pid]`.
+        CTX_SWITCH = 1 => ("TRACE_SCHED_CTX_SWITCH", "64 64 64",
+            "switch from thread %0[%x] to thread %1[%x] pid %2[%d]"),
+        /// CPU went idle: `[]`.
+        IDLE_START = 2 => ("TRACE_SCHED_IDLE_START", "", "cpu idle"),
+        /// Open-ended: `[tid, …]`.
+        EXTRA = 3 => ("TRACE_SCHED_EXTRA", "64 64", "tid %0[%x]"),
+    }
+
+    /// No annotation here.
+    pub mod prof [MajorId::PROF] {
+        /// Sample with no bracket annotation.
+        PC_SAMPLE = 1 => ("TRACE_PROF_PC_SAMPLE", "64", "pc %0[%x]"),
+    }
+}
+"#;
+
+    #[test]
+    fn parses_modules_entries_and_annotations() {
+        let mods = parse_events_source(EVENTS_SRC);
+        assert_eq!(mods.len(), 2);
+        assert_eq!(mods[0].module, "sched");
+        assert_eq!(mods[0].major_name, "SCHED");
+        assert_eq!(mods[0].entries.len(), 3);
+        let ctx = &mods[0].entries[0];
+        assert_eq!(ctx.const_name, "CTX_SWITCH");
+        assert_eq!(ctx.minor, 1);
+        assert_eq!(ctx.ev_name, "TRACE_SCHED_CTX_SWITCH");
+        assert_eq!(ctx.spec, "64 64 64");
+        assert_eq!(
+            ctx.doc_fields,
+            Some(DocAnnotation {
+                fields: 3,
+                open_ended: false
+            })
+        );
+        let idle = &mods[0].entries[1];
+        assert_eq!(
+            idle.doc_fields,
+            Some(DocAnnotation {
+                fields: 0,
+                open_ended: false
+            })
+        );
+        let extra = &mods[0].entries[2];
+        assert_eq!(
+            extra.doc_fields,
+            Some(DocAnnotation {
+                fields: 1,
+                open_ended: true
+            })
+        );
+        assert_eq!(mods[1].entries[0].doc_fields, None);
+    }
+
+    #[test]
+    fn parses_major_ids() {
+        let src = r#"
+            pub const NUM_MAJOR_IDS: usize = 64;
+            impl MajorId {
+                pub const CONTROL: MajorId = MajorId(0);
+                pub const SCHED: MajorId = MajorId(4);
+                pub const TEST: MajorId = MajorId(63);
+                pub const fn new(id: u8) -> Result<MajorId, FormatError> { MajorId(id) }
+            }
+        "#;
+        let (majors, num) = parse_ids_source(src);
+        assert_eq!(num, 64);
+        assert_eq!(majors.get("CONTROL"), Some(&0));
+        assert_eq!(majors.get("SCHED"), Some(&4));
+        assert_eq!(majors.get("TEST"), Some(&63));
+        assert!(!majors.contains_key("new"));
+    }
+
+    #[test]
+    fn spec_helpers() {
+        assert!(spec_token_valid("64") && spec_token_valid("str"));
+        assert!(!spec_token_valid("65"));
+        assert_eq!(spec_field_count("64 64 str"), 3);
+        assert_eq!(spec_field_count(""), 0);
+        assert!(spec_has_str("64 str"));
+        assert!(!spec_has_str("64 64"));
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: a logger whose fast path allocates and blocks (exit 32).
+
+impl TraceLogger {
+    pub fn log(&self, major: MajorId, minor: u16, payload: &[u64]) -> bool {
+        let label = format!("{major:?}/{minor}");
+        self.names.lock().push(label);
+        self.region().log_raw(minor, payload)
+    }
+
+    pub fn log_fields(&self, values: &[FieldValue]) -> bool {
+        // ktrace-lint: allow(hot-path) — registry lookup is the documented
+        // slow path; must NOT be reported.
+        let words: Vec<u64> = self.registry.read().encode(values).collect();
+        !words.is_empty()
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: a buffer region whose reservation path allocates and sleeps.
+
+impl CpuRegion {
+    pub fn log_raw(&self, minor: u16, payload: &[u64]) -> bool {
+        self.reserve(payload.len())
+    }
+
+    fn reserve(&self, n: usize) -> bool {
+        let mut scratch = Vec::new();
+        scratch.push(n);
+        std::thread::sleep(std::time::Duration::from_nanos(1));
+        true
+    }
+}

@@ -1,0 +1,37 @@
+//! Fixture: event modules violating ID-space integrity (exit 31). Every
+//! entry is schema-clean on its own (valid specs, matching annotations) so
+//! only the `idspace` pass fires.
+
+ktrace_event! {
+    /// Scheduler events.
+    pub mod sched [MajorId::SCHED] {
+        /// Start: `[tid]`.
+        START = 1 => ("TRACE_SCHED_START", "64", "tid %0[%x]"),
+        /// Duplicate minor value within the module: `[tid]`.
+        STOP = 1 => ("TRACE_SCHED_STOP", "64", "tid %0[%x]"),
+    }
+
+    /// Second module claiming the same major.
+    pub mod sched2 [MajorId::SCHED] {
+        /// Duplicate symbolic event name across modules: `[tid]`.
+        ALT = 2 => ("TRACE_SCHED_START", "64", "tid %0[%x]"),
+    }
+
+    /// Module under a reserved major.
+    pub mod scratch [MajorId::TEST] {
+        /// Scratch: `[v]`.
+        SCRATCH = 1 => ("TRACE_TEST_SCRATCH", "64", "v %0[%d]"),
+    }
+
+    /// Module under a major ids.rs never declares.
+    pub mod ghost [MajorId::GHOST] {
+        /// Ghost: `[v]`.
+        G = 1 => ("TRACE_GHOST_G", "64", "v %0[%d]"),
+    }
+
+    /// Minor that cannot fit the wire format's u16 minor field.
+    pub mod mem [MajorId::MEM] {
+        /// Big: `[v]`.
+        BIG = 70000 => ("TRACE_MEM_BIG", "64", "v %0[%d]"),
+    }
+}

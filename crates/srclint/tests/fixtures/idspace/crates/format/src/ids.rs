@@ -1,0 +1,13 @@
+//! Fixture: a broken major-ID space (exit 31).
+
+pub const NUM_MAJOR_IDS: usize = 64;
+
+impl MajorId {
+    pub const CONTROL: MajorId = MajorId(0);
+    pub const MEM: MajorId = MajorId(4);
+    // Collision: same trace-mask bit as MEM.
+    pub const SCHED: MajorId = MajorId(4);
+    // Out of range: the mask has bits 0..=63.
+    pub const HUGE: MajorId = MajorId(64);
+    pub const TEST: MajorId = MajorId(63);
+}

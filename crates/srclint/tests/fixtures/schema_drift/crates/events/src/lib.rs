@@ -1,0 +1,26 @@
+//! Fixture: event declarations carrying every class of schema drift the
+//! `schema` pass must catch (exit 30).
+
+ktrace_event! {
+    /// Scheduler events.
+    pub mod sched [MajorId::SCHED] {
+        /// Context switch: `[old_tid, new_tid, new_pid]`.
+        CTX_SWITCH = 1 => ("TRACE_SCHED_CTX_SWITCH", "64 64 64",
+            "switch %0[%x] -> %1[%x] pid %2[%d]"),
+        /// Annotation names one field, spec declares two: `[tid]`.
+        BAD_ANNOTATION = 2 => ("TRACE_SCHED_BAD_ANNOTATION", "64 64", "tid %0[%x]"),
+        /// No payload annotation at all.
+        NO_ANNOTATION = 3 => ("TRACE_SCHED_NO_ANNOTATION", "64", "tid %0[%x]"),
+        /// Invalid spec token: `[word]`.
+        BAD_SPEC = 4 => ("TRACE_SCHED_BAD_SPEC", "48", "word %0[%x]"),
+        /// Template references a field past the spec: `[a]`.
+        BAD_TEMPLATE = 5 => ("TRACE_SCHED_BAD_TEMPLATE", "64", "a %0[%x] b %1[%x]"),
+    }
+
+    /// Memory events.
+    pub mod mem [MajorId::MEM] {
+        /// FCM attach: `[fcm, region]`.
+        FCM_ATCH_REG = 1 => ("TRC_MEM_FCMCOM_ATCH_REG", "64 64",
+            "fcm %0[%x] region %1[%x]"),
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: a healthy ID space (the drift in this tree is all schema-level).
+
+pub const NUM_MAJOR_IDS: usize = 64;
+
+impl MajorId {
+    pub const CONTROL: MajorId = MajorId(0);
+    pub const EXCEPTION: MajorId = MajorId(1);
+    pub const MEM: MajorId = MajorId(2);
+    pub const SCHED: MajorId = MajorId(4);
+    pub const TEST: MajorId = MajorId(63);
+}

@@ -1,0 +1,15 @@
+//! Fixture: call sites that drift from the declared schema.
+
+pub fn run(h: &CpuHandle, old: u64, new: u64, pid: u64, addr: u64) {
+    // Clean: 3 words against "64 64 64".
+    h.log3(MajorId::SCHED, sched::CTX_SWITCH, old, new, pid);
+    // Arity drift: 2 words against "64 64 64".
+    h.log2(MajorId::SCHED, sched::CTX_SWITCH, old, new);
+    // Unknown minor const.
+    h.log(MajorId::SCHED, sched::GONE, &[old]);
+    // Literal minor with no declared event.
+    h.log(MajorId::SCHED, 9, &[old]);
+    // The regression this fixture guards: literal minor that *is* declared
+    // (style warning) but with the wrong payload arity (1 vs "64 64").
+    h.log1(MajorId::MEM, 1, addr);
+}

@@ -1,0 +1,156 @@
+//! Each broken fixture tree must trip exactly its pass, with the pass's
+//! distinct exit code from the shared `ViolationKind` table — and the real
+//! workspace must lint clean.
+
+use ktrace_srclint::{lint_workspace, LintOptions, PassSet, ViolationKind};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn one_pass(root: PathBuf, pass: &str) -> LintOptions {
+    let mut passes = PassSet::none();
+    assert!(passes.enable(pass));
+    LintOptions {
+        root,
+        passes,
+        deny_warnings: false,
+    }
+}
+
+#[test]
+fn schema_drift_fixture_exits_30() {
+    let report = lint_workspace(&one_pass(fixture("schema_drift"), "schema")).unwrap();
+    assert_eq!(report.exit_code(false), 30);
+    assert_eq!(report.kinds(), vec![ViolationKind::SchemaMismatch]);
+
+    let details: Vec<&str> = report.findings.iter().map(|f| f.detail.as_str()).collect();
+    // Declaration-side drift.
+    assert!(details
+        .iter()
+        .any(|d| d.contains("BAD_ANNOTATION") && d.contains("1 field")));
+    assert!(details
+        .iter()
+        .any(|d| d.contains("NO_ANNOTATION") && d.contains("no `[field")));
+    assert!(details
+        .iter()
+        .any(|d| d.contains("invalid field token \"48\"")));
+    assert!(details
+        .iter()
+        .any(|d| d.contains("template references field %1")));
+    // Call-site drift.
+    assert!(details
+        .iter()
+        .any(|d| d.contains("2 payload word(s)") && d.contains("CTX_SWITCH")));
+    assert!(details.iter().any(|d| d.contains("`GONE` is not declared")));
+    assert!(details
+        .iter()
+        .any(|d| d.contains("literal minor 9 has no declared event")));
+    assert!(details
+        .iter()
+        .any(|d| d.contains("1 payload word(s)") && d.contains("FCM_ATCH_REG")));
+    assert_eq!(report.findings.len(), 8, "{details:#?}");
+
+    // The declared-but-literal minor also draws a style warning.
+    assert!(report.warnings.iter().any(|w| w.label == "literal-minor"));
+    // The clean log3 call resolved without complaint.
+    assert!(report.stats.call_sites_checked >= 1);
+}
+
+#[test]
+fn idspace_fixture_exits_31() {
+    let report = lint_workspace(&one_pass(fixture("idspace"), "idspace")).unwrap();
+    assert_eq!(report.exit_code(false), 31);
+    assert_eq!(report.kinds(), vec![ViolationKind::IdSpaceCollision]);
+
+    let details: Vec<&str> = report.findings.iter().map(|f| f.detail.as_str()).collect();
+    assert!(details.iter().any(|d| d.contains("share raw value 4")));
+    assert!(details
+        .iter()
+        .any(|d| d.contains("`HUGE`") && d.contains("outside")));
+    assert!(details
+        .iter()
+        .any(|d| d.contains("minors `START` and `STOP`")));
+    assert!(details
+        .iter()
+        .any(|d| d.contains("both register under major `SCHED`")));
+    assert!(details
+        .iter()
+        .any(|d| d.contains("\"TRACE_SCHED_START\" declared in both")));
+    assert!(details.iter().any(|d| d.contains("reserved major `TEST`")));
+    assert!(details.iter().any(|d| d.contains("unknown major `GHOST`")));
+    assert!(details
+        .iter()
+        .any(|d| d.contains("`BIG` = 70000 does not fit")));
+    assert_eq!(report.findings.len(), 8, "{details:#?}");
+}
+
+#[test]
+fn hotpath_fixture_exits_32() {
+    let report = lint_workspace(&one_pass(fixture("hotpath"), "hotpath")).unwrap();
+    assert_eq!(report.exit_code(false), 32);
+    assert_eq!(report.kinds(), vec![ViolationKind::HotPathHazard]);
+
+    let details: Vec<&str> = report.findings.iter().map(|f| f.detail.as_str()).collect();
+    assert!(details
+        .iter()
+        .any(|d| d.contains("heap-allocating macro") && d.contains("`log`")));
+    assert!(details
+        .iter()
+        .any(|d| d.contains("blocking lock") && d.contains("`log`")));
+    assert!(details
+        .iter()
+        .any(|d| d.contains("blocking thread call") && d.contains("`reserve`")));
+    assert!(
+        details
+            .iter()
+            .any(|d| d.contains("heap-allocating type constructor")),
+        "{details:#?}"
+    );
+    // The annotated slow path must be suppressed.
+    assert!(
+        !details.iter().any(|d| d.contains("log_fields")),
+        "{details:#?}"
+    );
+}
+
+#[test]
+fn broken_fixtures_stay_isolated_to_their_pass() {
+    // Running the OTHER passes over each fixture finds nothing: each tree is
+    // broken in exactly one dimension.
+    let r = lint_workspace(&one_pass(fixture("schema_drift"), "idspace")).unwrap();
+    assert!(r.findings.is_empty(), "{:#?}", r.findings);
+    let r = lint_workspace(&one_pass(fixture("idspace"), "hotpath")).unwrap();
+    assert!(r.findings.is_empty(), "{:#?}", r.findings);
+    let r = lint_workspace(&one_pass(fixture("hotpath"), "schema")).unwrap();
+    assert!(r.findings.is_empty(), "{:#?}", r.findings);
+}
+
+#[test]
+fn the_workspace_itself_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let opts = LintOptions {
+        root,
+        passes: PassSet::default(),
+        deny_warnings: true,
+    };
+    let report = lint_workspace(&opts).unwrap();
+    assert!(report.is_clean(true), "{}", report.render(true));
+    assert_eq!(report.exit_code(true), 0);
+    // The macro-declared schema is visible to the static parser.
+    assert_eq!(report.stats.events_declared, 33);
+    assert!(report.stats.call_sites_seen > 0);
+    assert!(report.stats.hot_fns_walked > 0);
+}
+
+#[test]
+fn json_report_carries_the_shared_labels() {
+    let report = lint_workspace(&one_pass(fixture("idspace"), "idspace")).unwrap();
+    let json = report.to_json(false);
+    assert!(json.contains("\"kind\": \"id-space-collision\""));
+    assert!(json.contains("\"exit_code\": 31"));
+    assert!(json.contains("crates/events/src/lib.rs"));
+}

@@ -23,7 +23,7 @@ use crate::report::{Report, ViolationKind};
 use ktrace_core::reader::parse_buffer;
 use ktrace_core::{CompletedBuffer, GarbleNote, RegionSnapshot};
 use ktrace_format::pack::WordUnpacker;
-use ktrace_format::{EventDescriptor, EventRegistry, FieldToken, MajorId};
+use ktrace_format::{EventDescriptor, EventRegistry, FieldToken};
 use ktrace_io::{IoError, TraceFileReader};
 use std::collections::HashMap;
 use std::io::{Read, Seek};
@@ -42,7 +42,12 @@ impl StreamLinter {
     /// Creates a linter for streams of `buffer_words`-sized buffers whose
     /// events are described by `registry`.
     pub fn new(registry: EventRegistry, buffer_words: usize) -> StreamLinter {
-        StreamLinter { registry, buffer_words, last_time: HashMap::new(), report: Report::new() }
+        StreamLinter {
+            registry,
+            buffer_words,
+            last_time: HashMap::new(),
+            report: Report::new(),
+        }
     }
 
     /// Lints one drained buffer.
@@ -78,12 +83,26 @@ impl StreamLinter {
                 Some(cpu),
                 Some(seq),
                 None,
-                format!("buffer holds {} words, expected {}", words.len(), self.buffer_words),
+                format!(
+                    "buffer holds {} words, expected {}",
+                    words.len(),
+                    self.buffer_words
+                ),
             );
         }
         if !complete {
-            let why = if detail.is_empty() { "commit count short at drain time" } else { detail };
-            self.report.push(ViolationKind::GarbledCommit, Some(cpu), Some(seq), None, why);
+            let why = if detail.is_empty() {
+                "commit count short at drain time"
+            } else {
+                detail
+            };
+            self.report.push(
+                ViolationKind::GarbledCommit,
+                Some(cpu),
+                Some(seq),
+                None,
+                why,
+            );
         }
 
         let hint = self.last_time.get(&cpu).copied();
@@ -295,7 +314,14 @@ pub fn lint_open_reader<R: Read + Seek>(reader: &mut TraceFileReader<R>) -> Repo
     for k in 0..reader.record_count() {
         match reader.record(k) {
             Ok(rec) => {
-                linter.lint_buffer(rec.cpu as usize, rec.seq, rec.complete, false, &rec.words, "");
+                linter.lint_buffer(
+                    rec.cpu as usize,
+                    rec.seq,
+                    rec.complete,
+                    false,
+                    &rec.words,
+                    "",
+                );
             }
             Err(e) => {
                 report.push(
@@ -348,7 +374,7 @@ mod tests {
     use ktrace_clock::ManualClock;
     use ktrace_core::{Mode, TraceConfig, TraceLogger};
     use ktrace_format::ids::control;
-    use ktrace_format::EventHeader;
+    use ktrace_format::{EventHeader, MajorId};
     use std::sync::Arc;
 
     fn test_registry() -> EventRegistry {
@@ -432,7 +458,11 @@ mod tests {
         let mut l = StreamLinter::new(test_registry(), 32);
         l.lint_buffer(0, 0, true, false, &words, "");
         let r = l.finish();
-        assert!(r.kinds().contains(&ViolationKind::GarbledCommit), "{}", r.render());
+        assert!(
+            r.kinds().contains(&ViolationKind::GarbledCommit),
+            "{}",
+            r.render()
+        );
     }
 
     #[test]
@@ -499,7 +529,11 @@ mod tests {
         let mut l = StreamLinter::new(test_registry(), 32);
         l.lint_buffer(0, 0, true, false, &words, "");
         let r = l.finish();
-        assert!(r.kinds().contains(&ViolationKind::FillerMisaligned), "{}", r.render());
+        assert!(
+            r.kinds().contains(&ViolationKind::FillerMisaligned),
+            "{}",
+            r.render()
+        );
     }
 
     #[test]
@@ -523,7 +557,11 @@ mod tests {
     #[test]
     fn snapshot_of_live_logger_lints_clean() {
         let clock = Arc::new(ManualClock::new(1_000, 7));
-        let config = TraceConfig { buffer_words: 64, buffers_per_cpu: 4, mode: Mode::Stream };
+        let config = TraceConfig {
+            buffer_words: 64,
+            buffers_per_cpu: 4,
+            mode: Mode::Stream,
+        };
         let logger = TraceLogger::new(config, clock, 1).unwrap();
         logger.register_event(
             MajorId::TEST,
@@ -543,7 +581,11 @@ mod tests {
     #[test]
     fn drained_buffers_lint_clean() {
         let clock = Arc::new(ManualClock::new(1_000, 7));
-        let config = TraceConfig { buffer_words: 64, buffers_per_cpu: 4, mode: Mode::Stream };
+        let config = TraceConfig {
+            buffer_words: 64,
+            buffers_per_cpu: 4,
+            mode: Mode::Stream,
+        };
         let logger = TraceLogger::new(config, clock, 2).unwrap();
         logger.register_event(
             MajorId::TEST,

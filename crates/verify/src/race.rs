@@ -71,8 +71,16 @@ impl RaceFinding {
             self.second.tid,
             self.second.cpu,
             self.second.time,
-            if self.lockset_empty { "; no common lock" } else { "" },
-            if self.unordered { "; unordered (happens-before)" } else { "" },
+            if self.lockset_empty {
+                "; no common lock"
+            } else {
+                ""
+            },
+            if self.unordered {
+                "; unordered (happens-before)"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -116,7 +124,13 @@ impl RaceAnalysis {
         let mut report = Report::new();
         report.events_checked = self.accesses;
         for f in &self.findings {
-            report.push(ViolationKind::DataRace, Some(f.second.cpu), None, None, f.describe());
+            report.push(
+                ViolationKind::DataRace,
+                Some(f.second.cpu),
+                None,
+                None,
+                f.describe(),
+            );
         }
         report
     }
@@ -136,7 +150,7 @@ pub fn detect_races(events: &[RawEvent]) -> RaceAnalysis {
     // A thread's clock always carries its own live epoch (`tick` on first
     // sight), so its accesses are unordered with everyone else's until a
     // sync edge publishes them.
-    fn thread<'a>(map: &'a mut HashMap<u64, VectorClock>, tid: u64) -> &'a mut VectorClock {
+    fn thread(map: &mut HashMap<u64, VectorClock>, tid: u64) -> &mut VectorClock {
         map.entry(tid).or_insert_with(|| {
             let mut c = VectorClock::new();
             c.tick(tid);
@@ -191,12 +205,15 @@ pub fn detect_races(events: &[RawEvent]) -> RaceAnalysis {
                     thread(&mut thread_vc, tid).join(&cvc);
                 }
             }
-            (MajorId::MEM, mem::ACCESS_READ | mem::ACCESS_WRITE)
-                if e.payload.len() >= 2 =>
-            {
+            (MajorId::MEM, mem::ACCESS_READ | mem::ACCESS_WRITE) if e.payload.len() >= 2 => {
                 let (addr, tid) = (e.payload[0], e.payload[1]);
                 let is_write = e.minor == mem::ACCESS_WRITE;
-                let site = AccessSite { time: e.time, tid, cpu: e.cpu, write: is_write };
+                let site = AccessSite {
+                    time: e.time,
+                    tid,
+                    cpu: e.cpu,
+                    write: is_write,
+                };
                 analysis.accesses += 1;
 
                 let verdict = locksets.access(addr, tid, is_write);
@@ -291,7 +308,13 @@ mod tests {
     }
 
     fn acq(cpu: usize, t: u64, lock: u64, tid: u64) -> RawEvent {
-        ev(cpu, t, MajorId::LOCK, lockev::ACQUIRED, &[lock, tid, 0, 0, 0])
+        ev(
+            cpu,
+            t,
+            MajorId::LOCK,
+            lockev::ACQUIRED,
+            &[lock, tid, 0, 0, 0],
+        )
     }
     fn rel(cpu: usize, t: u64, lock: u64, tid: u64) -> RawEvent {
         ev(cpu, t, MajorId::LOCK, lockev::RELEASED, &[lock, tid, 0])
@@ -307,8 +330,7 @@ mod tests {
 
     #[test]
     fn unprotected_concurrent_writes_race() {
-        let events =
-            vec![write(0, 10, A, 1), write(1, 20, A, 2), write(0, 30, A, 1)];
+        let events = vec![write(0, 10, A, 1), write(1, 20, A, 2), write(0, 30, A, 1)];
         let r = detect_races(&events);
         assert_eq!(r.findings.len(), 1, "{}", r.render());
         let f = &r.findings[0];

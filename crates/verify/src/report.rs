@@ -4,6 +4,13 @@
 //! [`ViolationKind`] with a stable, distinct process exit code, so CI and
 //! scripted experiment runs can tell *which* invariant broke without parsing
 //! prose.
+//!
+//! This is the **shared exit-code table** for both verifiers: `ktrace-verify`
+//! (dynamic, trace-stream checks; codes 10–20) and `ktrace-lint` (static,
+//! source-level checks; codes 30–32) draw from the same enum so a CI failure
+//! code identifies the broken invariant regardless of which tool found it.
+//! Codes 0 (clean), 1 (input unreadable), and 2 (usage error) are reserved
+//! by both CLIs and never assigned to a violation class.
 
 use std::fmt;
 
@@ -38,6 +45,18 @@ pub enum ViolationKind {
     BadRegistry,
     /// A data race found by the lockset / vector-clock detector.
     DataRace,
+    /// Static (ktrace-lint): an instrumentation call site disagrees with the
+    /// registered event schema — unknown minor, wrong payload arity, or a
+    /// doc-comment payload annotation that contradicts the field spec.
+    SchemaMismatch,
+    /// Static (ktrace-lint): the event ID space is inconsistent — duplicate
+    /// minor IDs under one major, a major outside the mask's 64 bits, or a
+    /// registration in a reserved range (CONTROL, TEST).
+    IdSpaceCollision,
+    /// Static (ktrace-lint): the lockless logging hot path reaches heap
+    /// allocation, a blocking lock, or I/O — forbidden because `log_event`
+    /// must stay safe in any kernel context (paper goal 2).
+    HotPathHazard,
 }
 
 impl ViolationKind {
@@ -53,6 +72,9 @@ impl ViolationKind {
             ViolationKind::MissingAnchor => 16,
             ViolationKind::BadRegistry => 17,
             ViolationKind::DataRace => 20,
+            ViolationKind::SchemaMismatch => 30,
+            ViolationKind::IdSpaceCollision => 31,
+            ViolationKind::HotPathHazard => 32,
         }
     }
 
@@ -68,7 +90,28 @@ impl ViolationKind {
             ViolationKind::MissingAnchor => "missing-anchor",
             ViolationKind::BadRegistry => "bad-registry",
             ViolationKind::DataRace => "data-race",
+            ViolationKind::SchemaMismatch => "schema-mismatch",
+            ViolationKind::IdSpaceCollision => "id-space-collision",
+            ViolationKind::HotPathHazard => "hot-path-hazard",
         }
+    }
+
+    /// Every violation class, in exit-code order — the full shared table.
+    pub fn all() -> &'static [ViolationKind] {
+        &[
+            ViolationKind::TruncatedBuffer,
+            ViolationKind::GarbledCommit,
+            ViolationKind::NonMonotonicTimestamp,
+            ViolationKind::UndeclaredEvent,
+            ViolationKind::FillerMisaligned,
+            ViolationKind::LengthMismatch,
+            ViolationKind::MissingAnchor,
+            ViolationKind::BadRegistry,
+            ViolationKind::DataRace,
+            ViolationKind::SchemaMismatch,
+            ViolationKind::IdSpaceCollision,
+            ViolationKind::HotPathHazard,
+        ]
     }
 }
 
@@ -140,7 +183,13 @@ impl Report {
         offset: Option<usize>,
         detail: impl Into<String>,
     ) {
-        self.violations.push(Violation { kind, cpu, seq, offset, detail: detail.into() });
+        self.violations.push(Violation {
+            kind,
+            cpu,
+            seq,
+            offset,
+            detail: detail.into(),
+        });
     }
 
     /// Merges another report into this one.
@@ -154,7 +203,11 @@ impl Report {
     /// highest-priority violation class present (the smallest code, so a
     /// single-corruption stream reports its own distinct code).
     pub fn exit_code(&self) -> u8 {
-        self.violations.iter().map(|v| v.kind.exit_code()).min().unwrap_or(0)
+        self.violations
+            .iter()
+            .map(|v| v.kind.exit_code())
+            .min()
+            .unwrap_or(0)
     }
 
     /// Distinct violation kinds present, in priority order.
@@ -189,22 +242,32 @@ mod tests {
 
     #[test]
     fn exit_codes_are_distinct_and_nonzero() {
-        let kinds = [
-            ViolationKind::TruncatedBuffer,
-            ViolationKind::GarbledCommit,
-            ViolationKind::NonMonotonicTimestamp,
-            ViolationKind::UndeclaredEvent,
-            ViolationKind::FillerMisaligned,
-            ViolationKind::LengthMismatch,
-            ViolationKind::MissingAnchor,
-            ViolationKind::BadRegistry,
-            ViolationKind::DataRace,
-        ];
+        let kinds = ViolationKind::all();
         let mut codes: Vec<u8> = kinds.iter().map(|k| k.exit_code()).collect();
-        assert!(codes.iter().all(|&c| c != 0 && c != 1 && c != 2), "reserve 0/1/2");
-        codes.sort_unstable();
+        assert!(
+            codes.iter().all(|&c| c != 0 && c != 1 && c != 2),
+            "reserve 0/1/2"
+        );
+        assert!(
+            codes.windows(2).all(|w| w[0] < w[1]),
+            "all() must be exit-code ordered"
+        );
         codes.dedup();
         assert_eq!(codes.len(), kinds.len(), "exit codes must be distinct");
+    }
+
+    #[test]
+    fn static_kinds_live_in_their_own_band() {
+        // Dynamic (stream) checks: 10–29. Static (source) checks: 30+.
+        for k in ViolationKind::all() {
+            let stat = matches!(
+                k,
+                ViolationKind::SchemaMismatch
+                    | ViolationKind::IdSpaceCollision
+                    | ViolationKind::HotPathHazard
+            );
+            assert_eq!(stat, k.exit_code() >= 30, "{k} in wrong band");
+        }
     }
 
     #[test]
@@ -212,12 +275,27 @@ mod tests {
         let mut r = Report::new();
         assert!(r.is_clean());
         assert_eq!(r.exit_code(), 0);
-        r.push(ViolationKind::UndeclaredEvent, Some(1), Some(3), Some(40), "MAJOR9/7");
-        r.push(ViolationKind::TruncatedBuffer, Some(0), None, None, "short record");
+        r.push(
+            ViolationKind::UndeclaredEvent,
+            Some(1),
+            Some(3),
+            Some(40),
+            "MAJOR9/7",
+        );
+        r.push(
+            ViolationKind::TruncatedBuffer,
+            Some(0),
+            None,
+            None,
+            "short record",
+        );
         assert_eq!(r.exit_code(), ViolationKind::TruncatedBuffer.exit_code());
         assert_eq!(
             r.kinds(),
-            vec![ViolationKind::TruncatedBuffer, ViolationKind::UndeclaredEvent]
+            vec![
+                ViolationKind::TruncatedBuffer,
+                ViolationKind::UndeclaredEvent
+            ]
         );
         let text = r.render();
         assert!(text.contains("2 violation(s)"));

@@ -28,7 +28,11 @@ fn test_registry() -> EventRegistry {
 /// Logs on 2 CPUs and returns the trace file's bytes. When `declare` is
 /// false the TEST events are left out of the embedded registry.
 fn sample_trace(declare: bool) -> Vec<u8> {
-    let registry = if declare { test_registry() } else { EventRegistry::with_builtin() };
+    let registry = if declare {
+        test_registry()
+    } else {
+        EventRegistry::with_builtin()
+    };
     let header = FileHeader {
         ncpus: 2,
         buffer_words: TraceConfig::small().buffer_words as u32,
@@ -91,7 +95,10 @@ fn clean_trace_lints_clean() {
     let path = write_temp("clean.ktrace", &sample_trace(true));
     let report = lint_file(&path).unwrap();
     assert!(report.is_clean(), "{}", report.render());
-    assert!(report.buffers_checked > 2, "trace should span several buffers");
+    assert!(
+        report.buffers_checked > 2,
+        "trace should span several buffers"
+    );
     assert!(report.events_checked > 400);
     assert_eq!(report.exit_code(), 0);
 }
@@ -103,8 +110,16 @@ fn truncated_file_reports_truncated_buffer() {
     bytes.truncate(cut);
     let path = write_temp("truncated.ktrace", &bytes);
     let report = lint_file(&path).unwrap();
-    assert_eq!(report.kinds(), vec![ViolationKind::TruncatedBuffer], "{}", report.render());
-    assert_eq!(report.exit_code(), ViolationKind::TruncatedBuffer.exit_code());
+    assert_eq!(
+        report.kinds(),
+        vec![ViolationKind::TruncatedBuffer],
+        "{}",
+        report.render()
+    );
+    assert_eq!(
+        report.exit_code(),
+        ViolationKind::TruncatedBuffer.exit_code()
+    );
 }
 
 #[test]
@@ -115,7 +130,12 @@ fn cleared_commit_flag_reports_garbled_commit() {
     bytes[flags_at] &= !1; // clear RECORD_FLAG_COMPLETE
     let path = write_temp("garbled-flag.ktrace", &bytes);
     let report = lint_file(&path).unwrap();
-    assert_eq!(report.kinds(), vec![ViolationKind::GarbledCommit], "{}", report.render());
+    assert_eq!(
+        report.kinds(),
+        vec![ViolationKind::GarbledCommit],
+        "{}",
+        report.render()
+    );
     assert_eq!(report.exit_code(), ViolationKind::GarbledCommit.exit_code());
 }
 
@@ -150,7 +170,9 @@ fn rewound_timestamp_reports_non_monotonic() {
     let path = write_temp("rewound.ktrace", &bytes);
     let report = lint_file(&path).unwrap();
     assert!(
-        report.kinds().contains(&ViolationKind::NonMonotonicTimestamp),
+        report
+            .kinds()
+            .contains(&ViolationKind::NonMonotonicTimestamp),
         "{}",
         report.render()
     );
@@ -166,6 +188,14 @@ fn rewound_timestamp_reports_non_monotonic() {
 fn undeclared_events_reported() {
     let path = write_temp("undeclared.ktrace", &sample_trace(false));
     let report = lint_file(&path).unwrap();
-    assert_eq!(report.kinds(), vec![ViolationKind::UndeclaredEvent], "{}", report.render());
-    assert_eq!(report.exit_code(), ViolationKind::UndeclaredEvent.exit_code());
+    assert_eq!(
+        report.kinds(),
+        vec![ViolationKind::UndeclaredEvent],
+        "{}",
+        report.render()
+    );
+    assert_eq!(
+        report.exit_code(),
+        ViolationKind::UndeclaredEvent.exit_code()
+    );
 }

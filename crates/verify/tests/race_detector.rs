@@ -12,10 +12,12 @@ use std::sync::Arc;
 /// Runs `workload` on a 2-CPU simulated machine and returns every traced
 /// event, per-CPU streams merged.
 fn run_and_collect(workload: Workload) -> Vec<RawEvent> {
-    let logger =
-        TraceLogger::new(TraceConfig::default(), Arc::new(SyncClock::new()), 2).unwrap();
+    let logger = TraceLogger::new(TraceConfig::default(), Arc::new(SyncClock::new()), 2).unwrap();
     ktrace_events::register_all(&logger);
-    let machine = Machine::new(MachineConfig::fast_test(2), Arc::new(KTracer::new(logger.clone())));
+    let machine = Machine::new(
+        MachineConfig::fast_test(2),
+        Arc::new(KTracer::new(logger.clone())),
+    );
     machine.run(workload);
     logger.flush_all();
     assert_eq!(
@@ -36,7 +38,10 @@ fn run_and_collect(workload: Workload) -> Vec<RawEvent> {
 fn racy_counter_workload_is_flagged() {
     let events = run_and_collect(micro::racy_counter(4, 20));
     let analysis = detect_races(&events);
-    assert!(analysis.accesses > 0, "MEM access annotations must be traced");
+    assert!(
+        analysis.accesses > 0,
+        "MEM access annotations must be traced"
+    );
     assert!(
         !analysis.is_clean(),
         "unprotected shared counter must be flagged ({} accesses seen)",
@@ -53,7 +58,10 @@ fn racy_counter_workload_is_flagged() {
 fn locked_counter_workload_is_silent() {
     let events = run_and_collect(micro::locked_counter(4, 20));
     let analysis = detect_races(&events);
-    assert!(analysis.accesses > 0, "MEM access annotations must be traced");
+    assert!(
+        analysis.accesses > 0,
+        "MEM access annotations must be traced"
+    );
     assert!(
         analysis.is_clean(),
         "lock-disciplined counter must not be flagged:\n{}",

@@ -182,7 +182,7 @@ mod tests {
     fn percpu_cost_is_linear_in_words() {
         let mut m = model(Scheme::LocklessPerCpu);
         let t1 = m.charge(0, 0, 0);
-        let t2 = m.charge(1, 0, 1) ;
+        let t2 = m.charge(1, 0, 1);
         let t5 = m.charge(2, 0, 4);
         // 91 + 11/word, matching the paper's slope.
         assert_eq!(t1, 95);

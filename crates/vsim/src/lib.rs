@@ -28,4 +28,4 @@ pub mod cost;
 pub mod vmachine;
 
 pub use cost::{CostParams, Scheme, TraceCostModel};
-pub use vmachine::{VirtualMachine, VmConfig, VReport};
+pub use vmachine::{VReport, VirtualMachine, VmConfig};

@@ -10,15 +10,17 @@
 use crate::cost::{CostParams, Scheme, TraceCostModel};
 use ktrace_clock::ManualClock;
 use ktrace_core::{TraceConfig, TraceLogger};
-use ktrace_events::{self as events, exception, fs as fsev, ipc, lock as lockev, proc as procev,
-    prof, sched, syscall as sysev, user};
+use ktrace_events::{
+    self as events, exception, fs as fsev, ipc, lock as lockev, proc as procev, prof, sched,
+    syscall as sysev, user,
+};
 use ktrace_format::pack::WordPacker;
 use ktrace_format::MajorId;
 use ktrace_ossim::task::{Op, ProcessSpec};
 use ktrace_ossim::workload::Workload;
 use std::cell::Cell;
-use std::collections::{BinaryHeap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -179,7 +181,11 @@ pub struct VirtualMachine {
 impl VirtualMachine {
     /// A machine modelling `scheme` with the given cost parameters.
     pub fn new(config: VmConfig, scheme: Scheme, params: CostParams) -> VirtualMachine {
-        VirtualMachine { config, model: TraceCostModel::new(scheme, params), emit: None }
+        VirtualMachine {
+            config,
+            model: TraceCostModel::new(scheme, params),
+            emit: None,
+        }
     }
 
     /// Additionally emits every simulated event through a real lockless
@@ -313,7 +319,12 @@ impl Sim<'_> {
             let due_until = self.cpus[cpu].t;
             while self.cpus[cpu].next_sample <= due_until {
                 self.cpus[cpu].next_sample += period;
-                self.emit(cpu, MajorId::PROF, prof::PC_SAMPLE, &[pid, tid, func as u64]);
+                self.emit(
+                    cpu,
+                    MajorId::PROF,
+                    prof::PC_SAMPLE,
+                    &[pid, tid, func as u64],
+                );
                 // At fine periods counters ride every 8th tick: a sampling
                 // interrupt whose own cost approaches its period would
                 // otherwise inflate virtual time unboundedly (and no real
@@ -389,7 +400,12 @@ impl Sim<'_> {
             self.hw_burst(cpu, wait / 100, 0);
             self.advance(cpu, wait, Some((task, events::func::FAIRBLOCK_ACQUIRE)));
         }
-        self.emit(cpu, MajorId::LOCK, lockev::ACQUIRED, &[id, tid, chain, spins, wait]);
+        self.emit(
+            cpu,
+            MajorId::LOCK,
+            lockev::ACQUIRED,
+            &[id, tid, chain, spins, wait],
+        );
     }
 
     /// Releases a virtual lock at the CPU's current time.
@@ -451,9 +467,7 @@ impl Sim<'_> {
             let task = match self.cpus[cpu].runq.iter().position(|t| t.ready_at <= now) {
                 Some(i) => self.cpus[cpu].runq.remove(i).expect("index valid"),
                 None => {
-                    if let Some(min_ready) =
-                        self.cpus[cpu].runq.iter().map(|t| t.ready_at).min()
-                    {
+                    if let Some(min_ready) = self.cpus[cpu].runq.iter().map(|t| t.ready_at).min() {
                         self.cpus[cpu].t = min_ready;
                     } else if let Some(stolen) = self.steal(cpu) {
                         self.emit(
@@ -473,7 +487,12 @@ impl Sim<'_> {
                 }
             };
             let prev = self.cpus[cpu].prev_tid;
-            self.emit(cpu, MajorId::SCHED, sched::CTX_SWITCH, &[prev, task.tid, task.pid]);
+            self.emit(
+                cpu,
+                MajorId::SCHED,
+                sched::CTX_SWITCH,
+                &[prev, task.tid, task.pid],
+            );
             self.cpus[cpu].prev_tid = task.tid;
             let slice_end = self.cpus[cpu].t + self.cfg.time_slice_ns;
             self.cpus[cpu].current = Some((task, slice_end));
@@ -506,24 +525,56 @@ impl Sim<'_> {
                     task.ip += 1;
                 }
                 Op::Syscall { no } => {
-                    self.emit(cpu, MajorId::SYSCALL, sysev::ENTRY, &[task.pid, task.tid, no]);
-                    self.advance(cpu, self.cfg.syscall_cost_ns, Some((&task, events::func::SYSCALL_DISPATCH)));
-                    self.emit(cpu, MajorId::SYSCALL, sysev::EXIT, &[task.pid, task.tid, no]);
+                    self.emit(
+                        cpu,
+                        MajorId::SYSCALL,
+                        sysev::ENTRY,
+                        &[task.pid, task.tid, no],
+                    );
+                    self.advance(
+                        cpu,
+                        self.cfg.syscall_cost_ns,
+                        Some((&task, events::func::SYSCALL_DISPATCH)),
+                    );
+                    self.emit(
+                        cpu,
+                        MajorId::SYSCALL,
+                        sysev::EXIT,
+                        &[task.pid, task.tid, no],
+                    );
                     task.ip += 1;
                 }
                 Op::MapRegion { bytes } => {
                     self.hw_burst(cpu, 10, 2);
                     let addr = 0x2000_0000 + task.pid * 0x10_0000;
                     self.emit(cpu, MajorId::MEM, events::mem::REG_CREATE, &[addr, bytes]);
-                    self.advance(cpu, self.cfg.syscall_cost_ns / 2, Some((&task, events::func::FCM_MAP_PAGE)));
-                    self.emit(cpu, MajorId::MEM, events::mem::FCM_ATCH_REG, &[addr, addr ^ 0xf0f0]);
+                    self.advance(
+                        cpu,
+                        self.cfg.syscall_cost_ns / 2,
+                        Some((&task, events::func::FCM_MAP_PAGE)),
+                    );
+                    self.emit(
+                        cpu,
+                        MajorId::MEM,
+                        events::mem::FCM_ATCH_REG,
+                        &[addr, addr ^ 0xf0f0],
+                    );
                     task.ip += 1;
                 }
                 Op::PageFault { addr } => {
                     self.hw_burst(cpu, 80, 20);
                     self.emit(cpu, MajorId::EXCEPTION, exception::PGFLT, &[task.tid, addr]);
-                    self.advance(cpu, self.cfg.pagefault_cost_ns, Some((&task, events::func::PGFLT_HANDLER)));
-                    self.emit(cpu, MajorId::EXCEPTION, exception::PGFLT_DONE, &[task.tid, addr]);
+                    self.advance(
+                        cpu,
+                        self.cfg.pagefault_cost_ns,
+                        Some((&task, events::func::PGFLT_HANDLER)),
+                    );
+                    self.emit(
+                        cpu,
+                        MajorId::EXCEPTION,
+                        exception::PGFLT_DONE,
+                        &[task.tid, addr],
+                    );
                     task.ip += 1;
                 }
                 Op::Malloc { size } => {
@@ -534,9 +585,18 @@ impl Sim<'_> {
                     let chain = events::pack_chain(&task.func_stack);
                     let which = LockRef::Alloc(task.pid as usize % self.alloc_locks.len());
                     self.vlock_acquire(cpu, which, &task, chain);
-                    self.advance(cpu, self.cfg.alloc_hold_ns, Some((&task, events::func::ALLOC_REGION_ALLOC)));
+                    self.advance(
+                        cpu,
+                        self.cfg.alloc_hold_ns,
+                        Some((&task, events::func::ALLOC_REGION_ALLOC)),
+                    );
                     self.vlock_release(cpu, which, task.tid, self.cfg.alloc_hold_ns);
-                    self.emit(cpu, MajorId::MEM, events::mem::ALLOC, &[size, 0x1000_0000 + size]);
+                    self.emit(
+                        cpu,
+                        MajorId::MEM,
+                        events::mem::ALLOC,
+                        &[size, 0x1000_0000 + size],
+                    );
                     task.func_stack.truncate(task.func_stack.len() - 3);
                     task.ip += 1;
                 }
@@ -552,7 +612,11 @@ impl Sim<'_> {
                     task.ip += 1;
                 }
                 Op::FsOpen { path } | Op::FsClose { path } => {
-                    let minor = if matches!(op, Op::FsOpen { .. }) { fsev::OPEN } else { fsev::CLOSE };
+                    let minor = if matches!(op, Op::FsOpen { .. }) {
+                        fsev::OPEN
+                    } else {
+                        fsev::CLOSE
+                    };
                     self.fs_call(cpu, &mut task, minor, path, self.cfg.fs_op_cost_ns, true);
                     task.ip += 1;
                 }
@@ -566,6 +630,30 @@ impl Sim<'_> {
                     self.fs_call(cpu, &mut task, fsev::WRITE, bytes, cost, false);
                     task.ip += 1;
                 }
+                Op::SharedRead { cell } => {
+                    let addr = ktrace_ossim::kernel::Kernel::shared_cell_addr(cell);
+                    self.emit(
+                        cpu,
+                        MajorId::MEM,
+                        events::mem::ACCESS_READ,
+                        &[addr, task.tid],
+                    );
+                    task.ip += 1;
+                }
+                Op::SharedWrite { cell } => {
+                    // Mirrors the real-time kernel's read-modify-write: the
+                    // annotation, then the ~200ns compute between load and
+                    // store that widens the race window.
+                    let addr = ktrace_ossim::kernel::Kernel::shared_cell_addr(cell);
+                    self.emit(
+                        cpu,
+                        MajorId::MEM,
+                        events::mem::ACCESS_WRITE,
+                        &[addr, task.tid],
+                    );
+                    self.advance(cpu, 200, Some((&task, events::func::USER_COMPUTE)));
+                    task.ip += 1;
+                }
                 Op::UserLock { lock } => {
                     let chain = events::pack_chain(&task.func_stack);
                     self.vlock_acquire(cpu, LockRef::User(lock), &task, chain);
@@ -576,7 +664,11 @@ impl Sim<'_> {
                     task.ip += 1;
                 }
                 Op::Spawn { child } => {
-                    self.advance(cpu, self.cfg.spawn_cost_ns, Some((&task, events::func::PROCESS_FORK)));
+                    self.advance(
+                        cpu,
+                        self.cfg.spawn_cost_ns,
+                        Some((&task, events::func::PROCESS_FORK)),
+                    );
                     self.spawn(cpu, &child, Some(&task));
                     task.ip += 1;
                 }
@@ -618,7 +710,11 @@ impl Sim<'_> {
             self.vlock_acquire(cpu, LockRef::Dir, task, chain);
             self.advance(cpu, lookup, Some((&*task, events::func::DIR_LOOKUP)));
             self.vlock_release(cpu, LockRef::Dir, task.tid, lookup);
-            self.advance(cpu, cost - lookup, Some((&*task, events::func::DENTRY_LOOKUP)));
+            self.advance(
+                cpu,
+                cost - lookup,
+                Some((&*task, events::func::DENTRY_LOOKUP)),
+            );
             task.func_stack.pop();
         } else {
             self.advance(cpu, cost, Some((&*task, events::func::SERVER_FILE_READ)));
@@ -631,7 +727,12 @@ impl Sim<'_> {
     }
 
     fn finish(&mut self, cpu: usize, task: VTask) {
-        self.emit(cpu, MajorId::SCHED, sched::THREAD_EXIT, &[task.tid, task.pid]);
+        self.emit(
+            cpu,
+            MajorId::SCHED,
+            sched::THREAD_EXIT,
+            &[task.tid, task.pid],
+        );
         self.emit(cpu, MajorId::USER, user::RETURNED_MAIN, &[task.pid]);
         self.emit(cpu, MajorId::PROC, procev::EXIT, &[task.pid]);
         if let Some(parent) = &task.parent {
@@ -652,7 +753,10 @@ impl Sim<'_> {
         if self.cpus[victim].runq.len() < 2 {
             return None;
         }
-        let pos = self.cpus[victim].runq.iter().rposition(|t| t.ready_at <= now)?;
+        let pos = self.cpus[victim]
+            .runq
+            .iter()
+            .rposition(|t| t.ready_at <= now)?;
         self.cpus[victim].runq.remove(pos)
     }
 }
@@ -692,7 +796,11 @@ mod tests {
 
     #[test]
     fn compiled_out_has_zero_overhead_and_same_results() {
-        let w = sdet::build(sdet::SdetConfig { scripts: 4, commands_per_script: 3, ..Default::default() });
+        let w = sdet::build(sdet::SdetConfig {
+            scripts: 4,
+            commands_per_script: 3,
+            ..Default::default()
+        });
         let out = vm(4, Scheme::CompiledOut).run(&w);
         let masked = vm(4, Scheme::MaskedOff).run(&w);
         let on = vm(4, Scheme::LocklessPerCpu).run(&w);
@@ -706,19 +814,29 @@ mod tests {
         // checked against the work actually performed.
         let masked_busy: u64 = masked.cpu_busy_ns.iter().sum();
         let masked_frac = masked.trace_overhead_ns as f64 / masked_busy as f64;
-        assert!(masked_frac < 0.01, "masked-off overhead fraction {masked_frac}");
+        assert!(
+            masked_frac < 0.01,
+            "masked-off overhead fraction {masked_frac}"
+        );
         // Enabled tracing is "low impact enough to be used without
         // significant perturbation" — this workload is event-dense, so allow
         // tens of percent of the work, not multiples. (Makespan on a run
         // this short is poll-quantized, hence the busy-time basis.)
         let on_busy: u64 = on.cpu_busy_ns.iter().sum();
         let on_frac = on.trace_overhead_ns as f64 / on_busy as f64;
-        assert!(on_frac < 0.3, "enabled-lockless overhead fraction {on_frac}");
+        assert!(
+            on_frac < 0.3,
+            "enabled-lockless overhead fraction {on_frac}"
+        );
     }
 
     #[test]
     fn locking_scheme_is_much_slower_at_scale() {
-        let w = sdet::build(sdet::SdetConfig { scripts: 16, commands_per_script: 3, ..Default::default() });
+        let w = sdet::build(sdet::SdetConfig {
+            scripts: 16,
+            commands_per_script: 3,
+            ..Default::default()
+        });
         let lockless = vm(8, Scheme::LocklessPerCpu).run(&w);
         let locking = vm(8, Scheme::LockingGlobal).run(&w);
         assert!(
@@ -753,9 +871,16 @@ mod tests {
         assert!(!trace.events.is_empty());
         // Per-CPU timestamp monotonicity survives emission.
         for cpu in 0..4 {
-            let times: Vec<u64> =
-                trace.events.iter().filter(|e| e.cpu == cpu).map(|e| e.time).collect();
-            assert!(times.windows(2).all(|w| w[0] <= w[1]), "cpu {cpu} non-monotonic");
+            let times: Vec<u64> = trace
+                .events
+                .iter()
+                .filter(|e| e.cpu == cpu)
+                .map(|e| e.time)
+                .collect();
+            assert!(
+                times.windows(2).all(|w| w[0] <= w[1]),
+                "cpu {cpu} non-monotonic"
+            );
         }
         // The Fig. 7 tool reads the virtual trace directly.
         let stats = LockStats::compute(&trace);
@@ -781,7 +906,10 @@ mod tests {
         };
         let w2 = wait_at(2);
         let w8 = wait_at(8);
-        assert!(w8 > w2, "wait at 8 cpus {w8} must exceed wait at 2 cpus {w2}");
+        assert!(
+            w8 > w2,
+            "wait at 8 cpus {w8} must exceed wait at 2 cpus {w2}"
+        );
     }
 
     #[test]

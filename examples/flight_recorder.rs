@@ -25,17 +25,35 @@ fn main() {
 
     // A long-running "system": far more activity than the buffers hold.
     for i in 0..100_000u64 {
-        h.log2(MajorId::MEM, ktrace::events::mem::ALLOC, 64 + i % 512, 0x1000_0000 + i);
+        h.log2(
+            MajorId::MEM,
+            ktrace::events::mem::ALLOC,
+            64 + i % 512,
+            0x1000_0000 + i,
+        );
         if i % 7 == 0 {
-            h.log3(MajorId::SCHED, ktrace::events::sched::CTX_SWITCH, i, i + 1, i % 5);
+            h.log3(
+                MajorId::SCHED,
+                ktrace::events::sched::CTX_SWITCH,
+                i,
+                i + 1,
+                i % 5,
+            );
         }
         if i == 99_997 {
             // The smoking gun right before the "crash".
-            h.log2(MajorId::EXCEPTION, ktrace::events::exception::PGFLT, 0xdead, 0xbad_add);
+            h.log2(
+                MajorId::EXCEPTION,
+                ktrace::events::exception::PGFLT,
+                0xdead,
+                0xbad_add,
+            );
         }
     }
-    println!("simulated crash after 100k+ events in a {} KiB region\n",
-        TraceConfig::small().region_words() * 8 / 1024);
+    println!(
+        "simulated crash after 100k+ events in a {} KiB region\n",
+        TraceConfig::small().region_words() * 8 / 1024
+    );
 
     // The debugger hook: last N events, newest data still there.
     let registry = logger.registry();

@@ -23,7 +23,9 @@ fn staggered(scripts: Workload, delay_ns: u64) -> Workload {
     for spec in scripts.processes {
         launcher = launcher
             .compute(delay_ns, ktrace::events::func::USER_COMPUTE)
-            .op(Op::Spawn { child: Box::new(spec) });
+            .op(Op::Spawn {
+                child: Box::new(spec),
+            });
     }
     launcher = launcher.op(Op::WaitChildren);
     Workload::new(vec![ProcessSpec::new("launcher", launcher)])
@@ -35,13 +37,21 @@ fn run(workload: &Workload) -> Trace {
         Scheme::LocklessPerCpu,
         CostParams::default(),
     )
-    .with_emission(TraceConfig { buffer_words: 16 * 1024, buffers_per_cpu: 16, ..TraceConfig::default() });
+    .with_emission(TraceConfig {
+        buffer_words: 16 * 1024,
+        buffers_per_cpu: 16,
+        ..TraceConfig::default()
+    });
     machine.run(workload);
     Trace::from_logger(machine.emitted_logger().expect("emission"), 1_000_000_000)
 }
 
 fn main() {
-    let cfg = sdet::SdetConfig { scripts: 16, commands_per_script: 3, ..Default::default() };
+    let cfg = sdet::SdetConfig {
+        scripts: 16,
+        commands_per_script: 3,
+        ..Default::default()
+    };
     let gap_threshold = 60_000; // flag idle gaps > 60µs
 
     println!("=== poorly coordinated start (scripts released serially) ===\n");

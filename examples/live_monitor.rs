@@ -58,7 +58,10 @@ fn main() {
         // "unified" story.
         let trace = Trace::from_logger(&logger, 1_000_000_000);
         let stats = EventStats::compute(&trace);
-        println!("--- monitor tick {round}: {:.0} events/sec in window ---", stats.events_per_sec());
+        println!(
+            "--- monitor tick {round}: {:.0} events/sec in window ---",
+            stats.events_per_sec()
+        );
         for ((maj, min), count) in stats.sorted().into_iter().take(3) {
             let name = trace
                 .registry
@@ -74,5 +77,8 @@ fn main() {
         w.join().expect("worker");
     }
     let s = logger.stats();
-    println!("\nfinal: {} events logged, {} dropped", s.events_logged, s.dropped_pending);
+    println!(
+        "\nfinal: {} events logged, {} dropped",
+        s.events_logged, s.dropped_pending
+    );
 }

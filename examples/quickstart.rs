@@ -78,9 +78,19 @@ fn main() {
     println!("--- first 10 events ---");
     print!(
         "{}",
-        render_listing(&trace, &ListingOptions { hide_control: true, limit: 10, ..Default::default() })
+        render_listing(
+            &trace,
+            &ListingOptions {
+                hide_control: true,
+                limit: 10,
+                ..Default::default()
+            }
+        )
     );
-    println!("\ntotal events in file: {}", trace.events.iter().filter(|e| !e.is_control()).count());
+    println!(
+        "\ntotal events in file: {}",
+        trace.events.iter().filter(|e| !e.is_control()).count()
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -23,7 +23,10 @@ fn run(ncpus: usize, scheme: Scheme) -> f64 {
 }
 
 fn main() {
-    println!("{:>5} {:>16} {:>16} {:>16} {:>7}", "cpus", "compiled-out", "masked-off", "enabled", "scale");
+    println!(
+        "{:>5} {:>16} {:>16} {:>16} {:>7}",
+        "cpus", "compiled-out", "masked-off", "enabled", "scale"
+    );
     let mut base = None;
     for ncpus in [1usize, 2, 4, 8, 16] {
         let out = run(ncpus, Scheme::CompiledOut);

@@ -22,7 +22,11 @@ fn main() {
         ..Default::default()
     });
     let mut machine = VirtualMachine::new(cfg, Scheme::LocklessPerCpu, CostParams::default())
-        .with_emission(TraceConfig { buffer_words: 16 * 1024, buffers_per_cpu: 16, ..TraceConfig::default() });
+        .with_emission(TraceConfig {
+            buffer_words: 16 * 1024,
+            buffers_per_cpu: 16,
+            ..TraceConfig::default()
+        });
     machine.run(&workload);
     let trace = Trace::from_logger(machine.emitted_logger().expect("emission"), 1_000_000_000);
 
@@ -55,7 +59,10 @@ fn main() {
     // strips up under the activity lanes.
     let counters = ktrace::analysis::CounterReport::compute(&trace);
     println!("\nhardware-counter intensity over the same window:");
-    for id in [ktrace::events::counter::CYCLES, ktrace::events::counter::CACHE_MISSES] {
+    for id in [
+        ktrace::events::counter::CYCLES,
+        ktrace::events::counter::CACHE_MISSES,
+    ] {
         println!(
             "{:>13} |{}|",
             ktrace::events::counter::name(id),

@@ -1,0 +1,78 @@
+//! `ktrace-lint` — source-level instrumentation linting.
+//!
+//! ```text
+//! ktrace-lint [--root DIR] [--json] [--deny-warnings] [--pass NAME]...
+//! ```
+//!
+//! Runs the static passes over the workspace at `--root` (default: the
+//! current directory). `--pass schema|idspace|hotpath` restricts the run to
+//! the named pass(es); repeat the flag to combine.
+//!
+//! Exit codes: 0 clean, 1 unreadable required input, 2 usage; otherwise the
+//! distinct code of the most severe violation class found, drawn from the
+//! same table as `ktrace-verify` (`ktrace_verify::ViolationKind::exit_code`):
+//! 30 schema mismatch, 31 ID-space collision, 32 hot-path hazard. With
+//! `--deny-warnings` (the CI configuration), style warnings also fail the
+//! run with the schema-mismatch code.
+
+use ktrace::srclint::{lint_workspace, LintOptions, PassSet};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ktrace-lint [--root DIR] [--json] [--deny-warnings] \
+         [--pass <schema|idspace|hotpath>]..."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut passes: Option<PassSet> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    return usage();
+                };
+                root = PathBuf::from(dir);
+            }
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--pass" => {
+                let Some(name) = args.next() else {
+                    return usage();
+                };
+                let set = passes.get_or_insert_with(PassSet::none);
+                if !set.enable(&name) {
+                    return usage();
+                }
+            }
+            _ => return usage(),
+        }
+    }
+
+    let opts = LintOptions {
+        root,
+        passes: passes.unwrap_or_default(),
+        deny_warnings,
+    };
+    let report = match lint_workspace(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ktrace-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        print!("{}", report.to_json(deny_warnings));
+    } else {
+        print!("{}", report.render(deny_warnings));
+    }
+    ExitCode::from(report.exit_code(deny_warnings))
+}

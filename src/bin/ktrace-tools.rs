@@ -50,7 +50,14 @@ fn main() -> ExitCode {
             let limit = extra.and_then(|s| s.parse().ok()).unwrap_or(50);
             print!(
                 "{}",
-                render_listing(&trace, &ListingOptions { hide_control: true, limit, ..Default::default() })
+                render_listing(
+                    &trace,
+                    &ListingOptions {
+                        hide_control: true,
+                        limit,
+                        ..Default::default()
+                    }
+                )
             );
         }
         "lockstat" => {
@@ -69,7 +76,13 @@ fn main() -> ExitCode {
         }
         "timeline" => {
             let width = extra.and_then(|s| s.parse().ok()).unwrap_or(100);
-            let tl = Timeline::build(&trace, &TimelineOptions { width, ..Default::default() });
+            let tl = Timeline::build(
+                &trace,
+                &TimelineOptions {
+                    width,
+                    ..Default::default()
+                },
+            );
             print!("{}", tl.render_ascii());
         }
         "stats" => {

@@ -71,14 +71,15 @@ pub use ktrace_events as events;
 pub use ktrace_format as format;
 pub use ktrace_io as io;
 pub use ktrace_ossim as ossim;
+pub use ktrace_srclint as srclint;
 pub use ktrace_verify as verify;
 pub use ktrace_vsim as vsim;
 
 /// The names needed by typical users of the tracing facility.
 pub mod prelude {
     pub use ktrace_analysis::{
-        render_listing, Breakdown, ListingOptions, LockStats, PcProfile, Timeline,
-        TimelineOptions, Trace,
+        render_listing, Breakdown, ListingOptions, LockStats, PcProfile, Timeline, TimelineOptions,
+        Trace,
     };
     pub use ktrace_clock::{ClockSource, ManualClock, SyncClock};
     pub use ktrace_core::{CpuHandle, Mode, TraceConfig, TraceLogger};
@@ -93,8 +94,7 @@ mod tests {
 
     #[test]
     fn facade_exposes_the_pipeline() {
-        let logger =
-            TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 1).unwrap();
+        let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 1).unwrap();
         let h = logger.handle(0).unwrap();
         assert!(h.log1(MajorId::TEST, 1, 99));
         logger.flush_all();

@@ -28,7 +28,10 @@ fn make_trace(path: &std::path::Path) {
 fn tool(args: &[&str]) -> (String, bool) {
     let exe = env!("CARGO_BIN_EXE_ktrace-tools");
     let out = Command::new(exe).args(args).output().expect("run tool");
-    (String::from_utf8_lossy(&out.stdout).into_owned(), out.status.success())
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.success(),
+    )
 }
 
 #[test]

@@ -10,7 +10,11 @@ use std::sync::Arc;
 fn many_threads_one_region_no_lost_or_corrupt_events() {
     let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
     let logger = TraceLogger::new(
-        TraceConfig { buffer_words: 2048, buffers_per_cpu: 8, ..TraceConfig::default() },
+        TraceConfig {
+            buffer_words: 2048,
+            buffers_per_cpu: 8,
+            ..TraceConfig::default()
+        },
         clock as Arc<dyn ClockSource>,
         2,
     )
@@ -34,18 +38,20 @@ fn many_threads_one_region_no_lost_or_corrupt_events() {
                         got = true;
                     }
                 }
-                if !got {
-                    if stop.load(std::sync::atomic::Ordering::Acquire) {
-                        logger.flush_all();
-                        for cpu in 0..2 {
-                            while let Some(b) = logger.take_buffer(cpu) {
-                                bufs.push(b);
-                            }
-                        }
-                        return bufs;
-                    }
-                    std::thread::yield_now();
+                if got {
+                    continue;
                 }
+                if !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    std::thread::yield_now();
+                    continue;
+                }
+                logger.flush_all();
+                for cpu in 0..2 {
+                    while let Some(b) = logger.take_buffer(cpu) {
+                        bufs.push(b);
+                    }
+                }
+                return bufs;
             }
         })
     };

@@ -49,7 +49,10 @@ fn full_pipeline_from_simulator_to_tools() {
     let listing = render_listing(&trace, &ListingOptions::data_only());
     assert!(listing.contains("TRACE_SCHED_CTX_SWITCH"), "{listing}");
     assert!(listing.contains("TRACE_USER_RUN_UL_LOADER"));
-    assert!(!listing.contains("UNKNOWN_"), "all simulator events are described");
+    assert!(
+        !listing.contains("UNKNOWN_"),
+        "all simulator events are described"
+    );
 
     // Lock analysis sees the allocator chain.
     let locks = LockStats::compute(&trace);
@@ -67,7 +70,13 @@ fn full_pipeline_from_simulator_to_tools() {
     assert!(breakdown.processes.contains_key(&1), "server pid present");
 
     // Timeline renders one lane per CPU.
-    let tl = Timeline::build(&trace, &TimelineOptions { width: 60, ..Default::default() });
+    let tl = Timeline::build(
+        &trace,
+        &TimelineOptions {
+            width: 60,
+            ..Default::default()
+        },
+    );
     assert_eq!(tl.lanes.len(), 2);
 
     // Event stats counts the expected classes.
@@ -100,7 +109,11 @@ fn random_access_windows_match_full_scan() {
     let mut reader = TraceFileReader::open(&path).expect("open");
     let got = reader.events_between(t0, t1).expect("window");
     let got_data = got.iter().filter(|e| !e.is_control()).count();
-    assert_eq!(got_data, expected.len(), "window read must equal filtered full scan");
+    assert_eq!(
+        got_data,
+        expected.len(),
+        "window read must equal filtered full scan"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

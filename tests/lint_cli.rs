@@ -1,0 +1,75 @@
+//! End-to-end `ktrace-lint` CLI: exit-code contract and output formats.
+
+use std::path::Path;
+use std::process::Command;
+
+fn lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ktrace-lint"))
+        .args(args)
+        .output()
+        .expect("spawn ktrace-lint")
+}
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("crates/srclint/tests/fixtures")
+        .join(name)
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn clean_workspace_exits_zero_even_denying_warnings() {
+    let out = lint(&["--root", env!("CARGO_MANIFEST_DIR"), "--deny-warnings"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("0 violation(s), 0 warning(s)"), "{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(lint(&["--frobnicate"]).status.code(), Some(2));
+    assert_eq!(lint(&["--pass", "nonsense"]).status.code(), Some(2));
+    assert_eq!(lint(&["--root"]).status.code(), Some(2));
+}
+
+#[test]
+fn missing_inputs_exit_one() {
+    let out = lint(&["--root", "/nonexistent/ktrace-workspace"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("required input"));
+}
+
+#[test]
+fn each_pass_fails_with_its_distinct_code() {
+    let out = lint(&["--root", &fixture("schema_drift"), "--pass", "schema"]);
+    assert_eq!(out.status.code(), Some(30));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error[schema-mismatch]"));
+
+    let out = lint(&["--root", &fixture("idspace"), "--pass", "idspace"]);
+    assert_eq!(out.status.code(), Some(31));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error[id-space-collision]"));
+
+    let out = lint(&["--root", &fixture("hotpath"), "--pass", "hotpath"]);
+    assert_eq!(out.status.code(), Some(32));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error[hot-path-hazard]"));
+}
+
+#[test]
+fn full_run_reports_the_most_severe_code() {
+    // All passes on the schema fixture: schema mismatch (30) outranks any
+    // other class present, matching ktrace-verify's min-code convention.
+    let out = lint(&["--root", &fixture("schema_drift")]);
+    assert_eq!(out.status.code(), Some(30));
+}
+
+#[test]
+fn json_output_is_structured() {
+    let out = lint(&["--root", &fixture("idspace"), "--json"]);
+    assert_eq!(out.status.code(), Some(31));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"violations\""));
+    assert!(stdout.contains("\"kind\": \"id-space-collision\""));
+    assert!(stdout.contains("\"exit_code\": 31"));
+    assert!(stdout.trim_start().starts_with('{') && stdout.trim_end().ends_with('}'));
+}

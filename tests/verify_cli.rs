@@ -27,8 +27,14 @@ fn make_trace(path: &Path, workload: ktrace::ossim::Workload) {
 
 fn verify(args: &[&str]) -> (String, Option<i32>) {
     let exe = env!("CARGO_BIN_EXE_ktrace-verify");
-    let out = Command::new(exe).args(args).output().expect("run ktrace-verify");
-    (String::from_utf8_lossy(&out.stdout).into_owned(), out.status.code())
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .expect("run ktrace-verify");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.code(),
+    )
 }
 
 fn temp_dir() -> PathBuf {
@@ -48,14 +54,21 @@ fn lint_is_clean_on_simulator_trace_and_flags_corruptions() {
     assert!(out.contains("0 violation"), "{out}");
 
     let (out, code) = verify(&["all", clean.to_str().unwrap()]);
-    assert_eq!(code, Some(0), "lock-disciplined trace must pass both passes:\n{out}");
+    assert_eq!(
+        code,
+        Some(0),
+        "lock-disciplined trace must pass both passes:\n{out}"
+    );
 
     // Truncate mid-record: distinct truncated-buffer exit code.
     let bytes = std::fs::read(&clean).unwrap();
     let cut = dir.join("truncated.ktrace");
     std::fs::write(&cut, &bytes[..bytes.len() - 5]).unwrap();
     let (_, code) = verify(&["lint", cut.to_str().unwrap()]);
-    assert_eq!(code, Some(ViolationKind::TruncatedBuffer.exit_code() as i32));
+    assert_eq!(
+        code,
+        Some(ViolationKind::TruncatedBuffer.exit_code() as i32)
+    );
 
     // Zero an event header early in the first record: garbled commit.
     let mut garbled = bytes.clone();

@@ -63,11 +63,7 @@ fn multi_writer_trace_lints_clean() {
     }
     assert!(bufs.len() >= NCPUS, "expected at least one buffer per CPU");
 
-    let report = lint_completed_buffers(
-        &bufs,
-        &logger.registry(),
-        logger.config().buffer_words,
-    );
+    let report = lint_completed_buffers(&bufs, &logger.registry(), logger.config().buffer_words);
     assert!(report.is_clean(), "{}", report.render());
     assert!(report.events_checked as u64 >= NCPUS as u64);
 }

@@ -27,7 +27,10 @@ fn eight_way_virtual_trace_feeds_all_tools() {
     let trace = emitted_sdet(8);
     // All 8 simulated CPUs logged.
     for cpu in 0..8 {
-        assert!(trace.events.iter().any(|e| e.cpu == cpu), "cpu {cpu} silent");
+        assert!(
+            trace.events.iter().any(|e| e.cpu == cpu),
+            "cpu {cpu} silent"
+        );
     }
     // Per-CPU virtual timestamps are monotonic.
     for cpu in 0..8 {
@@ -38,11 +41,17 @@ fn eight_way_virtual_trace_feeds_all_tools() {
         }
     }
     let locks = LockStats::compute(&trace);
-    assert!(locks.total_wait_ns() > 0, "8 CPUs on one allocator lock must contend");
+    assert!(
+        locks.total_wait_ns() > 0,
+        "8 CPUs on one allocator lock must contend"
+    );
     let prof = PcProfile::compute(&trace);
     assert!(prof.by_pid.len() > 1);
     let breakdown = Breakdown::compute(&trace);
-    assert!(breakdown.processes[&1].served.time_ns > 0, "server time attributed");
+    assert!(
+        breakdown.processes[&1].served.time_ns > 0,
+        "server time attributed"
+    );
 }
 
 #[test]
@@ -68,7 +77,10 @@ fn hardware_counters_flow_through_the_unified_stream() {
     // other event and are analyzable afterwards.
     let trace = emitted_sdet(4);
     let report = ktrace::analysis::CounterReport::compute(&trace);
-    assert!(report.total(ktrace::events::counter::CYCLES) > 0, "cycles sampled");
+    assert!(
+        report.total(ktrace::events::counter::CYCLES) > 0,
+        "cycles sampled"
+    );
     assert!(
         report.total(ktrace::events::counter::CACHE_MISSES) > 0,
         "cache misses sampled"
@@ -94,8 +106,14 @@ fn masked_majors_suppress_events_in_emission() {
     machine.run(&micro::compute_only(4, 500_000));
     let trace = Trace::from_logger(machine.emitted_logger().unwrap(), 1_000_000_000);
     assert!(
-        !trace.events.iter().any(|e| e.major == ktrace::format::MajorId::PROF),
+        !trace
+            .events
+            .iter()
+            .any(|e| e.major == ktrace::format::MajorId::PROF),
         "masked class must not appear"
     );
-    assert!(trace.events.iter().any(|e| e.major == ktrace::format::MajorId::SCHED));
+    assert!(trace
+        .events
+        .iter()
+        .any(|e| e.major == ktrace::format::MajorId::SCHED));
 }

@@ -1,0 +1,239 @@
+//! Offline stub of the `criterion` API surface this workspace uses
+//! (see `vendor/README.md`).
+//!
+//! A minimal time-boxed harness behind the real crate's entry points:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Throughput`, and `Bencher::iter`.
+//! It reports mean wall-clock ns/iter (plus element throughput when set) —
+//! good enough to run the benches and eyeball relative cost, with none of
+//! upstream's statistics, warm-up tuning, or plotting.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock spend per benchmark (upstream defaults to seconds;
+/// the stub keeps bench runs quick).
+const TARGET: Duration = Duration::from_millis(200);
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name, None, f);
+        self
+    }
+}
+
+/// Declared per-iteration work, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterised benchmark name within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the parameter alone (e.g. `group/4`).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// See [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark with an explicit input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the stub prints as it
+    /// goes, so this only consumes the group).
+    pub fn finish(self) {}
+}
+
+/// The per-benchmark timing handle.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, repeating it until the time budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let started = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.total += t0.elapsed();
+            self.iters += 1;
+            if started.elapsed() >= self.budget && self.iters >= 10 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up pass (discarded), then the measured pass.
+    let mut warm = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+        budget: WARMUP,
+    };
+    f(&mut warm);
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+        budget: TARGET,
+    };
+    f(&mut b);
+
+    let ns_per_iter = b.total.as_nanos() as f64 / b.iters.max(1) as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) if ns_per_iter > 0.0 => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            println!(
+                "{label:<40} {ns_per_iter:>12.1} ns/iter   {per_sec:>14.0} elem/s   ({} iters)",
+                b.iters
+            );
+        }
+        Some(Throughput::Bytes(n)) if ns_per_iter > 0.0 => {
+            let per_sec = n as f64 * 1e9 / ns_per_iter;
+            println!(
+                "{label:<40} {ns_per_iter:>12.1} ns/iter   {:>11.1} MiB/s   ({} iters)",
+                per_sec / (1024.0 * 1024.0),
+                b.iters
+            );
+        }
+        _ => {
+            println!(
+                "{label:<40} {ns_per_iter:>12.1} ns/iter   ({} iters)",
+                b.iters
+            );
+        }
+    }
+}
+
+/// Declares a benchmark group function calling each target with a shared
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main()` running each `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_counts() {
+        let mut criterion = Criterion::default();
+        let mut hits = 0u64;
+        criterion.bench_function("counting", |b| b.iter(|| hits += 1));
+        assert!(
+            hits >= 10,
+            "routine should have run at least the minimum iters"
+        );
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("group");
+        group.throughput(Throughput::Elements(3));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.bench_function("plain", |b| b.iter(|| 1u32 + 1));
+        group.finish();
+    }
+}

@@ -1,0 +1,64 @@
+//! Offline stub of the `crossbeam` API surface this workspace uses
+//! (see `vendor/README.md`): only `utils::CachePadded`.
+
+/// Miscellaneous utilities.
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to the length of a cache line, so that
+    /// accesses to neighbouring `CachePadded` values never false-share.
+    ///
+    /// 128-byte alignment matches upstream's choice for x86-64 (adjacent
+    /// line prefetch) and aarch64 big.LITTLE cores.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Pads `value` to a cache line.
+        pub const fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        /// Returns the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> CachePadded<T> {
+            CachePadded::new(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+
+    #[test]
+    fn cache_padded_aligns_and_derefs() {
+        let p = CachePadded::new(7u64);
+        assert_eq!(*p, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        assert!(std::mem::size_of::<CachePadded<u8>>() >= 128);
+        assert_eq!(p.into_inner(), 7);
+    }
+}

@@ -1,0 +1,60 @@
+//! Offline stub of the `loom` API surface this workspace uses
+//! (see `vendor/README.md`).
+//!
+//! **Not a model checker.** Real loom exhaustively explores thread
+//! interleavings; this facade maps the same names onto `std` primitives and
+//! runs the model body once with real threads. The loom test still compiles
+//! and its assertions run under whatever interleaving the OS happens to
+//! schedule, but exhaustive exploration requires the real crate.
+
+/// Synchronization primitives mirroring `loom::sync`.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Atomics mirroring `loom::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+/// Thread spawning mirroring `loom::thread`.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Runs `f` once (upstream explores all interleavings; see crate docs).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    f();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_runs_body_with_real_threads() {
+        super::model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let (n, log) = (n.clone(), log.clone());
+                handles.push(super::thread::spawn(move || {
+                    let v = n.fetch_add(1, Ordering::SeqCst);
+                    log.lock().unwrap().push(v);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+            assert_eq!(log.lock().unwrap().len(), 2);
+        });
+    }
+}

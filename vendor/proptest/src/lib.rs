@@ -1,0 +1,182 @@
+//! Offline stub of the `proptest` API surface this workspace uses
+//! (see `vendor/README.md`).
+//!
+//! Implements the subset the workspace's property tests need: the
+//! [`Strategy`] trait with `prop_map`, integer-range / tuple / collection /
+//! sample / simple-regex strategies, `any::<T>()`, the `proptest!` runner
+//! macro with `#![proptest_config(..)]`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//! * no shrinking — a failing case panics with its seed and case index;
+//! * sampling is deterministic per test (seeded from the test name), with
+//!   `PROPTEST_CASES` still honoured so CI can dial effort up or down;
+//! * the regex string strategy supports only the `.{m,n}`-style patterns
+//!   used in this workspace (a literal prefix plus an optional `.{m,n}`).
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirrors `proptest::prelude` for the names this workspace imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Mirrors the `proptest::prop` module hierarchy (`prop::collection::vec`,
+/// `prop::sample::select`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+
+    /// Value-sampling strategies.
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// process) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+///
+/// Uses the same `match` shape as `assert_eq!` so temporaries in the operands
+/// live for the whole comparison.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, $($fmt)*);
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+            }
+        }
+    };
+}
+
+/// Combines strategies with the same value type, choosing one per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::empty()$(.or($strategy))+
+    };
+}
+
+/// The property-test runner macro: each `fn name(arg in strategy, ..)` item
+/// becomes a `#[test]` that samples its strategies `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $(let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);)+
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} of `{}` failed: {}",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs(x in 1u8..9, v in prop::collection::vec(0u64..100, 0..10)) {
+            prop_assert!((1..9).contains(&x));
+            prop_assert!(v.len() < 10);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn tuples_maps_unions(
+            pair in (0u32..10, any::<bool>()).prop_map(|(n, b)| (n * 2, b)),
+            choice in prop_oneof![(0u64..5).prop_map(Some), (5u64..9).prop_map(|_| None)],
+            pick in prop::sample::select(vec![2u32, 4, 8]),
+            s in ".{0,12}",
+        ) {
+            prop_assert!(pair.0 % 2 == 0 && pair.0 < 20);
+            if let Some(v) = choice {
+                prop_assert!(v < 5);
+            }
+            prop_assert!([2u32, 4, 8].contains(&pick));
+            prop_assert!(s.chars().count() <= 12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            fn inner(x in 0u8..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}
