@@ -148,7 +148,7 @@ pub fn report_fig5(fast: bool) -> String {
         commands_per_script: 3,
         ..Default::default()
     }));
-    session.finish().expect("finish");
+    assert!(session.finish().lossless(), "session sink failed");
 
     let trace = Trace::from_file(&path).expect("read back");
     let mut out = String::from("First 25 events (cf. Fig. 5):\n");

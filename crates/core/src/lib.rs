@@ -49,6 +49,6 @@ pub mod region;
 
 pub use config::{Mode, TraceConfig, ANCHOR_WORDS, DROPPED_WORDS};
 pub use error::CoreError;
-pub use logger::{CpuHandle, LoggerStats, RestrictedHandle, TraceLogger};
+pub use logger::{CpuHandle, FlightDump, LoggerStats, RestrictedHandle, TraceLogger};
 pub use reader::{parse_buffer, GarbleNote, ParsedBuffer, RawEvent};
 pub use region::{CompletedBuffer, RegionSnapshot};

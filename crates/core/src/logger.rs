@@ -14,7 +14,7 @@
 
 use crate::config::{Mode, TraceConfig};
 use crate::error::CoreError;
-use crate::reader::{parse_buffer, RawEvent};
+use crate::reader::{parse_buffer, GarbleNote, RawEvent};
 use crate::region::{CompletedBuffer, CpuRegion, RegionSnapshot};
 use crossbeam::utils::CachePadded;
 use ktrace_clock::ClockSource;
@@ -49,6 +49,28 @@ pub struct LoggerStats {
     pub words_reserved: u64,
     /// Buffers released by consumers.
     pub buffers_consumed: u64,
+}
+
+/// The result of a crash-resilient flight-recorder dump
+/// ([`TraceLogger::dump_last`]): the surviving events plus an account of what
+/// the tear cost.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// The most recent events, time-sorted, control events excluded.
+    pub events: Vec<RawEvent>,
+    /// Buffers examined across all CPU regions.
+    pub buffers_scanned: usize,
+    /// Buffers whose event chain was damaged (decoded up to the tear).
+    pub garbled_buffers: usize,
+    /// Every anomaly, attributed to `(cpu, seq)`.
+    pub notes: Vec<(usize, u64, GarbleNote)>,
+}
+
+impl FlightDump {
+    /// True if every scanned buffer decoded cleanly.
+    pub fn clean(&self) -> bool {
+        self.notes.is_empty()
+    }
 }
 
 impl TraceLogger {
@@ -236,7 +258,23 @@ impl TraceLogger {
     ///
     /// Works in either mode; in stream mode it sees only undrained data.
     pub fn flight_dump(&self, last_n: usize, majors: Option<&[MajorId]>) -> Vec<RawEvent> {
-        let mut events: Vec<RawEvent> = Vec::new();
+        self.dump_last(last_n, majors).events
+    }
+
+    /// The crash-resilient flight dump: like
+    /// [`flight_dump`](TraceLogger::flight_dump) but also reporting what was
+    /// *lost* — garbled buffers (a CPU killed mid-reservation leaves a torn,
+    /// uncommitted extent) are decoded up to the tear and the anomalies are
+    /// returned alongside the surviving events, instead of being dropped
+    /// silently. This is the dump a debugger takes after a crash (§4.2),
+    /// where the tail of the stream is garbled by construction.
+    pub fn dump_last(&self, last_n: usize, majors: Option<&[MajorId]>) -> FlightDump {
+        let mut dump = FlightDump {
+            events: Vec::new(),
+            buffers_scanned: 0,
+            garbled_buffers: 0,
+            notes: Vec::new(),
+        };
         for cpu in 0..self.ncpus() {
             let snap = self.snapshot(cpu);
             let mut hint = None;
@@ -244,19 +282,44 @@ impl TraceLogger {
                 if let Some(words) = snap.buffer(seq) {
                     let parsed = parse_buffer(cpu, seq, words, hint);
                     hint = parsed.end_time;
-                    events.extend(parsed.events);
+                    dump.buffers_scanned += 1;
+                    if !parsed.notes.is_empty() {
+                        dump.garbled_buffers += 1;
+                        dump.notes
+                            .extend(parsed.notes.into_iter().map(|n| (cpu, seq, n)));
+                    }
+                    dump.events.extend(parsed.events);
                 }
             }
         }
-        events.retain(|e| !e.is_control());
+        dump.events.retain(|e| !e.is_control());
         if let Some(keep) = majors {
-            events.retain(|e| keep.contains(&e.major));
+            dump.events.retain(|e| keep.contains(&e.major));
         }
-        events.sort_by_key(|e| e.time);
-        if events.len() > last_n {
-            events.drain(..events.len() - last_n);
+        dump.events.sort_by_key(|e| e.time);
+        if dump.events.len() > last_n {
+            dump.events.drain(..dump.events.len() - last_n);
         }
-        events
+        dump
+    }
+
+    /// Fault injection: abandons a reservation of `total_words` on `cpu` —
+    /// the killed-logger scenario of §3.1. See
+    /// [`CpuRegion::abandon_reservation`](crate::region::CpuRegion::abandon_reservation).
+    pub fn fault_abandon_reservation(&self, cpu: usize, total_words: usize) -> Option<u64> {
+        self.region(cpu).abandon_reservation(total_words)
+    }
+
+    /// Fault injection: XORs `mask` into `cpu`'s region word at unwrapped
+    /// index `at` (header tearing / payload flips).
+    pub fn fault_corrupt_word(&self, cpu: usize, at: u64, mask: u64) {
+        self.region(cpu).corrupt_word(at, mask);
+    }
+
+    /// Fault injection: skews `cpu`'s commit count for buffer slot `slot` by
+    /// `delta` words — the "not enough / too much data" §3.1 anomalies.
+    pub fn fault_desync_commit(&self, cpu: usize, slot: usize, delta: i64) {
+        self.region(cpu).desync_commit(slot, delta);
     }
 
     /// Aggregate statistics across all CPUs.
@@ -384,6 +447,13 @@ impl CpuHandle {
         /// Logs a 6-word event.
         log6(a, b, c, d, e, g)
     );
+
+    /// Fault injection: abandons a reservation of `total_words` on this
+    /// handle's CPU — the §3.1 killed-logger scenario, used by crash
+    /// injection to tear the stream exactly where a dying CPU would.
+    pub fn fault_abandon_reservation(&self, total_words: usize) -> Option<u64> {
+        self.shared.regions[self.cpu as usize].abandon_reservation(total_words)
+    }
 
     /// Logs an event whose payload is built from descriptor field values
     /// (convenient for events with strings).
@@ -634,6 +704,32 @@ mod tests {
         let mem_only = l.flight_dump(10, Some(&[MajorId::MEM]));
         assert!(mem_only.iter().all(|e| e.major == MajorId::MEM));
         assert_eq!(mem_only.len(), 10);
+    }
+
+    #[test]
+    fn dump_last_reports_torn_reservation() {
+        let cfg = TraceConfig::small().flight_recorder();
+        let l = TraceLogger::new(cfg, Arc::new(ManualClock::new(1, 1)), 1).unwrap();
+        let h = l.handle(0).unwrap();
+        for i in 0..10u64 {
+            h.log1(MajorId::TEST, 0, i);
+        }
+        // A CPU dies mid-reservation: the extent is claimed, never written.
+        let at = l.fault_abandon_reservation(0, 5).expect("reserve");
+        for i in 0..10u64 {
+            h.log1(MajorId::TEST, 1, i);
+        }
+        let dump = l.dump_last(64, None);
+        assert!(!dump.clean());
+        assert_eq!(dump.garbled_buffers, 1);
+        assert!(dump.notes.iter().any(|(cpu, _, n)| *cpu == 0
+            && matches!(n, GarbleNote::ZeroHeader { offset } if *offset as u64 == at)));
+        // Events logged before the tear survive in the dump.
+        assert!(dump
+            .events
+            .iter()
+            .any(|e| e.major == MajorId::TEST && e.minor == 0));
+        assert_eq!(dump.events, l.flight_dump(64, None));
     }
 
     #[test]

@@ -366,6 +366,41 @@ impl CpuRegion {
         })
     }
 
+    /// Fault injection: reserves `total_words` exactly like a logger would
+    /// and then never writes or commits them — the killed-mid-log scenario of
+    /// §3.1 ("a process … killed at an inopportune moment leaves a buffer
+    /// whose commit count never catches up"). The claimed extent stays zeroed
+    /// so decoders see a [`GarbleNote::ZeroHeader`](crate::reader::GarbleNote)
+    /// and the buffer drains with `complete == false`. Returns the abandoned
+    /// start index, or `None` in stream mode when the region is overrun.
+    pub fn abandon_reservation(&self, total_words: usize) -> Option<u64> {
+        if total_words == 0 || total_words > self.config.max_event_words() {
+            return None;
+        }
+        self.reserve(total_words).map(|(start, _ts)| start)
+    }
+
+    /// Fault injection: XORs `mask` into the region word at unwrapped index
+    /// `at` — a torn header or flipped payload word, as left by errant DMA or
+    /// a stray store. Atomic, so concurrent readers still see untorn words.
+    pub fn corrupt_word(&self, at: u64, mask: u64) {
+        let pos = (at % self.words.len() as u64) as usize;
+        self.words[pos].fetch_xor(mask, Ordering::AcqRel);
+    }
+
+    /// Fault injection: skews buffer slot `slot`'s cumulative commit count by
+    /// `delta` words (wrapping). A positive skew simulates a logger that woke
+    /// after its buffer was recycled ("too much data"); a negative one, a
+    /// commit that never landed ("not enough data") — the two §3.1 anomalies.
+    pub fn desync_commit(&self, slot: usize, delta: i64) {
+        let slot = slot % self.config.buffers_per_cpu;
+        if delta >= 0 {
+            self.committed[slot].fetch_add(delta as u64, Ordering::AcqRel);
+        } else {
+            self.committed[slot].fetch_sub(delta.unsigned_abs(), Ordering::AcqRel);
+        }
+    }
+
     /// Copies the whole region for flight-recorder inspection (§4.2). Safe to
     /// call while producers are running; the tail may be garbled.
     pub fn snapshot(&self) -> RegionSnapshot {
@@ -631,6 +666,76 @@ mod tests {
                 assert!(h.timestamp >= last, "ts regression at seq {seq} off {off}");
                 last = h.timestamp;
                 off += h.len_words as usize;
+            }
+        }
+    }
+
+    #[test]
+    fn abandoned_reservation_garbles_buffer_with_zero_header() {
+        let cfg = TraceConfig::small();
+        let (_c, r) = region(cfg);
+        r.log_raw(MajorId::TEST, 0, &[1]).unwrap();
+        let at = r.abandon_reservation(4).expect("reservation succeeds");
+        // A later event lands beyond the hole; decoding can't reach it.
+        r.log_raw(MajorId::TEST, 1, &[2]).unwrap();
+        r.flush();
+        let buf = r.take_buffer().unwrap();
+        assert!(!buf.complete, "abandoned words never commit");
+        assert_eq!(buf.expected_words - buf.committed_words, 4);
+        let parsed = crate::reader::parse_buffer(0, 0, &buf.words, None);
+        assert!(parsed
+            .notes
+            .iter()
+            .any(|n| matches!(n, crate::reader::GarbleNote::ZeroHeader { offset } if *offset as u64 == at)));
+        // Events before the tear survive.
+        assert!(parsed
+            .events
+            .iter()
+            .any(|e| e.major == MajorId::TEST && e.minor == 0));
+        assert!(
+            !parsed
+                .events
+                .iter()
+                .any(|e| e.major == MajorId::TEST && e.minor == 1),
+            "the event beyond the tear is unreachable"
+        );
+    }
+
+    #[test]
+    fn desync_commit_flags_buffer_incomplete() {
+        let cfg = TraceConfig::small();
+        let (_c, r) = region(cfg);
+        let payload = [1u64; 10];
+        while r.index() < cfg.buffer_words as u64 {
+            r.log_raw(MajorId::TEST, 0, &payload).unwrap();
+        }
+        r.desync_commit(0, -3);
+        let short = r.take_buffer().unwrap();
+        assert!(!short.complete, "short count must flag garble");
+        assert_eq!(short.expected_words - short.committed_words, 3);
+
+        while r.index() < 2 * cfg.buffer_words as u64 {
+            r.log_raw(MajorId::TEST, 0, &payload).unwrap();
+        }
+        r.desync_commit(1, 5);
+        let over = r.take_buffer().unwrap();
+        assert!(!over.complete, "overshoot must flag garble too");
+        assert_eq!(over.committed_words - over.expected_words, 5);
+    }
+
+    #[test]
+    fn corrupt_word_tears_exactly_one_word() {
+        let cfg = TraceConfig::small();
+        let (_c, r) = region(cfg);
+        r.log_raw(MajorId::TEST, 0, &[7, 8]).unwrap();
+        let before = r.snapshot();
+        r.corrupt_word(ANCHOR_WORDS as u64, 0xdead_beef);
+        let after = r.snapshot();
+        for (i, (b, a)) in before.words.iter().zip(after.words.iter()).enumerate() {
+            if i == ANCHOR_WORDS {
+                assert_eq!(*a, *b ^ 0xdead_beef);
+            } else {
+                assert_eq!(a, b, "word {i} must be untouched");
             }
         }
     }

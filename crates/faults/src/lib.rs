@@ -1,0 +1,33 @@
+//! Deterministic fault injection for the ktrace collection pipeline.
+//!
+//! The paper's reliability machinery — per-buffer commit counts (§3.1),
+//! alignment-point filler events (§3.2), and the flight-recorder dump taken
+//! after a crash (§4.2) — exists so a trace *survives* a misbehaving system.
+//! This crate manufactures the misbehaviour, reproducibly: every injector is
+//! a pure function of a `u64` seed, so a failing fault-matrix run is re-run
+//! with the printed seed and fails the same way.
+//!
+//! Three injection points cover the pipeline end to end:
+//!
+//! * [`FaultySink`] wraps any [`std::io::Write`] sink and injects partial
+//!   writes, transient (`WouldBlock`) errors, a permanent failure after a
+//!   byte budget, and latency spikes — the flaky-disk / flaky-network leg.
+//! * [`RegionCorruptor`] drives the fault hooks on a live
+//!   [`TraceLogger`](ktrace_core::TraceLogger): abandoned reservations (a
+//!   logger killed mid-`traceReserve`), torn header words, and commit-count
+//!   desyncs — the in-memory leg.
+//! * [`FileCorruptor`] mutates an encoded trace file at the byte level —
+//!   truncation, bit flips, zeroed spans — the at-rest leg, and the input
+//!   generator for the salvage proptest.
+//!
+//! The consuming side that tolerates all of this lives in `ktrace-io`
+//! (`salvage` module, resilient `TraceSession`); this crate only breaks
+//! things.
+
+pub mod corrupt;
+pub mod plan;
+pub mod sink;
+
+pub use corrupt::{FileCorruptor, RegionCorruptor};
+pub use plan::{FaultPlan, SinkPlan};
+pub use sink::{FaultySink, SinkStats, SinkStatsHandle};

@@ -1,0 +1,131 @@
+//! Fault taxonomy and per-sink injection plans.
+
+use std::time::Duration;
+
+/// One row of the fault matrix: which failure mode a test run injects.
+///
+/// Each variant maps to a concrete injector: the sink faults go through
+/// [`FaultySink`](crate::FaultySink), the in-region faults through
+/// [`RegionCorruptor`](crate::RegionCorruptor), and `ShortRead` through
+/// [`FileCorruptor`](crate::FileCorruptor) truncation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPlan {
+    /// The sink accepts only a prefix of each write (`FaultySink`).
+    PartialWrite,
+    /// The trace file is cut short at an arbitrary byte (`FileCorruptor`).
+    ShortRead,
+    /// A reservation is claimed and never written: a zeroed hole mid-buffer
+    /// (`RegionCorruptor::abandon_reservation`).
+    MidBufferTruncation,
+    /// A buffer's cumulative commit count is skewed
+    /// (`RegionCorruptor::desync_commit`).
+    CommitDesync,
+    /// A simulated CPU dies mid-reservation (ossim `CrashPlan`), leaving the
+    /// flight recorder holding a torn tail.
+    CpuCrash,
+}
+
+impl FaultPlan {
+    /// Every plan, in matrix order.
+    pub const ALL: [FaultPlan; 5] = [
+        FaultPlan::PartialWrite,
+        FaultPlan::ShortRead,
+        FaultPlan::MidBufferTruncation,
+        FaultPlan::CommitDesync,
+        FaultPlan::CpuCrash,
+    ];
+
+    /// Stable name used in test output and seed-reproduction logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultPlan::PartialWrite => "partial-write",
+            FaultPlan::ShortRead => "short-read",
+            FaultPlan::MidBufferTruncation => "mid-buffer-truncation",
+            FaultPlan::CommitDesync => "commit-count-desync",
+            FaultPlan::CpuCrash => "cpu-crash",
+        }
+    }
+}
+
+/// How a [`FaultySink`](crate::FaultySink) misbehaves.
+///
+/// All probabilities are per `write` call and drawn from a generator seeded
+/// with `seed`, so a plan's behaviour is a pure function of the byte stream
+/// written into it.
+#[derive(Debug, Clone)]
+pub struct SinkPlan {
+    /// Seed for every probabilistic decision below.
+    pub seed: u64,
+    /// Probability a write accepts only a random non-empty prefix.
+    pub partial_write: f64,
+    /// Probability a write fails with [`std::io::ErrorKind::WouldBlock`]
+    /// (retryable; the resilient session backs off and retries).
+    pub transient_error: f64,
+    /// After this many bytes have been accepted, every further write fails
+    /// with [`std::io::ErrorKind::BrokenPipe`], permanently.
+    pub permanent_after: Option<u64>,
+    /// Probability a write stalls for [`delay`](Self::delay) first.
+    pub latency: f64,
+    /// Length of an injected stall.
+    pub delay: Duration,
+}
+
+impl SinkPlan {
+    /// A plan that injects nothing; the identity wrapper.
+    pub fn clean(seed: u64) -> Self {
+        SinkPlan {
+            seed,
+            partial_write: 0.0,
+            transient_error: 0.0,
+            permanent_after: None,
+            latency: 0.0,
+            delay: Duration::ZERO,
+        }
+    }
+
+    /// Benign: latency spikes only, no data loss or errors. The plan the
+    /// network-stream test uses — the receiver must still reconstruct the
+    /// trace byte-for-byte.
+    pub fn latency_only(seed: u64, delay: Duration) -> Self {
+        SinkPlan {
+            latency: 0.3,
+            delay,
+            ..SinkPlan::clean(seed)
+        }
+    }
+
+    /// Short writes on roughly half the calls.
+    pub fn partial_writes(seed: u64) -> Self {
+        SinkPlan {
+            partial_write: 0.5,
+            ..SinkPlan::clean(seed)
+        }
+    }
+
+    /// Retryable `WouldBlock` errors on roughly a third of the calls.
+    pub fn transient_errors(seed: u64) -> Self {
+        SinkPlan {
+            transient_error: 0.33,
+            ..SinkPlan::clean(seed)
+        }
+    }
+
+    /// The sink dies for good after `after_bytes` accepted bytes.
+    pub fn permanent_failure(seed: u64, after_bytes: u64) -> Self {
+        SinkPlan {
+            permanent_after: Some(after_bytes),
+            ..SinkPlan::clean(seed)
+        }
+    }
+
+    /// Everything at once: the flaky-network soak plan.
+    pub fn flaky(seed: u64) -> Self {
+        SinkPlan {
+            partial_write: 0.3,
+            transient_error: 0.2,
+            latency: 0.1,
+            delay: Duration::from_micros(50),
+            ..SinkPlan::clean(seed)
+        }
+    }
+}

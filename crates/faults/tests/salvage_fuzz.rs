@@ -1,0 +1,113 @@
+//! Property: no byte-level corruption of a valid trace file can panic the
+//! salvage reader. It must always return — with recovered events, a typed
+//! damage report, or both — never unwrap, index out of bounds, or OOM.
+
+use ktrace_clock::ManualClock;
+use ktrace_core::{TraceConfig, TraceLogger};
+use ktrace_faults::FileCorruptor;
+use ktrace_format::{EventRegistry, MajorId};
+use ktrace_io::{salvage_bytes, FileHeader, TraceFileWriter};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A small but structurally complete trace image: 2 CPUs, several records,
+/// anchors, fillers, and a registry in the header.
+fn valid_trace(events_per_cpu: u64) -> Vec<u8> {
+    let cfg = TraceConfig::small();
+    let logger = TraceLogger::new(cfg, Arc::new(ManualClock::new(1, 1)), 2).unwrap();
+    let header = FileHeader {
+        ncpus: 2,
+        buffer_words: cfg.buffer_words as u32,
+        ticks_per_sec: 1_000_000_000,
+        clock_synchronized: true,
+        registry: EventRegistry::with_builtin(),
+    };
+    let mut w = TraceFileWriter::new(Vec::new(), &header).unwrap();
+    for i in 0..events_per_cpu {
+        for cpu in 0..2 {
+            assert!(logger.handle(cpu).unwrap().log2(
+                MajorId::TEST,
+                cpu as u16,
+                i,
+                i.wrapping_mul(31)
+            ));
+            if let Some(b) = logger.take_buffer(cpu) {
+                w.write_buffer(&b).unwrap();
+            }
+        }
+    }
+    for bufs in logger.drain_all() {
+        for b in bufs {
+            w.write_buffer(&b).unwrap();
+        }
+    }
+    w.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Seed-driven mutations from the fault harness's own corruptor:
+    /// truncation, byte flips, zeroed spans, several in sequence.
+    #[test]
+    fn corruptor_mutations_never_panic_salvage(
+        seed in any::<u64>(),
+        events in 1u64..300,
+        rounds in 1usize..4,
+    ) {
+        let mut bytes = valid_trace(events);
+        let total = salvage_bytes(&bytes).events.len();
+        let mut corruptor = FileCorruptor::new(seed);
+        for _ in 0..rounds {
+            corruptor.mutate(&mut bytes);
+        }
+        let report = salvage_bytes(&bytes);
+        // Salvage never invents events out of damage.
+        prop_assert!(report.events.len() <= total);
+        // The report's accounting is internally consistent.
+        prop_assert_eq!(
+            report.events.len(),
+            report.records.iter().map(|r| r.events).sum::<usize>()
+        );
+        prop_assert!(report.skipped_bytes + report.trailing_bytes <= report.file_bytes);
+    }
+
+    /// Raw random overwrites at arbitrary offsets, bypassing the corruptor:
+    /// the reader must cope with any byte soup that still starts life as a
+    /// trace file.
+    #[test]
+    fn arbitrary_overwrites_never_panic_salvage(
+        events in 1u64..200,
+        patches in prop::collection::vec((any::<u32>(), prop::collection::vec(any::<u8>(), 1..64)), 1..8),
+    ) {
+        let mut bytes = valid_trace(events);
+        for (at, patch) in &patches {
+            if bytes.is_empty() {
+                break;
+            }
+            let at = *at as usize % bytes.len();
+            let end = (at + patch.len()).min(bytes.len());
+            bytes[at..end].copy_from_slice(&patch[..end - at]);
+        }
+        let report = salvage_bytes(&bytes);
+        prop_assert!(report.file_bytes == bytes.len());
+        // Every surviving event still carries a CPU the header declares
+        // (when the header survived at all).
+        if let Some(h) = &report.header {
+            prop_assert!(report.events.iter().all(|e| (e.cpu as u32) < h.ncpus));
+        }
+    }
+
+    /// Pure noise — not even a valid prefix — must yield an empty, typed
+    /// report rather than a crash.
+    #[test]
+    fn random_garbage_never_panics_salvage(
+        noise in prop::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        let report = salvage_bytes(&noise);
+        prop_assert_eq!(report.file_bytes, noise.len());
+        if !report.header_ok {
+            prop_assert!(report.events.is_empty());
+        }
+    }
+}

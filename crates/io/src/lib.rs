@@ -17,13 +17,19 @@
 //!   time index built from each buffer's anchor, time-windowed reads, and
 //!   per-record garble reporting.
 //! * [`merge`] — a k-way, timestamp-ordered merge of per-CPU event streams.
+//! * [`salvage`] — the forgiving reader: walks arbitrarily damaged byte
+//!   images, re-anchors on record magic, and recovers every event outside
+//!   the corrupt extents with a typed [`SalvageReport`].
 //! * [`session`] — [`TraceSession`]: a logger plus a background drainer
-//!   thread writing to a file, the "always-on collection" deployment shape.
+//!   thread writing to a file, the "always-on collection" deployment shape —
+//!   resilient to sink failure (drops whole buffers, counted, rather than
+//!   wedging the logging fast path).
 
 pub mod error;
 pub mod file;
 pub mod merge;
 pub mod reader;
+pub mod salvage;
 pub mod session;
 pub mod writer;
 
@@ -31,5 +37,6 @@ pub use error::IoError;
 pub use file::{FileHeader, FILE_MAGIC, FILE_VERSION};
 pub use merge::MergedEvents;
 pub use reader::{BufferRecord, RecordAnomaly, TraceFileReader};
-pub use session::TraceSession;
+pub use salvage::{salvage_bytes, salvage_file, CpuSalvage, SalvageReport, SalvagedRecord};
+pub use session::{SessionConfig, SessionStats, TraceSession};
 pub use writer::TraceFileWriter;

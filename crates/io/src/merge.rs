@@ -27,6 +27,7 @@ struct CpuCursor {
 pub struct MergedEvents<'a, R: Read + Seek> {
     reader: &'a mut TraceFileReader<R>,
     cursors: Vec<CpuCursor>,
+    error: Option<IoError>,
 }
 
 impl<'a, R: Read + Seek> MergedEvents<'a, R> {
@@ -56,11 +57,17 @@ impl<'a, R: Read + Seek> MergedEvents<'a, R> {
                     hint: None,
                 })
                 .collect(),
+            error: None,
         };
         for cpu in 0..merged.cursors.len() {
             merged.advance(cpu)?;
         }
         Ok(merged)
+    }
+
+    /// The I/O error that cut the merge short, if one occurred mid-stream.
+    pub fn io_error(&self) -> Option<&IoError> {
+        self.error.as_ref()
     }
 
     /// Refills `cursors[cpu].peeked`, parsing the next record when the
@@ -101,8 +108,12 @@ impl<R: Read + Seek> Iterator for MergedEvents<'_, R> {
             .min()?
             .1;
         let event = self.cursors[cpu].peeked.take();
-        // I/O errors mid-stream end the iteration; anomalies() reports them.
-        let _ = self.advance(cpu);
+        // An I/O error mid-stream ends that CPU's stream; the error is kept
+        // for io_error() so callers can tell "drained" from "died". The
+        // salvage module is the path that tolerates damage instead.
+        if let Err(e) = self.advance(cpu) {
+            self.error = Some(e);
+        }
         event
     }
 }

@@ -1,0 +1,482 @@
+//! Crash-resilient trace salvage.
+//!
+//! [`TraceFileReader`](crate::TraceFileReader) is strict: a torn header, a
+//! mid-record truncation, or a byte of garbage between records is an `Err`
+//! and the whole file is lost. This module is the forgiving counterpart the
+//! paper's machinery was built for — commit counts (§3.1) and alignment
+//! boundaries (§3.2) exist precisely so that damage stays *local* to one
+//! buffer. The salvager walks the byte image, re-anchors on the per-record
+//! magic after corruption, decodes each buffer up to its first garble, and
+//! returns everything recoverable plus a [`SalvageReport`] saying exactly
+//! what was lost where. It never returns `Err` on corrupt *content* and
+//! never panics: any byte image in, a report out.
+
+use crate::error::IoError;
+use crate::file::{FileHeader, RECORD_FLAG_COMPLETE, RECORD_HEADER_BYTES, RECORD_MAGIC};
+use ktrace_core::reader::{parse_buffer, GarbleNote, RawEvent};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// What the salvager found at one record slot.
+#[derive(Debug, Clone)]
+pub struct SalvagedRecord {
+    /// Byte offset of the record header in the image.
+    pub offset: usize,
+    /// CPU that produced the buffer.
+    pub cpu: u32,
+    /// Buffer sequence number within that CPU's region.
+    pub seq: u64,
+    /// Drain-time commit flag (false: the commit count mismatched, §3.1).
+    pub complete: bool,
+    /// True if the file ended mid-record; only a prefix was decoded.
+    pub truncated: bool,
+    /// Events recovered from this record.
+    pub events: usize,
+    /// Structural garble found while decoding the event chain.
+    pub notes: Vec<GarbleNote>,
+}
+
+impl SalvagedRecord {
+    /// True if the record survived fully intact: committed, whole, and its
+    /// event chain decoded without a note. Only clean records make it into a
+    /// [`repair`]ed file.
+    pub fn clean(&self) -> bool {
+        self.complete && !self.truncated && self.notes.is_empty()
+    }
+}
+
+/// Per-CPU salvage statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CpuSalvage {
+    /// Records attributed to this CPU.
+    pub records: usize,
+    /// Records that were fully intact.
+    pub clean_records: usize,
+    /// Records that were torn, garbled, or uncommitted.
+    pub torn_records: usize,
+    /// Events recovered (including from torn records' intact prefixes).
+    pub events_recovered: usize,
+}
+
+/// The typed result of salvaging a byte image: recovered events plus an
+/// exact account of the damage.
+#[derive(Debug)]
+pub struct SalvageReport {
+    /// Total size of the image examined.
+    pub file_bytes: usize,
+    /// False if the file header itself was unreadable — nothing beyond the
+    /// byte count can be recovered then, because the record geometry is
+    /// unknown.
+    pub header_ok: bool,
+    /// Why the header failed to decode, when it did.
+    pub header_error: Option<String>,
+    /// The decoded header, when readable.
+    pub header: Option<FileHeader>,
+    /// Every record slot examined, in file order.
+    pub records: Vec<SalvagedRecord>,
+    /// All recovered events, merged into global timestamp order (ties broken
+    /// by CPU, matching [`MergedEvents`](crate::MergedEvents)).
+    pub events: Vec<RawEvent>,
+    /// Times the scanner lost the record chain and had to hunt for the next
+    /// record magic.
+    pub resyncs: usize,
+    /// Bytes discarded while hunting (corrupt headers, inter-record trash).
+    pub skipped_bytes: usize,
+    /// Bytes of a partial record at end-of-file (short read / torn write).
+    pub trailing_bytes: usize,
+}
+
+impl SalvageReport {
+    /// True if nothing at all was wrong with the image.
+    pub fn clean(&self) -> bool {
+        self.header_ok
+            && self.resyncs == 0
+            && self.skipped_bytes == 0
+            && self.trailing_bytes == 0
+            && self.records.iter().all(|r| r.clean())
+    }
+
+    /// Recovered events excluding tracing-infrastructure control events.
+    pub fn data_events(&self) -> impl Iterator<Item = &RawEvent> {
+        self.events.iter().filter(|e| !e.is_control())
+    }
+
+    /// Records that survived fully intact.
+    pub fn clean_records(&self) -> usize {
+        self.records.iter().filter(|r| r.clean()).count()
+    }
+
+    /// Records that were torn, garbled, or uncommitted.
+    pub fn torn_records(&self) -> usize {
+        self.records.len() - self.clean_records()
+    }
+
+    /// Per-CPU statistics, indexed by CPU number (empty if the header was
+    /// unreadable).
+    pub fn per_cpu(&self) -> Vec<CpuSalvage> {
+        let ncpus = self.header.as_ref().map_or(0, |h| h.ncpus as usize);
+        let mut out = vec![CpuSalvage::default(); ncpus];
+        for r in &self.records {
+            let Some(s) = out.get_mut(r.cpu as usize) else {
+                continue;
+            };
+            s.records += 1;
+            if r.clean() {
+                s.clean_records += 1;
+            } else {
+                s.torn_records += 1;
+            }
+            s.events_recovered += r.events;
+        }
+        out
+    }
+
+    /// A human-readable multi-line summary (the `ktrace-tools salvage`
+    /// output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "salvage: {} bytes examined", self.file_bytes);
+        if !self.header_ok {
+            let why = self.header_error.as_deref().unwrap_or("unreadable");
+            let _ = writeln!(out, "  file header unreadable ({why}); nothing recovered");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "  records: {} clean, {} torn/garbled",
+            self.clean_records(),
+            self.torn_records()
+        );
+        let _ = writeln!(
+            out,
+            "  events recovered: {} ({} data)",
+            self.events.len(),
+            self.data_events().count()
+        );
+        if self.resyncs > 0 || self.skipped_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "  resyncs: {} (skipped {} bytes hunting for record magic)",
+                self.resyncs, self.skipped_bytes
+            );
+        }
+        if self.trailing_bytes > 0 {
+            let _ = writeln!(
+                out,
+                "  trailing partial record: {} bytes",
+                self.trailing_bytes
+            );
+        }
+        for (cpu, s) in self.per_cpu().iter().enumerate() {
+            if s.records > 0 {
+                let _ = writeln!(
+                    out,
+                    "  cpu {cpu}: {} records ({} clean, {} torn), {} events",
+                    s.records, s.clean_records, s.torn_records, s.events_recovered
+                );
+            }
+        }
+        for r in self.records.iter().filter(|r| !r.clean()) {
+            let why = if r.truncated {
+                "truncated".to_string()
+            } else if !r.complete {
+                "commit count mismatched".to_string()
+            } else {
+                format!("{:?}", r.notes)
+            };
+            let _ = writeln!(
+                out,
+                "  torn record at byte {}: cpu {} seq {} — {why}",
+                r.offset, r.cpu, r.seq
+            );
+        }
+        out
+    }
+}
+
+/// Reads `u32`/`u64` little-endian fields out of a record header candidate.
+fn record_fields(bytes: &[u8], pos: usize) -> (u32, u32, u64, u64) {
+    let g32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+    let g64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+    (g32(pos), g32(pos + 4), g64(pos + 8), g64(pos + 16))
+}
+
+/// True if `pos` plausibly starts a record: magic matches and the CPU field
+/// is within the header's range (rejecting accidental magic in payload data).
+fn plausible_record(bytes: &[u8], pos: usize, ncpus: u32) -> bool {
+    if pos + RECORD_HEADER_BYTES > bytes.len() {
+        return false;
+    }
+    let (magic, cpu, _seq, _flags) = record_fields(bytes, pos);
+    magic == RECORD_MAGIC && cpu < ncpus
+}
+
+/// Salvages whatever is recoverable from a trace file byte image.
+///
+/// Never fails and never panics: corruption is reported, not propagated.
+/// Damage confined to one buffer record costs exactly that record's garbled
+/// suffix — every event outside it is recovered.
+pub fn salvage_bytes(bytes: &[u8]) -> SalvageReport {
+    let mut report = SalvageReport {
+        file_bytes: bytes.len(),
+        header_ok: false,
+        header_error: None,
+        header: None,
+        records: Vec::new(),
+        events: Vec::new(),
+        resyncs: 0,
+        skipped_bytes: 0,
+        trailing_bytes: 0,
+    };
+    let (header, header_len) = match FileHeader::decode(bytes) {
+        Ok(h) => h,
+        Err(e) => {
+            report.header_error = Some(e.to_string());
+            report.skipped_bytes = bytes.len();
+            return report;
+        }
+    };
+    report.header_ok = true;
+    let record_size = header.record_size();
+    let ncpus = header.ncpus;
+    let mut hints: Vec<Option<u64>> = vec![None; ncpus as usize];
+    report.header = Some(header);
+
+    let mut pos = header_len;
+    while pos < bytes.len() {
+        if bytes.len() - pos < RECORD_HEADER_BYTES {
+            // Not even a record header left.
+            report.trailing_bytes += bytes.len() - pos;
+            break;
+        }
+        if !plausible_record(bytes, pos, ncpus) {
+            // Lost the chain: hunt for the next plausible record header. A
+            // retried write after a mid-record failure, or flipped header
+            // bytes, land here.
+            let next = (pos + 1..bytes.len()).find(|&q| plausible_record(bytes, q, ncpus));
+            report.resyncs += 1;
+            match next {
+                Some(q) => {
+                    report.skipped_bytes += q - pos;
+                    pos = q;
+                    continue;
+                }
+                None => {
+                    report.skipped_bytes += bytes.len() - pos;
+                    break;
+                }
+            }
+        }
+        let (_magic, cpu, seq, flags) = record_fields(bytes, pos);
+        let avail = record_size.min(bytes.len() - pos);
+        let truncated = avail < record_size;
+        let words: Vec<u64> = bytes[pos + RECORD_HEADER_BYTES..pos + avail]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect();
+        let hint = hints[cpu as usize];
+        let parsed = parse_buffer(cpu as usize, seq, &words, hint);
+        hints[cpu as usize] = parsed.end_time.or(hint);
+        report.records.push(SalvagedRecord {
+            offset: pos,
+            cpu,
+            seq,
+            complete: flags & RECORD_FLAG_COMPLETE != 0,
+            truncated,
+            events: parsed.events.len(),
+            notes: parsed.notes,
+        });
+        if truncated {
+            report.trailing_bytes += avail;
+        }
+        report.events.extend(parsed.events);
+        pos += avail;
+    }
+
+    // Global merge: stable sort keeps each CPU's stream in file order, the
+    // (time, cpu) key matches MergedEvents' tie-break.
+    report.events.sort_by_key(|e| (e.time, e.cpu));
+    report
+}
+
+/// Salvages a trace file from disk. Errs only if the file cannot be *read*;
+/// its contents may be arbitrarily damaged.
+pub fn salvage_file(path: impl AsRef<Path>) -> Result<SalvageReport, IoError> {
+    let bytes = std::fs::read(path)?;
+    Ok(salvage_bytes(&bytes))
+}
+
+/// Rebuilds a strict-reader-loadable file from the clean records of a
+/// salvaged image: the header re-encoded, every [`SalvagedRecord::clean`]
+/// record copied verbatim, everything torn dropped. Returns `None` when the
+/// header was unreadable (geometry unknown — nothing to rebuild).
+pub fn repair(bytes: &[u8], report: &SalvageReport) -> Option<Vec<u8>> {
+    let header = report.header.as_ref()?;
+    let record_size = header.record_size();
+    let mut out = header.encode();
+    for rec in report.records.iter().filter(|r| r.clean()) {
+        out.extend_from_slice(&bytes[rec.offset..rec.offset + record_size]);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::TraceFileReader;
+    use crate::writer::TraceFileWriter;
+    use ktrace_clock::ManualClock;
+    use ktrace_core::{TraceConfig, TraceLogger};
+    use ktrace_format::{EventRegistry, MajorId};
+    use std::io::Cursor;
+    use std::sync::Arc;
+
+    fn sample_trace(ncpus: usize, per_cpu_events: u64) -> Vec<u8> {
+        let cfg = TraceConfig::small();
+        let clock = Arc::new(ManualClock::new(1, 1));
+        let logger = TraceLogger::new(cfg, clock, ncpus).unwrap();
+        let header = FileHeader {
+            ncpus: ncpus as u32,
+            buffer_words: cfg.buffer_words as u32,
+            ticks_per_sec: 1_000_000_000,
+            clock_synchronized: true,
+            registry: EventRegistry::with_builtin(),
+        };
+        let mut w = TraceFileWriter::new(Vec::new(), &header).unwrap();
+        for i in 0..per_cpu_events {
+            for cpu in 0..ncpus {
+                assert!(logger
+                    .handle(cpu)
+                    .unwrap()
+                    .log2(MajorId::TEST, cpu as u16, i, i));
+                if let Some(b) = logger.take_buffer(cpu) {
+                    w.write_buffer(&b).unwrap();
+                }
+            }
+        }
+        for bufs in logger.drain_all() {
+            for b in bufs {
+                w.write_buffer(&b).unwrap();
+            }
+        }
+        w.finish().unwrap()
+    }
+
+    fn strict_events(bytes: &[u8]) -> Vec<RawEvent> {
+        let mut r = TraceFileReader::new(Cursor::new(bytes.to_vec())).unwrap();
+        r.events().unwrap().collect()
+    }
+
+    #[test]
+    fn clean_file_salvages_identically_to_strict_read() {
+        let bytes = sample_trace(2, 200);
+        let report = salvage_bytes(&bytes);
+        assert!(report.clean(), "{}", report.render());
+        assert_eq!(report.events, strict_events(&bytes));
+        assert_eq!(report.torn_records(), 0);
+        let per_cpu = report.per_cpu();
+        assert_eq!(per_cpu.len(), 2);
+        assert!(per_cpu.iter().all(|s| s.torn_records == 0));
+    }
+
+    #[test]
+    fn destroyed_header_reports_instead_of_failing() {
+        let mut bytes = sample_trace(1, 50);
+        bytes[0] ^= 0xff;
+        let report = salvage_bytes(&bytes);
+        assert!(!report.header_ok);
+        assert!(report.header_error.is_some());
+        assert!(report.events.is_empty());
+        assert_eq!(report.skipped_bytes, bytes.len());
+        assert!(repair(&bytes, &report).is_none());
+    }
+
+    #[test]
+    fn mid_file_garbage_costs_one_record() {
+        let bytes = sample_trace(1, 400);
+        let strict = strict_events(&bytes);
+        let (header, header_len) = FileHeader::decode(&bytes).unwrap();
+        let rs = header.record_size();
+        let nrecords = (bytes.len() - header_len) / rs;
+        assert!(nrecords >= 3, "need several records");
+        // Smash the middle record's header magic.
+        let victim = nrecords / 2;
+        let mut dirty = bytes.clone();
+        let at = header_len + victim * rs;
+        dirty[at..at + 4].copy_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        // The strict reader decodes the record as an error.
+        let mut r = TraceFileReader::new(Cursor::new(dirty.clone())).unwrap();
+        assert!(r.record(victim).is_err());
+        // The salvager skips to the next record and keeps everything else.
+        let report = salvage_bytes(&dirty);
+        assert_eq!(report.resyncs, 1);
+        assert!(report.skipped_bytes >= rs - 4, "the victim record is lost");
+        assert_eq!(report.records.len(), nrecords - 1);
+        let victim_events = {
+            let mut r = TraceFileReader::new(Cursor::new(bytes.clone())).unwrap();
+            r.parse_record(victim).unwrap().1.len()
+        };
+        assert_eq!(report.events.len(), strict.len() - victim_events);
+    }
+
+    #[test]
+    fn truncated_file_keeps_whole_records_and_a_prefix() {
+        let bytes = sample_trace(1, 400);
+        let (header, header_len) = FileHeader::decode(&bytes).unwrap();
+        let rs = header.record_size();
+        // Cut mid-record: 1.5 records survive.
+        let cut = header_len + rs + rs / 2;
+        let report = salvage_bytes(&bytes[..cut]);
+        assert_eq!(report.records.len(), 2);
+        assert!(report.records[0].clean());
+        assert!(report.records[1].truncated);
+        assert!(!report.records[1].clean());
+        assert!(report.trailing_bytes > 0);
+        // The whole first record's events all survive.
+        let mut r = TraceFileReader::new(Cursor::new(bytes.clone())).unwrap();
+        let first = r.parse_record(0).unwrap().1.len();
+        assert!(report.events.len() >= first);
+    }
+
+    #[test]
+    fn repair_produces_a_strict_loadable_file() {
+        let bytes = sample_trace(2, 300);
+        let (header, header_len) = FileHeader::decode(&bytes).unwrap();
+        let rs = header.record_size();
+        let nrecords = (bytes.len() - header_len) / rs;
+        let mut dirty = bytes.clone();
+        // Tear one record's magic and cut the file mid-way through the last.
+        dirty[header_len + rs] ^= 0xff;
+        dirty.truncate(header_len + (nrecords - 1) * rs + rs / 3);
+        let report = salvage_bytes(&dirty);
+        let repaired = repair(&dirty, &report).expect("header is fine");
+        let mut r = TraceFileReader::new(Cursor::new(repaired)).unwrap();
+        assert_eq!(r.record_count(), report.clean_records());
+        assert!(r.anomalies().unwrap().is_empty(), "repaired file is clean");
+    }
+
+    #[test]
+    fn degenerate_images_never_panic() {
+        for image in [
+            &[][..],
+            &[0u8; 7][..],
+            &[0u8; 4096][..],
+            crate::file::FILE_MAGIC.as_slice(),
+        ] {
+            let report = salvage_bytes(image);
+            assert!(!report.header_ok);
+        }
+        // A header with no records at all is clean.
+        let header = FileHeader {
+            ncpus: 1,
+            buffer_words: 128,
+            ticks_per_sec: 1,
+            clock_synchronized: false,
+            registry: EventRegistry::with_builtin(),
+        };
+        let report = salvage_bytes(&header.encode());
+        assert!(report.header_ok);
+        assert!(report.clean());
+        assert!(report.events.is_empty());
+    }
+}

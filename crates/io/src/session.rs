@@ -10,7 +10,7 @@ use crate::error::IoError;
 use crate::file::FileHeader;
 use crate::writer::TraceFileWriter;
 use ktrace_clock::ClockSource;
-use ktrace_core::{CoreError, TraceConfig, TraceLogger};
+use ktrace_core::{CoreError, LoggerStats, TraceConfig, TraceLogger};
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -18,15 +18,71 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Drainer-side resilience policy: how hard to try before declaring the
+/// sink dead.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Consecutive transient-error retries per record before giving up.
+    pub write_retries: u32,
+    /// Base backoff between retries (grows linearly with the attempt).
+    pub retry_backoff: Duration,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            write_retries: 8,
+            retry_backoff: Duration::from_micros(50),
+        }
+    }
+}
+
+/// What a session accomplished, returned by [`TraceSession::finish`].
+///
+/// A failing sink never propagates back into the logging fast path: the
+/// drainer keeps consuming buffers (so producers never wedge) and accounts
+/// for what it had to throw away here instead.
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// Records successfully written to the sink.
+    pub records_written: u64,
+    /// Completed buffers drained but discarded because the sink was dead.
+    pub buffers_dropped: u64,
+    /// The error that killed the sink, if one did.
+    pub sink_error: Option<String>,
+    /// Logger-side statistics at finish time (includes events dropped on
+    /// the producer side from ring overrun — the bounded-buffer
+    /// backpressure).
+    pub logger: LoggerStats,
+}
+
+impl SessionStats {
+    /// True if the sink survived the whole session.
+    pub fn sink_alive(&self) -> bool {
+        self.sink_error.is_none()
+    }
+
+    /// True if every drained buffer made it to the sink.
+    pub fn lossless(&self) -> bool {
+        self.sink_alive() && self.buffers_dropped == 0
+    }
+}
+
 /// A live tracing session draining completed buffers to a sink.
 ///
 /// Register event descriptors on the logger *before* constructing the
 /// session: the registry snapshot is embedded in the file header, which is
 /// written first.
+///
+/// The drainer degrades rather than wedges: transient sink errors are
+/// retried with backoff ([`SessionConfig`]), and a sink that fails for good
+/// stops receiving data while the drainer keeps emptying buffers — whole
+/// buffers are dropped and counted in [`SessionStats`], and the logging
+/// fast path never blocks or sees an error.
 pub struct TraceSession {
     logger: TraceLogger,
     stop: Arc<AtomicBool>,
-    drainer: Option<JoinHandle<Result<u64, IoError>>>,
+    drainer: Option<JoinHandle<SessionStats>>,
 }
 
 impl TraceSession {
@@ -40,11 +96,23 @@ impl TraceSession {
         TraceSession::new(std::io::BufWriter::new(file), logger, clock)
     }
 
-    /// Starts a session writing to any sink.
+    /// Starts a session writing to any sink, with the default resilience
+    /// policy.
     pub fn new<W: Write + Send + 'static>(
         sink: W,
         logger: TraceLogger,
         clock: &dyn ClockSource,
+    ) -> Result<TraceSession, IoError> {
+        TraceSession::with_config(sink, logger, clock, SessionConfig::default())
+    }
+
+    /// Starts a session writing to any sink under an explicit resilience
+    /// policy.
+    pub fn with_config<W: Write + Send + 'static>(
+        sink: W,
+        logger: TraceLogger,
+        clock: &dyn ClockSource,
+        config: SessionConfig,
     ) -> Result<TraceSession, IoError> {
         let header = FileHeader {
             ncpus: logger.ncpus() as u32,
@@ -53,35 +121,62 @@ impl TraceSession {
             clock_synchronized: clock.synchronized(),
             registry: logger.registry(),
         };
-        let mut writer = TraceFileWriter::new(sink, &header)?;
+        let mut writer = TraceFileWriter::new_retrying(
+            sink,
+            &header,
+            config.write_retries,
+            config.retry_backoff,
+        )?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         let logger2 = logger.clone();
+        /// One sweep over every CPU. Buffers always leave the ring — a dead
+        /// sink turns writes into counted drops, never into backpressure on
+        /// the producers.
         fn drain<W: Write>(
             logger: &TraceLogger,
             writer: &mut TraceFileWriter<W>,
-        ) -> Result<bool, IoError> {
+            config: &SessionConfig,
+            stats: &mut SessionStats,
+        ) -> bool {
             let mut drained_any = false;
             for cpu in 0..logger.ncpus() {
                 while let Some(buf) = logger.take_buffer(cpu) {
-                    writer.write_buffer(&buf)?;
                     drained_any = true;
+                    if stats.sink_error.is_some() {
+                        stats.buffers_dropped += 1;
+                        continue;
+                    }
+                    match writer.write_buffer_retrying(
+                        &buf,
+                        config.write_retries,
+                        config.retry_backoff,
+                    ) {
+                        Ok(()) => stats.records_written += 1,
+                        Err(e) => {
+                            stats.sink_error = Some(e.to_string());
+                            stats.buffers_dropped += 1;
+                        }
+                    }
                 }
             }
-            Ok(drained_any)
+            drained_any
         }
         let drainer = std::thread::Builder::new()
             .name("ktrace-drainer".into())
-            .spawn(move || -> Result<u64, IoError> {
+            .spawn(move || -> SessionStats {
+                let mut stats = SessionStats::default();
                 loop {
-                    let drained_any = drain(&logger2, &mut writer)?;
+                    let drained_any = drain(&logger2, &mut writer, &config, &mut stats);
                     if stop2.load(Ordering::Acquire) {
                         // Final sweep: flush partial buffers and drain.
                         logger2.flush_all();
-                        drain(&logger2, &mut writer)?;
-                        let n = writer.records_written();
-                        writer.finish()?;
-                        return Ok(n);
+                        drain(&logger2, &mut writer, &config, &mut stats);
+                        if stats.sink_error.is_none() {
+                            stats.sink_error = writer.finish().err().map(|e| e.to_string());
+                        }
+                        stats.logger = logger2.stats();
+                        return stats;
                     }
                     if !drained_any {
                         std::thread::sleep(Duration::from_micros(200));
@@ -112,12 +207,14 @@ impl TraceSession {
         &self.logger
     }
 
-    /// Stops collection, flushes every buffer to the sink, and returns the
-    /// number of records written.
-    pub fn finish(mut self) -> Result<u64, IoError> {
+    /// Stops collection, flushes every buffer toward the sink, and returns
+    /// the session's accounting. A dead or flaky sink shows up as
+    /// [`SessionStats::sink_error`] / [`SessionStats::buffers_dropped`],
+    /// never as a panic or a hang.
+    pub fn finish(mut self) -> SessionStats {
         self.stop.store(true, Ordering::Release);
         match self.drainer.take().expect("finish called once").join() {
-            Ok(result) => result,
+            Ok(stats) => stats,
             Err(panic) => std::panic::resume_unwind(panic),
         }
     }
@@ -184,7 +281,9 @@ mod tests {
             })
             .collect();
         let logged: u64 = handles.into_iter().map(|t| t.join().unwrap()).sum();
-        let records = session.finish().unwrap();
+        let stats = session.finish();
+        assert!(stats.lossless(), "{stats:?}");
+        let records = stats.records_written;
         assert!(records > 0);
         assert!(logged > 0);
 
@@ -193,6 +292,136 @@ mod tests {
         let data = r.events().unwrap().filter(|e| !e.is_control()).count() as u64;
         assert_eq!(data, logged, "file contains every logged event");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A sink that accepts `budget` bytes, then fails forever.
+    struct DyingSink {
+        budget: usize,
+        accepted: usize,
+    }
+
+    impl Write for DyingSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.accepted >= self.budget {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "sink died",
+                ));
+            }
+            let n = buf.len().min(self.budget - self.accepted).max(1);
+            self.accepted += n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn dead_sink_never_wedges_the_fast_path() {
+        let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
+        let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 1).unwrap();
+        let sink = DyingSink {
+            budget: 4096,
+            accepted: 0,
+        };
+        let session = TraceSession::with_config(
+            sink,
+            logger,
+            clock.as_ref(),
+            SessionConfig {
+                write_retries: 2,
+                retry_backoff: Duration::from_micros(10),
+            },
+        )
+        .unwrap();
+        let h = session.logger().handle(0).unwrap();
+        // Log far more than the sink will ever accept. The fast path must
+        // keep returning promptly: the drainer discards, producers proceed.
+        for i in 0..200_000u64 {
+            h.log2(MajorId::TEST, 1, i, i);
+        }
+        let stats = session.finish();
+        assert!(!stats.sink_alive(), "the sink must have died");
+        assert!(stats.buffers_dropped > 0, "drops are counted: {stats:?}");
+        assert!(stats.logger.events_logged > 0);
+    }
+
+    /// A sink that injects a retryable `WouldBlock` on a fixed cadence.
+    struct BlinkingSink {
+        inner: Vec<u8>,
+        calls: usize,
+    }
+
+    impl Write for BlinkingSink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.calls += 1;
+            if self.calls.is_multiple_of(3) {
+                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "blink"));
+            }
+            // Short writes too: take at most half the remainder.
+            let n = (buf.len() / 2).max(1);
+            self.inner.write(&buf[..n])
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn transient_errors_are_ridden_out_losslessly() {
+        let dir = std::env::temp_dir().join(format!("ktrace-blink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blink.ktrace");
+        let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
+        let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 1).unwrap();
+        let sink = BlinkingSink {
+            inner: Vec::new(),
+            calls: 0,
+        };
+        // Smuggle the bytes back out through a shared Vec is awkward with
+        // ownership; write to a file-backed check instead: run the session
+        // over the blinking sink wrapped around an in-memory Vec, then
+        // verify by re-reading through the strict reader via a temp file.
+        let session = TraceSession::with_config(
+            BlinkTee {
+                sink,
+                copy: std::fs::File::create(&path).unwrap(),
+            },
+            logger,
+            clock.as_ref(),
+            SessionConfig::default(),
+        )
+        .unwrap();
+        let h = session.logger().handle(0).unwrap();
+        for i in 0..2_000u64 {
+            h.log2(MajorId::TEST, 1, i, i);
+        }
+        let stats = session.finish();
+        assert!(stats.lossless(), "{stats:?}");
+        assert!(stats.records_written > 0);
+        let mut r = TraceFileReader::open(&path).unwrap();
+        let data = r.events().unwrap().filter(|e| !e.is_control()).count() as u64;
+        assert_eq!(data, stats.logger.events_logged);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Writes through the blinking sink and mirrors accepted bytes to a
+    /// file, so the test can read back exactly what survived.
+    struct BlinkTee {
+        sink: BlinkingSink,
+        copy: std::fs::File,
+    }
+
+    impl Write for BlinkTee {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = self.sink.write(buf)?;
+            self.copy.write_all(&buf[..n])?;
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.copy.flush()
+        }
     }
 
     #[test]

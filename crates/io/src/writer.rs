@@ -26,6 +26,47 @@ impl TraceFileWriter<BufWriter<std::fs::File>> {
     }
 }
 
+/// Writes all of `bytes`, riding out a flaky sink: short writes resume
+/// (no byte duplicated), `Interrupted` is always retried, and transient
+/// errors (`WouldBlock`, `TimedOut`) are retried up to `retries`
+/// consecutive times with linearly growing `backoff` between attempts.
+fn write_retrying<W: Write>(
+    sink: &mut W,
+    bytes: &[u8],
+    retries: u32,
+    backoff: std::time::Duration,
+) -> Result<(), IoError> {
+    let mut off = 0usize;
+    let mut attempts = 0u32;
+    while off < bytes.len() {
+        match sink.write(&bytes[off..]) {
+            Ok(0) => {
+                return Err(IoError::Io(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "sink accepted zero bytes",
+                )))
+            }
+            Ok(n) => {
+                off += n;
+                attempts = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if attempts < retries
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                attempts += 1;
+                std::thread::sleep(backoff * attempts);
+            }
+            Err(e) => return Err(IoError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
 impl<W: Write> TraceFileWriter<W> {
     /// Wraps any sink, writing the header immediately.
     pub fn new(mut sink: W, header: &FileHeader) -> Result<TraceFileWriter<W>, IoError> {
@@ -37,20 +78,62 @@ impl<W: Write> TraceFileWriter<W> {
         })
     }
 
-    /// Appends one completed buffer as a record.
-    pub fn write_buffer(&mut self, buf: &CompletedBuffer) -> Result<(), IoError> {
+    /// Wraps any sink like [`new`](TraceFileWriter::new), but writes the
+    /// header with transient-error retry (see
+    /// [`write_buffer_retrying`](TraceFileWriter::write_buffer_retrying)).
+    pub fn new_retrying(
+        mut sink: W,
+        header: &FileHeader,
+        retries: u32,
+        backoff: std::time::Duration,
+    ) -> Result<TraceFileWriter<W>, IoError> {
+        write_retrying(&mut sink, &header.encode(), retries, backoff)?;
+        Ok(TraceFileWriter {
+            sink,
+            buffer_words: header.buffer_words as usize,
+            records: 0,
+        })
+    }
+
+    /// Encodes one completed buffer as record bytes (header + words).
+    fn encode_record(&self, buf: &CompletedBuffer) -> Vec<u8> {
         assert_eq!(
             buf.words.len(),
             self.buffer_words,
             "buffer geometry must match the file header"
         );
-        self.sink
-            .write_all(&encode_record_header(buf.cpu as u32, buf.seq, buf.complete))?;
-        let mut bytes = Vec::with_capacity(self.buffer_words * 8);
+        let header = encode_record_header(buf.cpu as u32, buf.seq, buf.complete);
+        let mut bytes = Vec::with_capacity(header.len() + self.buffer_words * 8);
+        bytes.extend_from_slice(&header);
         for w in &buf.words {
             bytes.extend_from_slice(&w.to_le_bytes());
         }
+        bytes
+    }
+
+    /// Appends one completed buffer as a record.
+    pub fn write_buffer(&mut self, buf: &CompletedBuffer) -> Result<(), IoError> {
+        let bytes = self.encode_record(buf);
         self.sink.write_all(&bytes)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Appends one completed buffer, riding out a flaky sink: short writes
+    /// resume mid-record (no byte duplicated), and transient errors
+    /// (`WouldBlock`, `Interrupted`, `TimedOut`) are retried up to `retries`
+    /// consecutive times with linearly growing `backoff` between attempts.
+    /// Anything else — or a retry budget exhausted — is returned, and the
+    /// sink should be considered dead (a partial record may be in flight;
+    /// the salvage reader re-anchors past it).
+    pub fn write_buffer_retrying(
+        &mut self,
+        buf: &CompletedBuffer,
+        retries: u32,
+        backoff: std::time::Duration,
+    ) -> Result<(), IoError> {
+        let bytes = self.encode_record(buf);
+        write_retrying(&mut self.sink, &bytes, retries, backoff)?;
         self.records += 1;
         Ok(())
     }

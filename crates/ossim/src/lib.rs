@@ -17,7 +17,10 @@
 //!   feeding the Fig. 7 lock-contention analysis;
 //! * a statistical PC sampler attributing time to simulated function names
 //!   (Fig. 6);
-//! * workloads ([`workload`]), foremost an SDET-like script mix (Fig. 3).
+//! * workloads ([`workload`]), foremost an SDET-like script mix (Fig. 3);
+//! * crash injection ([`crash`]) — a tracer that kills one simulated CPU
+//!   mid-reservation, the §3.1 killed-logger scenario that the §4.2 flight
+//!   recorder must survive and report.
 //!
 //! Everything the simulator does is logged through a [`tracer::Tracer`],
 //! which is **generic**: `Machine<KTracer>` logs through the real lockless
@@ -29,6 +32,7 @@ pub mod config;
 
 /// The event vocabulary (re-exported from `ktrace-events`).
 pub use ktrace_events as events;
+pub mod crash;
 pub mod kernel;
 pub mod lock;
 pub mod machine;
@@ -37,6 +41,7 @@ pub mod tracer;
 pub mod workload;
 
 pub use config::MachineConfig;
+pub use crash::{CrashHandle, CrashPlan, CrashTracer};
 pub use kernel::Kernel;
 pub use lock::FairBLock;
 pub use machine::{Machine, RunReport};

@@ -38,10 +38,12 @@ pub mod lint;
 pub mod lockset;
 pub mod race;
 pub mod report;
+pub mod salvage_map;
 pub mod vclock;
 
 pub use lint::{lint_file, lint_registry, lint_snapshot, StreamLinter};
 pub use lockset::{AddrState, LocksetTracker, LocksetVerdict};
 pub use race::{detect_races, races_in_file, AccessSite, RaceAnalysis, RaceFinding};
 pub use report::{Report, Violation, ViolationKind};
+pub use salvage_map::salvage_to_report;
 pub use vclock::VectorClock;

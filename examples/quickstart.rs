@@ -70,7 +70,7 @@ fn main() {
         w.join().expect("worker");
     }
 
-    let records = session.finish().expect("flush");
+    let records = session.finish().records_written;
     println!("wrote {records} buffer records to {}\n", path.display());
 
     // 5. Read back and render: the registry travels inside the file.

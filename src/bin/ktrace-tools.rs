@@ -13,7 +13,14 @@
 //! ktrace-tools anomalies <file>           garble / drop report
 //! ktrace-tools export-csv <file>          CSV to stdout
 //! ktrace-tools deadlock <file>            wait-for-graph cycle search
+//! ktrace-tools salvage <file> [out]       forgiving read of a damaged file
 //! ```
+//!
+//! `salvage` never refuses a file: it recovers every event outside the
+//! damaged extents, prints the salvage report, and exits with the shared
+//! verifier exit code for the worst damage class found (0 when the file is
+//! clean). With `[out]` it also writes a repaired file containing only the
+//! clean records, which the strict tools then accept.
 
 use ktrace::analysis::{
     self, render_listing, Breakdown, EventStats, ListingOptions, LockStats, PcProfile, Timeline,
@@ -24,9 +31,43 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ktrace-tools <list|lockstat|profile|breakdown|timeline|stats|anomalies|export-csv|deadlock> <trace-file> [arg]"
+        "usage: ktrace-tools <list|lockstat|profile|breakdown|timeline|stats|anomalies|export-csv|deadlock|salvage> <trace-file> [arg]"
     );
     ExitCode::from(2)
+}
+
+/// The forgiving path: works on files the strict reader would reject, so it
+/// must dispatch before `Trace::from_file`.
+fn salvage(path: &str, repair_out: Option<&str>) -> ExitCode {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = ktrace::io::salvage_bytes(&bytes);
+    print!("{}", report.render());
+    let lint = ktrace::verify::salvage_to_report(&report);
+    if !lint.is_clean() {
+        print!("{}", lint.render());
+    }
+    if let Some(out) = repair_out {
+        match ktrace::io::salvage::repair(&bytes, &report) {
+            Some(repaired) => {
+                if let Err(e) = std::fs::write(out, &repaired) {
+                    eprintln!("cannot write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("repaired file written to {out} ({} bytes)", repaired.len());
+            }
+            None => {
+                eprintln!("nothing salvageable: no repaired file written");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::from(lint.exit_code())
 }
 
 fn main() -> ExitCode {
@@ -36,6 +77,11 @@ fn main() -> ExitCode {
         _ => return usage(),
     };
     let extra = args.get(2).map(String::as_str);
+
+    // Salvage tolerates damage the strict loader below refuses.
+    if cmd == "salvage" {
+        return salvage(path, extra);
+    }
 
     let trace = match Trace::from_file(path) {
         Ok(t) => t,

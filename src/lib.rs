@@ -68,6 +68,7 @@ pub use ktrace_baselines as baselines;
 pub use ktrace_clock as clock;
 pub use ktrace_core as core;
 pub use ktrace_events as events;
+pub use ktrace_faults as faults;
 pub use ktrace_format as format;
 pub use ktrace_io as io;
 pub use ktrace_ossim as ossim;

@@ -22,7 +22,7 @@ fn make_trace(path: &std::path::Path) {
         commands_per_script: 2,
         ..Default::default()
     }));
-    session.finish().unwrap();
+    assert!(session.finish().lossless());
 }
 
 fn tool(args: &[&str]) -> (String, bool) {
@@ -31,6 +31,15 @@ fn tool(args: &[&str]) -> (String, bool) {
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         out.status.success(),
+    )
+}
+
+fn tool_code(args: &[&str]) -> (String, i32) {
+    let exe = env!("CARGO_BIN_EXE_ktrace-tools");
+    let out = Command::new(exe).args(args).output().expect("run tool");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.code().expect("exit code"),
     )
 }
 
@@ -75,6 +84,41 @@ fn cli_subcommands_work_on_a_real_file() {
 
     let (_, ok) = tool(&["nonsense", p]);
     assert!(!ok, "unknown subcommand must fail");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_salvage_recovers_a_truncated_file() {
+    let dir = std::env::temp_dir().join(format!("ktrace-cli-salvage-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("whole.ktrace");
+    make_trace(&path);
+    let p = path.to_str().unwrap();
+
+    // A clean file salvages with exit 0.
+    let (out, code) = tool_code(&["salvage", p]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("salvage"), "{out}");
+
+    // Cut the tail off: strict tools refuse it, salvage exits 10
+    // (truncated-buffer) and a repaired copy loads strictly again.
+    let bytes = std::fs::read(&path).unwrap();
+    let cut = dir.join("cut.ktrace");
+    std::fs::write(&cut, &bytes[..bytes.len() - bytes.len() / 3]).unwrap();
+    let cutp = cut.to_str().unwrap();
+    let (_, ok) = tool(&["stats", cutp]);
+    assert!(!ok, "the strict loader must refuse a truncated file");
+
+    let fixed = dir.join("fixed.ktrace");
+    let fixedp = fixed.to_str().unwrap();
+    let (out, code) = tool_code(&["salvage", cutp, fixedp]);
+    assert_eq!(code, 10, "truncated-buffer exit code expected: {out}");
+    assert!(out.contains("truncated-buffer"), "{out}");
+    assert!(out.contains("repaired file written"), "{out}");
+
+    let (stats, ok) = tool(&["stats", fixedp]);
+    assert!(ok, "the repaired file must load strictly: {stats}");
 
     std::fs::remove_dir_all(&dir).ok();
 }

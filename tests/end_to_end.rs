@@ -28,7 +28,9 @@ fn run_sdet_to_file(path: &std::path::Path) -> u64 {
     }));
     assert!(!report.aborted);
     assert_eq!(report.completions, 3);
-    session.finish().expect("finish")
+    let stats = session.finish();
+    assert!(stats.lossless(), "{stats:?}");
+    stats.records_written
 }
 
 #[test]

@@ -3,15 +3,25 @@
 //!
 //! The writer side of the pipeline is sink-generic; here a session streams
 //! completed buffers over a real TCP loopback connection and the receiver
-//! reconstructs the identical trace.
+//! reconstructs the identical trace — once over a clean socket and once
+//! with the sender wrapped in a latency-injecting [`FaultySink`], with the
+//! receiver reconstructing through the salvage reader.
 
+use ktrace::faults::{FaultySink, SinkPlan};
+use ktrace::io::salvage_bytes;
 use ktrace::prelude::*;
 use std::io::Read as _;
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
-#[test]
-fn trace_streams_over_tcp() {
+/// Streams a session over TCP loopback, the sink built by `wrap`. Returns
+/// the received bytes plus the sender-side accounting.
+fn stream_over_tcp<W, F>(wrap: F) -> (Vec<u8>, u64, u64)
+where
+    W: std::io::Write + Send + 'static,
+    F: FnOnce(TcpStream) -> W,
+{
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("addr");
 
@@ -32,7 +42,7 @@ fn trace_streams_over_tcp() {
     )
     .expect("logger");
     let conn = TcpStream::connect(addr).expect("connect");
-    let session = TraceSession::new(conn, logger.clone(), clock.as_ref()).expect("session");
+    let session = TraceSession::new(wrap(conn), logger.clone(), clock.as_ref()).expect("session");
 
     let mut logged = 0u64;
     for i in 0..5_000u64 {
@@ -47,10 +57,17 @@ fn trace_streams_over_tcp() {
             }
         }
     }
-    let records = session.finish().expect("finish"); // drops the socket → EOF
+    let stats = session.finish(); // drops the socket → EOF
+    assert!(stats.lossless(), "{stats:?}");
 
     let bytes = receiver.join().expect("receiver");
     assert!(!bytes.is_empty());
+    (bytes, stats.records_written, logged)
+}
+
+#[test]
+fn trace_streams_over_tcp() {
+    let (bytes, records, logged) = stream_over_tcp(|conn| conn);
 
     // The byte stream received over the wire is a complete trace file.
     let mut reader =
@@ -63,4 +80,38 @@ fn trace_streams_over_tcp() {
         .count() as u64;
     assert_eq!(data, logged, "every event crossed the wire intact");
     assert!(reader.anomalies().expect("scan").is_empty());
+}
+
+#[test]
+fn latency_spikes_on_the_wire_lose_nothing() {
+    let plan = SinkPlan::latency_only(0xD1A1, Duration::from_micros(200));
+    let stats_slot = Arc::new(std::sync::Mutex::new(None));
+    let slot = stats_slot.clone();
+    let (bytes, records, logged) = stream_over_tcp(move |conn| {
+        let sink = FaultySink::new(conn, plan);
+        *slot.lock().unwrap() = Some(sink.stats());
+        sink
+    });
+    let sink_stats = stats_slot.lock().unwrap().take().expect("sink built");
+    assert!(
+        sink_stats
+            .latency_spikes
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "the plan actually fired"
+    );
+
+    // The strict reader still accepts the stream: latency is not loss.
+    let mut reader =
+        TraceFileReader::new(std::io::Cursor::new(bytes.clone())).expect("parse streamed trace");
+    assert_eq!(reader.record_count() as u64, records);
+
+    // And the salvage reader reconstructs the identical event stream with a
+    // clean report: nothing torn, nothing skipped, nothing trailing.
+    let report = salvage_bytes(&bytes);
+    assert!(report.clean(), "{}", report.render());
+    assert_eq!(report.records.len() as u64, records);
+    let strict: Vec<_> = reader.events().expect("merged events").collect();
+    assert_eq!(report.events, strict, "salvage equals the strict merge");
+    assert_eq!(report.data_events().count() as u64, logged);
 }

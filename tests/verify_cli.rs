@@ -22,7 +22,7 @@ fn make_trace(path: &Path, workload: ktrace::ossim::Workload) {
     let session = TraceSession::create(path, logger.clone(), clock.as_ref()).unwrap();
     let machine = Machine::new(MachineConfig::fast_test(2), Arc::new(KTracer::new(logger)));
     machine.run(workload);
-    session.finish().unwrap();
+    assert!(session.finish().lossless());
 }
 
 fn verify(args: &[&str]) -> (String, Option<i32>) {
