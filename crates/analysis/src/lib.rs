@@ -43,7 +43,7 @@ pub mod utilization;
 pub use anomaly::garble_report;
 pub use breakdown::{Breakdown, ProcessBreakdown};
 pub use deadlock::{find_deadlock, DeadlockReport};
-pub use export::{to_csv, to_jsonl};
+pub use export::{to_chrome_json, to_csv, to_jsonl};
 pub use hwperf::CounterReport;
 pub use listing::{render_listing, ListingOptions};
 pub use lockstat::{LockSortKey, LockStats};

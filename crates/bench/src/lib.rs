@@ -21,6 +21,7 @@ pub mod filler;
 pub mod garble;
 pub mod schemes;
 pub mod sdet_fig3;
+pub mod telemetry_gate;
 pub mod tools;
 pub mod tsc;
 pub mod util;
@@ -64,5 +65,6 @@ pub fn run_all(fast: bool) -> Vec<(&'static str, String)> {
             schemes::report_stale_ablation(fast),
         ),
         ("E14 garble detection", garble::report(fast)),
+        ("E20 telemetry overhead gate", telemetry_gate::report(fast)),
     ]
 }

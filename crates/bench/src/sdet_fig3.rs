@@ -46,7 +46,7 @@ pub fn calibrated_params(fast: bool) -> CostParams {
     }
 }
 
-fn run_point(
+pub(crate) fn run_point(
     ncpus: usize,
     scheme: Scheme,
     params: CostParams,
@@ -66,7 +66,7 @@ fn run_point(
     VirtualMachine::new(cfg, scheme, params).run(&w)
 }
 
-fn busy(r: &ktrace_vsim::VReport) -> f64 {
+pub(crate) fn busy(r: &ktrace_vsim::VReport) -> f64 {
     r.cpu_busy_ns.iter().sum::<u64>() as f64
 }
 

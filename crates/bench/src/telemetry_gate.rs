@@ -1,0 +1,254 @@
+//! E20: the telemetry overhead gate.
+//!
+//! The self-metrics of `ktrace-telemetry` ride the hot reservation path:
+//! every logged event pays one relaxed counter increment plus one histogram
+//! observation of the reservation wait. The gate asserts that this
+//! self-observability keeps the paper's economics intact — telemetry must
+//! add **less than 1%** to the Fig. 3-style SDET cost.
+//!
+//! Method (measured + modelled, like E1):
+//!
+//! 1. *Measure* the per-event telemetry work telemetry **adds** in
+//!    isolation on this host (`observe_reserve_wait`, floor-subtracted —
+//!    `tally_event` replaces the per-event counter the region already kept
+//!    and so adds nothing), and the full per-event logging cost (E2's fit,
+//!    which already *includes* the telemetry since it is compiled in).
+//!    Their ratio is telemetry's share of the event cost.
+//! 2. *Model* the SDET run on the virtual-time multiprocessor twice with
+//!    paper-anchored costs: per-event cost as shipped vs. per-event cost
+//!    with the telemetry share stripped out. (Paper-anchored, not
+//!    self-calibrated, for the same reason as E1's shape test: a debug
+//!    build would inflate the absolute numbers but the *share* transfers.)
+//! 3. Gate on the added busy-work fraction.
+
+use crate::event_cost;
+use crate::sdet_fig3::{busy, run_point};
+use crate::util::time_per_call;
+use ktrace_analysis::table::{Align, TextTable};
+use ktrace_telemetry::Telemetry;
+use ktrace_vsim::{CostParams, Scheme};
+use std::fmt::Write as _;
+
+/// The gate: telemetry may add at most this fraction of SDET busy work.
+pub const MAX_OVERHEAD: f64 = 0.01;
+
+/// Everything the gate measured and decided, for the report and the
+/// `BENCH_telemetry.json` artifact.
+#[derive(Debug, Clone)]
+pub struct GateResult {
+    /// Measured cost (ns) of the per-event telemetry work *added* to the
+    /// hot path (the reservation-wait observation), in isolation.
+    pub tally_ns: f64,
+    /// Measured full per-event logging cost (ns), telemetry included.
+    pub event_ns: f64,
+    /// Telemetry's share of the per-event cost.
+    pub tally_fraction: f64,
+    /// Modelled CPUs of the SDET point.
+    pub ncpus: usize,
+    /// Modelled SDET busy work (ns) with telemetry compiled in.
+    pub busy_with: f64,
+    /// Modelled SDET busy work (ns) with the telemetry share stripped.
+    pub busy_without: f64,
+    /// Modelled throughput (scripts/hour) with telemetry.
+    pub throughput_with: f64,
+    /// Modelled throughput (scripts/hour) without telemetry.
+    pub throughput_without: f64,
+    /// Added busy-work fraction: `(with - without) / without`.
+    pub overhead: f64,
+    /// The gate threshold ([`MAX_OVERHEAD`]).
+    pub threshold: f64,
+    /// Did the gate pass?
+    pub pass: bool,
+}
+
+/// Runs the measurement and the model, returning the gate verdict.
+pub fn measure(fast: bool) -> GateResult {
+    let iters = if fast { 200_000 } else { 2_000_000 };
+
+    // 1a. The telemetry work a successfully logged event *adds*: the
+    // reservation-wait observation. (The event count itself replaces the
+    // region's pre-existing counter.) The wait value alternates zero and
+    // nonzero, which is pessimistic: real uncontended reservations observe
+    // zero, the cheaper branch.
+    let tel = Telemetry::new(1);
+    let mut i = 0u64;
+    let raw_ns = time_per_call(iters, || {
+        tel.cpu(0)
+            .observe_reserve_wait(std::hint::black_box(i & 0x3ff));
+        i = i.wrapping_add(1);
+    });
+    let floor_ns = time_per_call(iters, || {
+        std::hint::black_box(std::hint::black_box(7u64).wrapping_add(1));
+    });
+    let tally_ns = (raw_ns - floor_ns).max(0.01);
+
+    // 1b. The full per-event cost, telemetry included (it is compiled in).
+    let costs = event_cost::measure(fast);
+    let event_ns = costs.base_ns.max(1.0);
+    let tally_fraction = (tally_ns / event_ns).min(1.0);
+
+    // 2. Model the SDET point twice. Paper-anchored per-event cost, with
+    // the measured telemetry share stripped for the "without" run.
+    let with = CostParams::default();
+    let without = CostParams {
+        per_event_ns: with.per_event_ns * (1.0 - tally_fraction),
+        ..with
+    };
+    let ncpus = 8;
+    let scripts_per_cpu = if fast { 4 } else { 8 };
+    let on_with = run_point(ncpus, Scheme::LocklessPerCpu, with, scripts_per_cpu);
+    let on_without = run_point(ncpus, Scheme::LocklessPerCpu, without, scripts_per_cpu);
+
+    let busy_with = busy(&on_with);
+    let busy_without = busy(&on_without);
+    let overhead = (busy_with - busy_without) / busy_without;
+    GateResult {
+        tally_ns,
+        event_ns,
+        tally_fraction,
+        ncpus,
+        busy_with,
+        busy_without,
+        throughput_with: on_with.throughput_per_hour(),
+        throughput_without: on_without.throughput_per_hour(),
+        overhead,
+        threshold: MAX_OVERHEAD,
+        pass: overhead < MAX_OVERHEAD,
+    }
+}
+
+/// Renders the gate result as the `BENCH_telemetry.json` artifact.
+pub fn to_json(g: &GateResult) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"E20 telemetry overhead gate\",\n",
+            "  \"tally_ns\": {:.4},\n",
+            "  \"event_ns\": {:.4},\n",
+            "  \"tally_fraction\": {:.6},\n",
+            "  \"ncpus\": {},\n",
+            "  \"busy_with_ns\": {:.0},\n",
+            "  \"busy_without_ns\": {:.0},\n",
+            "  \"throughput_with_per_hour\": {:.2},\n",
+            "  \"throughput_without_per_hour\": {:.2},\n",
+            "  \"overhead_fraction\": {:.6},\n",
+            "  \"threshold\": {:.6},\n",
+            "  \"pass\": {}\n",
+            "}}\n"
+        ),
+        g.tally_ns,
+        g.event_ns,
+        g.tally_fraction,
+        g.ncpus,
+        g.busy_with,
+        g.busy_without,
+        g.throughput_with,
+        g.throughput_without,
+        g.overhead,
+        g.threshold,
+        g.pass
+    )
+}
+
+/// Renders the E20 report.
+pub fn report(fast: bool) -> String {
+    render(&measure(fast))
+}
+
+/// Renders an already-measured gate result.
+pub fn render(g: &GateResult) -> String {
+    let mut out =
+        String::from("Telemetry self-metrics overhead (measured share, modelled SDET):\n");
+    let mut t = TextTable::new(&[("quantity", Align::Left), ("value", Align::Right)]);
+    t.row(vec![
+        "per-event telemetry work added".into(),
+        format!("{:.2} ns", g.tally_ns),
+    ]);
+    t.row(vec![
+        "per-event logging cost (incl. telemetry)".into(),
+        format!("{:.2} ns", g.event_ns),
+    ]);
+    t.row(vec![
+        "telemetry share of event cost".into(),
+        format!("{:.2}%", 100.0 * g.tally_fraction),
+    ]);
+    t.row(vec![
+        format!("SDET busy work @{} cpus, with telemetry", g.ncpus),
+        format!("{:.3e} ns", g.busy_with),
+    ]);
+    t.row(vec![
+        "SDET busy work, telemetry stripped".into(),
+        format!("{:.3e} ns", g.busy_without),
+    ]);
+    t.row(vec![
+        "added busy work".into(),
+        format!("{:+.3}%", 100.0 * g.overhead),
+    ]);
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
+        "\ngate: telemetry overhead {:.3}% < {:.0}% — {}",
+        100.0 * g.overhead,
+        100.0 * g.threshold,
+        if g.pass { "PASS" } else { "FAIL" }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_overhead_under_one_percent() {
+        let g = measure(true);
+        // A debug build inflates the isolated tally measurement several
+        // times more than the full (partly memory-bound) event path, so the
+        // measured *share* doesn't transfer — the same reason E1's shape
+        // test pins paper params. The hard 1% gate therefore binds in
+        // release builds, the configuration CI's telemetry job runs via
+        // `fig_telemetry_gate`; debug gets a loosened sanity ceiling.
+        let ceiling = if cfg!(debug_assertions) {
+            0.05
+        } else {
+            g.threshold
+        };
+        assert!(
+            g.overhead < ceiling,
+            "telemetry adds {:.3}% to SDET busy work (gate {:.1}%); tally {:.2} ns of {:.2} ns/event",
+            100.0 * g.overhead,
+            100.0 * ceiling,
+            g.tally_ns,
+            g.event_ns
+        );
+        // Sanity: the measurement saw real, nonzero costs and the "without"
+        // model is genuinely cheaper (the share was actually stripped).
+        assert!(g.tally_ns > 0.0 && g.event_ns > g.tally_ns);
+        assert!(g.busy_with >= g.busy_without);
+        assert!(g.throughput_without >= g.throughput_with);
+    }
+
+    #[test]
+    fn json_artifact_is_wellformed() {
+        let g = GateResult {
+            tally_ns: 1.5,
+            event_ns: 40.0,
+            tally_fraction: 0.0375,
+            ncpus: 8,
+            busy_with: 1.0e9,
+            busy_without: 0.997e9,
+            throughput_with: 5.0e5,
+            throughput_without: 5.01e5,
+            overhead: 0.003,
+            threshold: MAX_OVERHEAD,
+            pass: true,
+        };
+        let s = to_json(&g);
+        assert!(s.contains("\"pass\": true"));
+        assert!(s.contains("\"overhead_fraction\": 0.003000"));
+        // Balanced braces / trailing newline — keeps the artifact parseable
+        // by strict JSON readers.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert!(s.ends_with("}\n"));
+    }
+}

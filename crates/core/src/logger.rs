@@ -18,7 +18,9 @@ use crate::reader::{parse_buffer, GarbleNote, RawEvent};
 use crate::region::{CompletedBuffer, CpuRegion, RegionSnapshot};
 use crossbeam::utils::CachePadded;
 use ktrace_clock::ClockSource;
+use ktrace_format::ids::control;
 use ktrace_format::{EventDescriptor, EventRegistry, FieldValue, MajorId, MinorId, TraceMask};
+use ktrace_telemetry::Telemetry;
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -27,6 +29,7 @@ struct Shared {
     mask: TraceMask,
     regions: Box<[CachePadded<CpuRegion>]>,
     registry: RwLock<EventRegistry>,
+    tel: Arc<Telemetry>,
 }
 
 /// The unified, per-CPU, lockless trace logger.
@@ -84,8 +87,17 @@ impl TraceLogger {
         if ncpus == 0 {
             return Err(CoreError::BadConfig("ncpus must be at least 1"));
         }
+        let tel = Arc::new(Telemetry::new(ncpus));
         let regions = (0..ncpus)
-            .map(|cpu| CachePadded::new(CpuRegion::new(config, clock.clone(), cpu)))
+            .map(|cpu| {
+                CachePadded::new(CpuRegion::with_telemetry(
+                    config,
+                    clock.clone(),
+                    cpu,
+                    tel.clone(),
+                    cpu,
+                ))
+            })
             .collect();
         Ok(TraceLogger {
             shared: Arc::new(Shared {
@@ -93,6 +105,7 @@ impl TraceLogger {
                 mask: TraceMask::all_enabled(),
                 regions,
                 registry: RwLock::new(EventRegistry::with_builtin()),
+                tel,
             }),
         })
     }
@@ -153,6 +166,9 @@ impl TraceLogger {
         #[cfg(not(feature = "trace-off"))]
         {
             if !self.shared.mask.is_enabled(major) {
+                if cpu < self.ncpus() {
+                    self.shared.tel.cpu(cpu).tally_masked();
+                }
                 return false;
             }
             self.region(cpu).log_raw(major, minor, payload).is_ok()
@@ -182,6 +198,7 @@ impl TraceLogger {
                 });
             }
             if !self.shared.mask.is_enabled(major) {
+                self.shared.tel.cpu(cpu).tally_masked();
                 return Ok(false);
             }
             self.region(cpu)
@@ -203,6 +220,9 @@ impl TraceLogger {
         // ktrace-lint: allow(hot-path) — the registry lookup under RwLock is
         // the documented slow path for string-bearing events.
         if !self.shared.mask.is_enabled(major) {
+            if cpu < self.ncpus() {
+                self.shared.tel.cpu(cpu).tally_masked();
+            }
             return Ok(false);
         }
         let words = {
@@ -322,6 +342,59 @@ impl TraceLogger {
         self.region(cpu).desync_commit(slot, delta);
     }
 
+    /// The lock-free self-metrics registry shared by every region and handle.
+    ///
+    /// Snapshot it with [`Telemetry::snapshot`] for exposition
+    /// (`ktrace-telemetry`'s Prometheus/JSON renderers, `ktrace-tools top`).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.tel
+    }
+
+    /// Logs a `CONTROL`/`HEARTBEAT` event on `cpu` carrying the current
+    /// telemetry counter block *into the trace itself*, so post-processing
+    /// can plot tracer health over trace time (schema:
+    /// [`control::HEARTBEAT_METRICS`]).
+    ///
+    /// Heartbeats ride the same lockless reservation path as data events but
+    /// are **not** counted in `events_logged` — the invariant `data events in
+    /// file == events_logged - sink losses` stays exact. The mask does not
+    /// gate CONTROL traffic.
+    pub fn log_heartbeat(&self, cpu: usize) -> bool {
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = cpu;
+            false
+        }
+        #[cfg(not(feature = "trace-off"))]
+        {
+            if cpu >= self.ncpus() {
+                return false;
+            }
+            let payload = self.shared.tel.heartbeat_payload(cpu);
+            let ok = self
+                .region(cpu)
+                .log_control(control::HEARTBEAT, &payload)
+                .is_ok();
+            if ok {
+                self.shared.tel.sink().tally_heartbeat();
+            }
+            ok
+        }
+    }
+
+    /// Per-CPU ring occupancy: `(outstanding_words, capacity_words)` —
+    /// words reserved but not yet released by the consumer, versus the total
+    /// ring size. The live monitor (`ktrace-tools top`) renders this as a
+    /// fill gauge; in flight-recorder mode nothing is ever consumed, so a
+    /// full ring is the steady state.
+    pub fn occupancy(&self, cpu: usize) -> (u64, u64) {
+        let r: &CpuRegion = &self.shared.regions[cpu];
+        let bw = self.shared.config.buffer_words as u64;
+        let cap = bw * self.shared.config.buffers_per_cpu as u64;
+        let outstanding = r.index().saturating_sub(r.buffers_consumed() * bw);
+        (outstanding.min(cap), cap)
+    }
+
     /// Aggregate statistics across all CPUs.
     pub fn stats(&self) -> LoggerStats {
         let mut s = LoggerStats::default();
@@ -376,6 +449,7 @@ macro_rules! arity_logger {
             #[cfg(not(feature = "trace-off"))]
             {
                 if !self.shared.mask.is_enabled(major) {
+                    self.shared.tel.cpu(self.cpu as usize).tally_masked();
                     return false;
                 }
                 let payload = [$($arg),*];
@@ -413,6 +487,7 @@ impl CpuHandle {
         #[cfg(not(feature = "trace-off"))]
         {
             if !self.shared.mask.is_enabled(major) {
+                self.shared.tel.cpu(self.cpu as usize).tally_masked();
                 return false;
             }
             self.region().log_raw(major, minor, payload).is_ok()
@@ -746,6 +821,56 @@ mod tests {
             l.try_log(0, MajorId::TEST, 0, &huge),
             Err(CoreError::EventTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn telemetry_counts_logged_and_masked() {
+        let l = logger(2);
+        let h0 = l.handle(0).unwrap();
+        let h1 = l.handle(1).unwrap();
+        for i in 0..10 {
+            h0.log1(MajorId::TEST, 0, i);
+        }
+        l.mask().disable(MajorId::MEM);
+        for _ in 0..3 {
+            h1.log1(MajorId::MEM, 0, 7);
+        }
+        assert!(!l.log(1, MajorId::MEM, 0, &[1]));
+        let snap = l.telemetry().snapshot();
+        assert_eq!(snap.per_cpu[0].events_logged, 10);
+        assert_eq!(snap.per_cpu[0].events_masked, 0);
+        assert_eq!(snap.per_cpu[1].events_logged, 0);
+        assert_eq!(snap.per_cpu[1].events_masked, 4);
+        assert_eq!(snap.events_logged(), l.stats().events_logged);
+        // Reservation wait histogram saw every logged event.
+        assert_eq!(
+            ktrace_telemetry::hist_count(&snap.per_cpu[0].reserve_wait),
+            10
+        );
+    }
+
+    #[test]
+    fn heartbeat_rides_the_trace_uncounted() {
+        let l = logger(1);
+        let h = l.handle(0).unwrap();
+        for i in 0..5 {
+            h.log1(MajorId::TEST, 0, i);
+        }
+        assert!(l.log_heartbeat(0));
+        // Heartbeats are control traffic: not a data event.
+        assert_eq!(l.stats().events_logged, 5);
+        assert_eq!(l.telemetry().snapshot().sink.heartbeats_emitted, 1);
+        l.flush_all();
+        let hb: Vec<RawEvent> = l
+            .drain_cpu(0)
+            .iter()
+            .flat_map(|b| parse_buffer(0, b.seq, &b.words, None).events)
+            .filter(|e| e.major == MajorId::CONTROL && e.minor == control::HEARTBEAT)
+            .collect();
+        assert_eq!(hb.len(), 1);
+        assert_eq!(hb[0].payload.len(), control::HEARTBEAT_WORDS);
+        assert_eq!(hb[0].payload[0], 0, "cpu slot");
+        assert_eq!(hb[0].payload[1], 5, "events_logged slot");
     }
 
     #[test]

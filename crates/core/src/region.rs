@@ -42,6 +42,7 @@ use ktrace_clock::ClockSource;
 use ktrace_format::header::filler_chain;
 use ktrace_format::ids::control;
 use ktrace_format::{EventHeader, MajorId, MinorId};
+use ktrace_telemetry::{CpuCounters, Telemetry};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -126,17 +127,36 @@ pub struct CpuRegion {
     committed: Box<[AtomicU64]>,
     /// Buffers released by the consumer (stream mode).
     consumed: AtomicU64,
-    /// Events dropped because the consumer fell behind.
+    /// Events dropped because the consumer fell behind, *pending* an
+    /// in-stream DROPPED marker (cumulative drops live in the telemetry
+    /// block).
     dropped: AtomicU64,
-    /// Events successfully logged (stats).
-    events: AtomicU64,
+    /// The shared self-observability registry this region tallies into.
+    tel: Arc<Telemetry>,
+    /// This region's slot in `tel` (the logger maps it to the CPU index; a
+    /// standalone region owns a single-slot registry).
+    tslot: usize,
     /// Serializes consumers; producers never touch this lock.
     take_lock: Mutex<()>,
 }
 
 impl CpuRegion {
-    /// Creates an empty region for `cpu`.
+    /// Creates an empty region for `cpu`, with its own private telemetry
+    /// registry. Loggers share one registry across regions via
+    /// [`CpuRegion::with_telemetry`].
     pub fn new(config: TraceConfig, clock: Arc<dyn ClockSource>, cpu: usize) -> CpuRegion {
+        CpuRegion::with_telemetry(config, clock, cpu, Arc::new(Telemetry::new(1)), 0)
+    }
+
+    /// Creates an empty region for `cpu` tallying into slot `tslot` of the
+    /// shared telemetry registry `tel`.
+    pub fn with_telemetry(
+        config: TraceConfig,
+        clock: Arc<dyn ClockSource>,
+        cpu: usize,
+        tel: Arc<Telemetry>,
+        tslot: usize,
+    ) -> CpuRegion {
         let total = config.region_words();
         CpuRegion {
             cpu,
@@ -149,9 +169,16 @@ impl CpuRegion {
                 .collect(),
             consumed: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
-            events: AtomicU64::new(0),
+            tel,
+            tslot,
             take_lock: Mutex::new(()),
         }
+    }
+
+    /// This region's counter block in the shared telemetry registry.
+    #[inline]
+    fn tally(&self) -> &CpuCounters {
+        self.tel.cpu(self.tslot)
     }
 
     /// The region's configuration.
@@ -178,7 +205,25 @@ impl CpuRegion {
         let header = EventHeader::new(ts as u32, payload.len(), major, minor)
             .expect("payload bounded by max_event_words");
         self.write_event(start, header, payload);
-        self.events.fetch_add(1, Ordering::Relaxed);
+        self.tally().tally_event();
+        Ok(())
+    }
+
+    /// Logs a `CONTROL` event (heartbeats): same lockless path as
+    /// [`log_raw`](CpuRegion::log_raw), but not counted as a data event, so
+    /// `events_logged` keeps matching the data events a drained file holds.
+    pub fn log_control(&self, minor: MinorId, payload: &[u64]) -> Result<(), CoreError> {
+        let total = payload.len() + 1;
+        if total > self.config.max_event_words() {
+            return Err(CoreError::EventTooLarge {
+                payload_words: payload.len(),
+                max: self.config.max_payload_words(),
+            });
+        }
+        let (start, ts) = self.reserve(total).ok_or(CoreError::Overrun)?;
+        let header = EventHeader::new(ts as u32, payload.len(), MajorId::CONTROL, minor)
+            .expect("payload bounded by max_event_words");
+        self.write_event(start, header, payload);
         Ok(())
     }
 
@@ -187,6 +232,7 @@ impl CpuRegion {
     /// winning CAS, or `None` if the event must be dropped (stream overrun).
     fn reserve(&self, total_words: usize) -> Option<(u64, u64)> {
         let bw = self.config.buffer_words as u64;
+        let mut first_ts: Option<u64> = None;
         loop {
             let old = self.index.load(Ordering::Relaxed);
             let pos = (old % bw) as usize;
@@ -194,6 +240,9 @@ impl CpuRegion {
             // re-determine the timestamp during each attempt to atomically
             // increment the index" (§3.1).
             let ts = self.clock.now(self.cpu);
+            // The wait tally reuses these per-attempt reads: winning ts minus
+            // first-attempt ts, no extra clock query.
+            let t0 = *first_ts.get_or_insert(ts);
             if pos != 0 && pos + total_words <= bw as usize {
                 // Fast path: fits in the current buffer.
                 if self
@@ -206,8 +255,10 @@ impl CpuRegion {
                     )
                     .is_ok()
                 {
+                    self.tally().observe_reserve_wait(ts.saturating_sub(t0));
                     return Some((old, ts));
                 }
+                self.tally().tally_cas_retry();
                 continue;
             }
 
@@ -223,6 +274,7 @@ impl CpuRegion {
                 let consumed = self.consumed.load(Ordering::Acquire);
                 if next_seq >= consumed + self.config.buffers_per_cpu as u64 {
                     self.dropped.fetch_add(1, Ordering::Relaxed);
+                    self.tally().tally_dropped();
                     return None;
                 }
             }
@@ -236,7 +288,15 @@ impl CpuRegion {
                 .compare_exchange_weak(old, new, Ordering::AcqRel, Ordering::Relaxed)
                 .is_err()
             {
+                self.tally().tally_cas_retry();
                 continue;
+            }
+            self.tally().tally_wrap();
+            if self.config.mode == Mode::FlightRecorder
+                && next_seq >= self.config.buffers_per_cpu as u64
+            {
+                // Wrapping past capacity overwrites the oldest unread buffer.
+                self.tally().tally_overwrite();
             }
 
             // Won the buffer switch: fill the remainder with filler event(s)…
@@ -255,6 +315,7 @@ impl CpuRegion {
                     .expect("marker payload fits");
                 self.write_event(base + ANCHOR_WORDS as u64, marker, &[count]);
             }
+            self.tally().observe_reserve_wait(ts.saturating_sub(t0));
             return Some((base + (ANCHOR_WORDS + extra) as u64, ts));
         }
     }
@@ -268,6 +329,7 @@ impl CpuRegion {
             self.words[pos].store(h.encode(), Ordering::Release);
             off += seg as u64;
         }
+        self.tally().tally_filler_words(remainder as u64);
         self.commit(at, remainder);
     }
 
@@ -419,7 +481,12 @@ impl CpuRegion {
 
     /// Number of events successfully logged.
     pub fn events_logged(&self) -> u64 {
-        self.events.load(Ordering::Relaxed)
+        self.tally().events_logged()
+    }
+
+    /// The telemetry registry this region reports into.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.tel
     }
 
     /// Number of events dropped to consumer overrun (not yet marked).

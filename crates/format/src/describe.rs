@@ -444,6 +444,18 @@ impl EventRegistry {
             )
             .unwrap(),
         );
+        r.register(
+            MajorId::CONTROL,
+            control::HEARTBEAT,
+            EventDescriptor::new(
+                "TRACE_CONTROL_HEARTBEAT",
+                "64 64 64 64 64 64 64 64 64 64",
+                "heartbeat cpu %0[%d] logged %1[%d] masked %2[%d] dropped %3[%d] \
+                 cas_retries %4[%d] filler_words %5[%d] wraps %6[%d] overwrites %7[%d] \
+                 sink_written %8[%d] sink_dropped %9[%d]",
+            )
+            .unwrap(),
+        );
         r
     }
 
@@ -744,6 +756,25 @@ mod tests {
         assert!(r.lookup(MajorId::CONTROL, control::FILLER).is_some());
         assert!(r.lookup(MajorId::CONTROL, control::TIME_ANCHOR).is_some());
         assert!(r.lookup(MajorId::CONTROL, control::DROPPED).is_some());
+        assert!(r.lookup(MajorId::CONTROL, control::HEARTBEAT).is_some());
+    }
+
+    #[test]
+    fn heartbeat_descriptor_matches_shared_schema() {
+        // The logger writes HEARTBEAT_WORDS payload words; the descriptor's
+        // field spec must decode exactly that many, and every metric named
+        // in HEARTBEAT_METRICS must have a payload slot after `cpu`.
+        let r = EventRegistry::with_builtin();
+        let d = r.lookup(MajorId::CONTROL, control::HEARTBEAT).unwrap();
+        assert_eq!(d.spec.len(), control::HEARTBEAT_WORDS);
+        assert_eq!(
+            control::HEARTBEAT_METRICS.len(),
+            control::HEARTBEAT_WORDS - 1
+        );
+        let words: Vec<u64> = (0..control::HEARTBEAT_WORDS as u64).collect();
+        let text = d.describe(&words).unwrap();
+        assert!(text.contains("heartbeat cpu 0"));
+        assert!(text.contains("sink_dropped 9"));
     }
 
     proptest! {

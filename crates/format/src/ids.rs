@@ -140,6 +140,32 @@ pub mod control {
     /// Dropped-buffer marker: payload is the count of buffers overwritten in
     /// flight-recorder mode since the previous marker.
     pub const DROPPED: MinorId = 2;
+    /// Tracer-health heartbeat: a periodic snapshot of the tracer's own
+    /// telemetry counters for one CPU, logged into the stream so
+    /// post-processing can plot tracer health over trace time. Payload is
+    /// `[cpu, events_logged, events_masked, events_dropped, cas_retries,
+    /// filler_words, buffer_wraps, flight_overwrites, sink_records_written,
+    /// sink_buffers_dropped]` — cumulative counts since logger creation.
+    pub const HEARTBEAT: MinorId = 3;
+
+    /// Payload arity of a [`HEARTBEAT`] event, shared by the logger (writer)
+    /// and the exporters (readers) so the schema cannot drift silently.
+    pub const HEARTBEAT_WORDS: usize = 10;
+
+    /// Field names of the [`HEARTBEAT`] payload, index-aligned with the
+    /// payload words after the leading `cpu` field. Exporters use these as
+    /// counter-track names (one track per metric).
+    pub const HEARTBEAT_METRICS: [&str; 9] = [
+        "events_logged",
+        "events_masked",
+        "events_dropped",
+        "cas_retries",
+        "filler_words",
+        "buffer_wraps",
+        "flight_overwrites",
+        "sink_records_written",
+        "sink_buffers_dropped",
+    ];
 }
 
 #[cfg(test)]

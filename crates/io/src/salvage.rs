@@ -131,6 +131,18 @@ impl SalvageReport {
         out
     }
 
+    /// Feeds this salvage pass into a telemetry registry, so recovery work
+    /// shows up beside the live counters in the same exposition
+    /// (`ktrace_salvage_*` in the Prometheus text, `salvage` in the JSON).
+    pub fn record_telemetry(&self, tel: &ktrace_telemetry::Telemetry) {
+        tel.salvage().tally_run(
+            self.clean_records() as u64,
+            self.events.len() as u64,
+            self.torn_records() as u64,
+            (self.skipped_bytes + self.trailing_bytes) as u64,
+        );
+    }
+
     /// A human-readable multi-line summary (the `ktrace-tools salvage`
     /// output).
     pub fn render(&self) -> String {

@@ -10,13 +10,14 @@ use crate::error::IoError;
 use crate::file::FileHeader;
 use crate::writer::TraceFileWriter;
 use ktrace_clock::ClockSource;
-use ktrace_core::{CoreError, LoggerStats, TraceConfig, TraceLogger};
+use ktrace_core::{parse_buffer, CoreError, LoggerStats, TraceConfig, TraceLogger};
+use ktrace_telemetry::TelemetrySnapshot;
 use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Drainer-side resilience policy: how hard to try before declaring the
 /// sink dead.
@@ -26,6 +27,11 @@ pub struct SessionConfig {
     pub write_retries: u32,
     /// Base backoff between retries (grows linearly with the attempt).
     pub retry_backoff: Duration,
+    /// If set, the drainer logs a `CONTROL`/`HEARTBEAT` event per CPU into
+    /// the trace on this cadence (plus one final beat at finish), carrying
+    /// the telemetry counter block. `None` (the default) keeps traces
+    /// byte-deterministic for golden tests.
+    pub heartbeat: Option<Duration>,
 }
 
 impl Default for SessionConfig {
@@ -33,6 +39,7 @@ impl Default for SessionConfig {
         SessionConfig {
             write_retries: 8,
             retry_backoff: Duration::from_micros(50),
+            heartbeat: None,
         }
     }
 }
@@ -48,12 +55,17 @@ pub struct SessionStats {
     pub records_written: u64,
     /// Completed buffers drained but discarded because the sink was dead.
     pub buffers_dropped: u64,
+    /// Already-logged data events that were inside dropped buffers.
+    pub events_lost: u64,
     /// The error that killed the sink, if one did.
     pub sink_error: Option<String>,
     /// Logger-side statistics at finish time (includes events dropped on
     /// the producer side from ring overrun — the bounded-buffer
     /// backpressure).
     pub logger: LoggerStats,
+    /// Full telemetry counter snapshot at finish time (per-CPU logger
+    /// counters, sink counters, histograms).
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl SessionStats {
@@ -65,6 +77,14 @@ impl SessionStats {
     /// True if every drained buffer made it to the sink.
     pub fn lossless(&self) -> bool {
         self.sink_alive() && self.buffers_dropped == 0
+    }
+
+    /// Data events expected in the drained file: everything logged minus
+    /// what the drainer had to throw away with the sink dead. The
+    /// telemetry/verify cross-check tests hold this equal to what a lint
+    /// pass over the file actually counts.
+    pub fn events_expected_in_file(&self) -> u64 {
+        self.logger.events_logged.saturating_sub(self.events_lost)
     }
 }
 
@@ -139,23 +159,43 @@ impl TraceSession {
             config: &SessionConfig,
             stats: &mut SessionStats,
         ) -> bool {
+            let tel = logger.telemetry().clone();
+            // A dropped buffer loses every data event already committed into
+            // it; parse the words we're about to discard so the loss is
+            // accounted exactly (control events don't count).
+            fn count_lost(cpu: usize, seq: u64, words: &[u64]) -> u64 {
+                parse_buffer(cpu, seq, words, None).data_events().count() as u64
+            }
             let mut drained_any = false;
             for cpu in 0..logger.ncpus() {
                 while let Some(buf) = logger.take_buffer(cpu) {
                     drained_any = true;
                     if stats.sink_error.is_some() {
                         stats.buffers_dropped += 1;
+                        let lost = count_lost(cpu, buf.seq, &buf.words);
+                        stats.events_lost += lost;
+                        tel.sink().tally_buffer_dropped(lost);
                         continue;
                     }
+                    let started = Instant::now();
                     match writer.write_buffer_retrying(
                         &buf,
                         config.write_retries,
                         config.retry_backoff,
                     ) {
-                        Ok(()) => stats.records_written += 1,
+                        Ok(retried) => {
+                            stats.records_written += 1;
+                            tel.sink().tally_record_written();
+                            tel.sink().tally_write_retries(u64::from(retried));
+                            tel.sink()
+                                .observe_drain_write(started.elapsed().as_nanos() as u64);
+                        }
                         Err(e) => {
                             stats.sink_error = Some(e.to_string());
                             stats.buffers_dropped += 1;
+                            let lost = count_lost(cpu, buf.seq, &buf.words);
+                            stats.events_lost += lost;
+                            tel.sink().tally_buffer_dropped(lost);
                         }
                     }
                 }
@@ -166,16 +206,33 @@ impl TraceSession {
             .name("ktrace-drainer".into())
             .spawn(move || -> SessionStats {
                 let mut stats = SessionStats::default();
+                let mut last_beat = Instant::now();
+                fn beat_all(logger: &TraceLogger) {
+                    for cpu in 0..logger.ncpus() {
+                        logger.log_heartbeat(cpu);
+                    }
+                }
                 loop {
+                    if let Some(interval) = config.heartbeat {
+                        if last_beat.elapsed() >= interval {
+                            last_beat = Instant::now();
+                            beat_all(&logger2);
+                        }
+                    }
                     let drained_any = drain(&logger2, &mut writer, &config, &mut stats);
                     if stop2.load(Ordering::Acquire) {
-                        // Final sweep: flush partial buffers and drain.
+                        // Final beat, then the final sweep: flush partial
+                        // buffers and drain.
+                        if config.heartbeat.is_some() {
+                            beat_all(&logger2);
+                        }
                         logger2.flush_all();
                         drain(&logger2, &mut writer, &config, &mut stats);
                         if stats.sink_error.is_none() {
                             stats.sink_error = writer.finish().err().map(|e| e.to_string());
                         }
                         stats.logger = logger2.stats();
+                        stats.telemetry = logger2.telemetry().snapshot();
                         return stats;
                     }
                     if !drained_any {
@@ -332,6 +389,7 @@ mod tests {
             SessionConfig {
                 write_retries: 2,
                 retry_backoff: Duration::from_micros(10),
+                ..SessionConfig::default()
             },
         )
         .unwrap();
@@ -422,6 +480,48 @@ mod tests {
         fn flush(&mut self) -> std::io::Result<()> {
             self.copy.flush()
         }
+    }
+
+    #[test]
+    fn heartbeats_land_in_the_file_and_in_telemetry() {
+        let dir = std::env::temp_dir().join(format!("ktrace-beat-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("beat.ktrace");
+        let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
+        let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 2).unwrap();
+        let session = TraceSession::with_config(
+            std::io::BufWriter::new(std::fs::File::create(&path).unwrap()),
+            logger,
+            clock.as_ref(),
+            SessionConfig {
+                heartbeat: Some(Duration::from_millis(1)),
+                ..SessionConfig::default()
+            },
+        )
+        .unwrap();
+        let h = session.logger().handle(0).unwrap();
+        for i in 0..500u64 {
+            h.log1(MajorId::TEST, 0, i);
+            if i.is_multiple_of(100) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let stats = session.finish();
+        assert!(stats.lossless(), "{stats:?}");
+        // The final beat alone guarantees at least one per CPU.
+        assert!(stats.telemetry.sink.heartbeats_emitted >= 2);
+        assert_eq!(stats.events_expected_in_file(), stats.logger.events_logged);
+        let mut r = TraceFileReader::open(&path).unwrap();
+        let events: Vec<_> = r.events().unwrap().collect();
+        let beats = events
+            .iter()
+            .filter(|e| e.is_control() && e.minor == ktrace_format::ids::control::HEARTBEAT)
+            .count() as u64;
+        assert_eq!(beats, stats.telemetry.sink.heartbeats_emitted);
+        // Heartbeats are not data events: the data count still matches.
+        let data = events.iter().filter(|e| !e.is_control()).count() as u64;
+        assert_eq!(data, stats.logger.events_logged);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -30,14 +30,16 @@ impl TraceFileWriter<BufWriter<std::fs::File>> {
 /// (no byte duplicated), `Interrupted` is always retried, and transient
 /// errors (`WouldBlock`, `TimedOut`) are retried up to `retries`
 /// consecutive times with linearly growing `backoff` between attempts.
+/// Returns the total number of transient-error retries it took.
 fn write_retrying<W: Write>(
     sink: &mut W,
     bytes: &[u8],
     retries: u32,
     backoff: std::time::Duration,
-) -> Result<(), IoError> {
+) -> Result<u32, IoError> {
     let mut off = 0usize;
     let mut attempts = 0u32;
+    let mut total_retries = 0u32;
     while off < bytes.len() {
         match sink.write(&bytes[off..]) {
             Ok(0) => {
@@ -59,12 +61,13 @@ fn write_retrying<W: Write>(
                     ) =>
             {
                 attempts += 1;
+                total_retries = total_retries.saturating_add(1);
                 std::thread::sleep(backoff * attempts);
             }
             Err(e) => return Err(IoError::Io(e)),
         }
     }
-    Ok(())
+    Ok(total_retries)
 }
 
 impl<W: Write> TraceFileWriter<W> {
@@ -125,17 +128,18 @@ impl<W: Write> TraceFileWriter<W> {
     /// consecutive times with linearly growing `backoff` between attempts.
     /// Anything else — or a retry budget exhausted — is returned, and the
     /// sink should be considered dead (a partial record may be in flight;
-    /// the salvage reader re-anchors past it).
+    /// the salvage reader re-anchors past it). On success, returns how many
+    /// transient-error retries the record took (telemetry fodder).
     pub fn write_buffer_retrying(
         &mut self,
         buf: &CompletedBuffer,
         retries: u32,
         backoff: std::time::Duration,
-    ) -> Result<(), IoError> {
+    ) -> Result<u32, IoError> {
         let bytes = self.encode_record(buf);
-        write_retrying(&mut self.sink, &bytes, retries, backoff)?;
+        let retried = write_retrying(&mut self.sink, &bytes, retries, backoff)?;
         self.records += 1;
-        Ok(())
+        Ok(retried)
     }
 
     /// Number of records written so far.

@@ -118,6 +118,7 @@ const HOTPATH_FILES: &[&str] = &[
     "crates/core/src/logger.rs",
     "crates/core/src/region.rs",
     "crates/format/src/mask.rs",
+    "crates/telemetry/src/counters.rs",
 ];
 
 /// Runs the configured passes over the workspace at `opts.root`.

@@ -1,0 +1,20 @@
+//! Fixture: a clean reservation path whose *telemetry tallies* are the
+//! breakage — the hot-path walk must cross the crate boundary into
+//! `crates/telemetry/src/counters.rs` and flag them there.
+
+impl CpuRegion {
+    pub fn log_raw(&self, minor: u16, payload: &[u64]) -> bool {
+        self.reserve(payload.len()).is_some()
+    }
+
+    fn reserve(&self, words: usize) -> Option<u64> {
+        let old = self.index.load(Ordering::Relaxed);
+        self.tally().tally_event();
+        self.tally().observe_reserve_wait(0);
+        Some(old + words as u64)
+    }
+
+    fn tally(&self) -> &CpuCounters {
+        self.tel.cpu(self.tslot)
+    }
+}

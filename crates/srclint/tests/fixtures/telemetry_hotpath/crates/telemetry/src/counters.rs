@@ -1,0 +1,19 @@
+//! Fixture: telemetry counters that allocate on the tally path (exit 32).
+//! A real counter block is relaxed atomics only; this one keeps heap state.
+
+impl CpuCounters {
+    pub fn tally_event(&self) {
+        self.samples.lock().push(1u64.to_string());
+    }
+
+    pub fn observe_reserve_wait(&self, ticks: u64) {
+        let label = format!("wait={ticks}");
+        self.history.lock().push(label);
+    }
+}
+
+impl Telemetry {
+    pub fn cpu(&self, cpu: usize) -> &CpuCounters {
+        &self.per_cpu[cpu]
+    }
+}

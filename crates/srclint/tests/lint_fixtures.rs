@@ -118,6 +118,71 @@ fn hotpath_fixture_exits_32() {
 }
 
 #[test]
+fn telemetry_tally_fixture_exits_32() {
+    // The lint must walk *across the crate boundary*: the roots live in
+    // `crates/core/src/region.rs`, the allocating tallies in
+    // `crates/telemetry/src/counters.rs`. An allocating counter reachable
+    // from `reserve` is a hot-path hazard like any other.
+    let report = lint_workspace(&one_pass(fixture("telemetry_hotpath"), "hotpath")).unwrap();
+    assert_eq!(report.exit_code(false), 32);
+    assert_eq!(report.kinds(), vec![ViolationKind::HotPathHazard]);
+
+    let details: Vec<&str> = report.findings.iter().map(|f| f.detail.as_str()).collect();
+    assert!(
+        details
+            .iter()
+            .any(|d| d.contains("heap-allocating method") && d.contains("`tally_event`")),
+        "{details:#?}"
+    );
+    assert!(
+        details
+            .iter()
+            .any(|d| d.contains("blocking lock") && d.contains("`tally_event`")),
+        "{details:#?}"
+    );
+    assert!(
+        details
+            .iter()
+            .any(|d| d.contains("heap-allocating macro") && d.contains("`observe_reserve_wait`")),
+        "{details:#?}"
+    );
+    // Every tally finding is attributed to the telemetry file and to a
+    // reservation root, proving reachability through `tally()`.
+    assert!(report
+        .findings
+        .iter()
+        .filter(|f| f.file.contains("telemetry"))
+        .all(|f| f.detail.contains("reachable from hot-path root")));
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.file == "crates/telemetry/src/counters.rs"),
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn real_telemetry_counters_are_walked_and_clean_without_escapes() {
+    // The shipped counter blocks must pass the hot-path pass on their own
+    // merits: no `allow(hot-path)` opt-outs anywhere in the file.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let counters = std::fs::read_to_string(root.join("crates/telemetry/src/counters.rs")).unwrap();
+    assert!(
+        !counters.contains("allow(hot-path)"),
+        "telemetry counters must be hot-path clean without lint escapes"
+    );
+
+    let report = lint_workspace(&one_pass(root, "hotpath")).unwrap();
+    assert!(report.is_clean(true), "{}", report.render(true));
+    // The walk includes the telemetry file: the 2 always-read schema
+    // sources plus all 4 hot-path files (logger, region, mask, counters).
+    assert_eq!(report.stats.files_scanned, 6);
+    assert!(report.stats.hot_fns_walked > 0);
+}
+
+#[test]
 fn broken_fixtures_stay_isolated_to_their_pass() {
     // Running the OTHER passes over each fixture finds nothing: each tree is
     // broken in exactly one dimension.
@@ -126,6 +191,10 @@ fn broken_fixtures_stay_isolated_to_their_pass() {
     let r = lint_workspace(&one_pass(fixture("idspace"), "hotpath")).unwrap();
     assert!(r.findings.is_empty(), "{:#?}", r.findings);
     let r = lint_workspace(&one_pass(fixture("hotpath"), "schema")).unwrap();
+    assert!(r.findings.is_empty(), "{:#?}", r.findings);
+    let r = lint_workspace(&one_pass(fixture("telemetry_hotpath"), "schema")).unwrap();
+    assert!(r.findings.is_empty(), "{:#?}", r.findings);
+    let r = lint_workspace(&one_pass(fixture("telemetry_hotpath"), "idspace")).unwrap();
     assert!(r.findings.is_empty(), "{:#?}", r.findings);
 }
 

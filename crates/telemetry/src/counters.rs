@@ -1,0 +1,576 @@
+//! Lock-free counter blocks and log2 histograms — the hot half of the crate.
+//!
+//! **This file is on the `ktrace-lint` hot-path allowlist**: every function
+//! here that is reachable from the logger's `log*`/`reserve*` roots must be
+//! free of heap allocation, blocking locks, I/O, and panicking asserts,
+//! because the tally calls run inside the lockless reservation loop itself.
+//! Relaxed atomic arithmetic on the owning CPU's padded cache line is the
+//! entire instruction budget.
+//!
+//! Counters come in two tiers:
+//!
+//! * **exact** — `fetch_add`, for counts that back accounting invariants
+//!   (`events_logged` must equal the data events a lossless drain writes;
+//!   `events_lost` must make the difference exact) or that only rare paths
+//!   touch (wraps, drops, retries, fillers — a locked RMW there is noise);
+//! * **statistic** — [`bump`], a relaxed load+store pair. The owning CPU is
+//!   the only hot-path writer, so the pair is exact in the common case, and
+//!   a same-CPU multi-writer interleaving can at worst lose a count — which
+//!   a latency histogram or mask tally tolerates. On the host this replaces
+//!   a ~20-cycle locked RMW with two plain moves, which is what keeps the
+//!   E20 telemetry gate under 1%.
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Single-writer statistic increment: a relaxed load+store pair instead of a
+/// locked RMW. See the module docs for when this tier applies.
+#[inline]
+fn bump(c: &AtomicU64, by: u64) {
+    c.store(
+        c.load(Ordering::Relaxed).wrapping_add(by),
+        Ordering::Relaxed,
+    );
+}
+
+/// Number of histogram buckets. Bucket 0 holds zero-valued observations;
+/// bucket `i` (for `i >= 1`) holds values in `[2^(i-1), 2^i)`; the last
+/// bucket additionally absorbs everything larger (≈ 2.1 s in nanoseconds).
+pub const HIST_BUCKETS: usize = 32;
+
+/// The bucket index a value lands in: `0` for `0`, else
+/// `min(bit_length(value), HIST_BUCKETS - 1)`.
+#[inline]
+pub const fn bucket_index(value: u64) -> usize {
+    let bits = (64 - value.leading_zeros()) as usize;
+    if bits < HIST_BUCKETS {
+        bits
+    } else {
+        HIST_BUCKETS - 1
+    }
+}
+
+/// The smallest value that lands in bucket `i` (the bucket's lower bound).
+#[inline]
+pub const fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A fixed-array, log2-bucketed latency histogram. `observe` is one or two
+/// statistic [`bump`]s (single-writer discipline); memory never grows.
+#[derive(Debug)]
+pub struct Histogram {
+    pub(crate) buckets: [AtomicU64; HIST_BUCKETS],
+    pub(crate) sum: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. The common hot-path case — a zero wait from
+    /// a first-try reservation — touches only bucket 0.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        bump(&self.buckets[bucket_index(value)], 1);
+        if value != 0 {
+            bump(&self.sum, value);
+        }
+    }
+
+    /// A relaxed copy of the bucket counts.
+    pub fn snap(&self) -> [u64; HIST_BUCKETS] {
+        let mut out = [0u64; HIST_BUCKETS];
+        let mut i = 0;
+        while i < HIST_BUCKETS {
+            out[i] = self.buckets[i].load(Ordering::Relaxed);
+            i += 1;
+        }
+        out
+    }
+
+    /// Sum of all observed values (relaxed; may trail the bucket counts by
+    /// an in-flight observation).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// One CPU's counter block. Embedded cache-line-padded, one per region, so a
+/// tally never contends with another CPU's.
+#[derive(Debug, Default)]
+pub struct CpuCounters {
+    events_logged: AtomicU64,
+    events_masked: AtomicU64,
+    events_dropped: AtomicU64,
+    cas_retries: AtomicU64,
+    filler_words: AtomicU64,
+    buffer_wraps: AtomicU64,
+    flight_overwrites: AtomicU64,
+    reserve_wait: Histogram,
+}
+
+impl CpuCounters {
+    /// A zeroed counter block.
+    pub const fn new() -> CpuCounters {
+        CpuCounters {
+            events_logged: AtomicU64::new(0),
+            events_masked: AtomicU64::new(0),
+            events_dropped: AtomicU64::new(0),
+            cas_retries: AtomicU64::new(0),
+            filler_words: AtomicU64::new(0),
+            buffer_wraps: AtomicU64::new(0),
+            flight_overwrites: AtomicU64::new(0),
+            reserve_wait: Histogram::new(),
+        }
+    }
+
+    /// One data event successfully reserved, written, and committed. Exact
+    /// (`fetch_add`): this backs the `file events == events_logged −
+    /// events_lost` invariant, and it replaces — not adds to — the per-event
+    /// count the region kept before telemetry existed.
+    #[inline]
+    pub fn tally_event(&self) {
+        self.events_logged.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One log call rejected by the trace-mask fast path. A statistic
+    /// [`bump`]: the masked-off check is the paper's "4 instructions" path
+    /// and must stay near-free.
+    #[inline]
+    pub fn tally_masked(&self) {
+        bump(&self.events_masked, 1);
+    }
+
+    /// One event dropped because the stream-mode consumer fell behind.
+    #[inline]
+    pub fn tally_dropped(&self) {
+        self.events_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One failed reservation CAS (the loop will retry).
+    #[inline]
+    pub fn tally_cas_retry(&self) {
+        self.cas_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `words` of filler written to realign a buffer boundary.
+    #[inline]
+    pub fn tally_filler_words(&self, words: u64) {
+        self.filler_words.fetch_add(words, Ordering::Relaxed);
+    }
+
+    /// One buffer-boundary crossing (the reservation slow path won).
+    #[inline]
+    pub fn tally_wrap(&self) {
+        self.buffer_wraps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One unconsumed buffer overwritten in flight-recorder mode.
+    #[inline]
+    pub fn tally_overwrite(&self) {
+        self.flight_overwrites.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records how long a reservation waited, in clock ticks: the winning
+    /// attempt's timestamp minus the first attempt's (0 when the first CAS
+    /// won — the clock is already read per attempt, so this costs no extra
+    /// clock query).
+    #[inline]
+    pub fn observe_reserve_wait(&self, ticks: u64) {
+        self.reserve_wait.observe(ticks);
+    }
+
+    /// Events successfully logged.
+    pub fn events_logged(&self) -> u64 {
+        self.events_logged.load(Ordering::Relaxed)
+    }
+
+    /// Log calls rejected by the mask.
+    pub fn events_masked(&self) -> u64 {
+        self.events_masked.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped to consumer overrun.
+    pub fn events_dropped(&self) -> u64 {
+        self.events_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Failed reservation CASes.
+    pub fn cas_retries(&self) -> u64 {
+        self.cas_retries.load(Ordering::Relaxed)
+    }
+
+    /// Filler words written.
+    pub fn filler_words(&self) -> u64 {
+        self.filler_words.load(Ordering::Relaxed)
+    }
+
+    /// Buffer-boundary crossings.
+    pub fn buffer_wraps(&self) -> u64 {
+        self.buffer_wraps.load(Ordering::Relaxed)
+    }
+
+    /// Flight-recorder overwrites.
+    pub fn flight_overwrites(&self) -> u64 {
+        self.flight_overwrites.load(Ordering::Relaxed)
+    }
+
+    /// The reservation-wait histogram (clock ticks).
+    pub fn reserve_wait(&self) -> &Histogram {
+        &self.reserve_wait
+    }
+}
+
+/// Drain-side counters, fed by `io::session`'s background drainer. One block
+/// per pipeline (the drainer is a single thread), not per CPU.
+#[derive(Debug, Default)]
+pub struct SinkCounters {
+    records_written: AtomicU64,
+    write_retries: AtomicU64,
+    buffers_dropped: AtomicU64,
+    events_lost: AtomicU64,
+    heartbeats_emitted: AtomicU64,
+    drain_write: Histogram,
+}
+
+impl SinkCounters {
+    /// A zeroed block.
+    pub const fn new() -> SinkCounters {
+        SinkCounters {
+            records_written: AtomicU64::new(0),
+            write_retries: AtomicU64::new(0),
+            buffers_dropped: AtomicU64::new(0),
+            events_lost: AtomicU64::new(0),
+            heartbeats_emitted: AtomicU64::new(0),
+            drain_write: Histogram::new(),
+        }
+    }
+
+    /// One buffer record written to the sink.
+    #[inline]
+    pub fn tally_record_written(&self) {
+        self.records_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One sink write retried after a transient error.
+    #[inline]
+    pub fn tally_write_retry(&self) {
+        self.write_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` retries from one record write, tallied at once.
+    #[inline]
+    pub fn tally_write_retries(&self, n: u64) {
+        self.write_retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// One drained buffer abandoned after the retry budget ran out, losing
+    /// `events` already-logged data events.
+    #[inline]
+    pub fn tally_buffer_dropped(&self, events: u64) {
+        self.buffers_dropped.fetch_add(1, Ordering::Relaxed);
+        self.events_lost.fetch_add(events, Ordering::Relaxed);
+    }
+
+    /// One heartbeat event emitted into the trace.
+    #[inline]
+    pub fn tally_heartbeat(&self) {
+        self.heartbeats_emitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one sink write's latency in nanoseconds.
+    #[inline]
+    pub fn observe_drain_write(&self, ns: u64) {
+        self.drain_write.observe(ns);
+    }
+
+    /// Records written to the sink.
+    pub fn records_written(&self) -> u64 {
+        self.records_written.load(Ordering::Relaxed)
+    }
+
+    /// Transient-error retries.
+    pub fn write_retries(&self) -> u64 {
+        self.write_retries.load(Ordering::Relaxed)
+    }
+
+    /// Buffers abandoned after retries.
+    pub fn buffers_dropped(&self) -> u64 {
+        self.buffers_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Already-logged data events lost in dropped buffers.
+    pub fn events_lost(&self) -> u64 {
+        self.events_lost.load(Ordering::Relaxed)
+    }
+
+    /// Heartbeats emitted into the trace.
+    pub fn heartbeats_emitted(&self) -> u64 {
+        self.heartbeats_emitted.load(Ordering::Relaxed)
+    }
+
+    /// The drain-write latency histogram (nanoseconds).
+    pub fn drain_write(&self) -> &Histogram {
+        &self.drain_write
+    }
+}
+
+/// Recovery counters, fed by `io::salvage` when a damaged file is read.
+#[derive(Debug, Default)]
+pub struct SalvageCounters {
+    runs: AtomicU64,
+    records_recovered: AtomicU64,
+    events_recovered: AtomicU64,
+    records_damaged: AtomicU64,
+    bytes_skipped: AtomicU64,
+}
+
+impl SalvageCounters {
+    /// A zeroed block.
+    pub const fn new() -> SalvageCounters {
+        SalvageCounters {
+            runs: AtomicU64::new(0),
+            records_recovered: AtomicU64::new(0),
+            events_recovered: AtomicU64::new(0),
+            records_damaged: AtomicU64::new(0),
+            bytes_skipped: AtomicU64::new(0),
+        }
+    }
+
+    /// Accounts one salvage pass.
+    pub fn tally_run(&self, records: u64, events: u64, damaged: u64, bytes_skipped: u64) {
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.records_recovered.fetch_add(records, Ordering::Relaxed);
+        self.events_recovered.fetch_add(events, Ordering::Relaxed);
+        self.records_damaged.fetch_add(damaged, Ordering::Relaxed);
+        self.bytes_skipped
+            .fetch_add(bytes_skipped, Ordering::Relaxed);
+    }
+
+    /// Salvage passes run.
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Clean records recovered.
+    pub fn records_recovered(&self) -> u64 {
+        self.records_recovered.load(Ordering::Relaxed)
+    }
+
+    /// Events recovered.
+    pub fn events_recovered(&self) -> u64 {
+        self.events_recovered.load(Ordering::Relaxed)
+    }
+
+    /// Records found damaged.
+    pub fn records_damaged(&self) -> u64 {
+        self.records_damaged.load(Ordering::Relaxed)
+    }
+
+    /// Bytes skipped as unrecoverable.
+    pub fn bytes_skipped(&self) -> u64 {
+        self.bytes_skipped.load(Ordering::Relaxed)
+    }
+}
+
+/// The whole pipeline's telemetry registry: one padded [`CpuCounters`] block
+/// per CPU plus the shared sink and salvage blocks. The logger, the drain
+/// session, and the salvage reader all feed the same instance, so one
+/// snapshot describes the full path from reservation to file.
+#[derive(Debug)]
+pub struct Telemetry {
+    per_cpu: Box<[CachePadded<CpuCounters>]>,
+    sink: SinkCounters,
+    salvage: SalvageCounters,
+}
+
+impl Telemetry {
+    /// A registry for `ncpus` CPUs (all counters zero).
+    pub fn new(ncpus: usize) -> Telemetry {
+        Telemetry {
+            per_cpu: (0..ncpus)
+                .map(|_| CachePadded::new(CpuCounters::new()))
+                .collect(),
+            sink: SinkCounters::new(),
+            salvage: SalvageCounters::new(),
+        }
+    }
+
+    /// CPU `cpu`'s counter block. Hot: a bounds-checked index, nothing more.
+    #[inline]
+    pub fn cpu(&self, cpu: usize) -> &CpuCounters {
+        &self.per_cpu[cpu]
+    }
+
+    /// Number of per-CPU blocks.
+    pub fn ncpus(&self) -> usize {
+        self.per_cpu.len()
+    }
+
+    /// The drain-side block.
+    #[inline]
+    pub fn sink(&self) -> &SinkCounters {
+        &self.sink
+    }
+
+    /// The salvage block.
+    pub fn salvage(&self) -> &SalvageCounters {
+        &self.salvage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2_shaped() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_index() {
+        // Every bucket's floor must land back in that bucket, and one less
+        // than the floor must land in an earlier bucket.
+        for i in 0..HIST_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_floor(i)), i, "floor of bucket {i}");
+            if i > 1 {
+                assert_eq!(bucket_index(bucket_floor(i) - 1), i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_observe_and_snapshot() {
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(5);
+        h.observe(5);
+        h.observe(u64::MAX);
+        let snap = h.snap();
+        assert_eq!(snap[0], 1);
+        assert_eq!(snap[1], 1);
+        assert_eq!(snap[bucket_index(5)], 2);
+        assert_eq!(snap[HIST_BUCKETS - 1], 1);
+        assert_eq!(snap.iter().sum::<u64>(), 5);
+        assert_eq!(h.sum(), 11u64.wrapping_add(u64::MAX));
+    }
+
+    #[test]
+    fn cpu_counters_tally() {
+        let c = CpuCounters::new();
+        c.tally_event();
+        c.tally_event();
+        c.tally_masked();
+        c.tally_dropped();
+        c.tally_cas_retry();
+        c.tally_filler_words(17);
+        c.tally_wrap();
+        c.tally_overwrite();
+        c.observe_reserve_wait(3);
+        assert_eq!(c.events_logged(), 2);
+        assert_eq!(c.events_masked(), 1);
+        assert_eq!(c.events_dropped(), 1);
+        assert_eq!(c.cas_retries(), 1);
+        assert_eq!(c.filler_words(), 17);
+        assert_eq!(c.buffer_wraps(), 1);
+        assert_eq!(c.flight_overwrites(), 1);
+        assert_eq!(c.reserve_wait().snap()[bucket_index(3)], 1);
+    }
+
+    #[test]
+    fn registry_shape() {
+        let t = Telemetry::new(4);
+        assert_eq!(t.ncpus(), 4);
+        t.cpu(3).tally_event();
+        assert_eq!(t.cpu(3).events_logged(), 1);
+        assert_eq!(t.cpu(0).events_logged(), 0);
+        t.sink().tally_record_written();
+        t.sink().tally_write_retry();
+        t.sink().tally_buffer_dropped(12);
+        t.sink().observe_drain_write(1000);
+        assert_eq!(t.sink().records_written(), 1);
+        assert_eq!(t.sink().write_retries(), 1);
+        assert_eq!(t.sink().buffers_dropped(), 1);
+        assert_eq!(t.sink().events_lost(), 12);
+        assert_eq!(t.sink().drain_write().sum(), 1000);
+        t.salvage().tally_run(5, 40, 2, 128);
+        assert_eq!(t.salvage().runs(), 1);
+        assert_eq!(t.salvage().records_recovered(), 5);
+        assert_eq!(t.salvage().events_recovered(), 40);
+        assert_eq!(t.salvage().records_damaged(), 2);
+        assert_eq!(t.salvage().bytes_skipped(), 128);
+    }
+
+    #[test]
+    fn event_counts_stay_exact_under_same_slot_contention() {
+        // `tally_event` is in the exact tier: even when several writer
+        // threads share one CPU slot (the CAS-loop multi-writer case), the
+        // count backing the events-in-file invariant must not lose updates.
+        let t = std::sync::Arc::new(Telemetry::new(2));
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        t.cpu(i % 2).tally_event();
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.cpu(0).events_logged() + t.cpu(1).events_logged(), 40_000);
+    }
+
+    #[test]
+    fn single_writer_histograms_are_exact() {
+        // The statistic tier is exact under its intended discipline: one
+        // writer per CPU slot.
+        let t = std::sync::Arc::new(Telemetry::new(4));
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        t.cpu(i).observe_reserve_wait(i as u64);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        for i in 0..4 {
+            let h = t.cpu(i).reserve_wait().snap();
+            assert_eq!(h.iter().sum::<u64>(), 10_000, "cpu {i} observations");
+            assert_eq!(h[bucket_index(i as u64)], 10_000);
+            assert_eq!(t.cpu(i).reserve_wait().sum(), 10_000 * i as u64);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Exposition: Prometheus text format and JSON, hand-rolled (the workspace
+//! vendors no serialization crates). Both render a [`TelemetrySnapshot`], so
+//! scrapes and dumps never touch the hot counters beyond relaxed loads.
+
+use crate::counters::HIST_BUCKETS;
+use crate::snapshot::{CpuTelemetry, TelemetrySnapshot};
+use std::fmt::Write as _;
+
+/// Upper bound (inclusive) of histogram bucket `i`, as a Prometheus `le`
+/// label: bucket 0 is `le="0"`, bucket `i` is `le="2^i - 1"`, the last is
+/// `+Inf`.
+fn le_label(i: usize) -> String {
+    if i == 0 {
+        "0".to_string()
+    } else if i == HIST_BUCKETS - 1 {
+        "+Inf".to_string()
+    } else {
+        ((1u64 << i) - 1).to_string()
+    }
+}
+
+fn prom_counter(out: &mut String, name: &str, help: &str, rows: &[(String, u64)]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    for (labels, v) in rows {
+        let _ = writeln!(out, "{name}{labels} {v}");
+    }
+}
+
+fn prom_hist(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    labels: &str,
+    buckets: &[u64; HIST_BUCKETS],
+    sum: u64,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        cum += n;
+        let le = le_label(i);
+        if labels.is_empty() {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+        } else {
+            let _ = writeln!(out, "{name}_bucket{{{labels},le=\"{le}\"}} {cum}");
+        }
+    }
+    let braced = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(out, "{name}_sum{braced} {sum}");
+    let _ = writeln!(out, "{name}_count{braced} {cum}");
+}
+
+/// Renders the snapshot in the Prometheus text exposition format. Per-CPU
+/// counters carry a `cpu` label; sink and salvage counters are unlabelled.
+pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let per_cpu = |f: fn(&CpuTelemetry) -> u64| -> Vec<(String, u64)> {
+        snap.per_cpu
+            .iter()
+            .map(|c| (format!("{{cpu=\"{}\"}}", c.cpu), f(c)))
+            .collect()
+    };
+    prom_counter(
+        &mut out,
+        "ktrace_events_logged_total",
+        "Data events successfully logged.",
+        &per_cpu(|c| c.events_logged),
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_events_masked_total",
+        "Log calls rejected by the trace mask.",
+        &per_cpu(|c| c.events_masked),
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_events_dropped_total",
+        "Events dropped to stream-mode consumer overrun.",
+        &per_cpu(|c| c.events_dropped),
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_cas_retries_total",
+        "Failed reservation compare-and-swaps.",
+        &per_cpu(|c| c.cas_retries),
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_filler_words_total",
+        "Filler words written at buffer boundaries.",
+        &per_cpu(|c| c.filler_words),
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_buffer_wraps_total",
+        "Buffer-boundary crossings (reservation slow path).",
+        &per_cpu(|c| c.buffer_wraps),
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_flight_overwrites_total",
+        "Unconsumed buffers overwritten in flight-recorder mode.",
+        &per_cpu(|c| c.flight_overwrites),
+    );
+    for c in &snap.per_cpu {
+        prom_hist(
+            &mut out,
+            "ktrace_reserve_wait_ticks",
+            "Reservation wait from first to winning CAS attempt, clock ticks.",
+            &format!("cpu=\"{}\"", c.cpu),
+            &c.reserve_wait,
+            c.reserve_wait_sum,
+        );
+    }
+    prom_counter(
+        &mut out,
+        "ktrace_sink_records_written_total",
+        "Buffer records written to the sink.",
+        &[(String::new(), snap.sink.records_written)],
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_sink_write_retries_total",
+        "Sink writes retried after transient errors.",
+        &[(String::new(), snap.sink.write_retries)],
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_sink_buffers_dropped_total",
+        "Drained buffers abandoned after the retry budget ran out.",
+        &[(String::new(), snap.sink.buffers_dropped)],
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_sink_events_lost_total",
+        "Already-logged events lost in dropped buffers.",
+        &[(String::new(), snap.sink.events_lost)],
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_heartbeats_emitted_total",
+        "Heartbeat events emitted into the trace.",
+        &[(String::new(), snap.sink.heartbeats_emitted)],
+    );
+    prom_hist(
+        &mut out,
+        "ktrace_drain_write_ns",
+        "Sink write latency, nanoseconds.",
+        "",
+        &snap.sink.drain_write,
+        snap.sink.drain_write_sum,
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_salvage_runs_total",
+        "Salvage passes run.",
+        &[(String::new(), snap.salvage.runs)],
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_salvage_records_recovered_total",
+        "Clean records recovered by salvage.",
+        &[(String::new(), snap.salvage.records_recovered)],
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_salvage_events_recovered_total",
+        "Events recovered by salvage.",
+        &[(String::new(), snap.salvage.events_recovered)],
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_salvage_records_damaged_total",
+        "Records found damaged by salvage.",
+        &[(String::new(), snap.salvage.records_damaged)],
+    );
+    prom_counter(
+        &mut out,
+        "ktrace_salvage_bytes_skipped_total",
+        "Bytes skipped as unrecoverable by salvage.",
+        &[(String::new(), snap.salvage.bytes_skipped)],
+    );
+    out
+}
+
+fn json_hist(out: &mut String, buckets: &[u64; HIST_BUCKETS], sum: u64) {
+    out.push_str("{\"buckets\":[");
+    for (i, n) in buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{n}");
+    }
+    let _ = write!(out, "],\"sum\":{sum}}}");
+}
+
+/// Renders the snapshot as a stable JSON document mirroring the snapshot
+/// structure (`per_cpu`, `sink`, `salvage`).
+pub fn to_json(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::from("{\"per_cpu\":[");
+    for (i, c) in snap.per_cpu.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"cpu\":{},\"events_logged\":{},\"events_masked\":{},\"events_dropped\":{},\
+             \"cas_retries\":{},\"filler_words\":{},\"buffer_wraps\":{},\"flight_overwrites\":{},\
+             \"reserve_wait_ticks\":",
+            c.cpu,
+            c.events_logged,
+            c.events_masked,
+            c.events_dropped,
+            c.cas_retries,
+            c.filler_words,
+            c.buffer_wraps,
+            c.flight_overwrites
+        );
+        json_hist(&mut out, &c.reserve_wait, c.reserve_wait_sum);
+        out.push('}');
+    }
+    let _ = write!(
+        out,
+        "],\"sink\":{{\"records_written\":{},\"write_retries\":{},\"buffers_dropped\":{},\
+         \"events_lost\":{},\"heartbeats_emitted\":{},\"drain_write_ns\":",
+        snap.sink.records_written,
+        snap.sink.write_retries,
+        snap.sink.buffers_dropped,
+        snap.sink.events_lost,
+        snap.sink.heartbeats_emitted
+    );
+    json_hist(&mut out, &snap.sink.drain_write, snap.sink.drain_write_sum);
+    let _ = write!(
+        out,
+        "}},\"salvage\":{{\"runs\":{},\"records_recovered\":{},\"events_recovered\":{},\
+         \"records_damaged\":{},\"bytes_skipped\":{}}}}}",
+        snap.salvage.runs,
+        snap.salvage.records_recovered,
+        snap.salvage.events_recovered,
+        snap.salvage.records_damaged,
+        snap.salvage.bytes_skipped
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Telemetry;
+
+    fn snap() -> TelemetrySnapshot {
+        let t = Telemetry::new(2);
+        t.cpu(0).tally_event();
+        t.cpu(0).tally_event();
+        t.cpu(0).observe_reserve_wait(5);
+        t.cpu(1).tally_cas_retry();
+        t.sink().tally_record_written();
+        t.sink().observe_drain_write(2000);
+        t.salvage().tally_run(3, 30, 1, 64);
+        t.snapshot()
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = to_prometheus(&snap());
+        assert!(text.contains("# TYPE ktrace_events_logged_total counter"));
+        assert!(text.contains("ktrace_events_logged_total{cpu=\"0\"} 2"));
+        assert!(text.contains("ktrace_cas_retries_total{cpu=\"1\"} 1"));
+        assert!(text.contains("# TYPE ktrace_reserve_wait_ticks histogram"));
+        assert!(text.contains("ktrace_reserve_wait_ticks_sum{cpu=\"0\"} 5"));
+        assert!(text.contains("ktrace_reserve_wait_ticks_count{cpu=\"0\"} 1"));
+        assert!(text.contains("le=\"+Inf\"} 1"));
+        assert!(text.contains("ktrace_sink_records_written_total 1"));
+        assert!(text.contains("ktrace_drain_write_ns_sum 2000"));
+        assert!(text.contains("ktrace_salvage_events_recovered_total 30"));
+        // Cumulative buckets never decrease.
+        for line_pair in text.lines().collect::<Vec<_>>().windows(2) {
+            if let [a, b] = line_pair {
+                if a.starts_with("ktrace_reserve_wait_ticks_bucket{cpu=\"0\"")
+                    && b.starts_with("ktrace_reserve_wait_ticks_bucket{cpu=\"0\"")
+                {
+                    let va: u64 = a.rsplit(' ').next().unwrap().parse().unwrap();
+                    let vb: u64 = b.rsplit(' ').next().unwrap().parse().unwrap();
+                    assert!(vb >= va, "cumulative buckets must be nondecreasing");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = to_json(&snap());
+        assert!(j.starts_with("{\"per_cpu\":[{\"cpu\":0,"));
+        assert!(j.contains("\"events_logged\":2"));
+        assert!(j.contains("\"sink\":{\"records_written\":1"));
+        assert!(j.contains("\"salvage\":{\"runs\":1"));
+        assert!(j.ends_with("}"));
+        // Balanced braces/brackets (cheap well-formedness check; the full
+        // JSON parser lives in the chrome-export golden test).
+        let opens = j.matches('{').count() + j.matches('[').count();
+        let closes = j.matches('}').count() + j.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+}

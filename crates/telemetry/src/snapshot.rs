@@ -1,0 +1,382 @@
+//! Point-in-time snapshots and delta computation — the cold half.
+//!
+//! A [`TelemetrySnapshot`] is a plain-data copy of every counter in a
+//! [`Telemetry`] registry, taken with relaxed loads so readers never perturb
+//! writers. Two snapshots subtract into an interval delta
+//! ([`TelemetrySnapshot::delta`]), which is what live monitors display as
+//! rates.
+
+use crate::counters::{bucket_floor, Telemetry, HIST_BUCKETS};
+use ktrace_format::ids::control;
+
+/// Plain-data copy of one CPU's counter block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CpuTelemetry {
+    /// The CPU index this block belongs to.
+    pub cpu: usize,
+    /// Data events successfully logged.
+    pub events_logged: u64,
+    /// Log calls rejected by the trace mask.
+    pub events_masked: u64,
+    /// Events dropped to stream-mode consumer overrun.
+    pub events_dropped: u64,
+    /// Failed reservation CASes.
+    pub cas_retries: u64,
+    /// Filler words written at buffer boundaries.
+    pub filler_words: u64,
+    /// Buffer-boundary crossings (reservation slow path wins).
+    pub buffer_wraps: u64,
+    /// Unconsumed buffers overwritten in flight-recorder mode.
+    pub flight_overwrites: u64,
+    /// Reservation-wait histogram bucket counts (clock ticks).
+    pub reserve_wait: [u64; HIST_BUCKETS],
+    /// Sum of all reservation waits (ticks).
+    pub reserve_wait_sum: u64,
+}
+
+/// Plain-data copy of the drain-side block.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SinkTelemetry {
+    /// Buffer records written to the sink.
+    pub records_written: u64,
+    /// Sink writes retried after transient errors.
+    pub write_retries: u64,
+    /// Buffers abandoned after the retry budget ran out.
+    pub buffers_dropped: u64,
+    /// Already-logged data events lost in those buffers.
+    pub events_lost: u64,
+    /// Heartbeat events emitted into the trace.
+    pub heartbeats_emitted: u64,
+    /// Drain-write latency histogram bucket counts (nanoseconds).
+    pub drain_write: [u64; HIST_BUCKETS],
+    /// Sum of all drain-write latencies (nanoseconds).
+    pub drain_write_sum: u64,
+}
+
+/// Plain-data copy of the salvage block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SalvageTelemetry {
+    /// Salvage passes run.
+    pub runs: u64,
+    /// Clean records recovered.
+    pub records_recovered: u64,
+    /// Events recovered.
+    pub events_recovered: u64,
+    /// Records found damaged.
+    pub records_damaged: u64,
+    /// Bytes skipped as unrecoverable.
+    pub bytes_skipped: u64,
+}
+
+/// A point-in-time copy of a whole [`Telemetry`] registry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// One block per CPU, index-aligned with the logger's regions.
+    pub per_cpu: Vec<CpuTelemetry>,
+    /// The drain-side block.
+    pub sink: SinkTelemetry,
+    /// The salvage block.
+    pub salvage: SalvageTelemetry,
+}
+
+impl Telemetry {
+    /// Copies every counter with relaxed loads. Concurrent tallies may land
+    /// on either side of the snapshot; each lands in exactly one.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let per_cpu = (0..self.ncpus())
+            .map(|cpu| {
+                let c = self.cpu(cpu);
+                CpuTelemetry {
+                    cpu,
+                    events_logged: c.events_logged(),
+                    events_masked: c.events_masked(),
+                    events_dropped: c.events_dropped(),
+                    cas_retries: c.cas_retries(),
+                    filler_words: c.filler_words(),
+                    buffer_wraps: c.buffer_wraps(),
+                    flight_overwrites: c.flight_overwrites(),
+                    reserve_wait: c.reserve_wait().snap(),
+                    reserve_wait_sum: c.reserve_wait().sum(),
+                }
+            })
+            .collect();
+        let s = self.sink();
+        let v = self.salvage();
+        TelemetrySnapshot {
+            per_cpu,
+            sink: SinkTelemetry {
+                records_written: s.records_written(),
+                write_retries: s.write_retries(),
+                buffers_dropped: s.buffers_dropped(),
+                events_lost: s.events_lost(),
+                heartbeats_emitted: s.heartbeats_emitted(),
+                drain_write: s.drain_write().snap(),
+                drain_write_sum: s.drain_write().sum(),
+            },
+            salvage: SalvageTelemetry {
+                runs: v.runs(),
+                records_recovered: v.records_recovered(),
+                events_recovered: v.events_recovered(),
+                records_damaged: v.records_damaged(),
+                bytes_skipped: v.bytes_skipped(),
+            },
+        }
+    }
+}
+
+impl Telemetry {
+    /// The payload of a `CONTROL`/`HEARTBEAT` event for `cpu`: cumulative
+    /// counters in the order fixed by
+    /// [`control::HEARTBEAT_METRICS`] after the leading `cpu` field. The
+    /// logger writes this into the trace; exporters decode it back into
+    /// counter tracks.
+    pub fn heartbeat_payload(&self, cpu: usize) -> [u64; control::HEARTBEAT_WORDS] {
+        let c = self.cpu(cpu);
+        let s = self.sink();
+        [
+            cpu as u64,
+            c.events_logged(),
+            c.events_masked(),
+            c.events_dropped(),
+            c.cas_retries(),
+            c.filler_words(),
+            c.buffer_wraps(),
+            c.flight_overwrites(),
+            s.records_written(),
+            s.buffers_dropped(),
+        ]
+    }
+}
+
+fn sub_hist(a: &[u64; HIST_BUCKETS], b: &[u64; HIST_BUCKETS]) -> [u64; HIST_BUCKETS] {
+    let mut out = [0u64; HIST_BUCKETS];
+    for i in 0..HIST_BUCKETS {
+        out[i] = a[i].saturating_sub(b[i]);
+    }
+    out
+}
+
+impl TelemetrySnapshot {
+    /// The interval delta `self - earlier` (saturating, so a restarted or
+    /// mismatched earlier snapshot yields zeros rather than garbage). CPUs
+    /// present only in `self` are carried through unchanged.
+    pub fn delta(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let per_cpu = self
+            .per_cpu
+            .iter()
+            .map(|c| {
+                let zero = CpuTelemetry::default();
+                let e = earlier.per_cpu.get(c.cpu).unwrap_or(&zero);
+                CpuTelemetry {
+                    cpu: c.cpu,
+                    events_logged: c.events_logged.saturating_sub(e.events_logged),
+                    events_masked: c.events_masked.saturating_sub(e.events_masked),
+                    events_dropped: c.events_dropped.saturating_sub(e.events_dropped),
+                    cas_retries: c.cas_retries.saturating_sub(e.cas_retries),
+                    filler_words: c.filler_words.saturating_sub(e.filler_words),
+                    buffer_wraps: c.buffer_wraps.saturating_sub(e.buffer_wraps),
+                    flight_overwrites: c.flight_overwrites.saturating_sub(e.flight_overwrites),
+                    reserve_wait: sub_hist(&c.reserve_wait, &e.reserve_wait),
+                    reserve_wait_sum: c.reserve_wait_sum.saturating_sub(e.reserve_wait_sum),
+                }
+            })
+            .collect();
+        TelemetrySnapshot {
+            per_cpu,
+            sink: SinkTelemetry {
+                records_written: self
+                    .sink
+                    .records_written
+                    .saturating_sub(earlier.sink.records_written),
+                write_retries: self
+                    .sink
+                    .write_retries
+                    .saturating_sub(earlier.sink.write_retries),
+                buffers_dropped: self
+                    .sink
+                    .buffers_dropped
+                    .saturating_sub(earlier.sink.buffers_dropped),
+                events_lost: self
+                    .sink
+                    .events_lost
+                    .saturating_sub(earlier.sink.events_lost),
+                heartbeats_emitted: self
+                    .sink
+                    .heartbeats_emitted
+                    .saturating_sub(earlier.sink.heartbeats_emitted),
+                drain_write: sub_hist(&self.sink.drain_write, &earlier.sink.drain_write),
+                drain_write_sum: self
+                    .sink
+                    .drain_write_sum
+                    .saturating_sub(earlier.sink.drain_write_sum),
+            },
+            salvage: SalvageTelemetry {
+                runs: self.salvage.runs.saturating_sub(earlier.salvage.runs),
+                records_recovered: self
+                    .salvage
+                    .records_recovered
+                    .saturating_sub(earlier.salvage.records_recovered),
+                events_recovered: self
+                    .salvage
+                    .events_recovered
+                    .saturating_sub(earlier.salvage.events_recovered),
+                records_damaged: self
+                    .salvage
+                    .records_damaged
+                    .saturating_sub(earlier.salvage.records_damaged),
+                bytes_skipped: self
+                    .salvage
+                    .bytes_skipped
+                    .saturating_sub(earlier.salvage.bytes_skipped),
+            },
+        }
+    }
+
+    /// Total events logged across CPUs.
+    pub fn events_logged(&self) -> u64 {
+        self.per_cpu.iter().map(|c| c.events_logged).sum()
+    }
+
+    /// Total events dropped (writer-side overrun) across CPUs.
+    pub fn events_dropped(&self) -> u64 {
+        self.per_cpu.iter().map(|c| c.events_dropped).sum()
+    }
+
+    /// Total mask rejections across CPUs.
+    pub fn events_masked(&self) -> u64 {
+        self.per_cpu.iter().map(|c| c.events_masked).sum()
+    }
+
+    /// Total reservation CAS retries across CPUs.
+    pub fn cas_retries(&self) -> u64 {
+        self.per_cpu.iter().map(|c| c.cas_retries).sum()
+    }
+}
+
+/// Total observation count in a histogram snapshot.
+pub fn hist_count(buckets: &[u64; HIST_BUCKETS]) -> u64 {
+    buckets.iter().sum()
+}
+
+/// The lower bound of the bucket containing quantile `q` (0.0–1.0), or 0 for
+/// an empty histogram. Log2 buckets bound the answer to within 2×.
+pub fn hist_quantile(buckets: &[u64; HIST_BUCKETS], q: f64) -> u64 {
+    let total = hist_count(buckets);
+    if total == 0 {
+        return 0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0;
+    for (i, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return bucket_floor(i);
+        }
+    }
+    bucket_floor(HIST_BUCKETS - 1)
+}
+
+/// Mean observed value, from the tracked sum and the bucket counts.
+pub fn hist_mean(buckets: &[u64; HIST_BUCKETS], sum: u64) -> f64 {
+    let n = hist_count(buckets);
+    if n == 0 {
+        0.0
+    } else {
+        sum as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::bucket_index;
+
+    fn loaded() -> Telemetry {
+        let t = Telemetry::new(2);
+        for _ in 0..10 {
+            t.cpu(0).tally_event();
+        }
+        t.cpu(0).tally_cas_retry();
+        t.cpu(0).observe_reserve_wait(4);
+        t.cpu(1).tally_dropped();
+        t.sink().tally_record_written();
+        t.sink().observe_drain_write(100);
+        t.salvage().tally_run(1, 2, 3, 4);
+        t
+    }
+
+    #[test]
+    fn snapshot_copies_everything() {
+        let t = loaded();
+        let s = t.snapshot();
+        assert_eq!(s.per_cpu.len(), 2);
+        assert_eq!(s.per_cpu[0].events_logged, 10);
+        assert_eq!(s.per_cpu[0].cas_retries, 1);
+        assert_eq!(s.per_cpu[0].reserve_wait[bucket_index(4)], 1);
+        assert_eq!(s.per_cpu[0].reserve_wait_sum, 4);
+        assert_eq!(s.per_cpu[1].events_dropped, 1);
+        assert_eq!(s.sink.records_written, 1);
+        assert_eq!(s.sink.drain_write_sum, 100);
+        assert_eq!(s.salvage.events_recovered, 2);
+        assert_eq!(s.events_logged(), 10);
+        assert_eq!(s.events_dropped(), 1);
+        assert_eq!(s.cas_retries(), 1);
+    }
+
+    #[test]
+    fn delta_subtracts_and_saturates() {
+        let t = loaded();
+        let s1 = t.snapshot();
+        for _ in 0..5 {
+            t.cpu(0).tally_event();
+        }
+        t.sink().tally_record_written();
+        let s2 = t.snapshot();
+        let d = s2.delta(&s1);
+        assert_eq!(d.per_cpu[0].events_logged, 5);
+        assert_eq!(d.per_cpu[0].cas_retries, 0);
+        assert_eq!(d.sink.records_written, 1);
+        assert_eq!(d.salvage.runs, 0);
+        // Reversed order saturates to zero instead of wrapping.
+        let r = s1.delta(&s2);
+        assert_eq!(r.per_cpu[0].events_logged, 0);
+    }
+
+    #[test]
+    fn heartbeat_payload_matches_shared_schema() {
+        let t = loaded();
+        let p = t.heartbeat_payload(0);
+        assert_eq!(p.len(), control::HEARTBEAT_WORDS);
+        assert_eq!(p[0], 0, "leading field is the cpu id");
+        // Index-align each metric name with its payload slot.
+        let by_name = |name: &str| {
+            let i = control::HEARTBEAT_METRICS
+                .iter()
+                .position(|m| *m == name)
+                .unwrap();
+            p[i + 1]
+        };
+        assert_eq!(by_name("events_logged"), 10);
+        assert_eq!(by_name("cas_retries"), 1);
+        assert_eq!(by_name("sink_records_written"), 1);
+        assert_eq!(by_name("sink_buffers_dropped"), 0);
+    }
+
+    #[test]
+    fn quantile_and_mean() {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        // 90 observations of 1, 10 of 1024.
+        buckets[bucket_index(1)] = 90;
+        buckets[bucket_index(1024)] = 10;
+        assert_eq!(hist_count(&buckets), 100);
+        assert_eq!(hist_quantile(&buckets, 0.5), 1);
+        assert_eq!(
+            hist_quantile(&buckets, 0.99),
+            bucket_floor(bucket_index(1024))
+        );
+        let sum = 90 + 10 * 1024;
+        assert!((hist_mean(&buckets, sum) - sum as f64 / 100.0).abs() < 1e-9);
+        assert_eq!(hist_quantile(&[0; HIST_BUCKETS], 0.5), 0);
+        assert_eq!(hist_mean(&[0; HIST_BUCKETS], 0), 0.0);
+    }
+}

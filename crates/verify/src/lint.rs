@@ -164,6 +164,9 @@ impl StreamLinter {
                 filler_seen = true;
                 continue;
             }
+            if e.major != ktrace_format::MajorId::CONTROL {
+                self.report.data_events_checked += 1;
+            }
 
             match self.registry.lookup(e.major, e.minor) {
                 None => {

@@ -43,6 +43,12 @@ pub enum ViolationKind {
     /// The embedded event registry itself is inconsistent (a template
     /// referencing undeclared fields, unparseable registry text, …).
     BadRegistry,
+    /// A drain was lossy: the sink died (or the ring overran) and
+    /// already-logged events never reached the file. Raised by the recording
+    /// CLI when `SessionStats` reports buffer drops or producer-side drops,
+    /// so scripted runs can tell "complete trace" from "trace with holes"
+    /// without parsing output.
+    LossyDrain,
     /// A data race found by the lockset / vector-clock detector.
     DataRace,
     /// Static (ktrace-lint): an instrumentation call site disagrees with the
@@ -71,6 +77,7 @@ impl ViolationKind {
             ViolationKind::LengthMismatch => 15,
             ViolationKind::MissingAnchor => 16,
             ViolationKind::BadRegistry => 17,
+            ViolationKind::LossyDrain => 18,
             ViolationKind::DataRace => 20,
             ViolationKind::SchemaMismatch => 30,
             ViolationKind::IdSpaceCollision => 31,
@@ -89,6 +96,7 @@ impl ViolationKind {
             ViolationKind::LengthMismatch => "length-mismatch",
             ViolationKind::MissingAnchor => "missing-anchor",
             ViolationKind::BadRegistry => "bad-registry",
+            ViolationKind::LossyDrain => "lossy-drain",
             ViolationKind::DataRace => "data-race",
             ViolationKind::SchemaMismatch => "schema-mismatch",
             ViolationKind::IdSpaceCollision => "id-space-collision",
@@ -107,6 +115,7 @@ impl ViolationKind {
             ViolationKind::LengthMismatch,
             ViolationKind::MissingAnchor,
             ViolationKind::BadRegistry,
+            ViolationKind::LossyDrain,
             ViolationKind::DataRace,
             ViolationKind::SchemaMismatch,
             ViolationKind::IdSpaceCollision,
@@ -161,6 +170,11 @@ pub struct Report {
     pub buffers_checked: usize,
     /// Events examined.
     pub events_checked: usize,
+    /// Data events examined: [`events_checked`](Report::events_checked)
+    /// minus fillers and CONTROL events (anchors, drop markers,
+    /// heartbeats). This is the count a lossless drain preserves, so it
+    /// must equal the producer's `events_logged − events_lost`.
+    pub data_events_checked: usize,
 }
 
 impl Report {
@@ -197,6 +211,7 @@ impl Report {
         self.violations.extend(other.violations);
         self.buffers_checked += other.buffers_checked;
         self.events_checked += other.events_checked;
+        self.data_events_checked += other.data_events_checked;
     }
 
     /// The process exit code: 0 when clean, otherwise the code of the

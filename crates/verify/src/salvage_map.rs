@@ -25,6 +25,7 @@ pub fn salvage_to_report(salvage: &SalvageReport) -> Report {
     let mut report = Report::new();
     report.buffers_checked = salvage.records.len();
     report.events_checked = salvage.events.len();
+    report.data_events_checked = salvage.data_events().count();
 
     if !salvage.header_ok {
         report.push(

@@ -12,8 +12,11 @@
 //! ktrace-tools stats <file>               event-frequency table
 //! ktrace-tools anomalies <file>           garble / drop report
 //! ktrace-tools export-csv <file>          CSV to stdout
+//! ktrace-tools export-chrome <file>       Chrome/Perfetto trace JSON to stdout
 //! ktrace-tools deadlock <file>            wait-for-graph cycle search
 //! ktrace-tools salvage <file> [out]       forgiving read of a damaged file
+//! ktrace-tools top [secs] [ncpus]         live telemetry monitor over an ossim run
+//! ktrace-tools record <out> [secs] [ncpus]  run ossim, record with heartbeats
 //! ```
 //!
 //! `salvage` never refuses a file: it recovers every event outside the
@@ -21,6 +24,13 @@
 //! verifier exit code for the worst damage class found (0 when the file is
 //! clean). With `[out]` it also writes a repaired file containing only the
 //! clean records, which the strict tools then accept.
+//!
+//! `top` runs an SDET-style ossim workload under a live session and
+//! refreshes a per-CPU telemetry table (ring occupancy, event rates, drop
+//! counters) until the run completes. `record` does the same headlessly into
+//! a trace file and prints the session/logger statistics; a lossy drain
+//! exits with the shared `lossy-drain` code so scripts can tell a complete
+//! trace from one with holes.
 
 use ktrace::analysis::{
     self, render_listing, Breakdown, EventStats, ListingOptions, LockStats, PcProfile, Timeline,
@@ -31,7 +41,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ktrace-tools <list|lockstat|profile|breakdown|timeline|stats|anomalies|export-csv|deadlock|salvage> <trace-file> [arg]"
+        "usage: ktrace-tools <list|lockstat|profile|breakdown|timeline|stats|anomalies|export-csv|export-chrome|deadlock|salvage> <trace-file> [arg]\n       ktrace-tools top [secs] [ncpus]\n       ktrace-tools record <out-file> [secs] [ncpus]"
     );
     ExitCode::from(2)
 }
@@ -70,8 +80,250 @@ fn salvage(path: &str, repair_out: Option<&str>) -> ExitCode {
     ExitCode::from(lint.exit_code())
 }
 
+/// Builds the live-run plumbing shared by `top` and `record`: a logger with
+/// OS event descriptors, a session draining to `sink` with heartbeats on,
+/// and a background thread running SDET-style ossim workloads until the
+/// deadline passes.
+fn live_run<W: std::io::Write + Send + 'static>(
+    sink: W,
+    secs: f64,
+    ncpus: usize,
+) -> (
+    ktrace::core::TraceLogger,
+    ktrace::io::TraceSession,
+    std::thread::JoinHandle<u64>,
+) {
+    use ktrace::clock::{ClockSource, SyncClock};
+    use ktrace::io::{SessionConfig, TraceSession};
+    use ktrace::ossim::workload::sdet;
+    use ktrace::ossim::{KTracer, Machine, MachineConfig};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
+    let logger = ktrace::core::TraceLogger::new(
+        ktrace::core::TraceConfig {
+            buffer_words: 4096,
+            buffers_per_cpu: 8,
+            ..ktrace::core::TraceConfig::default()
+        },
+        clock.clone(),
+        ncpus,
+    )
+    .expect("logger construction");
+    ktrace::events::register_all(&logger);
+    let session = TraceSession::with_config(
+        sink,
+        logger.clone(),
+        clock.as_ref(),
+        SessionConfig {
+            heartbeat: Some(Duration::from_millis(250)),
+            ..SessionConfig::default()
+        },
+    )
+    .expect("session start");
+
+    let worker_logger = logger.clone();
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let worker = std::thread::Builder::new()
+        .name("ktrace-workload".into())
+        .spawn(move || {
+            let mut tasks = 0u64;
+            while Instant::now() < deadline {
+                let machine = Machine::new(
+                    MachineConfig::fast_test(worker_logger.ncpus()),
+                    Arc::new(KTracer::new(worker_logger.clone())),
+                );
+                let report = machine.run(sdet::build(sdet::SdetConfig {
+                    scripts: worker_logger.ncpus() * 2,
+                    commands_per_script: 3,
+                    ..Default::default()
+                }));
+                tasks += report.tasks_completed;
+            }
+            tasks
+        })
+        .expect("spawn workload thread");
+    (logger, session, worker)
+}
+
+/// Renders one telemetry refresh: a per-CPU table of ring occupancy, event
+/// rates (vs. the previous snapshot), and the drop/retry counters.
+fn render_top(
+    logger: &ktrace::core::TraceLogger,
+    snap: &ktrace::telemetry::TelemetrySnapshot,
+    prev: &ktrace::telemetry::TelemetrySnapshot,
+    interval_secs: f64,
+) -> String {
+    use std::fmt::Write as _;
+    let delta = snap.delta(prev);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4} {:>6} {:>12} {:>10} {:>9} {:>8} {:>8} {:>7}",
+        "cpu", "occ%", "events", "events/s", "masked", "dropped", "retries", "wraps"
+    );
+    for (cpu, c) in snap.per_cpu.iter().enumerate() {
+        let (used, cap) = logger.occupancy(cpu);
+        let rate = delta.per_cpu[cpu].events_logged as f64 / interval_secs.max(1e-9);
+        let _ = writeln!(
+            out,
+            "{:>4} {:>5.1}% {:>12} {:>10.0} {:>9} {:>8} {:>8} {:>7}",
+            cpu,
+            100.0 * used as f64 / cap.max(1) as f64,
+            c.events_logged,
+            rate,
+            c.events_masked,
+            c.events_dropped,
+            c.cas_retries,
+            c.buffer_wraps,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "sink: {} records written, {} retries, {} buffers dropped ({} events lost), {} heartbeats",
+        snap.sink.records_written,
+        snap.sink.write_retries,
+        snap.sink.buffers_dropped,
+        snap.sink.events_lost,
+        snap.sink.heartbeats_emitted,
+    );
+    out
+}
+
+/// `ktrace-tools top`: live telemetry monitor over an in-process ossim run.
+fn top(secs: f64, ncpus: usize, refresh_ms: u64) -> ExitCode {
+    use std::time::Duration;
+    let (logger, session, worker) = live_run(std::io::sink(), secs, ncpus);
+    let interval = Duration::from_millis(refresh_ms.max(50));
+    let mut prev = logger.telemetry().snapshot();
+    while !worker.is_finished() {
+        std::thread::sleep(interval);
+        let snap = logger.telemetry().snapshot();
+        // Clear screen + home, like any terminal monitor.
+        print!("\x1b[2J\x1b[H");
+        println!(
+            "ktrace-top — {} cpu(s), refresh {}ms (workload running)\n",
+            ncpus,
+            interval.as_millis()
+        );
+        print!(
+            "{}",
+            render_top(&logger, &snap, &prev, interval.as_secs_f64())
+        );
+        prev = snap;
+    }
+    let tasks = worker.join().expect("workload thread panicked");
+    let stats = session.finish();
+    println!("\nworkload finished: {tasks} simulated tasks completed");
+    print!("{}", render_session_summary(&stats));
+    if lossy(&stats) {
+        return ExitCode::from(ktrace::verify::ViolationKind::LossyDrain.exit_code());
+    }
+    ExitCode::SUCCESS
+}
+
+/// True if any already-logged event failed to reach the file.
+fn lossy(stats: &ktrace::io::SessionStats) -> bool {
+    !stats.sink_alive()
+        || stats.buffers_dropped > 0
+        || stats.logger.dropped_pending > 0
+        || stats.telemetry.events_dropped() > 0
+}
+
+/// Renders the end-of-session accounting: `SessionStats`, `LoggerStats`,
+/// and the telemetry counters (drop/garble counts included).
+fn render_session_summary(stats: &ktrace::io::SessionStats) -> String {
+    use ktrace::telemetry::{hist_count, hist_mean, hist_quantile};
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let t = &stats.telemetry;
+    let _ = writeln!(
+        out,
+        "session: {} records written, {} buffers dropped, {} events lost, sink {}",
+        stats.records_written,
+        stats.buffers_dropped,
+        stats.events_lost,
+        if stats.sink_alive() {
+            "alive".to_string()
+        } else {
+            format!("dead ({})", stats.sink_error.as_deref().unwrap_or("?"))
+        }
+    );
+    let _ = writeln!(
+        out,
+        "logger:  {} events logged, {} masked, {} dropped (ring overrun), {} pending markers",
+        stats.logger.events_logged,
+        t.events_masked(),
+        t.events_dropped(),
+        stats.logger.dropped_pending,
+    );
+    let _ = writeln!(
+        out,
+        "hot path: {} CAS retries, {} buffer wraps, {} flight overwrites",
+        t.cas_retries(),
+        t.per_cpu.iter().map(|c| c.buffer_wraps).sum::<u64>(),
+        t.per_cpu.iter().map(|c| c.flight_overwrites).sum::<u64>(),
+    );
+    let dw = &t.sink.drain_write;
+    if hist_count(dw) > 0 {
+        let _ = writeln!(
+            out,
+            "drain:   {} writes, mean {:.0} ns, p50 ≥ {} ns, p99 ≥ {} ns, {} retries",
+            hist_count(dw),
+            hist_mean(dw, t.sink.drain_write_sum),
+            hist_quantile(dw, 0.50),
+            hist_quantile(dw, 0.99),
+            t.sink.write_retries,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "expected in file: {} data events",
+        stats.events_expected_in_file()
+    );
+    out
+}
+
+/// `ktrace-tools record`: headless ossim run into a trace file.
+fn record(out_path: &str, secs: f64, ncpus: usize) -> ExitCode {
+    let file = match std::fs::File::create(out_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (_logger, session, worker) = live_run(std::io::BufWriter::new(file), secs, ncpus);
+    let tasks = worker.join().expect("workload thread panicked");
+    let stats = session.finish();
+    println!("recorded {out_path}: {tasks} simulated tasks completed");
+    print!("{}", render_session_summary(&stats));
+    if lossy(&stats) {
+        eprintln!("warning: lossy drain — the trace has holes");
+        return ExitCode::from(ktrace::verify::ViolationKind::LossyDrain.exit_code());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `top` needs no trace file; `record` takes an output path.
+    if args.first().map(String::as_str) == Some("top") {
+        let secs = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+        let ncpus = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+        return top(secs, ncpus, 200);
+    }
+    if args.first().map(String::as_str) == Some("record") {
+        let Some(out) = args.get(1) else {
+            return usage();
+        };
+        let secs = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2.0);
+        let ncpus = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2);
+        return record(out, secs, ncpus);
+    }
+
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p.as_str()),
         _ => return usage(),
@@ -152,6 +404,9 @@ fn main() -> ExitCode {
         }
         "export-csv" => {
             print!("{}", analysis::to_csv(&trace, false));
+        }
+        "export-chrome" => {
+            println!("{}", analysis::to_chrome_json(&trace));
         }
         "deadlock" => match analysis::find_deadlock(&trace) {
             Some(report) => print!("{}", report.render()),
