@@ -120,16 +120,27 @@ pub struct CpuRegion {
     clock: Arc<dyn ClockSource>,
     /// The buffer memory; `AtomicU64` so concurrent flight-recorder reads of
     /// live buffers are defined behaviour (possibly stale, never torn words).
+    /// Payload words go down relaxed; header words carry the release that
+    /// publishes the payload (`w` is the per-word iteration alias).
+    // ktrace-protocol: message-word(words, w)
     words: Box<[AtomicU64]>,
-    /// Unwrapped reservation index (Fig. 2's `trcCtlPtr->index`).
+    /// Unwrapped reservation index (Fig. 2's `trcCtlPtr->index`). Advanced
+    /// only by the winning CAS; reads may be relaxed (the CAS re-validates).
+    // ktrace-protocol: reservation-tail(index)
     index: AtomicU64,
-    /// Cumulative committed words per buffer slot.
+    /// Cumulative committed words per buffer slot. The committer's
+    /// `fetch_add(Release)` pairs with the consumer's `load(Acquire)`.
+    // ktrace-protocol: commit-word(committed)
     committed: Box<[AtomicU64]>,
-    /// Buffers released by the consumer (stream mode).
+    /// Buffers released by the consumer (stream mode). The consumer's
+    /// `store(Release)` after zeroing a slot pairs with the producers'
+    /// `load(Acquire)` before writing into a recycled slot.
+    // ktrace-protocol: acquire-release(consumed)
     consumed: AtomicU64,
     /// Events dropped because the consumer fell behind, *pending* an
     /// in-stream DROPPED marker (cumulative drops live in the telemetry
     /// block).
+    // ktrace-protocol: exact-counter(dropped)
     dropped: AtomicU64,
     /// The shared self-observability registry this region tallies into.
     tel: Arc<Telemetry>,
@@ -386,7 +397,10 @@ impl CpuRegion {
         }
         let _guard = self.take_lock.lock();
         let bw = self.config.buffer_words as u64;
-        let seq = self.consumed.load(Ordering::Relaxed);
+        // Acquire pairs with the Release store below: a consumer taking over
+        // (e.g. after the take lock changes hands) must see the predecessor's
+        // zeroing, not just its count.
+        let seq = self.consumed.load(Ordering::Acquire);
         let idx = self.index.load(Ordering::Acquire);
         if idx < (seq + 1) * bw {
             return None;
@@ -447,6 +461,8 @@ impl CpuRegion {
     /// a stray store. Atomic, so concurrent readers still see untorn words.
     pub fn corrupt_word(&self, at: u64, mask: u64) {
         let pos = (at % self.words.len() as u64) as usize;
+        // ktrace-lint: allow(atomic-order) — fault injection violates the
+        // message-word protocol on purpose (an RMW no real logger performs).
         self.words[pos].fetch_xor(mask, Ordering::AcqRel);
     }
 
@@ -457,8 +473,11 @@ impl CpuRegion {
     pub fn desync_commit(&self, slot: usize, delta: i64) {
         let slot = slot % self.config.buffers_per_cpu;
         if delta >= 0 {
+            // ktrace-lint: allow(atomic-order) — fault injection skews the
+            // commit word outside the commit-word protocol on purpose.
             self.committed[slot].fetch_add(delta as u64, Ordering::AcqRel);
         } else {
+            // ktrace-lint: allow(atomic-order) — as above, negative skew.
             self.committed[slot].fetch_sub(delta.unsigned_abs(), Ordering::AcqRel);
         }
     }
@@ -499,9 +518,10 @@ impl CpuRegion {
         self.index.load(Ordering::Relaxed)
     }
 
-    /// Buffers released by the consumer so far.
+    /// Buffers released by the consumer so far. Acquire, so an observer that
+    /// sees `n` buffers consumed also sees those slots zeroed.
     pub fn buffers_consumed(&self) -> u64 {
-        self.consumed.load(Ordering::Relaxed)
+        self.consumed.load(Ordering::Acquire)
     }
 }
 

@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// time-anchor events are part of the stream encoding, not optional data.
 #[derive(Debug)]
 pub struct TraceMask {
+    // ktrace-protocol: mask-word(bits)
     bits: AtomicU64,
 }
 

@@ -67,11 +67,16 @@ pub struct Kernel {
 }
 
 /// Lock identity space: region locks are 0x100+, page lock 0x200,
-/// directory lock 0x300, user locks 0x400+.
-const ALLOC_LOCK_BASE: u64 = 0x100;
-const PAGE_LOCK_ID: u64 = 0x200;
-const DIR_LOCK_ID: u64 = 0x300;
-const USER_LOCK_BASE: u64 = 0x400;
+/// directory lock 0x300, user locks 0x400+. Public so trace consumers (the
+/// lock-order cross-check in particular) can map event lock IDs back to the
+/// kernel's lock classes.
+pub const ALLOC_LOCK_BASE: u64 = 0x100;
+/// See [`ALLOC_LOCK_BASE`].
+pub const PAGE_LOCK_ID: u64 = 0x200;
+/// See [`ALLOC_LOCK_BASE`].
+pub const DIR_LOCK_ID: u64 = 0x300;
+/// See [`ALLOC_LOCK_BASE`].
+pub const USER_LOCK_BASE: u64 = 0x400;
 
 /// Trace-visible base address of the shared-cell array.
 const SHARED_CELL_BASE: u64 = 0x5000_0000;

@@ -34,8 +34,12 @@ pub struct AcquireStats {
 #[derive(Debug)]
 pub struct FairBLock {
     id: u64,
+    /// The test-and-test-and-set word: CAS-acquire to take, store-release
+    /// to free, relaxed spin reads in between.
+    // ktrace-protocol: lock-flag(locked)
     locked: AtomicBool,
     /// Lifetime acquisition count (cheap sanity statistic).
+    // ktrace-protocol: exact-counter(acquisitions)
     acquisitions: AtomicU64,
 }
 
@@ -62,6 +66,7 @@ impl FairBLock {
     /// Acquires the lock, spinning (yielding periodically — the "block" of a
     /// spin-then-block lock) until taken or `abort` becomes true.
     /// Returns `None` only on abort, in which case the lock is *not* held.
+    // ktrace-protocol: signal-flag(abort)
     pub fn acquire(&self, abort: &AtomicBool) -> Option<AcquireStats> {
         if self
             .locked

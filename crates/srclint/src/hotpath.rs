@@ -29,6 +29,10 @@ pub struct FnInfo {
     pub line: u32,
     /// Body tokens (between the braces).
     pub body: Vec<Tok>,
+    /// Signature tokens (between the function name and the body's `{`):
+    /// parameter list, return type, where-clauses. Empty for macro bodies.
+    /// The lock-order pass reads parameter types from here.
+    pub sig: Vec<Tok>,
     /// True when the body carries a `ktrace-lint: allow(hot-path)` comment.
     pub allowed: bool,
     /// True for `macro_rules!` bodies (always treated as roots — the
@@ -105,6 +109,7 @@ pub fn extract_fns(src: &str, file: &str) -> Vec<FnInfo> {
                 file: file.to_string(),
                 line,
                 body,
+                sig: Vec::new(),
                 allowed,
                 is_macro: true,
                 owner: None,
@@ -139,12 +144,14 @@ pub fn extract_fns(src: &str, file: &str) -> Vec<FnInfo> {
             };
             let end = skip_group(&toks, open);
             let body: Vec<Tok> = toks[open + 1..end.saturating_sub(1)].to_vec();
+            let sig: Vec<Tok> = toks[i + 2..open].to_vec();
             let allowed = has_allow(&body);
             fns.push(FnInfo {
                 name,
                 file: file.to_string(),
                 line,
                 body,
+                sig,
                 allowed,
                 is_macro: false,
                 owner: impls.last().map(|(_, o)| o.clone()),

@@ -6,8 +6,10 @@
 //! logging hot path. This lexer produces exactly that: identifiers,
 //! numbers, string/char literals, punctuation (with `::`, `=>`, `->`
 //! joined), doc comments (kept — the schema pass cross-checks payload
-//! annotations), and `// ktrace-lint:` control comments (kept — they carry
-//! suppressions). Everything else, including ordinary comments, is dropped.
+//! annotations), and control comments (kept): `// ktrace-lint:` carries
+//! suppressions, `// ktrace-protocol:` declares atomic protocol roles, and
+//! `// SAFETY:` justifies unsafe blocks. Everything else, including
+//! ordinary comments, is dropped.
 
 /// Token classification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,7 +113,10 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
                     text: body.trim_start_matches('/').trim().to_string(),
                     line,
                 });
-            } else if body.contains("ktrace-lint:") {
+            } else if body.contains("ktrace-lint:")
+                || body.contains("ktrace-protocol:")
+                || body.contains("SAFETY")
+            {
                 toks.push(Tok {
                     kind: TokKind::LintComment,
                     text: body.trim().to_string(),
@@ -146,6 +151,7 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
         if (c == 'r' || (c == 'b' && i + 1 < n && chars[i + 1] == 'r'))
             && raw_string_starts(&chars, i)
         {
+            let start_line = line;
             let rstart = if c == 'b' { i + 1 } else { i };
             let mut hashes = 0;
             let mut j = rstart + 1;
@@ -174,6 +180,21 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
             toks.push(Tok {
                 kind: TokKind::Str,
                 text: chars[content_start..content_end.min(n)].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Raw identifiers: `r#type` is the identifier `type`, not a raw
+        // string (no quote after the hashes) — must not split into r/#/type.
+        if c == 'r' && i + 2 < n && chars[i + 1] == '#' && is_id_start(chars[i + 2]) {
+            let mut j = i + 3;
+            while j < n && is_id_cont(chars[j]) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[i + 2..j].iter().collect(),
                 line,
             });
             i = j;
@@ -334,6 +355,37 @@ pub fn skip_group(toks: &[Tok], open: usize) -> usize {
     toks.len()
 }
 
+/// The receiver identifier of the method call at `toks[k]` (`toks[k]` is
+/// the method name, `toks[k - 1]` the `.`): the last plain identifier
+/// before the dot, skipping back over one `[…]` index group, so
+/// `self.committed[slot].fetch_add(…)` resolves to `committed`. `None` for
+/// chained calls (`f().m()`) and other unresolvable receivers.
+pub fn receiver_ident(toks: &[Tok], k: usize) -> Option<&str> {
+    if k < 2 || !toks[k - 1].is_punct(".") {
+        return None;
+    }
+    let mut r = k - 2;
+    if toks[r].is_punct("]") {
+        let mut depth = 1usize;
+        while depth > 0 {
+            if r == 0 {
+                return None;
+            }
+            r -= 1;
+            if toks[r].is_punct("]") {
+                depth += 1;
+            } else if toks[r].is_punct("[") {
+                depth -= 1;
+            }
+        }
+        if r == 0 {
+            return None;
+        }
+        r -= 1;
+    }
+    (toks[r].kind == TokKind::Ident).then(|| toks[r].text.as_str())
+}
+
 /// Removes every `#[cfg(test)] mod … { … }` region: unit-test blocks are
 /// exempt from instrumentation linting (they log scratch events by design).
 pub fn strip_test_modules(toks: Vec<Tok>) -> Vec<Tok> {
@@ -422,6 +474,40 @@ mod tests {
         assert!(stripped.iter().any(|t| t.is_ident("live")));
         assert!(stripped.iter().any(|t| t.is_ident("also_live")));
         assert!(!stripped.iter().any(|t| t.is_ident("gone")));
+    }
+
+    #[test]
+    fn raw_strings_report_their_start_line() {
+        let toks = tokenize("let x = r#\"line1\nline2\nline3\"#;\nlet y = 1;");
+        let s = toks.iter().find(|t| t.kind == TokKind::Str).unwrap();
+        assert_eq!(s.line, 1, "a multi-line raw string starts on line 1");
+        let y = toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_one_ident() {
+        let toks = tokenize("let r#type = r#match.r#fn();");
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+        assert!(toks.iter().any(|t| t.is_ident("match")));
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        assert!(!toks.iter().any(|t| t.is_punct("#")));
+    }
+
+    #[test]
+    fn protocol_and_safety_comments_are_kept() {
+        let toks = tokenize(
+            "// ktrace-protocol: commit-word(committed)\nlet a = 1;\n// SAFETY: bounds checked above.\nlet b = 2;\n// plain comment\nlet c = 3;",
+        );
+        let lints: Vec<&Tok> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::LintComment)
+            .collect();
+        assert_eq!(lints.len(), 2);
+        assert!(lints[0].text.contains("ktrace-protocol:"));
+        assert_eq!(lints[0].line, 1);
+        assert!(lints[1].text.contains("SAFETY"));
+        assert_eq!(lints[1].line, 3);
     }
 
     #[test]

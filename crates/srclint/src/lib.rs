@@ -3,16 +3,20 @@
 //!
 //! The dynamic verifier (`ktrace-verify`) checks what a trace *stream* says
 //! after the fact; this crate checks what the *source* promises before
-//! anything runs. Three passes, each with its own exit code from the shared
+//! anything runs. Six passes, each with its own exit code from the shared
 //! table in `ktrace_verify::ViolationKind`:
 //!
-//! | pass      | exit | checks                                                  |
-//! |-----------|------|---------------------------------------------------------|
-//! | `schema`  | 30   | call-site majors/minors/arity vs the declared schema;   |
-//! |           |      | doc-comment payload annotations vs field specs          |
-//! | `idspace` | 31   | major/minor collisions, mask-bit range, reserved ranges |
-//! | `hotpath` | 32   | no allocation/blocking/I-O reachable from the lockless  |
-//! |           |      | logging path                                            |
+//! | pass        | exit | checks                                                  |
+//! |-------------|------|---------------------------------------------------------|
+//! | `schema`    | 30   | call-site majors/minors/arity vs the declared schema;   |
+//! |             |      | doc-comment payload annotations vs field specs          |
+//! | `idspace`   | 31   | major/minor collisions, mask-bit range, reserved ranges |
+//! | `hotpath`   | 32   | no allocation/blocking/I-O reachable from the lockless  |
+//! |             |      | logging path                                            |
+//! | `atomics`   | 33   | atomic orderings vs the protocol roles declared in      |
+//! |             |      | `concurrency.toml` and `// ktrace-protocol:` bindings   |
+//! | `lockorder` | 34   | static lock-acquisition graph is cycle-free             |
+//! | `unsafe`    | 35   | every `unsafe` region carries a SAFETY justification    |
 //!
 //! Everything is built on a hand-rolled lexer ([`lexer`]) — no `syn`, no
 //! network — so the linter runs in the same offline sandbox as the rest of
@@ -21,8 +25,11 @@
 pub mod callsites;
 pub mod hotpath;
 pub mod lexer;
+pub mod lockorder;
+pub mod protocol;
 pub mod report;
 pub mod schema;
+pub mod unsafecheck;
 
 pub use report::{Finding, LintReport, LintStats, ViolationKind, Warning};
 
@@ -37,6 +44,9 @@ pub struct PassSet {
     pub schema: bool,
     pub idspace: bool,
     pub hotpath: bool,
+    pub atomics: bool,
+    pub lockorder: bool,
+    pub unsafe_code: bool,
 }
 
 impl Default for PassSet {
@@ -45,6 +55,9 @@ impl Default for PassSet {
             schema: true,
             idspace: true,
             hotpath: true,
+            atomics: true,
+            lockorder: true,
+            unsafe_code: true,
         }
     }
 }
@@ -56,6 +69,9 @@ impl PassSet {
             "schema" => self.schema = true,
             "idspace" => self.idspace = true,
             "hotpath" => self.hotpath = true,
+            "atomics" => self.atomics = true,
+            "lockorder" => self.lockorder = true,
+            "unsafe" => self.unsafe_code = true,
             _ => return false,
         }
         true
@@ -67,6 +83,9 @@ impl PassSet {
             schema: false,
             idspace: false,
             hotpath: false,
+            atomics: false,
+            lockorder: false,
+            unsafe_code: false,
         }
     }
 }
@@ -163,8 +182,69 @@ pub fn lint_workspace(opts: &LintOptions) -> io::Result<LintReport> {
             report.push(ViolationKind::HotPathHazard, &f.file, f.line, f.detail);
         }
     }
+    if opts.passes.atomics {
+        let manifest_src = read_required(&opts.root, protocol::PROTOCOL_MANIFEST)?;
+        report.stats.files_scanned += 1;
+        let manifest = protocol::parse_manifest(&manifest_src, &mut report);
+        let mut files = Vec::new();
+        for rel in &manifest.files {
+            match std::fs::read_to_string(opts.root.join(rel)) {
+                Ok(src) => {
+                    report.stats.files_scanned += 1;
+                    files.push((rel.clone(), src));
+                }
+                Err(_) => report.push(
+                    ViolationKind::AtomicOrderViolation,
+                    protocol::PROTOCOL_MANIFEST,
+                    manifest.files_line,
+                    format!("manifest lists `{rel}` but it is unreadable"),
+                ),
+            }
+        }
+        protocol::atomics_pass(&manifest, &files, HOTPATH_FILES, &mut report);
+    }
+    if opts.passes.lockorder || opts.passes.unsafe_code {
+        let mut files = Vec::new();
+        for rel in workspace_source_files(&opts.root) {
+            if let Ok(src) = std::fs::read_to_string(opts.root.join(&rel)) {
+                files.push((rel, src));
+            }
+        }
+        if opts.passes.lockorder {
+            lockorder::lockorder_pass(&files, &mut report);
+        }
+        if opts.passes.unsafe_code {
+            unsafecheck::unsafe_pass(&files, HOTPATH_FILES, &mut report);
+        }
+    }
 
     Ok(report)
+}
+
+/// Every `.rs` file under `crates/*/src` and `src/` in the workspace at
+/// `root`, as sorted root-relative forward-slash paths. The lock-order and
+/// unsafe passes walk the whole workspace rather than a curated file list:
+/// a lock acquired anywhere can deadlock, and unsafe anywhere needs a
+/// justification.
+pub fn workspace_source_files(root: &Path) -> Vec<String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            collect_rs_files(&entry.path().join("src"), &mut paths);
+        }
+    }
+    collect_rs_files(&root.join("src"), &mut paths);
+    let mut rels: Vec<String> = paths
+        .iter()
+        .map(|p| {
+            p.strip_prefix(root)
+                .unwrap_or(p)
+                .to_string_lossy()
+                .replace('\\', "/")
+        })
+        .collect();
+    rels.sort();
+    rels
 }
 
 fn read_required(root: &Path, rel: &str) -> io::Result<String> {
@@ -543,10 +623,15 @@ mod tests {
     fn pass_set_enables_by_name() {
         let mut p = PassSet::none();
         assert!(!p.schema && !p.idspace && !p.hotpath);
+        assert!(!p.atomics && !p.lockorder && !p.unsafe_code);
         assert!(p.enable("schema"));
         assert!(p.enable("hotpath"));
+        assert!(p.enable("atomics"));
+        assert!(p.enable("lockorder"));
+        assert!(p.enable("unsafe"));
         assert!(!p.enable("nonsense"));
         assert!(p.schema && !p.idspace && p.hotpath);
+        assert!(p.atomics && p.lockorder && p.unsafe_code);
     }
 
     #[test]

@@ -1,0 +1,778 @@
+//! Pass 5 (`lockorder`, exit 34): static lock-acquisition graph and
+//! lock-order cycle detection.
+//!
+//! Deadlock needs a cycle in the order locks are taken. This pass builds a
+//! **class-level** acquisition graph over the whole workspace: lock classes
+//! are struct fields typed `Mutex<…>`, `RwLock<…>`, or `FairBLock`
+//! (including wrappers like `Vec<Arc<FairBLock>>`), and an edge `A -> B`
+//! means some code path can acquire class `B` while holding class `A`.
+//! A cycle in that graph is a potential deadlock and becomes a finding.
+//!
+//! Holds are modeled from the token stream, reusing the hot-path pass's
+//! function extraction:
+//!
+//! - transient guards (`self.ring.lock().push(…)`) are held for the rest of
+//!   the statement;
+//! - let-bound guards (`let g = x.lock();`) are held until `drop(g)` or the
+//!   end of the function;
+//! - explicit `.acquire(…)`/`.release()` pairs (the `FairBLock` protocol)
+//!   are held between the pair, with `let lock = &self.field[…]` aliases
+//!   resolved to their class;
+//! - functions taking a lock-typed *parameter* (`fn locked_section(…,
+//!   lock: &FairBLock, …)`) acquire whatever class the caller passes in —
+//!   the call site instantiates the class from its arguments;
+//! - an `.acquire` with no matching release *leaks* its class to the
+//!   caller; a caller that also reaches a release-only function for the
+//!   same class (the `user_lock`/`user_unlock` shape) holds the class
+//!   across its whole body, conservatively ordering it before everything
+//!   else that body acquires.
+//!
+//! Calls are resolved by name, and only when the name picks out one
+//! workspace function — directly, or after narrowing same-named candidates
+//! by argument count. Common method names (`new`, `clone`, `log`, `len`)
+//! appear in dozens of types, and merging their definitions would connect
+//! every lock class to every other through spurious transitive paths. A
+//! still-ambiguous callee is treated as lock-free — an under-approximation
+//! the dynamic cross-check (`tests/lockorder_dynamic.rs`, static ⊇ dynamic)
+//! exists to catch.
+//!
+//! Edges within one class are deliberately ignored: striped arrays
+//! (`alloc_locks`, `user_locks`) nest distinct *instances* of one class by
+//! design, and instance-level ordering is the dynamic race detector's job —
+//! `tests/lockorder_dynamic.rs` cross-checks that every edge the dynamic
+//! LOCK trace exhibits is present in this static graph (static ⊇ dynamic).
+
+use crate::hotpath::extract_fns;
+use crate::lexer::{receiver_ident, skip_group, strip_test_modules, tokenize, Tok, TokKind};
+use crate::report::{LintReport, ViolationKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+const KIND: ViolationKind = ViolationKind::LockOrderCycle;
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock", "FairBLock"];
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// The static lock-acquisition graph.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    /// Class name → declaration site.
+    pub classes: BTreeMap<String, (String, u32)>,
+    /// `(held, acquired)` → witness site of the inner acquisition.
+    pub edges: BTreeMap<(String, String), (String, u32)>,
+}
+
+impl LockGraph {
+    /// Every elementary cycle reachable by DFS, deduplicated by node set.
+    pub fn cycles(&self) -> Vec<Vec<String>> {
+        let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (a, b) in self.edges.keys() {
+            adj.entry(a).or_default().push(b);
+        }
+        let mut out: Vec<Vec<String>> = Vec::new();
+        let mut seen_keys: BTreeSet<Vec<String>> = BTreeSet::new();
+        let mut visited: BTreeSet<&str> = BTreeSet::new();
+        for &start in adj.keys().collect::<Vec<_>>().iter() {
+            let mut path: Vec<&str> = Vec::new();
+            dfs(start, &adj, &mut path, &mut visited, &mut |cycle| {
+                let mut key: Vec<String> = cycle.iter().map(|s| s.to_string()).collect();
+                key.sort();
+                if seen_keys.insert(key) {
+                    out.push(cycle.iter().map(|s| s.to_string()).collect());
+                }
+            });
+        }
+        out
+    }
+}
+
+fn dfs<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, Vec<&'a str>>,
+    path: &mut Vec<&'a str>,
+    visited: &mut BTreeSet<&'a str>,
+    emit: &mut impl FnMut(&[&str]),
+) {
+    if let Some(pos) = path.iter().position(|&p| p == node) {
+        emit(&path[pos..]);
+        return;
+    }
+    if !visited.insert(node) {
+        return;
+    }
+    path.push(node);
+    for next in adj.get(node).into_iter().flatten() {
+        dfs(next, adj, path, visited, emit);
+    }
+    path.pop();
+}
+
+/// One class-resolved acquisition with its hold extent (token indices into
+/// the owning function's body).
+struct Acq {
+    class: String,
+    start: usize,
+    end: usize,
+}
+
+/// One call site inside a function body.
+struct Call {
+    name: String,
+    pos: usize,
+    line: u32,
+    /// Top-level argument count (for arity disambiguation).
+    args: usize,
+    /// Lock classes mentioned in the argument list (for param-lock
+    /// instantiation).
+    arg_classes: BTreeSet<String>,
+}
+
+struct FnData {
+    name: String,
+    file: String,
+    line: u32,
+    body: Vec<Tok>,
+    /// Parameter count excluding any `self` receiver.
+    params: usize,
+    has_param_lock: bool,
+    acqs: Vec<Acq>,
+    calls: Vec<Call>,
+    own_leaked: BTreeSet<String>,
+    own_releases: BTreeSet<String>,
+}
+
+/// Builds the lock graph over the given `(path, source)` files.
+pub fn build_lock_graph(files: &[(String, String)]) -> LockGraph {
+    let mut graph = LockGraph::default();
+    for (path, src) in files {
+        let toks = strip_test_modules(tokenize(src));
+        discover_classes(&toks, path, &mut graph.classes);
+    }
+    let class_names: BTreeSet<&str> = graph.classes.keys().map(String::as_str).collect();
+
+    let mut fns: Vec<FnData> = Vec::new();
+    for (path, src) in files {
+        for f in extract_fns(src, path) {
+            fns.push(analyze_fn(
+                f.name,
+                f.file,
+                f.line,
+                f.body,
+                &f.sig,
+                &class_names,
+            ));
+        }
+    }
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (idx, f) in fns.iter().enumerate() {
+        by_name.entry(f.name.as_str()).or_default().push(idx);
+    }
+    // A call resolves only when its name picks out one workspace fn —
+    // directly, or after narrowing by argument count (see module docs).
+    let resolve_callee = |c: &Call| -> Option<usize> {
+        let candidates = by_name.get(c.name.as_str())?;
+        if let [only] = candidates.as_slice() {
+            return Some(*only);
+        }
+        let matching: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| fns[i].params == c.args)
+            .collect();
+        match matching.as_slice() {
+            [only] => Some(*only),
+            _ => None,
+        }
+    };
+
+    // Per-function base acquisitions: own extents plus classes instantiated
+    // into lock-parameterized callees.
+    let mut acquires: Vec<BTreeSet<String>> = fns
+        .iter()
+        .map(|f| {
+            let mut set: BTreeSet<String> = f.acqs.iter().map(|a| a.class.clone()).collect();
+            for c in &f.calls {
+                let callee_takes_lock = resolve_callee(c).is_some_and(|i| fns[i].has_param_lock);
+                if callee_takes_lock {
+                    set.extend(c.arg_classes.iter().cloned());
+                }
+            }
+            set
+        })
+        .collect();
+    let mut releases: Vec<BTreeSet<String>> = fns.iter().map(|f| f.own_releases.clone()).collect();
+    let mut leaked: Vec<BTreeSet<String>> = fns.iter().map(|f| f.own_leaked.clone()).collect();
+    let mut balanced: Vec<BTreeSet<String>> = vec![BTreeSet::new(); fns.len()];
+
+    // Fixpoint over the by-name call graph: transitive acquisitions,
+    // releases, and leaks — a leak balanced by a reachable release is held
+    // across the balancing function's whole body.
+    loop {
+        let mut changed = false;
+        for idx in 0..fns.len() {
+            let mut acq = acquires[idx].clone();
+            let mut rel = releases[idx].clone();
+            let mut leak_cand = fns[idx].own_leaked.clone();
+            for c in &fns[idx].calls {
+                if let Some(cal) = resolve_callee(c) {
+                    acq.extend(acquires[cal].iter().cloned());
+                    rel.extend(releases[cal].iter().cloned());
+                    leak_cand.extend(leaked[cal].iter().cloned());
+                }
+            }
+            let bal: BTreeSet<String> = leak_cand.intersection(&rel).cloned().collect();
+            let leak: BTreeSet<String> = leak_cand.difference(&rel).cloned().collect();
+            if acq != acquires[idx] {
+                acquires[idx] = acq;
+                changed = true;
+            }
+            if rel != releases[idx] {
+                releases[idx] = rel;
+                changed = true;
+            }
+            if leak != leaked[idx] {
+                leaked[idx] = leak;
+                changed = true;
+            }
+            if bal != balanced[idx] {
+                balanced[idx] = bal;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edges from explicit hold extents.
+    for (idx, f) in fns.iter().enumerate() {
+        for a in &f.acqs {
+            for b in &f.acqs {
+                if b.start > a.start && b.start < a.end && b.class != a.class {
+                    graph
+                        .edges
+                        .entry((a.class.clone(), b.class.clone()))
+                        .or_insert_with(|| (f.file.clone(), f.body[b.start].line));
+                }
+            }
+            for c in &f.calls {
+                if c.pos <= a.start || c.pos >= a.end {
+                    continue;
+                }
+                let mut inner: BTreeSet<String> = BTreeSet::new();
+                if let Some(cal) = resolve_callee(c) {
+                    inner.extend(acquires[cal].iter().cloned());
+                    if fns[cal].has_param_lock {
+                        inner.extend(c.arg_classes.iter().cloned());
+                    }
+                }
+                for d in inner {
+                    if d != a.class {
+                        graph
+                            .edges
+                            .entry((a.class.clone(), d))
+                            .or_insert_with(|| (f.file.clone(), c.line));
+                    }
+                }
+            }
+        }
+        // Edges from balanced leaks: the class is held across this whole
+        // function body (acquired in one callee, released in another), so
+        // it orders before everything else the body reaches.
+        for held in &balanced[idx] {
+            for d in &acquires[idx] {
+                if d != held {
+                    graph
+                        .edges
+                        .entry((held.clone(), d.clone()))
+                        .or_insert_with(|| (f.file.clone(), f.line));
+                }
+            }
+        }
+    }
+    graph
+}
+
+/// Runs the pass: build the graph, record stats, report cycles.
+pub fn lockorder_pass(files: &[(String, String)], report: &mut LintReport) {
+    let graph = build_lock_graph(files);
+    report.stats.lock_classes = graph.classes.len();
+    report.stats.lock_edges = graph.edges.len();
+    for cycle in graph.cycles() {
+        let (file, line) = cycle
+            .first()
+            .zip(cycle.get(1).or(cycle.first()))
+            .and_then(|(a, b)| graph.edges.get(&(a.clone(), b.clone())))
+            .cloned()
+            .unwrap_or_default();
+        let mut path = cycle.clone();
+        path.push(cycle[0].clone());
+        report.push(
+            KIND,
+            &file,
+            line,
+            format!("lock-order cycle: {}", path.join(" -> ")),
+        );
+    }
+}
+
+/// Lock classes: struct fields whose type chain names a lock type.
+fn discover_classes(toks: &[Tok], path: &str, out: &mut BTreeMap<String, (String, u32)>) {
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("struct") {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+            if toks[j].is_punct("(") {
+                // Tuple struct: no named fields to classify.
+                break;
+            }
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct("{") {
+            i = j + 1;
+            continue;
+        }
+        let end = skip_group(toks, j);
+        let fields = &toks[j + 1..end.saturating_sub(1)];
+        for k in 0..fields.len() {
+            if fields[k].kind == TokKind::Ident
+                && fields.get(k + 1).is_some_and(|t| t.is_punct(":"))
+                && type_chain_has_lock(fields, k + 2)
+            {
+                out.entry(fields[k].text.clone())
+                    .or_insert_with(|| (path.to_string(), fields[k].line));
+            }
+        }
+        i = end;
+    }
+}
+
+/// True when the type tokens starting at `from` name a lock type before the
+/// declaration's terminator (depth-aware, so `Vec<Arc<FairBLock>>` counts).
+fn type_chain_has_lock(toks: &[Tok], from: usize) -> bool {
+    let mut depth = 0usize;
+    let mut j = from;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" if depth > 0 => depth -= 1,
+                ")" | "{" | "}" | "," | ";" | "=" | "|" => return false,
+                _ => {}
+            }
+        } else if t.kind == TokKind::Ident && LOCK_TYPES.contains(&t.text.as_str()) {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Number of top-level comma-separated items between the brackets of a
+/// group, given the tokens strictly inside it. Tolerates trailing commas.
+fn count_group_items(toks: &[Tok]) -> usize {
+    let mut depth = 0usize;
+    let mut items = 0usize;
+    let mut seen_tok = false;
+    for t in toks {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                "," if depth == 0 => {
+                    if seen_tok {
+                        items += 1;
+                    }
+                    seen_tok = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        seen_tok = true;
+    }
+    if seen_tok {
+        items += 1;
+    }
+    items
+}
+
+/// Parameter count of a fn signature (tokens between the name and the body
+/// `{`), excluding any `self` receiver. The parameter list is the first
+/// paren group outside generic angle brackets, so `fn f<F: Fn(u32)>(x: F)`
+/// counts `x`, not the bound's argument.
+fn param_count(sig: &[Tok]) -> usize {
+    let mut angle = 0usize;
+    let mut open = None;
+    for (k, t) in sig.iter().enumerate() {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "<" => angle += 1,
+            ">" => angle = angle.saturating_sub(1),
+            "(" if angle == 0 => {
+                open = Some(k);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(o) = open else { return 0 };
+    let close = skip_group(sig, o); // index just past the matching `)`
+    let inner = &sig[o + 1..close - 1];
+    let mut params = count_group_items(inner);
+    // A `self` receiver (`self`, `&self`, `&mut self`, `self: Arc<Self>`, …)
+    // is always the first item and never part of call-site arity.
+    let mut depth = 0usize;
+    for t in inner {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                "," if depth == 0 => break,
+                _ => {}
+            }
+        } else if depth == 0 && t.is_ident("self") {
+            params = params.saturating_sub(1);
+            break;
+        }
+    }
+    params
+}
+
+fn analyze_fn(
+    name: String,
+    file: String,
+    line: u32,
+    body: Vec<Tok>,
+    sig: &[Tok],
+    classes: &BTreeSet<&str>,
+) -> FnData {
+    let params = param_count(sig);
+    // Lock-typed parameters.
+    let mut has_param_lock = false;
+    let mut param_locks: BTreeSet<String> = BTreeSet::new();
+    for k in 0..sig.len() {
+        if sig[k].kind == TokKind::Ident
+            && sig.get(k + 1).is_some_and(|t| t.is_punct(":"))
+            && type_chain_has_lock(sig, k + 2)
+        {
+            has_param_lock = true;
+            param_locks.insert(sig[k].text.clone());
+        }
+    }
+
+    // `let alias = &self.field…` aliases to known classes.
+    let mut aliases: BTreeMap<String, String> = BTreeMap::new();
+    for k in 0..body.len() {
+        if !body[k].is_ident("let") {
+            continue;
+        }
+        let mut j = k + 1;
+        if body.get(j).is_some_and(|t| t.is_ident("mut")) {
+            j += 1;
+        }
+        let Some(alias) = body.get(j).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        if !body.get(j + 1).is_some_and(|t| t.is_punct("=")) {
+            continue;
+        }
+        let mut v = j + 2;
+        while body.get(v).is_some_and(|t| t.is_punct("&")) {
+            v += 1;
+        }
+        if body.get(v).is_some_and(|t| t.is_ident("self"))
+            && body.get(v + 1).is_some_and(|t| t.is_punct("."))
+            && body
+                .get(v + 2)
+                .is_some_and(|t| classes.contains(t.text.as_str()))
+        {
+            aliases.insert(alias.text.clone(), body[v + 2].text.clone());
+        }
+    }
+    let resolve = |recv: &str| -> Option<String> {
+        if classes.contains(recv) {
+            Some(recv.to_string())
+        } else {
+            aliases.get(recv).cloned()
+        }
+    };
+
+    let mut acqs: Vec<Acq> = Vec::new();
+    let mut own_leaked: BTreeSet<String> = BTreeSet::new();
+    let mut own_releases: BTreeSet<String> = BTreeSet::new();
+    let mut acquired_before: BTreeSet<String> = BTreeSet::new();
+    let mut calls: Vec<Call> = Vec::new();
+
+    for k in 0..body.len() {
+        if body[k].kind != TokKind::Ident || !body.get(k + 1).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        let method = body[k].text.as_str();
+        let is_method_call = k > 0 && body[k - 1].is_punct(".");
+
+        if is_method_call && LOCK_METHODS.contains(&method) {
+            let Some(class) = receiver_ident(&body, k).and_then(&resolve) else {
+                continue;
+            };
+            acquired_before.insert(class.clone());
+            let end = guard_extent(&body, k);
+            acqs.push(Acq {
+                class,
+                start: k,
+                end,
+            });
+            continue;
+        }
+        if is_method_call && method == "acquire" {
+            let Some(recv) = receiver_ident(&body, k) else {
+                continue;
+            };
+            if param_locks.contains(recv) {
+                continue; // Instantiated per call site by the caller.
+            }
+            let Some(class) = resolve(recv) else {
+                continue;
+            };
+            acquired_before.insert(class.clone());
+            let release = (k + 1..body.len()).find(|&r| {
+                body[r].is_ident("release")
+                    && r > 0
+                    && body[r - 1].is_punct(".")
+                    && body.get(r + 1).is_some_and(|t| t.is_punct("("))
+                    && receiver_ident(&body, r).and_then(&resolve) == Some(class.clone())
+            });
+            let end = release.unwrap_or(body.len());
+            if release.is_none() {
+                own_leaked.insert(class.clone());
+            }
+            acqs.push(Acq {
+                class,
+                start: k,
+                end,
+            });
+            continue;
+        }
+        if is_method_call && method == "release" {
+            if let Some(class) = receiver_ident(&body, k).and_then(&resolve) {
+                if !acquired_before.contains(&class) {
+                    own_releases.insert(class);
+                }
+            }
+            continue;
+        }
+        if method == "drop" {
+            continue;
+        }
+        // An ordinary call site; harvest lock classes from its arguments.
+        let group_end = skip_group(&body, k + 1);
+        let inner = &body[k + 2..group_end.saturating_sub(1).max(k + 2)];
+        let mut arg_classes: BTreeSet<String> = BTreeSet::new();
+        for t in inner {
+            if t.kind == TokKind::Ident {
+                if let Some(c) = resolve(&t.text) {
+                    arg_classes.insert(c);
+                }
+            }
+        }
+        calls.push(Call {
+            name: body[k].text.clone(),
+            pos: k,
+            line: body[k].line,
+            args: count_group_items(inner),
+            arg_classes,
+        });
+    }
+
+    FnData {
+        name,
+        file,
+        line,
+        body,
+        params,
+        has_param_lock,
+        acqs,
+        calls,
+        own_leaked,
+        own_releases,
+    }
+}
+
+/// The hold extent of the guard created by the lock call at `body[k]`:
+/// to `drop(guard)` (or function end) for `let guard = …` bindings, to the
+/// end of the statement for transient guards.
+fn guard_extent(body: &[Tok], k: usize) -> usize {
+    // Find the statement start and check for a `let [mut] name =` binding.
+    let mut s = k;
+    while s > 0 {
+        let t = &body[s - 1];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") || t.is_punct(",") {
+            break;
+        }
+        s -= 1;
+    }
+    if body.get(s).is_some_and(|t| t.is_ident("let")) {
+        let mut g = s + 1;
+        if body.get(g).is_some_and(|t| t.is_ident("mut")) {
+            g += 1;
+        }
+        if let Some(guard) = body.get(g).filter(|t| t.kind == TokKind::Ident) {
+            let dropped = (k + 1..body.len()).find(|&d| {
+                body[d].is_ident("drop")
+                    && body.get(d + 1).is_some_and(|t| t.is_punct("("))
+                    && body.get(d + 2).is_some_and(|t| t.text == guard.text)
+            });
+            return dropped.unwrap_or(body.len());
+        }
+    }
+    // Transient: held for the rest of the statement.
+    let mut depth = 0usize;
+    let mut j = skip_group(body, k + 1);
+    while j < body.len() {
+        let t = &body[j];
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        return j;
+                    }
+                    depth -= 1;
+                }
+                ";" if depth == 0 => return j,
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    body.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(src: &str) -> LockGraph {
+        build_lock_graph(&[("x.rs".to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn let_guard_nesting_builds_edges_and_finds_the_cycle() {
+        let src = "
+            struct Pair { a: Mutex<u32>, b: Mutex<u32> }
+            impl Pair {
+                pub fn ab(&self) { let g = self.a.lock(); let h = self.b.lock(); drop(h); drop(g); }
+                pub fn ba(&self) { let g = self.b.lock(); let h = self.a.lock(); drop(h); drop(g); }
+            }
+        ";
+        let g = graph_of(src);
+        assert_eq!(g.classes.len(), 2);
+        assert!(g.edges.contains_key(&("a".into(), "b".into())));
+        assert!(g.edges.contains_key(&("b".into(), "a".into())));
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        let mut r = LintReport::new();
+        lockorder_pass(&[("x.rs".to_string(), src.to_string())], &mut r);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].kind.exit_code(), 34);
+        assert!(r.findings[0].detail.contains("->"));
+    }
+
+    #[test]
+    fn drop_ends_the_hold_so_sequential_locks_are_orderless() {
+        let src = "
+            struct Pair { a: Mutex<u32>, b: Mutex<u32> }
+            impl Pair {
+                pub fn seq(&self) { let g = self.a.lock(); drop(g); let h = self.b.lock(); drop(h); }
+            }
+        ";
+        let g = graph_of(src);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn transient_guards_order_calls_in_the_same_statement() {
+        let src = "
+            struct S { q: Mutex<u32>, r: Mutex<u32> }
+            impl S {
+                pub fn f(&self) { self.q.lock().merge(self.helper()); }
+                fn helper(&self) -> u32 { let g = self.r.lock(); drop(g); 0 }
+                pub fn g(&self) { let x = self.q.lock().len(); self.helper(); }
+            }
+        ";
+        let g = graph_of(src);
+        assert!(
+            g.edges.contains_key(&("q".into(), "r".into())),
+            "{:?}",
+            g.edges
+        );
+        assert!(!g.edges.contains_key(&("r".into(), "q".into())));
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn acquire_release_pairs_and_param_lock_instantiation() {
+        // The ossim shape: a kernel helper takes the lock as a parameter;
+        // callers pass distinct classes; acquire without release leaks to
+        // the caller and is balanced by the release-only sibling.
+        let src = "
+            struct K { page_lock: FairBLock, dir_lock: FairBLock, user_locks: Vec<Arc<FairBLock>> }
+            impl K {
+                fn locked_section(&self, lock: &FairBLock, f: impl FnOnce()) {
+                    lock.acquire(&self.abort);
+                    f();
+                    lock.release();
+                }
+                pub fn free_pages(&self) { self.locked_section(&self.page_lock, || busy()); }
+                pub fn fs_call(&self) { self.locked_section(&self.dir_lock, || busy()); }
+                pub fn user_lock(&self, i: usize) { let lock = &self.user_locks[i]; lock.acquire(&self.abort); }
+                pub fn user_unlock(&self, i: usize) { let lock = &self.user_locks[i]; lock.release(); }
+            }
+            fn run_slice(k: &K) {
+                k.user_lock(0);
+                k.free_pages();
+                k.fs_call();
+                k.user_unlock(0);
+            }
+        ";
+        let g = graph_of(src);
+        assert!(
+            g.edges
+                .contains_key(&("user_locks".into(), "page_lock".into())),
+            "{:?}",
+            g.edges
+        );
+        assert!(g
+            .edges
+            .contains_key(&("user_locks".into(), "dir_lock".into())));
+        assert!(!g
+            .edges
+            .contains_key(&("page_lock".into(), "user_locks".into())));
+        assert!(!g
+            .edges
+            .contains_key(&("user_locks".into(), "user_locks".into())));
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn unknown_receivers_and_non_lock_reads_are_ignored() {
+        let src = "
+            struct S { q: Mutex<u32> }
+            fn io_path(file: &mut File, buf: &mut [u8]) {
+                file.read(buf);
+                file.write(buf);
+            }
+            impl S {
+                fn chained(&self, m: &M) { m.inner().lock(); }
+            }
+        ";
+        let g = graph_of(src);
+        assert_eq!(g.classes.len(), 1);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+}

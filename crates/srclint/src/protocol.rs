@@ -1,0 +1,738 @@
+//! Pass 4 (`atomics`, exit 33): atomic-ordering protocol contracts.
+//!
+//! The paper's lockless reservation loop (Fig. 2) is correct only under a
+//! precise memory-ordering protocol — which fields pair acquire with
+//! release, which are exact counters that may stay fully relaxed, which
+//! words publish data. That protocol is declared in two places and this
+//! pass cross-checks both against every atomic operation in the code:
+//!
+//! 1. **`concurrency.toml`** at the workspace root names the scanned files
+//!    and defines each *role* — the set of memory orderings every operation
+//!    class (`load`, `store`, `rmw`, `cas-success`, `cas-failure`) is
+//!    allowed to use. An operation class absent from a role is forbidden
+//!    outright for fields in that role.
+//! 2. **`// ktrace-protocol: role-name(field, alias, …)`** comments in the
+//!    scanned sources bind atomic field (and alias) names to a role.
+//!
+//! The checker then walks every `load`/`store`/`fetch_*`/`swap`/
+//! `compare_exchange*` call site that passes an `Ordering::…` argument,
+//! resolves the receiver to its declared role, and flags: an ordering
+//! outside the role's contract, a forbidden operation class, a CAS failure
+//! ordering that is `Release`/`AcqRel` (ill-formed in Rust), `SeqCst`
+//! anywhere in hot-path files (the paper's fast path never needs a full
+//! fence), and any declared atomic field with no role annotation at all.
+//! Deliberate violations (fault injection) opt out per site with
+//! `// ktrace-lint: allow(atomic-order)`.
+
+use crate::lexer::{receiver_ident, skip_group, strip_test_modules, tokenize, Tok, TokKind};
+use crate::report::{LintReport, ViolationKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The protocol manifest, relative to the workspace root.
+pub const PROTOCOL_MANIFEST: &str = "concurrency.toml";
+
+const KIND: ViolationKind = ViolationKind::AtomicOrderViolation;
+const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One operation class an atomic method call belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpClass {
+    Load,
+    Store,
+    Rmw,
+    CasSuccess,
+    CasFailure,
+}
+
+impl OpClass {
+    fn key(self) -> &'static str {
+        match self {
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Rmw => "rmw",
+            OpClass::CasSuccess => "cas-success",
+            OpClass::CasFailure => "cas-failure",
+        }
+    }
+
+    fn from_key(key: &str) -> Option<OpClass> {
+        match key {
+            "load" => Some(OpClass::Load),
+            "store" => Some(OpClass::Store),
+            "rmw" => Some(OpClass::Rmw),
+            "cas-success" => Some(OpClass::CasSuccess),
+            "cas-failure" => Some(OpClass::CasFailure),
+            _ => None,
+        }
+    }
+}
+
+/// A protocol role: for each permitted operation class, the orderings it
+/// may use. A class with no entry is forbidden for fields in this role.
+#[derive(Debug, Clone, Default)]
+pub struct Role {
+    /// Manifest line of the `[role.…]` header (for diagnostics).
+    pub line: u32,
+    /// Permitted orderings per operation class.
+    pub allowed: BTreeMap<OpClass, Vec<String>>,
+}
+
+/// The parsed `concurrency.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// Workspace-relative source files the pass scans.
+    pub files: Vec<String>,
+    /// Manifest line of the `files = […]` entry (for diagnostics).
+    pub files_line: u32,
+    /// Role name → contract.
+    pub roles: BTreeMap<String, Role>,
+}
+
+/// Parses the manifest (a hand-rolled TOML subset: `[atomics]` with a
+/// `files` string array, `[role.<name>]` sections with a `description`
+/// string and per-class ordering arrays). Malformed input becomes findings
+/// against the manifest itself, never a panic.
+pub fn parse_manifest(src: &str, report: &mut LintReport) -> Manifest {
+    let mut manifest = Manifest::default();
+    let mut section: Option<String> = None;
+
+    for (line_no, line) in logical_lines(src) {
+        if let Some(inner) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            let inner = inner.trim();
+            if inner == "atomics" || inner.strip_prefix("role.").is_some_and(|r| !r.is_empty()) {
+                if let Some(role) = inner.strip_prefix("role.") {
+                    manifest.roles.insert(
+                        role.to_string(),
+                        Role {
+                            line: line_no,
+                            allowed: BTreeMap::new(),
+                        },
+                    );
+                }
+                section = Some(inner.to_string());
+            } else {
+                report.push(
+                    KIND,
+                    PROTOCOL_MANIFEST,
+                    line_no,
+                    format!("unknown manifest section `[{inner}]` (expected [atomics] or [role.<name>])"),
+                );
+                section = None;
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            report.push(
+                KIND,
+                PROTOCOL_MANIFEST,
+                line_no,
+                format!("unparseable manifest line `{line}`"),
+            );
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match section.as_deref() {
+            Some("atomics") => {
+                if key == "files" {
+                    manifest.files_line = line_no;
+                    manifest.files = parse_string_array(value, line_no, report);
+                } else {
+                    report.push(
+                        KIND,
+                        PROTOCOL_MANIFEST,
+                        line_no,
+                        format!("unknown key `{key}` in [atomics] (expected `files`)"),
+                    );
+                }
+            }
+            Some(sec) => {
+                let role_name = sec.strip_prefix("role.").unwrap_or(sec).to_string();
+                if key == "description" {
+                    continue;
+                }
+                let Some(class) = OpClass::from_key(key) else {
+                    report.push(
+                        KIND,
+                        PROTOCOL_MANIFEST,
+                        line_no,
+                        format!(
+                            "unknown key `{key}` in [role.{role_name}] (expected description, \
+                             load, store, rmw, cas-success, or cas-failure)"
+                        ),
+                    );
+                    continue;
+                };
+                let orderings = parse_string_array(value, line_no, report);
+                for o in &orderings {
+                    if !ORDERINGS.contains(&o.as_str()) {
+                        report.push(
+                            KIND,
+                            PROTOCOL_MANIFEST,
+                            line_no,
+                            format!(
+                                "role `{role_name}` names unknown ordering `{o}` \
+                                 (expected one of {})",
+                                ORDERINGS.join(", ")
+                            ),
+                        );
+                    }
+                }
+                if let Some(role) = manifest.roles.get_mut(&role_name) {
+                    role.allowed.insert(class, orderings);
+                }
+            }
+            None => {
+                report.push(
+                    KIND,
+                    PROTOCOL_MANIFEST,
+                    line_no,
+                    format!("key `{key}` outside any manifest section"),
+                );
+            }
+        }
+    }
+    manifest
+}
+
+/// Comment-stripped, trimmed, non-empty lines with multi-line `[…]` arrays
+/// joined onto the line that opened them.
+fn logical_lines(src: &str) -> Vec<(u32, String)> {
+    let mut out: Vec<(u32, String)> = Vec::new();
+    let mut open_brackets = 0usize;
+    for (idx, raw) in src.lines().enumerate() {
+        let mut stripped = String::new();
+        let mut in_str = false;
+        for c in raw.chars() {
+            match c {
+                '"' => in_str = !in_str,
+                '#' if !in_str => break,
+                _ => {}
+            }
+            stripped.push(c);
+        }
+        let stripped = stripped.trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        let opens = stripped.matches('[').count();
+        let closes = stripped.matches(']').count();
+        if open_brackets > 0 {
+            let (_, last) = out.last_mut().expect("continuation follows an opener");
+            last.push(' ');
+            last.push_str(stripped);
+            open_brackets = (open_brackets + opens).saturating_sub(closes);
+        } else {
+            out.push((idx as u32 + 1, stripped.to_string()));
+            // Section headers `[x]` balance on their own line; only `= [`
+            // value arrays continue.
+            open_brackets = opens.saturating_sub(closes);
+        }
+    }
+    out
+}
+
+fn parse_string_array(value: &str, line: u32, report: &mut LintReport) -> Vec<String> {
+    let Some(inner) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']')) else {
+        report.push(
+            KIND,
+            PROTOCOL_MANIFEST,
+            line,
+            format!("expected a `[\"…\", …]` array, got `{value}`"),
+        );
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        match item.strip_prefix('"').and_then(|i| i.strip_suffix('"')) {
+            Some(s) => out.push(s.to_string()),
+            None => report.push(
+                KIND,
+                PROTOCOL_MANIFEST,
+                line,
+                format!("array item `{item}` is not a quoted string"),
+            ),
+        }
+    }
+    out
+}
+
+/// Runs the atomics pass over the manifest-listed `(path, source)` files.
+/// `hotpath_files` gates the SeqCst ban to the fast-path sources.
+pub fn atomics_pass(
+    manifest: &Manifest,
+    files: &[(String, String)],
+    hotpath_files: &[&str],
+    report: &mut LintReport,
+) {
+    let tokenized: Vec<(&str, Vec<Tok>)> = files
+        .iter()
+        .map(|(path, src)| (path.as_str(), strip_test_modules(tokenize(src))))
+        .collect();
+
+    // Global field/alias → role binding, merged across files.
+    let mut bindings: BTreeMap<String, (String, String, u32)> = BTreeMap::new();
+    for (path, toks) in &tokenized {
+        collect_annotations(toks, path, manifest, &mut bindings, report);
+    }
+    report.stats.atomic_fields_declared = bindings.len();
+
+    for (path, toks) in &tokenized {
+        let suppressed = suppressed_lines(toks);
+        let is_hot = hotpath_files.contains(path);
+
+        // Coverage: every declared atomic field must carry a role.
+        for (name, line) in declared_atomics(toks) {
+            if !bindings.contains_key(&name) && !suppressed.contains(&line) {
+                report.push(
+                    KIND,
+                    path,
+                    line,
+                    format!(
+                        "atomic `{name}` has no `// ktrace-protocol: role(…)` annotation \
+                         binding it to a role in {PROTOCOL_MANIFEST}"
+                    ),
+                );
+            }
+        }
+
+        check_ops(toks, path, manifest, &bindings, &suppressed, is_hot, report);
+    }
+}
+
+/// Collects `// ktrace-protocol: role(name, …)` bindings from one file.
+fn collect_annotations(
+    toks: &[Tok],
+    path: &str,
+    manifest: &Manifest,
+    bindings: &mut BTreeMap<String, (String, String, u32)>,
+    report: &mut LintReport,
+) {
+    for t in toks {
+        if t.kind != TokKind::LintComment || !t.text.contains("ktrace-protocol:") {
+            continue;
+        }
+        let rest = t.text.split("ktrace-protocol:").nth(1).unwrap_or("").trim();
+        let Some((role, names)) = rest
+            .split_once('(')
+            .and_then(|(r, n)| n.split_once(')').map(|(n, _)| (r.trim(), n)))
+        else {
+            report.push(
+                KIND,
+                path,
+                t.line,
+                format!("malformed protocol annotation `{rest}` (expected `role(name, …)`)"),
+            );
+            continue;
+        };
+        if !manifest.roles.contains_key(role) {
+            report.push(
+                KIND,
+                path,
+                t.line,
+                format!("annotation names role `{role}` not declared in {PROTOCOL_MANIFEST}"),
+            );
+            continue;
+        }
+        for name in names.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+            if let Some((prev_role, prev_file, prev_line)) = bindings.get(name) {
+                if prev_role != role {
+                    report.push(
+                        KIND,
+                        path,
+                        t.line,
+                        format!(
+                            "`{name}` bound to role `{role}` here but to `{prev_role}` at \
+                             {prev_file}:{prev_line}"
+                        ),
+                    );
+                }
+                continue;
+            }
+            bindings.insert(
+                name.to_string(),
+                (role.to_string(), path.to_string(), t.line),
+            );
+        }
+    }
+}
+
+/// Source lines exempted by `// ktrace-lint: allow(atomic-order)` — the
+/// comment's own line plus the three below it.
+fn suppressed_lines(toks: &[Tok]) -> BTreeSet<u32> {
+    let mut out = BTreeSet::new();
+    for t in toks {
+        if t.kind == TokKind::LintComment
+            && t.text.contains("ktrace-lint:")
+            && t.text.contains("allow")
+            && t.text.contains("atomic-order")
+        {
+            out.extend(t.line..=t.line + 3);
+        }
+    }
+    out
+}
+
+/// Declared atomic names: `name : … Atomic* …` struct fields and typed
+/// parameters. The type scan is bracket-depth aware so `[AtomicU64; N]`
+/// and `Box<[AtomicU64]>` both count.
+fn declared_atomics(toks: &[Tok]) -> BTreeMap<String, u32> {
+    let mut out: BTreeMap<String, u32> = BTreeMap::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || !toks.get(i + 1).is_some_and(|t| t.is_punct(":")) {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = i + 2;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" if depth > 0 => depth -= 1,
+                    ")" | "{" | "}" | "," | ";" | "=" | "|" => break,
+                    _ => {}
+                }
+            } else if t.kind == TokKind::Ident && t.text.starts_with("Atomic") {
+                out.entry(toks[i].text.clone()).or_insert(toks[i].line);
+                break;
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Walks every method call carrying an `Ordering::…` argument and checks
+/// it against the receiver's declared role.
+#[allow(clippy::too_many_arguments)]
+fn check_ops(
+    toks: &[Tok],
+    path: &str,
+    manifest: &Manifest,
+    bindings: &BTreeMap<String, (String, String, u32)>,
+    suppressed: &BTreeSet<u32>,
+    is_hot: bool,
+    report: &mut LintReport,
+) {
+    for k in 0..toks.len() {
+        if toks[k].kind != TokKind::Ident
+            || k == 0
+            || !toks[k - 1].is_punct(".")
+            || !toks.get(k + 1).is_some_and(|t| t.is_punct("("))
+        {
+            continue;
+        }
+        let group_end = skip_group(toks, k + 1);
+        let orderings = orderings_in(&toks[k + 1..group_end]);
+        if orderings.is_empty() {
+            continue;
+        }
+        report.stats.atomic_ops_checked += 1;
+        let method = toks[k].text.as_str();
+        let line = toks[k].line;
+        let skip = suppressed.contains(&line);
+
+        if is_hot && !skip && orderings.iter().any(|o| o == "SeqCst") {
+            report.push(
+                KIND,
+                path,
+                line,
+                format!("`{method}` uses SeqCst in hot-path code — the fast path never needs a full fence"),
+            );
+        }
+
+        let is_cas = method.starts_with("compare_exchange");
+        if is_cas {
+            // The language itself forbids Release/AcqRel failure orderings.
+            if let Some(failure) = orderings.last() {
+                if !skip && (failure == "Release" || failure == "AcqRel") {
+                    report.push(
+                        KIND,
+                        path,
+                        line,
+                        format!("`{method}` failure ordering `{failure}` cannot carry a release"),
+                    );
+                }
+            }
+        }
+
+        let Some(recv) = receiver_ident(toks, k) else {
+            continue;
+        };
+        let Some((role_name, _, _)) = bindings.get(recv) else {
+            continue;
+        };
+        let Some(role) = manifest.roles.get(role_name) else {
+            continue;
+        };
+        if skip {
+            continue;
+        }
+
+        let checks: Vec<(OpClass, &String)> = if is_cas {
+            let n = orderings.len();
+            if n < 2 {
+                continue;
+            }
+            vec![
+                (OpClass::CasSuccess, &orderings[n - 2]),
+                (OpClass::CasFailure, &orderings[n - 1]),
+            ]
+        } else {
+            let class = match method {
+                "load" => OpClass::Load,
+                "store" => OpClass::Store,
+                m if m.starts_with("fetch_") || m == "swap" => OpClass::Rmw,
+                _ => continue,
+            };
+            // The op's own ordering is its final argument; earlier matches
+            // belong to nested calls (checked at their own sites).
+            vec![(class, orderings.last().expect("non-empty"))]
+        };
+        for (class, ordering) in checks {
+            match role.allowed.get(&class) {
+                None => report.push(
+                    KIND,
+                    path,
+                    line,
+                    format!(
+                        "`{recv}.{method}` — role `{role_name}` forbids {} operations",
+                        class.key()
+                    ),
+                ),
+                Some(allowed) if !allowed.contains(ordering) => report.push(
+                    KIND,
+                    path,
+                    line,
+                    format!(
+                        "`{recv}.{method}(…, {ordering})` — role `{role_name}` allows {} \
+                         orderings [{}]",
+                        class.key(),
+                        allowed.join(", ")
+                    ),
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Every `Ordering::X` argument inside a token range, in source order.
+fn orderings_in(group: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    for k in 0..group.len() {
+        if group[k].is_ident("Ordering")
+            && group.get(k + 1).is_some_and(|t| t.is_punct("::"))
+            && group.get(k + 2).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            out.push(group[k + 2].text.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MANIFEST: &str = r#"
+# protocol manifest
+[atomics]
+files = [
+    "crates/x/src/lib.rs",
+]
+
+[role.acquire-release]
+description = "paired publish/observe word"
+load = ["Acquire"]
+store = ["Release"]
+
+[role.reservation-tail]
+description = "CAS-advanced tail"
+load = ["Relaxed", "Acquire"]
+cas-success = ["AcqRel"]
+cas-failure = ["Relaxed"]
+
+[role.exact-counter]
+description = "relaxed exact tally"
+load = ["Relaxed"]
+rmw = ["Relaxed"]
+"#;
+
+    fn manifest() -> Manifest {
+        let mut r = LintReport::new();
+        let m = parse_manifest(MANIFEST, &mut r);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        m
+    }
+
+    fn run(src: &str, hot: bool) -> LintReport {
+        let mut r = LintReport::new();
+        let m = manifest();
+        let files = vec![("crates/x/src/lib.rs".to_string(), src.to_string())];
+        let hot_files: &[&str] = if hot { &["crates/x/src/lib.rs"] } else { &[] };
+        atomics_pass(&m, &files, hot_files, &mut r);
+        r
+    }
+
+    #[test]
+    fn manifest_parses_roles_and_multiline_arrays() {
+        let m = manifest();
+        assert_eq!(m.files, vec!["crates/x/src/lib.rs"]);
+        assert_eq!(m.roles.len(), 3);
+        let rt = &m.roles["reservation-tail"];
+        assert_eq!(rt.allowed[&OpClass::Load], vec!["Relaxed", "Acquire"]);
+        assert_eq!(rt.allowed[&OpClass::CasSuccess], vec!["AcqRel"]);
+        assert!(!rt.allowed.contains_key(&OpClass::Store));
+    }
+
+    #[test]
+    fn manifest_errors_become_findings() {
+        let mut r = LintReport::new();
+        parse_manifest(
+            "[atomics]\nfiles = \"notarray\"\n[weird]\nx = 1\n[role.r]\nload = [\"Sequential\"]\n",
+            &mut r,
+        );
+        let details: Vec<&str> = r.findings.iter().map(|f| f.detail.as_str()).collect();
+        assert!(details.iter().any(|d| d.contains("expected a")));
+        assert!(details
+            .iter()
+            .any(|d| d.contains("unknown manifest section")));
+        assert!(details
+            .iter()
+            .any(|d| d.contains("unknown ordering `Sequential`")));
+    }
+
+    #[test]
+    fn relaxed_load_on_paired_field_is_flagged() {
+        let src = "
+            // ktrace-protocol: acquire-release(consumed)
+            struct R { consumed: AtomicU64 }
+            impl R {
+                fn ok(&self) -> u64 { self.consumed.load(Ordering::Acquire) }
+                fn lax(&self) -> u64 { self.consumed.load(Ordering::Relaxed) }
+            }
+        ";
+        let r = run(src, false);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert!(r.findings[0].detail.contains("acquire-release"));
+        assert!(r.findings[0].detail.contains("[Acquire]"));
+    }
+
+    #[test]
+    fn cas_orderings_check_success_and_failure_separately() {
+        let src = "
+            // ktrace-protocol: reservation-tail(index)
+            struct R { index: AtomicU64 }
+            impl R {
+                fn ok(&self, old: u64) {
+                    let _ = self.index.compare_exchange_weak(old, old + 1, Ordering::AcqRel, Ordering::Relaxed);
+                }
+                fn bad(&self, old: u64) {
+                    let _ = self.index.compare_exchange(old, old + 1, Ordering::Release, Ordering::Acquire);
+                }
+            }
+        ";
+        let r = run(src, false);
+        assert_eq!(r.findings.len(), 2, "{:?}", r.findings);
+        assert!(r.findings.iter().any(|f| f.detail.contains("cas-success")));
+        assert!(r.findings.iter().any(|f| f.detail.contains("cas-failure")));
+    }
+
+    #[test]
+    fn forbidden_class_and_illegal_cas_failure() {
+        let src = "
+            // ktrace-protocol: reservation-tail(index)
+            struct R { index: AtomicU64 }
+            impl R {
+                fn bad_store(&self) { self.index.store(0, Ordering::Release); }
+                fn bad_failure(&self, o: u64) {
+                    let _ = self.index.compare_exchange(o, o, Ordering::AcqRel, Ordering::AcqRel);
+                }
+            }
+        ";
+        let r = run(src, false);
+        let d: Vec<&str> = r.findings.iter().map(|f| f.detail.as_str()).collect();
+        assert!(d.iter().any(|x| x.contains("forbids store")), "{d:?}");
+        assert!(
+            d.iter().any(|x| x.contains("cannot carry a release")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn seqcst_flagged_only_in_hot_files() {
+        let src = "
+            // ktrace-protocol: exact-counter(hits)
+            struct R { hits: AtomicU64 }
+            impl R {
+                fn f(&self) { self.hits.fetch_add(1, Ordering::SeqCst); }
+            }
+        ";
+        let cold = run(src, false);
+        // Cold file: SeqCst passes the hot gate but still violates the role.
+        assert_eq!(cold.findings.len(), 1, "{:?}", cold.findings);
+        let hot = run(src, true);
+        assert_eq!(hot.findings.len(), 2, "{:?}", hot.findings);
+        assert!(hot.findings.iter().any(|f| f.detail.contains("SeqCst")));
+    }
+
+    #[test]
+    fn unannotated_atomics_and_suppressions() {
+        let src = "
+            struct R { orphan: AtomicU64 }
+            // ktrace-protocol: exact-counter(hits)
+            struct S { hits: AtomicU64 }
+            impl S {
+                fn faulty(&self) {
+                    // ktrace-lint: allow(atomic-order) — deliberate fault injection
+                    self.hits.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        ";
+        let r = run(src, false);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert!(r.findings[0].detail.contains("orphan"));
+        assert!(r.stats.atomic_ops_checked >= 1);
+    }
+
+    #[test]
+    fn conflicting_and_unknown_roles_are_findings() {
+        let src = "
+            // ktrace-protocol: exact-counter(hits)
+            // ktrace-protocol: acquire-release(hits)
+            // ktrace-protocol: seqlock(other)
+            struct R { hits: AtomicU64 }
+        ";
+        let r = run(src, false);
+        let d: Vec<&str> = r.findings.iter().map(|f| f.detail.as_str()).collect();
+        assert!(d.iter().any(|x| x.contains("bound to role")), "{d:?}");
+        assert!(d.iter().any(|x| x.contains("not declared")), "{d:?}");
+    }
+
+    #[test]
+    fn nested_ordering_attributes_to_the_outer_ops_last_argument() {
+        // bump-style single-writer counter: store(load(Relaxed)+n, Relaxed).
+        let src = "
+            // ktrace-protocol: exact-counter(c)
+            fn bump(c: &AtomicU64, by: u64) {
+                c.store(c.load(Ordering::Relaxed).wrapping_add(by), Ordering::Relaxed);
+            }
+        ";
+        let mut r = LintReport::new();
+        let mut m = manifest();
+        m.roles
+            .get_mut("exact-counter")
+            .unwrap()
+            .allowed
+            .insert(OpClass::Store, vec!["Relaxed".to_string()]);
+        let files = vec![("crates/x/src/lib.rs".to_string(), src.to_string())];
+        atomics_pass(&m, &files, &[], &mut r);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.stats.atomic_ops_checked, 2);
+    }
+}

@@ -4,8 +4,12 @@
 //! [`ViolationKind`] enum as the dynamic stream verifier (`ktrace-verify`),
 //! so a CI exit code identifies the broken invariant regardless of which
 //! tool found it: dynamic stream checks exit 10–20, static source checks
-//! exit 30 (`schema-mismatch`), 31 (`id-space-collision`), or 32
-//! (`hot-path-hazard`); 0/1/2 stay reserved for clean/unreadable/usage.
+//! exit 30 (`schema-mismatch`), 31 (`id-space-collision`), 32
+//! (`hot-path-hazard`), 33 (`atomic-order-violation`), 34
+//! (`lock-order-cycle`), or 35 (`unsafe-unjustified`); 0/1/2 stay reserved
+//! for clean/unreadable/usage. When several passes fail, the exit code is
+//! the **lowest** (most severe) code present and the report lists every
+//! failing pass.
 
 pub use ktrace_verify::ViolationKind;
 use std::fmt::Write as _;
@@ -48,6 +52,18 @@ pub struct LintStats {
     pub events_declared: usize,
     /// Functions walked by the hot-path pass.
     pub hot_fns_walked: usize,
+    /// Atomic operations whose orderings the atomics pass checked.
+    pub atomic_ops_checked: usize,
+    /// Atomic fields with a declared protocol role.
+    pub atomic_fields_declared: usize,
+    /// Lock classes discovered by the lock-order pass.
+    pub lock_classes: usize,
+    /// Static lock-acquisition edges discovered.
+    pub lock_edges: usize,
+    /// `unsafe` blocks/declarations found by the unsafe pass.
+    pub unsafe_blocks: usize,
+    /// `unsafe` blocks found in hot-path files (the unsafe census).
+    pub unsafe_hot: usize,
 }
 
 /// The complete lint outcome.
@@ -102,7 +118,10 @@ impl LintReport {
 
     /// The process exit code, mirroring `ktrace-verify`'s convention: 0 when
     /// clean, otherwise the smallest (highest-priority) violation code
-    /// present. Warnings map to the schema-mismatch code under deny.
+    /// present. Warnings map to the schema-mismatch code under deny, and
+    /// that code competes with the findings' codes on equal footing — a
+    /// report with lock-order findings (34) *and* denied warnings (30)
+    /// deterministically exits 30, the most severe code present.
     pub fn exit_code(&self, deny_warnings: bool) -> u8 {
         let mut code = self
             .findings
@@ -110,10 +129,25 @@ impl LintReport {
             .map(|f| f.kind.exit_code())
             .min()
             .unwrap_or(0);
-        if code == 0 && deny_warnings && !self.warnings.is_empty() {
-            code = ViolationKind::SchemaMismatch.exit_code();
+        if deny_warnings && !self.warnings.is_empty() {
+            let w = ViolationKind::SchemaMismatch.exit_code();
+            code = if code == 0 { w } else { code.min(w) };
         }
         code
+    }
+
+    /// Names of every failing pass, in exit-code (severity) order. Denied
+    /// warnings count as a `schema` failure, matching [`exit_code`].
+    ///
+    /// [`exit_code`]: LintReport::exit_code
+    pub fn failing_passes(&self, deny_warnings: bool) -> Vec<&'static str> {
+        let mut kinds = self.kinds();
+        if deny_warnings && !self.warnings.is_empty() {
+            kinds.push(ViolationKind::SchemaMismatch);
+        }
+        kinds.sort();
+        kinds.dedup();
+        kinds.into_iter().map(pass_name).collect()
     }
 
     /// Human-readable report, one finding per line.
@@ -129,6 +163,17 @@ impl LintReport {
             s.call_sites_checked,
             s.call_sites_seen,
             s.hot_fns_walked,
+        );
+        let _ = writeln!(
+            out,
+            "concurrency: {} atomic op(s) checked against {} declared field(s), \
+             {} lock class(es) / {} edge(s), {} unsafe block(s) ({} hot)",
+            s.atomic_ops_checked,
+            s.atomic_fields_declared,
+            s.lock_classes,
+            s.lock_edges,
+            s.unsafe_blocks,
+            s.unsafe_hot,
         );
         for f in &self.findings {
             let _ = writeln!(
@@ -147,6 +192,10 @@ impl LintReport {
                 "{sev}[{}]: {}:{}: {}",
                 w.label, w.file, w.line, w.detail
             );
+        }
+        let failing = self.failing_passes(deny_warnings);
+        if !failing.is_empty() {
+            let _ = writeln!(out, "failing pass(es): {}", failing.join(", "));
         }
         let _ = writeln!(
             out,
@@ -190,19 +239,49 @@ impl LintReport {
             );
         }
         let s = self.stats;
+        let failing: Vec<String> = self
+            .failing_passes(deny_warnings)
+            .iter()
+            .map(|p| format!("\"{p}\""))
+            .collect();
         let _ = write!(
             out,
             "\n  ],\n  \"stats\": {{\"files_scanned\": {}, \"events_declared\": {}, \
-             \"call_sites_seen\": {}, \"call_sites_checked\": {}, \"hot_fns_walked\": {}}},\n  \
+             \"call_sites_seen\": {}, \"call_sites_checked\": {}, \"hot_fns_walked\": {}, \
+             \"atomic_ops_checked\": {}, \"atomic_fields_declared\": {}, \
+             \"lock_classes\": {}, \"lock_edges\": {}, \
+             \"unsafe_blocks\": {}, \"unsafe_hot\": {}}},\n  \
+             \"failing_passes\": [{}],\n  \
              \"exit_code\": {}\n}}\n",
             s.files_scanned,
             s.events_declared,
             s.call_sites_seen,
             s.call_sites_checked,
             s.hot_fns_walked,
+            s.atomic_ops_checked,
+            s.atomic_fields_declared,
+            s.lock_classes,
+            s.lock_edges,
+            s.unsafe_blocks,
+            s.unsafe_hot,
+            failing.join(", "),
             self.exit_code(deny_warnings)
         );
         out
+    }
+}
+
+/// The lint pass a violation class belongs to (static kinds only; dynamic
+/// kinds fall back to their label — they never appear in a lint report).
+pub fn pass_name(kind: ViolationKind) -> &'static str {
+    match kind {
+        ViolationKind::SchemaMismatch => "schema",
+        ViolationKind::IdSpaceCollision => "idspace",
+        ViolationKind::HotPathHazard => "hotpath",
+        ViolationKind::AtomicOrderViolation => "atomics",
+        ViolationKind::LockOrderCycle => "lockorder",
+        ViolationKind::UnsafeUnjustified => "unsafe",
+        other => other.label(),
     }
 }
 
@@ -255,6 +334,32 @@ mod tests {
         assert_eq!(r.exit_code(false), 0);
         assert!(!r.is_clean(true));
         assert_eq!(r.exit_code(true), ViolationKind::SchemaMismatch.exit_code());
+    }
+
+    #[test]
+    fn multi_pass_failures_exit_with_the_lowest_code() {
+        // Regression: findings at 34 plus denied warnings (30) must exit 30,
+        // not whatever the findings alone would give.
+        let mut r = LintReport::new();
+        r.push(ViolationKind::LockOrderCycle, "a.rs", 1, "cycle");
+        r.warn("literal-minor", "b.rs", 2, "style");
+        assert_eq!(r.exit_code(false), 34);
+        assert_eq!(r.exit_code(true), 30);
+        assert_eq!(r.failing_passes(false), vec!["lockorder"]);
+        assert_eq!(r.failing_passes(true), vec!["schema", "lockorder"]);
+
+        // Three failing passes: lowest code wins, all three are listed.
+        r.push(ViolationKind::UnsafeUnjustified, "c.rs", 3, "no SAFETY");
+        r.push(ViolationKind::AtomicOrderViolation, "d.rs", 4, "Relaxed");
+        assert_eq!(r.exit_code(false), 33);
+        assert_eq!(
+            r.failing_passes(false),
+            vec!["atomics", "lockorder", "unsafe"]
+        );
+        let text = r.render(false);
+        assert!(text.contains("failing pass(es): atomics, lockorder, unsafe"));
+        let json = r.to_json(false);
+        assert!(json.contains("\"failing_passes\": [\"atomics\", \"lockorder\", \"unsafe\"]"));
     }
 
     #[test]

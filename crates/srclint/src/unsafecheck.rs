@@ -1,0 +1,169 @@
+//! Pass 6 (`unsafe`, exit 35): every `unsafe` region must justify itself.
+//!
+//! The workspace's lockless core is deliberately written in safe Rust — the
+//! paper's CAS reservation loop needs atomics, not raw pointers. Where
+//! `unsafe` does appear it must say why it is sound:
+//!
+//! - an `unsafe { … }` block needs a `// SAFETY: …` comment on one of the
+//!   three lines above it (or its own line);
+//! - an `unsafe fn` / `unsafe impl` / `unsafe trait` declaration needs a
+//!   `# Safety` section in its doc comment, or a `// SAFETY:` comment.
+//!
+//! The pass also keeps an *unsafe census*: total `unsafe` regions and how
+//! many sit in hot-path files, reported in the lint stats so growth of the
+//! unsafe surface is visible per commit even when every block is justified.
+
+use crate::lexer::{strip_test_modules, tokenize, Tok, TokKind};
+use crate::report::{LintReport, ViolationKind};
+
+const KIND: ViolationKind = ViolationKind::UnsafeUnjustified;
+
+/// Runs the pass over `(path, source)` files; `hotpath_files` feeds the
+/// census split.
+pub fn unsafe_pass(files: &[(String, String)], hotpath_files: &[&str], report: &mut LintReport) {
+    for (path, src) in files {
+        let toks = strip_test_modules(tokenize(src));
+        let is_hot = hotpath_files.contains(&path.as_str());
+        let safety_lines: Vec<u32> = toks
+            .iter()
+            .filter(|t| {
+                (t.kind == TokKind::LintComment || t.kind == TokKind::DocComment)
+                    && t.text.contains("SAFETY")
+            })
+            .map(|t| t.line)
+            .collect();
+
+        for (k, t) in toks.iter().enumerate() {
+            if !t.is_ident("unsafe") {
+                continue;
+            }
+            let line = t.line;
+            report.stats.unsafe_blocks += 1;
+            if is_hot {
+                report.stats.unsafe_hot += 1;
+            }
+            let next = toks.get(k + 1);
+            if next.is_some_and(|n| n.is_punct("{")) {
+                let justified = safety_lines.iter().any(|&l| l + 3 >= line && l <= line + 1);
+                if !justified {
+                    report.push(
+                        KIND,
+                        path,
+                        line,
+                        "unsafe block has no `// SAFETY:` justification on the lines above it",
+                    );
+                }
+                continue;
+            }
+            if next.is_some_and(|n| n.is_ident("fn") || n.is_ident("impl") || n.is_ident("trait")) {
+                let what = next.map(|n| n.text.clone()).unwrap_or_default();
+                let justified = has_safety_doc(&toks, k)
+                    || safety_lines.iter().any(|&l| l + 3 >= line && l <= line + 1);
+                if !justified {
+                    report.push(
+                        KIND,
+                        path,
+                        line,
+                        format!(
+                            "unsafe {what} declaration has neither a `# Safety` doc section \
+                             nor a `// SAFETY:` comment"
+                        ),
+                    );
+                }
+            }
+            // `unsafe` in other positions (e.g. fn-pointer types) is counted
+            // in the census but needs no justification comment.
+        }
+    }
+}
+
+/// True when the doc comments immediately above `toks[k]` contain a
+/// `# Safety` section. Walks back over attributes and visibility tokens.
+fn has_safety_doc(toks: &[Tok], k: usize) -> bool {
+    let mut i = k;
+    let mut hops = 0;
+    while i > 0 && hops < 40 {
+        i -= 1;
+        hops += 1;
+        match toks[i].kind {
+            TokKind::DocComment => {
+                if toks[i].text.contains("Safety") {
+                    return true;
+                }
+            }
+            TokKind::LintComment => {}
+            TokKind::Ident if matches!(toks[i].text.as_str(), "pub" | "crate" | "const") => {}
+            TokKind::Punct
+                if matches!(toks[i].text.as_str(), "#" | "[" | "]" | "(" | ")" | "::") => {}
+            _ => return false,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, hot: bool) -> LintReport {
+        let mut r = LintReport::new();
+        let files = vec![("x.rs".to_string(), src.to_string())];
+        let hot_files: &[&str] = if hot { &["x.rs"] } else { &[] };
+        unsafe_pass(&files, hot_files, &mut r);
+        r
+    }
+
+    #[test]
+    fn justified_blocks_pass_and_bare_blocks_fail() {
+        let src = "
+            fn ok(p: *const u64) -> u64 {
+                // SAFETY: caller guarantees p points into the live buffer.
+                unsafe { *p }
+            }
+            fn bad(p: *const u64) -> u64 {
+                unsafe { *p }
+            }
+        ";
+        let r = run(src, false);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert!(r.findings[0].detail.contains("SAFETY"));
+        assert_eq!(r.findings[0].kind.exit_code(), 35);
+        assert_eq!(r.stats.unsafe_blocks, 2);
+        assert_eq!(r.stats.unsafe_hot, 0);
+    }
+
+    #[test]
+    fn unsafe_fns_need_a_safety_doc_section() {
+        let src = "
+            /// Reads a raw word.
+            ///
+            /// # Safety
+            /// `p` must be valid for reads.
+            pub unsafe fn ok(p: *const u64) -> u64 { *p }
+
+            /// Reads a raw word, no contract stated.
+            pub unsafe fn bad(p: *const u64) -> u64 { *p }
+        ";
+        let r = run(src, false);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert!(r.findings[0].detail.contains("# Safety"));
+    }
+
+    #[test]
+    fn census_counts_hot_files_and_skips_test_modules() {
+        let src = "
+            fn f() {
+                // SAFETY: fine.
+                unsafe { g() }
+            }
+            #[cfg(test)]
+            mod tests {
+                fn t() { unsafe { h() } }
+            }
+        ";
+        let r = run(src, true);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.stats.unsafe_blocks, 1);
+        assert_eq!(r.stats.unsafe_hot, 1);
+    }
+}

@@ -1,0 +1,58 @@
+//! Broken fixture for the `atomics` pass (exit 33): every concurrency
+//! hazard here is an *ordering-contract* violation and nothing else — the
+//! other passes must find this tree clean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A publish/observe pair plus a CAS-advanced index, each annotated with a
+/// role from this tree's `concurrency.toml`, plus one forgotten atomic.
+// ktrace-protocol: acquire-release(published)
+// ktrace-protocol: reservation-tail(tail)
+pub struct Channel {
+    published: AtomicU64,
+    tail: AtomicU64,
+    /// Never bound to a role: the coverage check must flag it.
+    forgotten: AtomicU64,
+}
+
+impl Channel {
+    /// Correct acquire read of the published word.
+    pub fn observe(&self) -> u64 {
+        self.published.load(Ordering::Acquire)
+    }
+
+    /// VIOLATION: relaxed load on a paired acquire/release field.
+    pub fn observe_lax(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Correct release publish.
+    pub fn publish(&self, v: u64) {
+        self.published.store(v, Ordering::Release);
+    }
+
+    /// Correct reservation CAS.
+    pub fn advance(&self, old: u64) -> bool {
+        self.tail
+            .compare_exchange(old, old + 1, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// VIOLATION: both CAS orderings break the reservation-tail contract
+    /// (Release success, Acquire failure).
+    pub fn advance_lax(&self, old: u64) -> bool {
+        self.tail
+            .compare_exchange_weak(old, old + 1, Ordering::Release, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// VIOLATION: the role declares no `store` class for the tail at all.
+    pub fn clobber(&self) {
+        self.tail.store(0, Ordering::Release);
+    }
+
+    /// Touches the unannotated word so the file is self-consistent.
+    pub fn forget(&self) -> u64 {
+        self.forgotten.load(Ordering::Relaxed)
+    }
+}

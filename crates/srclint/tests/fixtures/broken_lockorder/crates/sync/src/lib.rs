@@ -1,0 +1,43 @@
+//! Broken fixture for the `lockorder` pass (exit 34): two lock classes
+//! acquired in opposite orders on two paths — the classic AB-BA deadlock.
+//! No atomics, no unsafe, no trace calls: only the lock graph is broken.
+
+use std::sync::Mutex;
+
+/// Two independent accounts, each behind its own lock class.
+pub struct Bank {
+    checking: Mutex<i64>,
+    savings: Mutex<i64>,
+}
+
+impl Bank {
+    pub fn new() -> Bank {
+        Bank {
+            checking: Mutex::new(0),
+            savings: Mutex::new(0),
+        }
+    }
+
+    /// Takes `checking` before `savings`: edge checking -> savings.
+    pub fn sweep(&self, amount: i64) {
+        let mut c = self.checking.lock().unwrap();
+        let mut s = self.savings.lock().unwrap();
+        *c -= amount;
+        *s += amount;
+    }
+
+    /// VIOLATION: takes `savings` before `checking` — the reverse order,
+    /// closing the cycle savings -> checking -> savings.
+    pub fn refund(&self, amount: i64) {
+        let mut s = self.savings.lock().unwrap();
+        let mut c = self.checking.lock().unwrap();
+        *s -= amount;
+        *c += amount;
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Bank {
+        Bank::new()
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: healthy ID space (the breakage in this tree is hot-path-only).
+
+pub const NUM_MAJOR_IDS: usize = 64;
+
+impl MajorId {
+    pub const CONTROL: MajorId = MajorId(0);
+    pub const SCHED: MajorId = MajorId(4);
+    pub const TEST: MajorId = MajorId(63);
+}

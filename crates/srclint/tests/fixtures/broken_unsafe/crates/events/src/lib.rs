@@ -1,0 +1,9 @@
+//! Fixture: a clean schema (the breakage in this tree is hot-path-only).
+
+ktrace_event! {
+    /// Scheduler events.
+    pub mod sched [MajorId::SCHED] {
+        /// Context switch: `[old_tid, new_tid]`.
+        CTX_SWITCH = 1 => ("TRACE_SCHED_CTX_SWITCH", "64 64", "switch %0[%x] -> %1[%x]"),
+    }
+}

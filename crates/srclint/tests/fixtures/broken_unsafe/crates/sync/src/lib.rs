@@ -1,0 +1,33 @@
+//! Broken fixture for the `unsafe` pass (exit 35): unsafe code without the
+//! required justification, next to properly documented twins that must NOT
+//! be flagged. Nothing else in this tree is wrong.
+
+/// VIOLATION: a bare unsafe block, no justification comment in reach.
+pub fn first_word(v: &[u64]) -> u64 {
+    assert!(!v.is_empty());
+    unsafe { *v.as_ptr() }
+}
+
+/// Justified twin of `first_word`; the pass must stay quiet here.
+pub fn first_word_justified(v: &[u64]) -> u64 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read stays in bounds.
+    unsafe { *v.as_ptr() }
+}
+
+/// VIOLATION: an unsafe fn that states no soundness contract in its docs.
+///
+/// Reads one word from a raw pointer.
+pub unsafe fn read_raw(p: *const u64) -> u64 {
+    *p
+}
+
+/// Justified twin of `read_raw`.
+///
+/// # Safety
+///
+/// `p` must be non-null, aligned, and valid for reads of one `u64`.
+pub unsafe fn read_raw_documented(p: *const u64) -> u64 {
+    *p
+}

@@ -18,13 +18,18 @@
 //!   a same-CPU multi-writer interleaving can at worst lose a count — which
 //!   a latency histogram or mask tally tolerates. On the host this replaces
 //!   a ~20-cycle locked RMW with two plain moves, which is what keeps the
-//!   E20 telemetry gate under 1%.
+//!   E20 telemetry gate under 1%. (Promoting the histogram buckets to the
+//!   exact tier was tried and measured: the extra locked RMW per event
+//!   pushed the gate past 2%, so multi-writer runs accept undercounted
+//!   wait observations instead — `tests/telemetry_e2e.rs` asserts the
+//!   tolerant direction.)
 
 use crossbeam::utils::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Single-writer statistic increment: a relaxed load+store pair instead of a
 /// locked RMW. See the module docs for when this tier applies.
+// ktrace-protocol: statistic-counter(c, buckets, sum, events_masked)
 #[inline]
 fn bump(c: &AtomicU64, by: u64) {
     c.store(
@@ -113,6 +118,7 @@ impl Default for Histogram {
 
 /// One CPU's counter block. Embedded cache-line-padded, one per region, so a
 /// tally never contends with another CPU's.
+// ktrace-protocol: exact-counter(events_logged, events_dropped, cas_retries, filler_words, buffer_wraps, flight_overwrites)
 #[derive(Debug, Default)]
 pub struct CpuCounters {
     events_logged: AtomicU64,
@@ -239,6 +245,7 @@ impl CpuCounters {
 
 /// Drain-side counters, fed by `io::session`'s background drainer. One block
 /// per pipeline (the drainer is a single thread), not per CPU.
+// ktrace-protocol: exact-counter(records_written, write_retries, buffers_dropped, events_lost, heartbeats_emitted)
 #[derive(Debug, Default)]
 pub struct SinkCounters {
     records_written: AtomicU64,
@@ -332,6 +339,7 @@ impl SinkCounters {
 }
 
 /// Recovery counters, fed by `io::salvage` when a damaged file is read.
+// ktrace-protocol: exact-counter(runs, records_recovered, events_recovered, records_damaged, bytes_skipped)
 #[derive(Debug, Default)]
 pub struct SalvageCounters {
     runs: AtomicU64,

@@ -7,7 +7,7 @@
 //!
 //! This is the **shared exit-code table** for both verifiers: `ktrace-verify`
 //! (dynamic, trace-stream checks; codes 10–20) and `ktrace-lint` (static,
-//! source-level checks; codes 30–32) draw from the same enum so a CI failure
+//! source-level checks; codes 30–35) draw from the same enum so a CI failure
 //! code identifies the broken invariant regardless of which tool found it.
 //! Codes 0 (clean), 1 (input unreadable), and 2 (usage error) are reserved
 //! by both CLIs and never assigned to a violation class.
@@ -63,6 +63,20 @@ pub enum ViolationKind {
     /// allocation, a blocking lock, or I/O — forbidden because `log_event`
     /// must stay safe in any kernel context (paper goal 2).
     HotPathHazard,
+    /// Static (ktrace-lint): an atomic operation's memory ordering violates
+    /// the protocol role declared for that field in `concurrency.toml` — a
+    /// Relaxed load on an acquire/release-paired field, mismatched CAS
+    /// success/failure orderings, SeqCst in hot-path code, or an atomic
+    /// field with no declared role at all.
+    AtomicOrderViolation,
+    /// Static (ktrace-lint): the static lock-acquisition graph contains a
+    /// cycle — two code paths can take the same pair of lock classes in
+    /// opposite orders, so the system can deadlock.
+    LockOrderCycle,
+    /// Static (ktrace-lint): an `unsafe` block or declaration carries no
+    /// `// SAFETY:` justification (blocks) or `# Safety` doc section
+    /// (functions/impls).
+    UnsafeUnjustified,
 }
 
 impl ViolationKind {
@@ -82,6 +96,9 @@ impl ViolationKind {
             ViolationKind::SchemaMismatch => 30,
             ViolationKind::IdSpaceCollision => 31,
             ViolationKind::HotPathHazard => 32,
+            ViolationKind::AtomicOrderViolation => 33,
+            ViolationKind::LockOrderCycle => 34,
+            ViolationKind::UnsafeUnjustified => 35,
         }
     }
 
@@ -101,6 +118,9 @@ impl ViolationKind {
             ViolationKind::SchemaMismatch => "schema-mismatch",
             ViolationKind::IdSpaceCollision => "id-space-collision",
             ViolationKind::HotPathHazard => "hot-path-hazard",
+            ViolationKind::AtomicOrderViolation => "atomic-order-violation",
+            ViolationKind::LockOrderCycle => "lock-order-cycle",
+            ViolationKind::UnsafeUnjustified => "unsafe-unjustified",
         }
     }
 
@@ -120,6 +140,9 @@ impl ViolationKind {
             ViolationKind::SchemaMismatch,
             ViolationKind::IdSpaceCollision,
             ViolationKind::HotPathHazard,
+            ViolationKind::AtomicOrderViolation,
+            ViolationKind::LockOrderCycle,
+            ViolationKind::UnsafeUnjustified,
         ]
     }
 }
@@ -280,6 +303,9 @@ mod tests {
                 ViolationKind::SchemaMismatch
                     | ViolationKind::IdSpaceCollision
                     | ViolationKind::HotPathHazard
+                    | ViolationKind::AtomicOrderViolation
+                    | ViolationKind::LockOrderCycle
+                    | ViolationKind::UnsafeUnjustified
             );
             assert_eq!(stat, k.exit_code() >= 30, "{k} in wrong band");
         }

@@ -5,15 +5,18 @@
 //! ```
 //!
 //! Runs the static passes over the workspace at `--root` (default: the
-//! current directory). `--pass schema|idspace|hotpath` restricts the run to
-//! the named pass(es); repeat the flag to combine.
+//! current directory). `--pass schema|idspace|hotpath|atomics|lockorder|unsafe`
+//! restricts the run to the named pass(es); repeat the flag to combine.
 //!
 //! Exit codes: 0 clean, 1 unreadable required input, 2 usage; otherwise the
-//! distinct code of the most severe violation class found, drawn from the
-//! same table as `ktrace-verify` (`ktrace_verify::ViolationKind::exit_code`):
-//! 30 schema mismatch, 31 ID-space collision, 32 hot-path hazard. With
-//! `--deny-warnings` (the CI configuration), style warnings also fail the
-//! run with the schema-mismatch code.
+//! distinct code of the most severe violation class found — the *lowest*
+//! code when several passes fail, with every failing pass listed in the
+//! report — drawn from the same table as `ktrace-verify`
+//! (`ktrace_verify::ViolationKind::exit_code`): 30 schema mismatch, 31
+//! ID-space collision, 32 hot-path hazard, 33 atomic-order violation, 34
+//! lock-order cycle, 35 unjustified unsafe. With `--deny-warnings` (the CI
+//! configuration), style warnings also fail the run with the
+//! schema-mismatch code.
 
 use ktrace::srclint::{lint_workspace, LintOptions, PassSet};
 use std::path::PathBuf;
@@ -22,7 +25,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ktrace-lint [--root DIR] [--json] [--deny-warnings] \
-         [--pass <schema|idspace|hotpath>]..."
+         [--pass <schema|idspace|hotpath|atomics|lockorder|unsafe>]..."
     );
     ExitCode::from(2)
 }

@@ -56,6 +56,39 @@ fn each_pass_fails_with_its_distinct_code() {
 }
 
 #[test]
+fn concurrency_passes_fail_with_their_distinct_codes() {
+    let out = lint(&["--root", &fixture("broken_atomics"), "--pass", "atomics"]);
+    assert_eq!(out.status.code(), Some(33));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error[atomic-order-violation]"));
+
+    let out = lint(&[
+        "--root",
+        &fixture("broken_lockorder"),
+        "--pass",
+        "lockorder",
+    ]);
+    assert_eq!(out.status.code(), Some(34));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error[lock-order-cycle]"));
+
+    let out = lint(&["--root", &fixture("broken_unsafe"), "--pass", "unsafe"]);
+    assert_eq!(out.status.code(), Some(35));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error[unsafe-unjustified]"));
+}
+
+#[test]
+fn several_failing_passes_exit_lowest_and_are_all_listed() {
+    // broken_multi trips lockorder (34) and unsafe (35): exit is the lower
+    // code, and the report names both failing passes.
+    let out = lint(&["--root", &fixture("broken_multi")]);
+    assert_eq!(out.status.code(), Some(34));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("failing pass(es): lockorder, unsafe"),
+        "{stdout}"
+    );
+}
+
+#[test]
 fn full_run_reports_the_most_severe_code() {
     // All passes on the schema fixture: schema mismatch (30) outranks any
     // other class present, matching ktrace-verify's min-code convention.

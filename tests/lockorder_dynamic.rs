@@ -1,0 +1,122 @@
+//! Dynamic ⊆ static lock-order cross-check.
+//!
+//! The static lock graph (`ktrace-lint --pass lockorder`) claims to cover
+//! every acquisition order the kernel can exhibit. This test holds it to
+//! that: run a workload that nests real lock acquisitions on the simulated
+//! machine, reconstruct the *observed* lock orders from the trace's
+//! `LOCK` events, and require every observed edge to be present in the
+//! graph the linter builds from source. A dynamic edge the static analysis
+//! misses means the linter under-approximates and its cycle verdicts
+//! cannot be trusted.
+
+use ktrace::analysis::Trace;
+use ktrace::ossim::kernel::{ALLOC_LOCK_BASE, DIR_LOCK_ID, PAGE_LOCK_ID, USER_LOCK_BASE};
+use ktrace::ossim::{KTracer, Machine, MachineConfig, Op, ProcessSpec, Program, Workload};
+use ktrace::prelude::*;
+use ktrace::srclint::{lockorder, workspace_source_files};
+use std::collections::{BTreeSet, HashMap};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Maps a traced lock ID to its source-level lock class (the struct field
+/// the static graph names). The ID bases are the kernel's, re-exported so
+/// this mapping cannot silently drift.
+fn lock_class(id: u64) -> Option<&'static str> {
+    if id >= USER_LOCK_BASE {
+        Some("user_locks")
+    } else if id >= DIR_LOCK_ID {
+        Some("dir_lock")
+    } else if id >= PAGE_LOCK_ID {
+        Some("page_lock")
+    } else if id >= ALLOC_LOCK_BASE {
+        Some("alloc_locks")
+    } else {
+        None
+    }
+}
+
+#[test]
+fn trace_observed_lock_orders_are_covered_by_the_static_graph() {
+    // Drive the real-threaded machine through nested acquisitions: the
+    // user lock is held across malloc (alloc_locks), the FS directory
+    // calls (dir_lock), and page free (page_lock).
+    let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
+    let logger = TraceLogger::new(
+        TraceConfig::small().flight_recorder(),
+        clock as Arc<dyn ClockSource>,
+        2,
+    )
+    .expect("logger");
+    ktrace::events::register_all(&logger);
+    let machine = Machine::new(MachineConfig::fast_test(2), Arc::new(KTracer::new(logger)));
+
+    let nested = Program::new()
+        .op(Op::UserLock { lock: 0 })
+        .op(Op::Malloc { size: 4096 })
+        .op(Op::FsOpen { path: 7 })
+        .op(Op::FsClose { path: 7 })
+        .op(Op::FreePages { pages: 2 })
+        .op(Op::UserUnlock { lock: 0 });
+    let mut workload = Workload::new(vec![
+        ProcessSpec::new("nested-a", nested.clone()),
+        ProcessSpec::new("nested-b", nested),
+    ]);
+    workload.user_locks = 1;
+    let report = machine.run(workload);
+    assert!(!report.aborted, "nested workload must not deadlock");
+
+    // Reconstruct observed acquisition orders: per-thread held stack from
+    // ACQUIRED/RELEASED (payload: [lock_id, tid, …]), one class-level edge
+    // per (held, newly-acquired) pair. Same-class pairs are skipped — the
+    // static graph models class-level order, not per-instance order.
+    let trace = Trace::from_logger(machine.tracer().logger(), 1_000_000_000);
+    let mut held: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut dynamic: BTreeSet<(String, String)> = BTreeSet::new();
+    for e in trace.of_major(MajorId::LOCK) {
+        match e.minor {
+            ktrace::events::lock::ACQUIRED if e.payload.len() >= 2 => {
+                let (lock, tid) = (e.payload[0], e.payload[1]);
+                let stack = held.entry(tid).or_default();
+                for &h in stack.iter() {
+                    if let (Some(a), Some(b)) = (lock_class(h), lock_class(lock)) {
+                        if a != b {
+                            dynamic.insert((a.to_string(), b.to_string()));
+                        }
+                    }
+                }
+                stack.push(lock);
+            }
+            ktrace::events::lock::RELEASED if e.payload.len() >= 2 => {
+                if let Some(stack) = held.get_mut(&e.payload[1]) {
+                    if let Some(pos) = stack.iter().rposition(|&l| l == e.payload[0]) {
+                        stack.remove(pos);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        dynamic.contains(&("user_locks".to_string(), "alloc_locks".to_string())),
+        "workload must have nested malloc under the user lock; saw {dynamic:?}"
+    );
+
+    // The static graph over the real workspace sources.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    for rel in workspace_source_files(root) {
+        if let Ok(src) = std::fs::read_to_string(root.join(&rel)) {
+            files.push((rel, src));
+        }
+    }
+    let graph = lockorder::build_lock_graph(&files);
+    assert!(graph.cycles().is_empty(), "workspace graph must be acyclic");
+
+    for (from, to) in &dynamic {
+        assert!(
+            graph.edges.contains_key(&(from.clone(), to.clone())),
+            "trace-observed lock order {from} -> {to} is missing from the \
+             static graph — the lockorder pass under-approximates"
+        );
+    }
+}

@@ -139,12 +139,14 @@ fn multi_writer_run_reconciles_with_the_lint() {
     });
     let stats = session.finish();
 
-    // Every successful reservation — data events and heartbeats alike —
-    // landed exactly one observation in the reserve-wait histogram. (A
-    // `cas_retries > 0` assertion would be the natural companion, but two
-    // threads on one hardware core interleave at timeslice granularity and
-    // may never collide mid-reservation, so only the accounting identity is
-    // deterministic.)
+    // Each successful reservation — data events and heartbeats alike —
+    // attempts one reserve-wait observation, but the histogram buckets are
+    // on the lossy *statistic* tier (a relaxed load+store pair, see the
+    // counters module docs): with two writers sharing a CPU's counter
+    // block, racing bumps can undercount. Promoting the buckets to the
+    // exact tier was measured to blow the E20 <1% overhead gate, so the
+    // deterministic direction here is one-sided: never more observations
+    // than reservations, and never zero.
     let snap = &stats.telemetry;
     let beats = snap.sink.heartbeats_emitted;
     assert!(beats >= NCPUS as u64);
@@ -153,10 +155,9 @@ fn multi_writer_run_reconciles_with_the_lint() {
         .iter()
         .map(|c| ktrace::telemetry::hist_count(&c.reserve_wait))
         .sum();
-    assert_eq!(
-        reservations,
-        snap.events_logged() + beats,
-        "one reserve-wait observation per reservation: {snap:?}"
+    assert!(
+        reservations > 0 && reservations <= snap.events_logged() + beats,
+        "at most one reserve-wait observation per reservation: {snap:?}"
     );
     assert!(stats.sink_alive(), "{stats:?}");
 
@@ -211,9 +212,12 @@ fn dying_sink_losses_reconcile_with_the_lint() {
     )
     .unwrap();
     register(&logger);
+    // The budget must be small enough that the sink dies even if the drain
+    // thread is starved until `finish()`: the final drain alone flushes the
+    // 4 pending ~1 KiB buffers, so a 2 KiB budget guarantees the death.
     let sink = DyingAtBoundarySink {
         out: out.clone(),
-        budget: 64 * 1024,
+        budget: 2 * 1024,
         accepted: 0,
     };
     let session = TraceSession::with_config(
