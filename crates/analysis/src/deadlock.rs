@@ -11,7 +11,7 @@
 //! searches the wait-for graph for a cycle.
 
 use crate::model::Trace;
-use ktrace_events::lock as lockev;
+use ktrace_events::decode::{lock_events, LockEv};
 use ktrace_format::MajorId;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -55,10 +55,9 @@ pub fn find_deadlock(trace: &Trace) -> Option<DeadlockReport> {
     // Replay lock events to the final state.
     let mut holder_of: HashMap<u64, u64> = HashMap::new(); // lock -> tid
     let mut waiting_for: HashMap<u64, u64> = HashMap::new(); // tid -> lock
-    for e in trace.of_major(MajorId::LOCK) {
-        match e.minor {
-            lockev::REQUEST if e.payload.len() >= 2 => {
-                let (lock, tid) = (e.payload[0], e.payload[1]);
+    for (_, ev) in lock_events(trace.of_major(MajorId::LOCK)) {
+        match ev {
+            LockEv::Request { lock, tid, .. } => {
                 // A re-entrant request (the thread already holds this lock)
                 // is not a wait: instrumented recursive acquisition logs a
                 // REQUEST but proceeds immediately. Recording it would put a
@@ -69,16 +68,15 @@ pub fn find_deadlock(trace: &Trace) -> Option<DeadlockReport> {
                 }
                 waiting_for.insert(tid, lock);
             }
-            lockev::ACQUIRED if e.payload.len() >= 2 => {
-                waiting_for.remove(&e.payload[1]);
-                holder_of.insert(e.payload[0], e.payload[1]);
+            LockEv::Acquired { lock, tid, .. } => {
+                waiting_for.remove(&tid);
+                holder_of.insert(lock, tid);
             }
-            lockev::RELEASED
-                if e.payload.len() >= 2 && holder_of.get(&e.payload[0]) == Some(&e.payload[1]) =>
-            {
-                holder_of.remove(&e.payload[0]);
+            LockEv::Released { lock, tid, .. } => {
+                if holder_of.get(&lock) == Some(&tid) {
+                    holder_of.remove(&lock);
+                }
             }
-            _ => {}
         }
     }
 
@@ -123,6 +121,7 @@ pub fn find_deadlock(trace: &Trace) -> Option<DeadlockReport> {
 mod tests {
     use super::*;
     use crate::model::testutil::{ev, trace};
+    use ktrace_events::lock as lockev;
 
     fn req(t: u64, lock: u64, tid: u64) -> ktrace_core::RawEvent {
         ev(0, t, MajorId::LOCK, lockev::REQUEST, &[lock, tid, 0])

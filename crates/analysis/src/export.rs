@@ -15,7 +15,7 @@
 //!   counter tracks.
 
 use crate::model::Trace;
-use ktrace_events::{lock, sched};
+use ktrace_events::decode::{lock_event, sched_event, LockEv, SchedEv};
 use ktrace_format::ids::control;
 use ktrace_format::MajorId;
 use std::fmt::Write as _;
@@ -170,15 +170,17 @@ pub fn to_chrome_json(trace: &Trace) -> String {
 
     for e in &trace.events {
         let ts = ticks_to_us(e.time, tps);
-        match (e.major, e.minor) {
-            (MajorId::SCHED, m) if m == sched::CTX_SWITCH && e.payload.len() >= 2 => {
-                // Close the outgoing thread's slice, open the incoming one.
-                if let Some((tid, since)) = running.insert(e.cpu, (e.payload[1], e.time)) {
-                    push_slice(e.cpu, tid, since, e.time, &mut entries);
-                }
+        if let Some(SchedEv::CtxSwitch { new_tid, .. }) = sched_event(e) {
+            // Close the outgoing thread's slice, open the incoming one.
+            if let Some((tid, since)) = running.insert(e.cpu, (new_tid, e.time)) {
+                push_slice(e.cpu, tid, since, e.time, &mut entries);
             }
-            (MajorId::LOCK, m) if m == lock::REQUEST && e.payload.len() >= 2 => {
-                let (lock_id, tid) = (e.payload[0], e.payload[1]);
+            continue;
+        }
+        match lock_event(e) {
+            Some(LockEv::Request {
+                lock: lock_id, tid, ..
+            }) => {
                 entries.push(ChromeEntry {
                     ts,
                     json: format!(
@@ -188,9 +190,11 @@ pub fn to_chrome_json(trace: &Trace) -> String {
                         e.cpu,
                     ),
                 });
+                continue;
             }
-            (MajorId::LOCK, m) if m == lock::ACQUIRED && e.payload.len() >= 2 => {
-                let (lock_id, tid) = (e.payload[0], e.payload[1]);
+            Some(LockEv::Acquired {
+                lock: lock_id, tid, ..
+            }) => {
                 entries.push(ChromeEntry {
                     ts,
                     json: format!(
@@ -200,7 +204,11 @@ pub fn to_chrome_json(trace: &Trace) -> String {
                         e.cpu,
                     ),
                 });
+                continue;
             }
+            _ => {}
+        }
+        match (e.major, e.minor) {
             (MajorId::CONTROL, m)
                 if m == control::HEARTBEAT && e.payload.len() == control::HEARTBEAT_WORDS =>
             {

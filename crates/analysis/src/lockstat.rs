@@ -15,7 +15,8 @@
 
 use crate::model::Trace;
 use crate::table::ns_as_secs;
-use ktrace_events::{func, lock as lockev, unpack_chain};
+use ktrace_events::decode::{lock_events, LockEv};
+use ktrace_events::{func, unpack_chain};
 use ktrace_format::MajorId;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -66,17 +67,17 @@ impl LockStats {
     pub fn compute(trace: &Trace) -> LockStats {
         let tid_pid = trace.tid_to_pid();
         let mut rows: HashMap<(u64, u64, u64), LockRow> = HashMap::new();
-        for e in trace.of_major(MajorId::LOCK) {
-            if e.minor != lockev::ACQUIRED || e.payload.len() < 5 {
+        for (_, ev) in lock_events(trace.of_major(MajorId::LOCK)) {
+            let LockEv::Acquired {
+                lock: lock_id,
+                tid,
+                chain,
+                spins,
+                wait_ns,
+            } = ev
+            else {
                 continue;
-            }
-            let [lock_id, tid, chain, spins, wait_ns] = [
-                e.payload[0],
-                e.payload[1],
-                e.payload[2],
-                e.payload[3],
-                e.payload[4],
-            ];
+            };
             let pid = tid_pid.get(&tid).copied().unwrap_or(0);
             let row = rows.entry((lock_id, chain, pid)).or_insert(LockRow {
                 lock_id,
@@ -152,7 +153,7 @@ impl LockStats {
 mod tests {
     use super::*;
     use crate::model::testutil::{ev, trace};
-    use ktrace_events::{pack_chain, sched};
+    use ktrace_events::{lock as lockev, pack_chain, sched};
 
     fn acquired(
         t: u64,

@@ -2,8 +2,10 @@
 
 use ktrace_core::reader::RawEvent;
 use ktrace_core::TraceLogger;
+use ktrace_events::decode::{sched_events, SchedEv};
 use ktrace_format::{EventRegistry, MajorId};
 use ktrace_io::{IoError, TraceFileReader};
+use ktrace_query::{QueryError, TraceSource};
 use std::collections::HashMap;
 use std::path::Path;
 
@@ -48,6 +50,18 @@ impl Trace {
         Trace::from_events(events, logger.registry(), ticks_per_sec)
     }
 
+    /// Loads any [`TraceSource`] — file, live snapshot, salvaged image, or
+    /// drained network stream — so every analysis runs unchanged over all
+    /// four.
+    pub fn from_source(source: &mut dyn TraceSource) -> Result<Trace, QueryError> {
+        let set = source.load()?;
+        Ok(Trace::from_events(
+            set.events,
+            set.registry,
+            set.ticks_per_sec,
+        ))
+    }
+
     /// The first timestamp (the display origin).
     pub fn origin(&self) -> u64 {
         self.events.first().map_or(0, |e| e.time)
@@ -85,15 +99,15 @@ impl Trace {
     /// A map from thread ID to process ID, recovered from scheduler events.
     pub fn tid_to_pid(&self) -> HashMap<u64, u64> {
         let mut map = HashMap::new();
-        for e in self.of_major(MajorId::SCHED) {
-            match e.minor {
-                ktrace_events::sched::THREAD_START | ktrace_events::sched::THREAD_EXIT
-                    if e.payload.len() >= 2 =>
-                {
-                    map.insert(e.payload[0], e.payload[1]);
+        for (_, ev) in sched_events(self.of_major(MajorId::SCHED)) {
+            match ev {
+                SchedEv::ThreadStart { tid, pid } | SchedEv::ThreadExit { tid, pid } => {
+                    map.insert(tid, pid);
                 }
-                ktrace_events::sched::CTX_SWITCH if e.payload.len() >= 3 => {
-                    map.insert(e.payload[1], e.payload[2]);
+                SchedEv::CtxSwitch {
+                    new_tid, new_pid, ..
+                } => {
+                    map.insert(new_tid, new_pid);
                 }
                 _ => {}
             }

@@ -13,8 +13,7 @@
 
 use crate::model::Trace;
 use crate::table::{Align, TextTable};
-use ktrace_events::sched;
-use ktrace_format::MajorId;
+use ktrace_events::decode::{sched_event, SchedEv};
 use std::fmt::Write as _;
 
 /// One CPU's accounting.
@@ -72,16 +71,13 @@ impl Utilization {
                 continue;
             }
             let c = e.cpu;
-            match (e.major, e.minor) {
-                (MajorId::SCHED, sched::IDLE_START) => {
-                    idle_since[c].get_or_insert(e.time);
-                }
-                _ => {
-                    // Any other activity (including IDLE_END) ends an idle
-                    // period on this CPU.
-                    if let Some(from) = idle_since[c].take() {
-                        close_gap(&mut cpus[c], from, e.time);
-                    }
+            if matches!(sched_event(e), Some(SchedEv::IdleStart)) {
+                idle_since[c].get_or_insert(e.time);
+            } else {
+                // Any other activity (including IDLE_END) ends an idle
+                // period on this CPU.
+                if let Some(from) = idle_since[c].take() {
+                    close_gap(&mut cpus[c], from, e.time);
                 }
             }
         }
@@ -170,6 +166,8 @@ impl Utilization {
 mod tests {
     use super::*;
     use crate::model::testutil::{ev, trace};
+    use ktrace_events::sched;
+    use ktrace_format::MajorId;
 
     fn scenario() -> Trace {
         trace(vec![

@@ -14,6 +14,8 @@
 use ktrace_core::TraceLogger;
 use ktrace_format::{EventDescriptor, MajorId};
 
+pub mod decode;
+
 #[doc(hidden)]
 pub use ktrace_format as __format;
 

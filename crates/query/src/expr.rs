@@ -1,0 +1,799 @@
+//! The predicate/aggregation expression language.
+//!
+//! Grammar (whitespace-insensitive; integers decimal or `0x…` hex; major
+//! values may be written by well-known name):
+//!
+//! ```text
+//! assertion := agg cmpop integer
+//! agg       := "count" "(" pred ")"
+//!            | "sum" "(" pred "," field ")"
+//!            | "max" "(" pred "," field ")"
+//!            | "rate" "(" pred ")"
+//!            | "max_gap" "(" pred ")"
+//!            | "max_duration" "(" span ")"
+//!            | "unpaired" "(" span ")"
+//! span      := "span" "(" major "," minor "->" minor "," "key" "=" field ")"
+//! pred      := and ( "|" and )*
+//! and       := unary ( "&" unary )*
+//! unary     := "!" unary | "(" pred ")" | "true" | field cmpop value
+//! field     := "major" | "minor" | "cpu" | "time" | "payload" "[" integer "]"
+//! cmpop     := "==" | "!=" | "<" | "<=" | ">" | ">="
+//! ```
+//!
+//! `Display` renders every node back to canonical text, and the canonical
+//! text re-parses to the identical AST (property-tested): operands of `&`
+//! and `|` are parenthesized whenever they are themselves conjunctions or
+//! disjunctions, and `!` always parenthesizes its operand.
+
+use ktrace_format::{MajorId, MinorId};
+use std::fmt;
+
+/// An event attribute an expression can test or aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// The major class ID (raw value; names resolve at parse time).
+    Major,
+    /// The minor event ID.
+    Minor,
+    /// The logging CPU.
+    Cpu,
+    /// The reconstructed timestamp in ticks.
+    Time,
+    /// The n-th payload word; absent words never match and never aggregate.
+    Payload(usize),
+}
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison.
+    pub fn holds(self, a: u64, b: u64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// A boolean predicate over one event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pred {
+    /// Matches every event.
+    True,
+    /// `field op value`.
+    Cmp(Field, CmpOp, u64),
+    /// Negation.
+    Not(Box<Pred>),
+    /// Conjunction.
+    And(Box<Pred>, Box<Pred>),
+    /// Disjunction.
+    Or(Box<Pred>, Box<Pred>),
+}
+
+/// A REQUEST/RELEASE-style span shape: within one major, `open` minors
+/// start a span and `close` minors end it, matched per key (LIFO when the
+/// same key nests).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSpec {
+    /// The major class both endpoints belong to.
+    pub major: MajorId,
+    /// Minor that opens a span.
+    pub open: MinorId,
+    /// Minor that closes a span.
+    pub close: MinorId,
+    /// Payload index of the pairing key (e.g. the lock ID).
+    pub key: usize,
+}
+
+/// An aggregation over an event set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Agg {
+    /// Number of matching events.
+    Count(Pred),
+    /// Sum of a field over matching events (absent fields contribute 0).
+    Sum(Pred, Field),
+    /// Maximum of a field over matching events (0 when none).
+    Max(Pred, Field),
+    /// Matching events per second of data span (integer floor).
+    Rate(Pred),
+    /// Largest tick gap between consecutive matching events (0 with fewer
+    /// than two matches).
+    MaxGap(Pred),
+    /// Longest closed span in ticks.
+    MaxDuration(SpanSpec),
+    /// Opens never closed plus closes never opened.
+    Unpaired(SpanSpec),
+}
+
+/// A named check: `agg op bound`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assertion {
+    /// The measured quantity.
+    pub agg: Agg,
+    /// The comparison that must hold.
+    pub op: CmpOp,
+    /// The bound it is compared against.
+    pub bound: u64,
+}
+
+impl Assertion {
+    /// True when the assertion holds for the measured value.
+    pub fn holds(&self, actual: u64) -> bool {
+        self.op.holds(actual, self.bound)
+    }
+}
+
+/// A parse failure, with the byte offset it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---------------------------------------------------------------- display
+
+fn major_text(raw: u64) -> String {
+    if raw < 64 {
+        if let Some(name) = MajorId::new_unchecked(raw as u8).well_known_name() {
+            return name.to_string();
+        }
+    }
+    raw.to_string()
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Field::Major => f.write_str("major"),
+            Field::Minor => f.write_str("minor"),
+            Field::Cpu => f.write_str("cpu"),
+            Field::Time => f.write_str("time"),
+            Field::Payload(i) => write!(f, "payload[{i}]"),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+impl Pred {
+    /// Parenthesized when an `&`/`|` operand needs it to re-parse with the
+    /// same shape.
+    fn fmt_operand(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::And(..) | Pred::Or(..) => write!(f, "({self})"),
+            _ => write!(f, "{self}"),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::True => f.write_str("true"),
+            Pred::Cmp(field, op, value) => {
+                let v = match field {
+                    Field::Major => major_text(*value),
+                    _ => value.to_string(),
+                };
+                write!(f, "{field} {op} {v}")
+            }
+            Pred::Not(p) => write!(f, "!({p})"),
+            Pred::And(a, b) => {
+                a.fmt_operand(f)?;
+                f.write_str(" & ")?;
+                b.fmt_operand(f)
+            }
+            Pred::Or(a, b) => {
+                a.fmt_operand(f)?;
+                f.write_str(" | ")?;
+                b.fmt_operand(f)
+            }
+        }
+    }
+}
+
+impl fmt::Display for SpanSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "span({}, {} -> {}, key = payload[{}])",
+            major_text(self.major.raw() as u64),
+            self.open,
+            self.close,
+            self.key
+        )
+    }
+}
+
+impl fmt::Display for Agg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Agg::Count(p) => write!(f, "count({p})"),
+            Agg::Sum(p, field) => write!(f, "sum({p}, {field})"),
+            Agg::Max(p, field) => write!(f, "max({p}, {field})"),
+            Agg::Rate(p) => write!(f, "rate({p})"),
+            Agg::MaxGap(p) => write!(f, "max_gap({p})"),
+            Agg::MaxDuration(s) => write!(f, "max_duration({s})"),
+            Agg::Unpaired(s) => write!(f, "unpaired({s})"),
+        }
+    }
+}
+
+impl fmt::Display for Assertion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.agg, self.op, self.bound)
+    }
+}
+
+// ----------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(u64),
+    LParen,
+    RParen,
+    LBrack,
+    RBrack,
+    Comma,
+    Arrow,
+    Assign,
+    Cmp(CmpOp),
+    Amp,
+    Pipe,
+    Bang,
+}
+
+fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let b = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            b')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            b'[' => {
+                toks.push((i, Tok::LBrack));
+                i += 1;
+            }
+            b']' => {
+                toks.push((i, Tok::RBrack));
+                i += 1;
+            }
+            b',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            b'&' => {
+                toks.push((i, Tok::Amp));
+                i += 1;
+            }
+            b'|' => {
+                toks.push((i, Tok::Pipe));
+                i += 1;
+            }
+            b'-' if b.get(i + 1) == Some(&b'>') => {
+                toks.push((i, Tok::Arrow));
+                i += 2;
+            }
+            b'=' if b.get(i + 1) == Some(&b'=') => {
+                toks.push((i, Tok::Cmp(CmpOp::Eq)));
+                i += 2;
+            }
+            b'=' => {
+                toks.push((i, Tok::Assign));
+                i += 1;
+            }
+            b'!' if b.get(i + 1) == Some(&b'=') => {
+                toks.push((i, Tok::Cmp(CmpOp::Ne)));
+                i += 2;
+            }
+            b'!' => {
+                toks.push((i, Tok::Bang));
+                i += 1;
+            }
+            b'<' if b.get(i + 1) == Some(&b'=') => {
+                toks.push((i, Tok::Cmp(CmpOp::Le)));
+                i += 2;
+            }
+            b'<' => {
+                toks.push((i, Tok::Cmp(CmpOp::Lt)));
+                i += 1;
+            }
+            b'>' if b.get(i + 1) == Some(&b'=') => {
+                toks.push((i, Tok::Cmp(CmpOp::Ge)));
+                i += 2;
+            }
+            b'>' => {
+                toks.push((i, Tok::Cmp(CmpOp::Gt)));
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let (radix, digits_from) = if c == b'0' && matches!(b.get(i + 1), Some(b'x' | b'X'))
+                {
+                    (16, i + 2)
+                } else {
+                    (10, i)
+                };
+                i = digits_from;
+                while i < b.len() && (b[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let text = &input[digits_from..i];
+                let value = u64::from_str_radix(text, radix).map_err(|e| ParseError {
+                    at: start,
+                    msg: format!("bad integer {:?}: {e}", &input[start..i]),
+                })?;
+                toks.push((start, Tok::Int(value)));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && matches!(b[i], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+                {
+                    i += 1;
+                }
+                toks.push((start, Tok::Ident(input[start..i].to_string())));
+            }
+            _ => {
+                return Err(ParseError {
+                    at: i,
+                    msg: format!("unexpected character {:?}", c as char),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map_or(self.input_len, |(off, _)| *off)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.at(),
+            msg: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => self.err(format!("expected {what}")),
+        }
+    }
+
+    fn integer(&mut self, what: &str) -> Result<u64, ParseError> {
+        match self.peek() {
+            Some(Tok::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(v)
+            }
+            _ => self.err(format!("expected {what}")),
+        }
+    }
+
+    /// An integer, or a well-known major name (`LOCK`, `SCHED`, …).
+    fn value(&mut self) -> Result<u64, ParseError> {
+        match self.peek() {
+            Some(Tok::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(Tok::Ident(name)) => {
+                let resolved = MajorId::all()
+                    .find(|m| m.well_known_name() == Some(name.as_str()))
+                    .map(|m| m.raw() as u64);
+                match resolved {
+                    Some(v) => {
+                        self.pos += 1;
+                        Ok(v)
+                    }
+                    None => self.err(format!("unknown major name {name:?}")),
+                }
+            }
+            _ => self.err("expected an integer or major name"),
+        }
+    }
+
+    fn field(&mut self) -> Result<Field, ParseError> {
+        let Some(Tok::Ident(name)) = self.peek() else {
+            return self.err("expected a field (major|minor|cpu|time|payload[i])");
+        };
+        let name = name.clone();
+        self.pos += 1;
+        match name.as_str() {
+            "major" => Ok(Field::Major),
+            "minor" => Ok(Field::Minor),
+            "cpu" => Ok(Field::Cpu),
+            "time" => Ok(Field::Time),
+            "payload" => {
+                self.expect(&Tok::LBrack, "'[' after payload")?;
+                let idx = self.integer("payload index")?;
+                self.expect(&Tok::RBrack, "']' after payload index")?;
+                if idx > ktrace_format::MAX_PAYLOAD_WORDS as u64 {
+                    return self.err(format!("payload index {idx} out of range"));
+                }
+                Ok(Field::Payload(idx as usize))
+            }
+            other => self.err(format!("unknown field {other:?}")),
+        }
+    }
+
+    fn pred(&mut self) -> Result<Pred, ParseError> {
+        let mut left = self.pred_and()?;
+        while self.peek() == Some(&Tok::Pipe) {
+            self.pos += 1;
+            let right = self.pred_and()?;
+            left = Pred::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_and(&mut self) -> Result<Pred, ParseError> {
+        let mut left = self.pred_unary()?;
+        while self.peek() == Some(&Tok::Amp) {
+            self.pos += 1;
+            let right = self.pred_unary()?;
+            left = Pred::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn pred_unary(&mut self) -> Result<Pred, ParseError> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                Ok(Pred::Not(Box::new(self.pred_unary()?)))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let inner = self.pred()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Tok::Ident(name)) if name == "true" => {
+                self.pos += 1;
+                Ok(Pred::True)
+            }
+            _ => {
+                let field = self.field()?;
+                let Some(Tok::Cmp(op)) = self.peek() else {
+                    return self.err("expected a comparison operator");
+                };
+                let op = *op;
+                self.pos += 1;
+                let value = self.value()?;
+                Ok(Pred::Cmp(field, op, value))
+            }
+        }
+    }
+
+    fn span(&mut self) -> Result<SpanSpec, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(name)) if name == "span" => {}
+            _ => return self.err("expected span(...)"),
+        }
+        self.expect(&Tok::LParen, "'(' after span")?;
+        let major_at = self.at();
+        let major_raw = self.value()?;
+        if major_raw >= 64 {
+            return Err(ParseError {
+                at: major_at,
+                msg: format!("major {major_raw} out of range (0..64)"),
+            });
+        }
+        let major = MajorId::new_unchecked(major_raw as u8);
+        self.expect(&Tok::Comma, "','")?;
+        let open = self.minor()?;
+        self.expect(&Tok::Arrow, "'->' between open and close minors")?;
+        let close = self.minor()?;
+        self.expect(&Tok::Comma, "','")?;
+        match self.bump() {
+            Some(Tok::Ident(name)) if name == "key" => {}
+            _ => return self.err("expected 'key'"),
+        }
+        self.expect(&Tok::Assign, "'=' after key")?;
+        let key_at = self.at();
+        let key_field = self.field()?;
+        let Field::Payload(key) = key_field else {
+            return Err(ParseError {
+                at: key_at,
+                msg: "span key must be a payload index".to_string(),
+            });
+        };
+        self.expect(&Tok::RParen, "')'")?;
+        Ok(SpanSpec {
+            major,
+            open,
+            close,
+            key,
+        })
+    }
+
+    fn minor(&mut self) -> Result<MinorId, ParseError> {
+        let at = self.at();
+        let v = self.integer("a minor ID")?;
+        u16::try_from(v).map_err(|_| ParseError {
+            at,
+            msg: format!("minor {v} exceeds 16 bits"),
+        })
+    }
+
+    fn agg(&mut self) -> Result<Agg, ParseError> {
+        let Some(Tok::Ident(name)) = self.peek() else {
+            return self.err("expected an aggregation");
+        };
+        let name = name.clone();
+        if name == "span" {
+            return self
+                .err("a span is not an aggregation; wrap it in max_duration() or unpaired()");
+        }
+        self.pos += 1;
+        self.expect(&Tok::LParen, "'(' after aggregation name")?;
+        let agg = match name.as_str() {
+            "count" => Agg::Count(self.pred()?),
+            "rate" => Agg::Rate(self.pred()?),
+            "max_gap" => Agg::MaxGap(self.pred()?),
+            "sum" | "max" => {
+                let p = self.pred()?;
+                self.expect(&Tok::Comma, "',' before the field")?;
+                let f = self.field()?;
+                if name == "sum" {
+                    Agg::Sum(p, f)
+                } else {
+                    Agg::Max(p, f)
+                }
+            }
+            "max_duration" | "unpaired" => {
+                // Rewind: span() consumes its own leading ident.
+                let s = self.span()?;
+                if name == "max_duration" {
+                    Agg::MaxDuration(s)
+                } else {
+                    Agg::Unpaired(s)
+                }
+            }
+            other => return self.err(format!("unknown aggregation {other:?}")),
+        };
+        self.expect(&Tok::RParen, "')' closing the aggregation")?;
+        Ok(agg)
+    }
+
+    fn assertion(&mut self) -> Result<Assertion, ParseError> {
+        let agg = self.agg()?;
+        let Some(Tok::Cmp(op)) = self.peek() else {
+            return self.err("expected a comparison operator after the aggregation");
+        };
+        let op = *op;
+        self.pos += 1;
+        let bound = self.integer("the assertion bound")?;
+        Ok(Assertion { agg, op, bound })
+    }
+
+    fn finish<T>(&self, value: T) -> Result<T, ParseError> {
+        if self.pos == self.toks.len() {
+            Ok(value)
+        } else {
+            self.err("trailing input after expression")
+        }
+    }
+}
+
+fn parser(input: &str) -> Result<Parser, ParseError> {
+    Ok(Parser {
+        toks: lex(input)?,
+        pos: 0,
+        input_len: input.len(),
+    })
+}
+
+/// Parses a predicate.
+pub fn parse_pred(input: &str) -> Result<Pred, ParseError> {
+    let mut p = parser(input)?;
+    let pred = p.pred()?;
+    p.finish(pred)
+}
+
+/// Parses an aggregation.
+pub fn parse_agg(input: &str) -> Result<Agg, ParseError> {
+    let mut p = parser(input)?;
+    let agg = p.agg()?;
+    p.finish(agg)
+}
+
+/// Parses a full assertion (`agg op bound`).
+pub fn parse_assertion(input: &str) -> Result<Assertion, ParseError> {
+    let mut p = parser(input)?;
+    let a = p.assertion()?;
+    p.finish(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comparison_chains_with_precedence() {
+        let p = parse_pred("major == LOCK & minor == 2 | cpu < 3").unwrap();
+        // `&` binds tighter than `|`.
+        let Pred::Or(left, right) = p else {
+            panic!("expected Or at the top: {p:?}");
+        };
+        assert!(matches!(*left, Pred::And(..)));
+        assert_eq!(*right, Pred::Cmp(Field::Cpu, CmpOp::Lt, 3));
+    }
+
+    #[test]
+    fn major_names_resolve_and_print_back() {
+        let p = parse_pred("major == LOCK").unwrap();
+        assert_eq!(p, Pred::Cmp(Field::Major, CmpOp::Eq, 5));
+        assert_eq!(p.to_string(), "major == LOCK");
+        let q = parse_pred("major == 42").unwrap();
+        assert_eq!(q.to_string(), "major == 42");
+    }
+
+    #[test]
+    fn payload_and_hex_and_not() {
+        let p = parse_pred("!(payload[2] >= 0x10)").unwrap();
+        assert_eq!(
+            p,
+            Pred::Not(Box::new(Pred::Cmp(Field::Payload(2), CmpOp::Ge, 16)))
+        );
+        assert_eq!(p.to_string(), "!(payload[2] >= 16)");
+    }
+
+    #[test]
+    fn spans_and_aggs_round_trip_textually() {
+        for text in [
+            "count(true)",
+            "count(major == SCHED & minor == 1)",
+            "sum(major == CONTROL & minor == 2, payload[0])",
+            "max(cpu == 0, time)",
+            "rate(minor != 9)",
+            "max_gap(major == CONTROL & minor == 3)",
+            "max_duration(span(LOCK, 2 -> 3, key = payload[0]))",
+            "unpaired(span(LOCK, 1 -> 3, key = payload[0]))",
+        ] {
+            let agg = parse_agg(text).unwrap();
+            assert_eq!(agg.to_string(), text, "canonical text is stable");
+            assert_eq!(parse_agg(&agg.to_string()).unwrap(), agg);
+        }
+    }
+
+    #[test]
+    fn assertions_parse_and_display() {
+        let a = parse_assertion("count(major == CONTROL & minor == 2) == 0").unwrap();
+        assert_eq!(a.op, CmpOp::Eq);
+        assert_eq!(a.bound, 0);
+        assert!(a.holds(0));
+        assert!(!a.holds(3));
+        assert_eq!(a.to_string(), "count(major == CONTROL & minor == 2) == 0");
+    }
+
+    #[test]
+    fn errors_carry_position_and_reason() {
+        for (text, needle) in [
+            ("major = 5", "comparison"),
+            ("bogus == 1", "unknown field"),
+            ("major == NOPE", "unknown major"),
+        ] {
+            let err = parse_pred(text).unwrap_err();
+            assert!(
+                err.msg.contains(needle),
+                "{text:?} → {err} (wanted {needle:?})"
+            );
+        }
+        for (text, needle) in [
+            ("count(true) == 0 extra", "trailing"),
+            (
+                "max_duration(span(LOCK, 2 -> 3, key = cpu))",
+                "payload index",
+            ),
+            ("count(major == 5", "')'"),
+            ("span(LOCK, 1 -> 2, key = payload[0])", "not an aggregation"),
+            ("count(payload[99999] == 1)", "out of range"),
+            (
+                "unpaired(span(900, 1 -> 2, key = payload[0]))",
+                "out of range",
+            ),
+        ] {
+            let err = parse_assertion(text).unwrap_err();
+            assert!(
+                err.msg.contains(needle),
+                "{text:?} → {err} (wanted {needle:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_shape_survives_printing() {
+        // Right-nested And prints with parens and re-parses identically.
+        let p = Pred::And(
+            Box::new(Pred::True),
+            Box::new(Pred::And(
+                Box::new(Pred::Cmp(Field::Cpu, CmpOp::Eq, 1)),
+                Box::new(Pred::True),
+            )),
+        );
+        assert_eq!(parse_pred(&p.to_string()).unwrap(), p);
+        assert_eq!(p.to_string(), "true & (cpu == 1 & true)");
+    }
+}

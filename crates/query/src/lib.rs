@@ -1,0 +1,51 @@
+//! `ktrace-query` — the unified trace query engine.
+//!
+//! Events reach an analyst four different ways: a strict trace file, a live
+//! flight-recorder snapshot, a salvaged byte image, and a drained network
+//! stream. Before this crate, every analysis and every test hand-rolled its
+//! own walk over whichever one it happened to have. This crate unifies them:
+//!
+//! * [`source`] — the [`TraceSource`] trait and the four implementations;
+//!   every source yields one normalized [`EventSet`].
+//! * [`index`] — per-CPU and time-range random access over a loaded set
+//!   (the in-memory analogue of the §3.2 alignment-point seeks the file
+//!   reader does on disk).
+//! * [`expr`] — the predicate/aggregation expression language
+//!   (`count(major == LOCK & minor == 2) == 0`) with a canonical printer.
+//! * [`eval`] — [`Query`]: indexed evaluation plus the naive reference
+//!   interpreter it is property-tested against.
+//! * [`spec`] — named assertion specs (`props/ktrace.toml`) evaluated into
+//!   the shared verify/srclint exit-code [`Report`](ktrace_verify::Report)
+//!   (assertion band: codes 36–39).
+//!
+//! # Example
+//!
+//! ```
+//! use ktrace_query::{parse_assertion, EventSet, Query};
+//! use ktrace_format::EventRegistry;
+//!
+//! let set = EventSet::new(vec![], EventRegistry::with_builtin(), 1_000_000_000);
+//! let q = Query::new(set);
+//! let a = parse_assertion("count(major == CONTROL & minor == 2) == 0").unwrap();
+//! assert_eq!(q.check(&a), (0, true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod expr;
+pub mod index;
+pub mod source;
+pub mod spec;
+
+pub use eval::{pred_bounds, pred_matches, scan_spans, Query, SpanScan};
+pub use expr::{
+    parse_agg, parse_assertion, parse_pred, Agg, Assertion, CmpOp, Field, ParseError, Pred,
+    SpanSpec,
+};
+pub use index::{Bounds, EventIndex};
+pub use source::{
+    EventSet, FileSource, QueryError, SalvageSource, SnapshotSource, StreamSource, TraceSource,
+};
+pub use spec::{violation_kind, Property, Spec, SpecError};

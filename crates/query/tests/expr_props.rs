@@ -1,0 +1,225 @@
+//! Property tests for the query expression language.
+//!
+//! Two invariants hold for every expressible query:
+//!
+//! 1. **Round-trip**: the canonical printer output re-parses to the
+//!    identical AST (`parse(print(x)) == x`).
+//! 2. **Agreement**: the indexed evaluator and the naive reference
+//!    interpreter return the same value on any event stream.
+//!
+//! The vendored proptest stub has no recursive strategies, so ASTs are
+//! built deterministically from a generated seed via a splitmix64 word
+//! stream — every seed maps to one expression, and the proptest runner
+//! supplies the seeds.
+
+use ktrace_core::reader::RawEvent;
+use ktrace_format::{EventRegistry, MajorId};
+use ktrace_query::{
+    parse_agg, parse_assertion, parse_pred, Agg, Assertion, CmpOp, EventSet, Field, Pred, Query,
+    SpanSpec,
+};
+use proptest::prelude::*;
+
+/// Deterministic word stream (splitmix64) so a single `u64` seed expands
+/// into an arbitrarily deep expression tree.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn gen_op(g: &mut Gen) -> CmpOp {
+    match g.below(6) {
+        0 => CmpOp::Eq,
+        1 => CmpOp::Ne,
+        2 => CmpOp::Lt,
+        3 => CmpOp::Le,
+        4 => CmpOp::Gt,
+        _ => CmpOp::Ge,
+    }
+}
+
+fn gen_field(g: &mut Gen) -> Field {
+    match g.below(5) {
+        0 => Field::Major,
+        1 => Field::Minor,
+        2 => Field::Cpu,
+        3 => Field::Time,
+        _ => Field::Payload(g.below(8) as usize),
+    }
+}
+
+/// Mixes tiny values (likely to collide with event fields), boundary
+/// values, and the full domain.
+fn gen_value(g: &mut Gen) -> u64 {
+    match g.below(4) {
+        0 => g.below(16),
+        1 => g.below(2_000),
+        2 => u64::MAX - g.below(3),
+        _ => g.next(),
+    }
+}
+
+fn gen_leaf(g: &mut Gen) -> Pred {
+    if g.below(5) == 0 {
+        Pred::True
+    } else {
+        Pred::Cmp(gen_field(g), gen_op(g), gen_value(g))
+    }
+}
+
+fn gen_pred(g: &mut Gen, depth: u32) -> Pred {
+    if depth == 0 {
+        return gen_leaf(g);
+    }
+    match g.below(6) {
+        0 => Pred::Not(Box::new(gen_pred(g, depth - 1))),
+        1 => Pred::And(
+            Box::new(gen_pred(g, depth - 1)),
+            Box::new(gen_pred(g, depth - 1)),
+        ),
+        2 => Pred::Or(
+            Box::new(gen_pred(g, depth - 1)),
+            Box::new(gen_pred(g, depth - 1)),
+        ),
+        _ => gen_leaf(g),
+    }
+}
+
+fn gen_span(g: &mut Gen) -> SpanSpec {
+    SpanSpec {
+        major: MajorId::new_unchecked(g.below(64) as u8),
+        open: g.below(8) as u16,
+        close: g.below(8) as u16,
+        key: g.below(4) as usize,
+    }
+}
+
+fn gen_agg(g: &mut Gen) -> Agg {
+    let depth = g.below(4) as u32;
+    match g.below(7) {
+        0 => Agg::Count(gen_pred(g, depth)),
+        1 => Agg::Sum(gen_pred(g, depth), gen_field(g)),
+        2 => Agg::Max(gen_pred(g, depth), gen_field(g)),
+        3 => Agg::Rate(gen_pred(g, depth)),
+        4 => Agg::MaxGap(gen_pred(g, depth)),
+        5 => Agg::MaxDuration(gen_span(g)),
+        _ => Agg::Unpaired(gen_span(g)),
+    }
+}
+
+fn gen_event(g: &mut Gen) -> RawEvent {
+    // A handful of majors (some well-known, one not), small minors, short
+    // payloads of small words: dense enough that predicates and spans
+    // actually match.
+    let majors = [
+        MajorId::CONTROL,
+        MajorId::SCHED,
+        MajorId::LOCK,
+        MajorId::TEST,
+        MajorId::new_unchecked(23),
+    ];
+    let time = g.below(1_000);
+    RawEvent {
+        cpu: g.below(4) as usize,
+        seq: g.below(3),
+        offset: g.below(64) as usize,
+        time,
+        ts32: time as u32,
+        major: majors[g.below(majors.len() as u64) as usize],
+        minor: g.below(6) as u16,
+        payload: (0..g.below(4)).map(|_| g.below(16)).collect(),
+    }
+}
+
+fn gen_set(g: &mut Gen, n: usize) -> EventSet {
+    EventSet::new(
+        (0..n).map(|_| gen_event(g)).collect(),
+        EventRegistry::with_builtin(),
+        1_000,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pred_print_parse_round_trip(seed in any::<u64>()) {
+        let mut g = Gen::new(seed);
+        let pred = gen_pred(&mut g, 4);
+        let text = pred.to_string();
+        let reparsed = parse_pred(&text);
+        prop_assert_eq!(reparsed.as_ref(), Ok(&pred), "text was {:?}", text);
+        // The canonical form is a fixed point of print∘parse.
+        prop_assert_eq!(reparsed.unwrap().to_string(), text);
+    }
+
+    #[test]
+    fn assertion_print_parse_round_trip(seed in any::<u64>()) {
+        let mut g = Gen::new(seed);
+        let assertion = Assertion {
+            agg: gen_agg(&mut g),
+            op: gen_op(&mut g),
+            bound: gen_value(&mut g),
+        };
+        let text = assertion.to_string();
+        prop_assert_eq!(parse_assertion(&text).as_ref(), Ok(&assertion), "text was {:?}", text);
+        let agg_text = assertion.agg.to_string();
+        prop_assert_eq!(parse_agg(&agg_text).as_ref(), Ok(&assertion.agg), "text was {:?}", agg_text);
+    }
+
+    #[test]
+    fn indexed_evaluator_agrees_with_naive(seed in any::<u64>(), n in 0usize..120) {
+        let mut g = Gen::new(seed);
+        let set = gen_set(&mut g, n);
+        let query = Query::new(set);
+        for _ in 0..8 {
+            let agg = gen_agg(&mut g);
+            prop_assert_eq!(
+                query.eval(&agg),
+                query.eval_naive(&agg),
+                "diverged on {} over {} events (seed {})",
+                agg,
+                n,
+                seed
+            );
+        }
+    }
+
+    #[test]
+    fn window_predicates_agree_on_boundaries(seed in any::<u64>()) {
+        // Time-window predicates are the ones the index actually narrows;
+        // hammer exact boundary shapes (==, <=, off-by-one windows).
+        let mut g = Gen::new(seed);
+        let set = gen_set(&mut g, 80);
+        let query = Query::new(set);
+        let t = g.below(1_000);
+        for text in [
+            format!("count(time == {t})"),
+            format!("count(time >= {t} & time < {})", t + 1),
+            format!("count(time <= {t})"),
+            format!("count(time > {t})"),
+            format!("count(time >= {t} & time <= {t})"),
+            format!("count(cpu == {} & time >= {t})", g.below(5)),
+        ] {
+            let agg = parse_agg(&text).unwrap();
+            prop_assert_eq!(query.eval(&agg), query.eval_naive(&agg), "{}", text);
+        }
+    }
+}

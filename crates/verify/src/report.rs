@@ -5,12 +5,14 @@
 //! scripted experiment runs can tell *which* invariant broke without parsing
 //! prose.
 //!
-//! This is the **shared exit-code table** for both verifiers: `ktrace-verify`
-//! (dynamic, trace-stream checks; codes 10–20) and `ktrace-lint` (static,
-//! source-level checks; codes 30–35) draw from the same enum so a CI failure
-//! code identifies the broken invariant regardless of which tool found it.
-//! Codes 0 (clean), 1 (input unreadable), and 2 (usage error) are reserved
-//! by both CLIs and never assigned to a violation class.
+//! This is the **shared exit-code table** for every checker: `ktrace-verify`
+//! (dynamic, trace-stream checks; codes 10–20), `ktrace-lint` (static,
+//! source-level checks; codes 30–35), and the trace-assertion engine in
+//! `ktrace-query` (declarative trace properties; codes 36–39) draw from the
+//! same enum so a CI failure code identifies the broken invariant regardless
+//! of which tool found it. Codes 0 (clean), 1 (input unreadable), and
+//! 2 (usage error) are reserved by every CLI and never assigned to a
+//! violation class.
 
 use std::fmt;
 
@@ -77,6 +79,18 @@ pub enum ViolationKind {
     /// `// SAFETY:` justification (blocks) or `# Safety` doc section
     /// (functions/impls).
     UnsafeUnjustified,
+    /// Trace assertion (ktrace-query): a count/sum/rate/max bound on matching
+    /// events does not hold — e.g. "events_lost == 0 on clean runs".
+    AssertCount,
+    /// Trace assertion (ktrace-query): a REQUEST/RELEASE-style span shape
+    /// left unpaired endpoints — an open with no close, or vice versa.
+    AssertPairing,
+    /// Trace assertion (ktrace-query): a closed span exceeded its declared
+    /// maximum duration.
+    AssertDuration,
+    /// Trace assertion (ktrace-query): the gap between consecutive matching
+    /// events exceeded the declared cadence bound — e.g. a missed HEARTBEAT.
+    AssertCadence,
 }
 
 impl ViolationKind {
@@ -99,6 +113,10 @@ impl ViolationKind {
             ViolationKind::AtomicOrderViolation => 33,
             ViolationKind::LockOrderCycle => 34,
             ViolationKind::UnsafeUnjustified => 35,
+            ViolationKind::AssertCount => 36,
+            ViolationKind::AssertPairing => 37,
+            ViolationKind::AssertDuration => 38,
+            ViolationKind::AssertCadence => 39,
         }
     }
 
@@ -121,6 +139,10 @@ impl ViolationKind {
             ViolationKind::AtomicOrderViolation => "atomic-order-violation",
             ViolationKind::LockOrderCycle => "lock-order-cycle",
             ViolationKind::UnsafeUnjustified => "unsafe-unjustified",
+            ViolationKind::AssertCount => "assert-count",
+            ViolationKind::AssertPairing => "assert-pairing",
+            ViolationKind::AssertDuration => "assert-duration",
+            ViolationKind::AssertCadence => "assert-cadence",
         }
     }
 
@@ -143,6 +165,10 @@ impl ViolationKind {
             ViolationKind::AtomicOrderViolation,
             ViolationKind::LockOrderCycle,
             ViolationKind::UnsafeUnjustified,
+            ViolationKind::AssertCount,
+            ViolationKind::AssertPairing,
+            ViolationKind::AssertDuration,
+            ViolationKind::AssertCadence,
         ]
     }
 }
@@ -295,10 +321,12 @@ mod tests {
     }
 
     #[test]
-    fn static_kinds_live_in_their_own_band() {
-        // Dynamic (stream) checks: 10–29. Static (source) checks: 30+.
+    fn kinds_live_in_their_own_bands() {
+        // Dynamic (stream) checks: 10–29. Static (source) checks: 30–35.
+        // Trace assertions: 36+.
         for k in ViolationKind::all() {
-            let stat = matches!(
+            let code = k.exit_code();
+            let band = if matches!(
                 k,
                 ViolationKind::SchemaMismatch
                     | ViolationKind::IdSpaceCollision
@@ -306,8 +334,20 @@ mod tests {
                     | ViolationKind::AtomicOrderViolation
                     | ViolationKind::LockOrderCycle
                     | ViolationKind::UnsafeUnjustified
-            );
-            assert_eq!(stat, k.exit_code() >= 30, "{k} in wrong band");
+            ) {
+                (30..=35).contains(&code)
+            } else if matches!(
+                k,
+                ViolationKind::AssertCount
+                    | ViolationKind::AssertPairing
+                    | ViolationKind::AssertDuration
+                    | ViolationKind::AssertCadence
+            ) {
+                code >= 36
+            } else {
+                (10..=29).contains(&code)
+            };
+            assert!(band, "{k} (code {code}) in wrong band");
         }
     }
 

@@ -15,6 +15,8 @@
 //! ktrace-tools export-chrome <file>       Chrome/Perfetto trace JSON to stdout
 //! ktrace-tools deadlock <file>            wait-for-graph cycle search
 //! ktrace-tools salvage <file> [out]       forgiving read of a damaged file
+//! ktrace-tools assert <file> --spec <props.toml> [--salvage]
+//!                                         evaluate named trace assertions
 //! ktrace-tools top [secs] [ncpus]         live telemetry monitor over an ossim run
 //! ktrace-tools record <out> [secs] [ncpus]  run ossim, record with heartbeats
 //! ```
@@ -24,6 +26,14 @@
 //! verifier exit code for the worst damage class found (0 when the file is
 //! clean). With `[out]` it also writes a repaired file containing only the
 //! clean records, which the strict tools then accept.
+//!
+//! `assert` evaluates every named property in a `props.toml` spec (see
+//! `ktrace-query`) against the trace and exits with the shared exit-code
+//! table's assertion band: 36 for a violated count/sum/rate bound, 37 for
+//! unpaired spans, 38 for an over-long span, 39 for a cadence gap — the
+//! smallest code when several fire, 0 when all hold. With `--salvage` the
+//! file is read through the forgiving salvage reader first, so assertions
+//! can run over damaged traces.
 //!
 //! `top` runs an SDET-style ossim workload under a live session and
 //! refreshes a per-CPU telemetry table (ring occupancy, event rates, drop
@@ -41,7 +51,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ktrace-tools <list|lockstat|profile|breakdown|timeline|stats|anomalies|export-csv|export-chrome|deadlock|salvage> <trace-file> [arg]\n       ktrace-tools top [secs] [ncpus]\n       ktrace-tools record <out-file> [secs] [ncpus]"
+        "usage: ktrace-tools <list|lockstat|profile|breakdown|timeline|stats|anomalies|export-csv|export-chrome|deadlock|salvage> <trace-file> [arg]\n       ktrace-tools assert <trace-file> --spec <props.toml> [--salvage]\n       ktrace-tools top [secs] [ncpus]\n       ktrace-tools record <out-file> [secs] [ncpus]"
     );
     ExitCode::from(2)
 }
@@ -78,6 +88,59 @@ fn salvage(path: &str, repair_out: Option<&str>) -> ExitCode {
         }
     }
     ExitCode::from(lint.exit_code())
+}
+
+/// `ktrace-tools assert`: evaluate a named-property spec against a trace,
+/// exiting on the shared table's assertion band (codes 36–39).
+fn assert_cmd(path: &str, spec_path: &str, via_salvage: bool) -> ExitCode {
+    use ktrace::query::{FileSource, Query, SalvageSource, Spec, TraceSource};
+
+    let spec = match Spec::from_file(spec_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot load spec {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let query = {
+        let mut source: Box<dyn TraceSource> = if via_salvage {
+            match SalvageSource::from_file(path) {
+                Ok(s) => Box::new(s),
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            Box::new(FileSource::new(path))
+        };
+        match Query::over(source.as_mut()) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let mut checked = 0usize;
+    for p in &spec.properties {
+        let (actual, holds) = query.check(&p.assertion);
+        checked += 1;
+        println!(
+            "{} {}: {} (actual {actual})",
+            if holds { "PASS" } else { "FAIL" },
+            p.name,
+            p.assertion
+        );
+    }
+    let report = spec.check(&query);
+    println!(
+        "{} assertion(s) checked over {} event(s): {} violation(s)",
+        checked,
+        query.set().events.len(),
+        report.violations.len()
+    );
+    ExitCode::from(report.exit_code())
 }
 
 /// Builds the live-run plumbing shared by `top` and `record`: a logger with
@@ -333,6 +396,24 @@ fn main() -> ExitCode {
     // Salvage tolerates damage the strict loader below refuses.
     if cmd == "salvage" {
         return salvage(path, extra);
+    }
+    // Assert picks its own reader (strict or salvage), so it also dispatches
+    // before the strict load.
+    if cmd == "assert" {
+        let mut spec_path = None;
+        let mut via_salvage = false;
+        let mut rest = args[2..].iter();
+        while let Some(flag) = rest.next() {
+            match flag.as_str() {
+                "--spec" => spec_path = rest.next().map(String::as_str),
+                "--salvage" => via_salvage = true,
+                _ => return usage(),
+            }
+        }
+        let Some(spec_path) = spec_path else {
+            return usage();
+        };
+        return assert_cmd(path, spec_path, via_salvage);
     }
 
     let trace = match Trace::from_file(path) {

@@ -72,6 +72,7 @@ pub use ktrace_faults as faults;
 pub use ktrace_format as format;
 pub use ktrace_io as io;
 pub use ktrace_ossim as ossim;
+pub use ktrace_query as query;
 pub use ktrace_srclint as srclint;
 pub use ktrace_telemetry as telemetry;
 pub use ktrace_verify as verify;
@@ -87,6 +88,7 @@ pub mod prelude {
     pub use ktrace_core::{CpuHandle, Mode, TraceConfig, TraceLogger};
     pub use ktrace_format::{EventDescriptor, EventRegistry, FieldValue, MajorId, TraceMask};
     pub use ktrace_io::{TraceFileReader, TraceSession};
+    pub use ktrace_query::{parse_assertion, FileSource, Query, Spec, TraceSource};
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@ use ktrace::analysis::{
 use ktrace::ossim::workload::sdet;
 use ktrace::ossim::{KTracer, Machine, MachineConfig};
 use ktrace::prelude::*;
+use ktrace::query::parse_agg;
 use std::sync::Arc;
 
 fn run_sdet_to_file(path: &std::path::Path) -> u64 {
@@ -89,6 +90,22 @@ fn full_pipeline_from_simulator_to_tools() {
     let mut reader = TraceFileReader::open(&path).expect("open");
     assert!(reader.anomalies().expect("scan").is_empty());
 
+    // The standing trace properties hold on any clean run: the assertion
+    // engine over the same file reports nothing on the 36+ band.
+    let spec =
+        Spec::from_file(std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("props/ktrace.toml"))
+            .expect("spec");
+    let query = Query::over(&mut FileSource::new(&path)).expect("query");
+    let report = spec.check(&query);
+    assert!(report.violations.is_empty(), "{}", report.render());
+    assert_eq!(report.exit_code(), 0);
+    // And the engine's count agrees with the Trace the tools analyzed.
+    let data = query.eval(&parse_agg("count(!(major == CONTROL))").unwrap());
+    assert_eq!(
+        data as usize,
+        trace.events.iter().filter(|e| !e.is_control()).count()
+    );
+
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -103,19 +120,31 @@ fn random_access_windows_match_full_scan() {
     let span = trace.end() - trace.origin();
     let (t0, t1) = (trace.origin() + span / 4, trace.origin() + 3 * span / 4);
 
-    let expected: Vec<_> = trace
+    let expected = trace
         .events
         .iter()
         .filter(|e| e.time >= t0 && e.time < t1 && !e.is_control())
-        .collect();
-    let mut reader = TraceFileReader::open(&path).expect("open");
-    let got = reader.events_between(t0, t1).expect("window");
-    let got_data = got.iter().filter(|e| !e.is_control()).count();
+        .count();
+
+    // The anchor-seeking window load sees exactly the filtered full scan.
+    let window = FileSource::new(&path)
+        .load_window(t0, t1)
+        .expect("window load");
+    let count = parse_agg("count(!(major == CONTROL))").unwrap();
     assert_eq!(
-        got_data,
-        expected.len(),
+        Query::new(window).eval(&count) as usize,
+        expected,
         "window read must equal filtered full scan"
     );
+
+    // A full load narrowed by a time predicate reaches the same count
+    // through the in-memory index.
+    let query = Query::over(&mut FileSource::new(&path)).expect("full load");
+    let narrowed = parse_agg(&format!(
+        "count(time >= {t0} & time < {t1} & !(major == CONTROL))"
+    ))
+    .unwrap();
+    assert_eq!(query.eval(&narrowed) as usize, expected);
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -17,6 +17,7 @@
 use ktrace::faults::{FaultySink, SinkPlan};
 use ktrace::io::SessionConfig;
 use ktrace::prelude::*;
+use ktrace::query::{parse_agg, StreamSource};
 use ktrace::verify::{lint_file, Report};
 use std::io::Write;
 use std::sync::{Arc, Mutex};
@@ -80,13 +81,24 @@ fn lint_bytes(bytes: &[u8], tag: &str) -> Report {
     report
 }
 
-fn reconcile(report: &Report, stats: &ktrace::io::SessionStats, tag: &str) {
+fn reconcile(report: &Report, stats: &ktrace::io::SessionStats, bytes: &[u8], tag: &str) {
     assert!(report.is_clean(), "{tag}: {}", report.render());
     assert_eq!(
         report.data_events_checked as u64,
         stats.events_expected_in_file(),
         "{tag}: lint count vs snapshot accounting ({stats:?})"
     );
+    // Third book: the query engine over the captured stream agrees with
+    // both the lint's walk and the telemetry snapshot.
+    let query = Query::over(&mut StreamSource::new(bytes.to_vec()))
+        .unwrap_or_else(|e| panic!("{tag}: captured stream must load: {e}"));
+    let data = query.eval(&parse_agg("count(!(major == CONTROL))").unwrap());
+    assert_eq!(
+        data,
+        stats.events_expected_in_file(),
+        "{tag}: query count vs snapshot accounting"
+    );
+    assert_eq!(data as usize, report.data_events_checked, "{tag}");
     // The two books agree with each other, not just with the file.
     let snap = &stats.telemetry;
     assert_eq!(snap.events_logged(), stats.logger.events_logged, "{tag}");
@@ -161,10 +173,15 @@ fn multi_writer_run_reconciles_with_the_lint() {
     );
     assert!(stats.sink_alive(), "{stats:?}");
 
-    let report = lint_bytes(&out.0.lock().unwrap(), "multi-writer");
-    reconcile(&report, &stats, "multi-writer");
-    // Heartbeats are in the file but not in the data count.
+    let bytes = out.0.lock().unwrap().clone();
+    let report = lint_bytes(&bytes, "multi-writer");
+    reconcile(&report, &stats, &bytes, "multi-writer");
+    // Heartbeats are in the file but not in the data count; the query
+    // engine sees every beat that reached the stream.
     assert!(report.events_checked > report.data_events_checked);
+    let query = Query::over(&mut StreamSource::new(bytes)).unwrap();
+    let beats_in_file = query.eval(&parse_agg("count(major == CONTROL & minor == 3)").unwrap());
+    assert!(beats_in_file >= NCPUS as u64, "{beats_in_file}");
 }
 
 #[test]
@@ -196,8 +213,9 @@ fn faults_matrix_sinks_reconcile_with_the_lint() {
         }
         let stats = session.finish();
         assert!(stats.lossless(), "{tag}: {stats:?}");
-        let report = lint_bytes(&out.0.lock().unwrap(), tag);
-        reconcile(&report, &stats, tag);
+        let bytes = out.0.lock().unwrap().clone();
+        let report = lint_bytes(&bytes, tag);
+        reconcile(&report, &stats, &bytes, tag);
     }
 }
 
@@ -248,6 +266,7 @@ fn dying_sink_losses_reconcile_with_the_lint() {
 
     // Even with the sink dead mid-session, the surviving prefix is a clean
     // trace and the loss accounting is *exact*, not approximate.
-    let report = lint_bytes(&out.0.lock().unwrap(), "dying");
-    reconcile(&report, &stats, "dying");
+    let bytes = out.0.lock().unwrap().clone();
+    let report = lint_bytes(&bytes, "dying");
+    reconcile(&report, &stats, &bytes, "dying");
 }
