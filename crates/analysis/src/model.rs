@@ -164,7 +164,12 @@ pub(crate) mod testutil {
         use ktrace_clock::SyncClock;
         use ktrace_core::{TraceConfig, TraceLogger};
         use std::sync::Arc;
-        let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 1).unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(TraceConfig::small())
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(1)
+            .build()
+            .unwrap();
         ktrace_events::register_all(&logger);
         Trace::from_events(events, logger.registry(), 1_000_000_000)
     }

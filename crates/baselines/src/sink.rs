@@ -92,12 +92,12 @@ mod tests {
 
     #[test]
     fn lockless_sink_counts_through_logger() {
-        let logger = TraceLogger::new(
-            TraceConfig::small().flight_recorder(),
-            Arc::new(SyncClock::new()),
-            2,
-        )
-        .unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(TraceConfig::small().flight_recorder())
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(2)
+            .build()
+            .unwrap();
         let sink = LocklessSink::new(logger);
         assert!(sink.log(0, MajorId::TEST, 1, &[1, 2]));
         assert!(sink.log(1, MajorId::TEST, 2, &[]));

@@ -57,12 +57,12 @@ mod tests {
     use std::sync::Arc;
 
     fn sink(cost_ns: u64) -> SyscallSink {
-        let logger = TraceLogger::new(
-            TraceConfig::small().flight_recorder(),
-            Arc::new(SyncClock::new()),
-            1,
-        )
-        .unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(TraceConfig::small().flight_recorder())
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(1)
+            .build()
+            .unwrap();
         SyscallSink::new(LocklessSink::new(logger), cost_ns)
     }
 

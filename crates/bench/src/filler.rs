@@ -57,7 +57,12 @@ pub fn measure_filler(buffer_words: usize, events: usize, seed: u64) -> FillerSt
         buffers_per_cpu: 4,
         mode: Mode::Stream,
     };
-    let logger = TraceLogger::new(config, Arc::new(SyncClock::new()), 1).expect("valid config");
+    let logger = TraceLogger::builder()
+        .geometry(config)
+        .clock(Arc::new(SyncClock::new()))
+        .ncpus(1)
+        .build()
+        .expect("valid config");
     let handle = logger.handle(0).expect("cpu 0");
     let mut rng = StdRng::seed_from_u64(seed);
     let payload = [0x77u64; 16];

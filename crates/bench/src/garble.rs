@@ -28,7 +28,12 @@ pub fn overrun_accounting(attempts: u64) -> (u64, u64, u64) {
         buffers_per_cpu: 2,
         mode: Mode::Stream,
     };
-    let logger = TraceLogger::new(config, Arc::new(SyncClock::new()), 1).expect("logger");
+    let logger = TraceLogger::builder()
+        .geometry(config)
+        .clock(Arc::new(SyncClock::new()))
+        .ncpus(1)
+        .build()
+        .expect("logger");
     let handle = logger.handle(0).expect("cpu 0");
     let mut logged = 0u64;
     let mut marked = 0u64;
@@ -64,7 +69,12 @@ pub fn overrun_accounting(attempts: u64) -> (u64, u64, u64) {
 pub fn corruption_detection(records_to_corrupt: usize, seed: u64) -> (usize, usize) {
     // Build a clean in-memory trace file.
     let config = TraceConfig::small();
-    let logger = TraceLogger::new(config, Arc::new(SyncClock::new()), 1).expect("logger");
+    let logger = TraceLogger::builder()
+        .geometry(config)
+        .clock(Arc::new(SyncClock::new()))
+        .ncpus(1)
+        .build()
+        .expect("logger");
     let handle = logger.handle(0).expect("cpu 0");
     let header = FileHeader {
         ncpus: 1,

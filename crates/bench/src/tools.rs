@@ -129,18 +129,22 @@ pub fn report_fig5(fast: bool) -> String {
     let clock: Arc<ktrace_clock::SyncClock> = Arc::new(ktrace_clock::SyncClock::new());
     // Small buffers so even a short run spans many records and the
     // random-access window demonstrably touches only a few of them.
-    let logger = ktrace_core::TraceLogger::new(
-        TraceConfig {
+    let logger = ktrace_core::TraceLogger::builder()
+        .geometry(TraceConfig {
             buffer_words: 512,
             buffers_per_cpu: 16,
             ..TraceConfig::default()
-        },
-        clock.clone() as Arc<dyn ktrace_clock::ClockSource>,
-        2,
-    )
-    .expect("logger");
+        })
+        .clock(clock.clone() as Arc<dyn ktrace_clock::ClockSource>)
+        .ncpus(2)
+        .build()
+        .expect("logger");
     ktrace_events::register_all(&logger);
-    let session = TraceSession::create(&path, logger.clone(), clock.as_ref()).expect("session");
+    let session = TraceSession::builder()
+        .logger(logger.clone())
+        .clock(clock.clone())
+        .create(&path)
+        .expect("session");
     let machine = Machine::new(MachineConfig::fast_test(2), Arc::new(KTracer::new(logger)));
     let scripts = if fast { 4 } else { 8 };
     machine.run(sdet::build(sdet::SdetConfig {

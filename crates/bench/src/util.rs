@@ -14,17 +14,19 @@ pub fn full_requested() -> bool {
 /// A flight-recorder logger suitable for hot-loop measurement (never blocks
 /// on a consumer).
 pub fn bench_logger(ncpus: usize) -> TraceLogger {
-    TraceLogger::new(
-        TraceConfig {
-            buffer_words: 16 * 1024,
-            buffers_per_cpu: 8,
-            ..TraceConfig::default()
-        }
-        .flight_recorder(),
-        Arc::new(SyncClock::new()),
-        ncpus,
-    )
-    .expect("valid bench config")
+    TraceLogger::builder()
+        .geometry(
+            TraceConfig {
+                buffer_words: 16 * 1024,
+                buffers_per_cpu: 8,
+                ..TraceConfig::default()
+            }
+            .flight_recorder(),
+        )
+        .clock(Arc::new(SyncClock::new()))
+        .ncpus(ncpus)
+        .build()
+        .expect("valid bench config")
 }
 
 /// Times `iters` executions of `f`, returning mean nanoseconds per call.

@@ -1,0 +1,802 @@
+//! The aggregation service: accept, shard, account, store.
+//!
+//! One reader thread per connection parses the stream into whole records
+//! and hands each to a store worker over a **bounded** queue. A node always
+//! hashes to the same worker, so its records are stored in arrival order
+//! with no cross-worker contention. When a queue is full the record is
+//! **dropped and counted** — backpressure reaches the node's accounting,
+//! never its socket, so a slow disk cannot wedge the fleet (the same
+//! degrade-don't-wedge contract as the session drainer in
+//! `ktrace-io::session`).
+//!
+//! Exact accounting is the invariant everything else leans on: every
+//! well-formed record's data events land in exactly one of *stored* or
+//! *dropped*, so `events_stored + events_dropped == events_received` holds
+//! per node at all times — the reconciliation the fleet tests pin.
+
+use crate::proto;
+use crate::scrape;
+use crate::store::NodeStore;
+use ktrace_core::parse_buffer;
+use ktrace_format::ids::control;
+use ktrace_io::file::{decode_record_header, RECORD_HEADER_BYTES};
+use ktrace_io::FileHeader;
+use std::collections::{BTreeMap, HashMap};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Collector tuning. The defaults suit tests and small fleets; production
+/// mostly raises `queue_depth` and `records_per_shard`.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Root of the on-disk store (`<store>/<node>/shard-NNNN.ktrace`).
+    pub store_dir: PathBuf,
+    /// Store worker threads; each owns the stores of the nodes hashed to
+    /// it.
+    pub shards: usize,
+    /// Bound of each worker's ingest queue, records. A full queue turns
+    /// arrivals into counted drops.
+    pub queue_depth: usize,
+    /// Records per shard file before rolling to the next.
+    pub records_per_shard: u64,
+    /// Socket read timeout — the cadence at which reader threads notice a
+    /// shutdown request.
+    pub read_timeout: Duration,
+    /// Artificial per-record store latency. A test drill: drags the workers
+    /// so bounded queues overflow and the drop path is exercised.
+    pub store_write_delay: Option<Duration>,
+}
+
+impl CollectorConfig {
+    /// Defaults rooted at `store_dir`: 4 shards, 256-record queues,
+    /// 4096-record shard files.
+    pub fn new(store_dir: impl Into<PathBuf>) -> CollectorConfig {
+        CollectorConfig {
+            store_dir: store_dir.into(),
+            shards: 4,
+            queue_depth: 256,
+            records_per_shard: 4096,
+            read_timeout: Duration::from_millis(25),
+            store_write_delay: None,
+        }
+    }
+}
+
+/// Why the collector could not start.
+#[derive(Debug)]
+pub enum CollectError {
+    /// The listen or scrape socket could not be bound.
+    Bind(std::io::Error),
+    /// The store directory could not be created.
+    Store(std::io::Error),
+}
+
+impl std::fmt::Display for CollectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectError::Bind(e) => write!(f, "cannot bind collector socket: {e}"),
+            CollectError::Store(e) => write!(f, "cannot create collector store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CollectError {}
+
+impl CollectError {
+    /// The shared-table exit code for this failure
+    /// ([`exit::COLLECT_BIND`](crate::exit::COLLECT_BIND) /
+    /// [`exit::COLLECT_STORE`](crate::exit::COLLECT_STORE)).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CollectError::Bind(_) => crate::exit::COLLECT_BIND,
+            CollectError::Store(_) => crate::exit::COLLECT_STORE,
+        }
+    }
+}
+
+/// Live per-node accounting, shared between the node's reader thread, its
+/// store worker, the scrape endpoint, and summaries. Plain counters under
+/// relaxed ordering: every value is a statistic, ordered by the happens-
+/// before edges of the queue hand-off.
+pub(crate) struct NodeState {
+    pub(crate) name: String,
+    pub(crate) records_received: AtomicU64,
+    pub(crate) records_stored: AtomicU64,
+    pub(crate) records_dropped: AtomicU64,
+    pub(crate) records_garbled: AtomicU64,
+    pub(crate) events_received: AtomicU64,
+    pub(crate) events_stored: AtomicU64,
+    pub(crate) events_dropped: AtomicU64,
+    pub(crate) bytes_received: AtomicU64,
+    pub(crate) torn_tail_bytes: AtomicU64,
+    pub(crate) connects: AtomicU64,
+    pub(crate) live_connections: AtomicU64,
+    pub(crate) heartbeats_seen: AtomicU64,
+    pub(crate) ticks_per_sec: AtomicU64,
+    /// Latest HEARTBEAT payload per CPU, as logged by the node itself.
+    pub(crate) beats: Mutex<BTreeMap<usize, [u64; control::HEARTBEAT_WORDS]>>,
+}
+
+impl NodeState {
+    fn new(name: String) -> NodeState {
+        NodeState {
+            name,
+            records_received: AtomicU64::new(0),
+            records_stored: AtomicU64::new(0),
+            records_dropped: AtomicU64::new(0),
+            records_garbled: AtomicU64::new(0),
+            events_received: AtomicU64::new(0),
+            events_stored: AtomicU64::new(0),
+            events_dropped: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            torn_tail_bytes: AtomicU64::new(0),
+            connects: AtomicU64::new(0),
+            live_connections: AtomicU64::new(0),
+            heartbeats_seen: AtomicU64::new(0),
+            ticks_per_sec: AtomicU64::new(0),
+            beats: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn note_heartbeat(&self, payload: &[u64]) {
+        let Ok(words) = <[u64; control::HEARTBEAT_WORDS]>::try_from(payload) else {
+            return;
+        };
+        self.heartbeats_seen.fetch_add(1, Ordering::Relaxed);
+        let cpu = words[0] as usize;
+        self.beats.lock().expect("beats lock").insert(cpu, words);
+    }
+
+    pub(crate) fn summary(&self) -> NodeSummary {
+        NodeSummary {
+            name: self.name.clone(),
+            records_received: self.records_received.load(Ordering::Relaxed),
+            records_stored: self.records_stored.load(Ordering::Relaxed),
+            records_dropped: self.records_dropped.load(Ordering::Relaxed),
+            records_garbled: self.records_garbled.load(Ordering::Relaxed),
+            events_received: self.events_received.load(Ordering::Relaxed),
+            events_stored: self.events_stored.load(Ordering::Relaxed),
+            events_dropped: self.events_dropped.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            torn_tail_bytes: self.torn_tail_bytes.load(Ordering::Relaxed),
+            connects: self.connects.load(Ordering::Relaxed),
+            live_connections: self.live_connections.load(Ordering::Relaxed),
+            heartbeats_seen: self.heartbeats_seen.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The collector's own self-metrics.
+#[derive(Default)]
+pub(crate) struct SelfStats {
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) connections_rejected: AtomicU64,
+    pub(crate) scrapes_served: AtomicU64,
+}
+
+/// State shared by every collector thread.
+pub(crate) struct Shared {
+    pub(crate) config: CollectorConfig,
+    pub(crate) stop: AtomicBool,
+    pub(crate) nodes: Mutex<BTreeMap<String, Arc<NodeState>>>,
+    pub(crate) stats: SelfStats,
+}
+
+impl Shared {
+    pub(crate) fn node_entry(&self, name: &str) -> Arc<NodeState> {
+        let mut nodes = self.nodes.lock().expect("nodes lock");
+        nodes
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(NodeState::new(name.to_string())))
+            .clone()
+    }
+
+    pub(crate) fn node_states(&self) -> Vec<Arc<NodeState>> {
+        self.nodes
+            .lock()
+            .expect("nodes lock")
+            .values()
+            .cloned()
+            .collect()
+    }
+}
+
+/// Final (or live) accounting for one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSummary {
+    /// The node's wire name.
+    pub name: String,
+    /// Well-formed records read off the wire.
+    pub records_received: u64,
+    /// Records written into the store.
+    pub records_stored: u64,
+    /// Records dropped — queue overflow or store failure — instead of
+    /// blocking the stream.
+    pub records_dropped: u64,
+    /// Records abandoned because the stream desynced (bad record magic).
+    pub records_garbled: u64,
+    /// Data events inside received records.
+    pub events_received: u64,
+    /// Data events inside stored records.
+    pub events_stored: u64,
+    /// Data events inside dropped records.
+    pub events_dropped: u64,
+    /// Payload bytes received (records only, not the hello or header).
+    pub bytes_received: u64,
+    /// Bytes of a final partial record cut off by a dead connection.
+    pub torn_tail_bytes: u64,
+    /// Connections this node has opened.
+    pub connects: u64,
+    /// Connections currently open.
+    pub live_connections: u64,
+    /// HEARTBEAT events observed in the stream.
+    pub heartbeats_seen: u64,
+}
+
+impl NodeSummary {
+    /// The conservation law: every received event was stored or counted as
+    /// dropped.
+    pub fn reconciled(&self) -> bool {
+        self.events_stored + self.events_dropped == self.events_received
+            && self.records_stored + self.records_dropped == self.records_received
+    }
+
+    /// True if nothing was dropped, torn, or garbled.
+    pub fn lossless(&self) -> bool {
+        self.records_dropped == 0 && self.records_garbled == 0 && self.torn_tail_bytes == 0
+    }
+}
+
+/// Fleet-wide accounting, from [`Collector::summary`] or
+/// [`Collector::shutdown`].
+#[derive(Debug, Clone, Default)]
+pub struct FleetSummary {
+    /// Per-node accounting, name-sorted.
+    pub nodes: Vec<NodeSummary>,
+}
+
+impl FleetSummary {
+    /// The named node's summary.
+    pub fn node(&self, name: &str) -> Option<&NodeSummary> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// True if every node's accounting reconciles (see
+    /// [`NodeSummary::reconciled`]).
+    pub fn reconciled(&self) -> bool {
+        self.nodes.iter().all(|n| n.reconciled())
+    }
+
+    /// Total records dropped across the fleet.
+    pub fn records_dropped(&self) -> u64 {
+        self.nodes.iter().map(|n| n.records_dropped).sum()
+    }
+
+    /// Total data events stored across the fleet.
+    pub fn events_stored(&self) -> u64 {
+        self.nodes.iter().map(|n| n.events_stored).sum()
+    }
+
+    /// A one-line-per-node table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<20} {:>9} {:>9} {:>8} {:>10} {:>10} {:>9} {:>6}",
+            "node", "records", "stored", "dropped", "events", "ev-stored", "ev-drop", "beats"
+        );
+        for n in &self.nodes {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>9} {:>9} {:>8} {:>10} {:>10} {:>9} {:>6}{}",
+                n.name,
+                n.records_received,
+                n.records_stored,
+                n.records_dropped,
+                n.events_received,
+                n.events_stored,
+                n.events_dropped,
+                n.heartbeats_seen,
+                if n.torn_tail_bytes > 0 {
+                    format!("  (torn tail: {} B)", n.torn_tail_bytes)
+                } else {
+                    String::new()
+                }
+            );
+        }
+        out
+    }
+}
+
+/// One record queued from a reader to a store worker.
+struct StoreJob {
+    node: Arc<NodeState>,
+    header_bytes: Arc<Vec<u8>>,
+    record_size: usize,
+    bytes: Vec<u8>,
+    data_events: u64,
+}
+
+/// A `Read` over a timeout-bearing socket that turns a shutdown request
+/// into EOF: transient timeouts loop, unless `stop` is set, in which case
+/// the reader sees a clean end-of-stream and unwinds. This is what makes
+/// "the collector never wedges" a structural property — every blocking read
+/// has a bounded wait and a stop check.
+struct PatientReader<'a> {
+    conn: &'a TcpStream,
+    stop: &'a AtomicBool,
+}
+
+impl Read for PatientReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.conn.read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if self.stop.load(Ordering::Acquire) {
+                        return Ok(0);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Reads as much of `buf` as the stream yields before EOF. `Ok(n)` with
+/// `n < buf.len()` is a torn tail.
+fn read_up_to(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut at = 0;
+    while at < buf.len() {
+        match r.read(&mut buf[at..]) {
+            Ok(0) => break,
+            Ok(n) => at += n,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(at)
+}
+
+/// Stable tiny string hash (FNV-1a) for node→shard assignment.
+fn shard_of(name: &str, shards: usize) -> usize {
+    let h = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    });
+    (h % shards as u64) as usize
+}
+
+/// One connection, hello to EOF.
+fn serve_connection(conn: TcpStream, shared: &Shared, senders: &[SyncSender<StoreJob>]) {
+    let mut r = PatientReader {
+        conn: &conn,
+        stop: &shared.stop,
+    };
+    let (name, header_bytes) = match proto::read_hello(&mut r)
+        .and_then(|name| proto::read_header_bytes(&mut r).map(|h| (name, h)))
+    {
+        Ok(v) => v,
+        Err(_) => {
+            shared
+                .stats
+                .connections_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    };
+    let Ok((header, _)) = FileHeader::decode(&header_bytes) else {
+        shared
+            .stats
+            .connections_rejected
+            .fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let record_size = header.record_size();
+    let node = shared.node_entry(&name);
+    node.connects.fetch_add(1, Ordering::Relaxed);
+    node.live_connections.fetch_add(1, Ordering::Relaxed);
+    node.ticks_per_sec
+        .store(header.ticks_per_sec, Ordering::Relaxed);
+    let tx = &senders[shard_of(&name, senders.len())];
+    let header_bytes = Arc::new(header_bytes);
+
+    let mut buf = vec![0u8; record_size];
+    while let Ok(got) = read_up_to(&mut r, &mut buf) {
+        if got == 0 {
+            break; // clean EOF (or shutdown)
+        }
+        if got < record_size {
+            node.torn_tail_bytes
+                .fetch_add(got as u64, Ordering::Relaxed);
+            break;
+        }
+        let Ok((cpu, seq, _complete)) = decode_record_header(&buf, 0) else {
+            // Desynced: without record alignment nothing downstream is
+            // trustworthy. Abandon the connection, visibly.
+            node.records_garbled.fetch_add(1, Ordering::Relaxed);
+            break;
+        };
+        // Parse once, here: exact event accounting for the drop path and
+        // heartbeat capture for health, whatever the store decides.
+        let words: Vec<u64> = buf[RECORD_HEADER_BYTES..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        let parsed = parse_buffer(cpu as usize, seq, &words, None);
+        let data_events = parsed.data_events().count() as u64;
+        for e in &parsed.events {
+            if e.is_control() && e.minor == control::HEARTBEAT {
+                node.note_heartbeat(&e.payload);
+            }
+        }
+        node.records_received.fetch_add(1, Ordering::Relaxed);
+        node.events_received
+            .fetch_add(data_events, Ordering::Relaxed);
+        node.bytes_received.fetch_add(got as u64, Ordering::Relaxed);
+        let job = StoreJob {
+            node: node.clone(),
+            header_bytes: header_bytes.clone(),
+            record_size,
+            bytes: buf.clone(),
+            data_events,
+        };
+        match tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(job)) => {
+                // The bounded-queue contract: never block the stream.
+                job.node.records_dropped.fetch_add(1, Ordering::Relaxed);
+                job.node
+                    .events_dropped
+                    .fetch_add(job.data_events, Ordering::Relaxed);
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    node.live_connections.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// One store worker: owns the `NodeStore`s of every node hashed to it.
+/// Exits when all senders are dropped (shutdown), after draining the queue
+/// and flushing every store.
+fn store_worker(rx: Receiver<StoreJob>, shared: &Shared) {
+    let mut stores: HashMap<String, NodeStore> = HashMap::new();
+    while let Ok(job) = rx.recv() {
+        if let Some(delay) = shared.config.store_write_delay {
+            std::thread::sleep(delay);
+        }
+        let name = job.node.name.clone();
+        // A reconnect with different geometry gets a fresh store (shard
+        // numbering continues; every shard is self-describing).
+        if stores
+            .get(&name)
+            .is_some_and(|s| s.record_size() != job.record_size)
+        {
+            if let Some(mut old) = stores.remove(&name) {
+                let _ = old.finish();
+            }
+        }
+        let store = match stores.entry(name) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                match NodeStore::create(
+                    &shared.config.store_dir,
+                    &job.node.name,
+                    job.header_bytes.as_ref().clone(),
+                    job.record_size,
+                    shared.config.records_per_shard,
+                ) {
+                    Ok(s) => e.insert(s),
+                    Err(_) => {
+                        job.node.records_dropped.fetch_add(1, Ordering::Relaxed);
+                        job.node
+                            .events_dropped
+                            .fetch_add(job.data_events, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+            }
+        };
+        match store.append(&job.bytes) {
+            Ok(()) => {
+                job.node.records_stored.fetch_add(1, Ordering::Relaxed);
+                job.node
+                    .events_stored
+                    .fetch_add(job.data_events, Ordering::Relaxed);
+            }
+            Err(_) => {
+                job.node.records_dropped.fetch_add(1, Ordering::Relaxed);
+                job.node
+                    .events_dropped
+                    .fetch_add(job.data_events, Ordering::Relaxed);
+            }
+        }
+    }
+    for store in stores.values_mut() {
+        let _ = store.finish();
+    }
+}
+
+/// The running aggregation service. Dropping it (or calling
+/// [`shutdown`](Collector::shutdown)) stops every thread; no thread ever
+/// blocks without a stop check, so teardown is prompt even with nodes
+/// mid-stream.
+pub struct Collector {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    scrape_addr: SocketAddr,
+    senders: Vec<SyncSender<StoreJob>>,
+    workers: Vec<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+    scraper: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Collector {
+    /// Binds the ingest socket at `addr` (plus a loopback scrape socket on
+    /// an ephemeral port) and starts the service.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: CollectorConfig,
+    ) -> Result<Collector, CollectError> {
+        std::fs::create_dir_all(&config.store_dir).map_err(CollectError::Store)?;
+        let listener = TcpListener::bind(addr).map_err(CollectError::Bind)?;
+        listener.set_nonblocking(true).map_err(CollectError::Bind)?;
+        let local = listener.local_addr().map_err(CollectError::Bind)?;
+        let scrape_listener = TcpListener::bind("127.0.0.1:0").map_err(CollectError::Bind)?;
+        let scrape_addr = scrape_listener.local_addr().map_err(CollectError::Bind)?;
+
+        let shared = Arc::new(Shared {
+            config,
+            stop: AtomicBool::new(false),
+            nodes: Mutex::new(BTreeMap::new()),
+            stats: SelfStats::default(),
+        });
+
+        let shards = shared.config.shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = std::sync::mpsc::sync_channel(shared.config.queue_depth.max(1));
+            senders.push(tx);
+            let shared2 = shared.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("collectd-store-{i}"))
+                    .spawn(move || store_worker(rx, &shared2))
+                    .expect("spawn store worker"),
+            );
+        }
+
+        let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let shared2 = shared.clone();
+            let senders2 = senders.clone();
+            let readers2 = readers.clone();
+            std::thread::Builder::new()
+                .name("collectd-accept".into())
+                .spawn(move || {
+                    while !shared2.stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((conn, _peer)) => {
+                                shared2
+                                    .stats
+                                    .connections_accepted
+                                    .fetch_add(1, Ordering::Relaxed);
+                                let _ = conn.set_nonblocking(false);
+                                let _ = conn.set_read_timeout(Some(shared2.config.read_timeout));
+                                let shared3 = shared2.clone();
+                                let senders3 = senders2.clone();
+                                let handle = std::thread::Builder::new()
+                                    .name("collectd-reader".into())
+                                    .spawn(move || serve_connection(conn, &shared3, &senders3))
+                                    .expect("spawn reader");
+                                readers2.lock().expect("readers lock").push(handle);
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                        }
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+
+        let scraper = {
+            let shared2 = shared.clone();
+            std::thread::Builder::new()
+                .name("collectd-scrape".into())
+                .spawn(move || scrape::scrape_loop(scrape_listener, &shared2))
+                .expect("spawn scraper")
+        };
+
+        Ok(Collector {
+            shared,
+            addr: local,
+            scrape_addr,
+            senders,
+            workers,
+            acceptor: Some(acceptor),
+            scraper: Some(scraper),
+            readers,
+        })
+    }
+
+    /// The ingest address nodes connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The HTTP scrape address (`GET /metrics`, `GET /nodes`).
+    pub fn scrape_addr(&self) -> SocketAddr {
+        self.scrape_addr
+    }
+
+    /// A live fleet snapshot.
+    pub fn summary(&self) -> FleetSummary {
+        FleetSummary {
+            nodes: self
+                .shared
+                .node_states()
+                .iter()
+                .map(|n| n.summary())
+                .collect(),
+        }
+    }
+
+    /// Stops accepting, unwinds every reader, drains the store queues,
+    /// flushes every shard, and returns the final accounting.
+    pub fn shutdown(mut self) -> FleetSummary {
+        self.stop_threads();
+        self.summary()
+    }
+
+    fn stop_threads(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scraper.take() {
+            let _ = h.join();
+        }
+        let readers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.readers.lock().expect("readers lock"));
+        for h in readers {
+            let _ = h.join();
+        }
+        // Dropping the senders ends the workers' recv loops; they drain
+        // what is queued and flush.
+        self.senders.clear();
+        for h in std::mem::take(&mut self.workers) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node;
+    use ktrace_core::TraceConfig;
+    use ktrace_format::MajorId;
+    use ktrace_io::{TraceFileReader, TraceSession};
+    use ktrace_testutil::TempDir;
+
+    #[test]
+    fn one_node_round_trips_through_the_store() {
+        let tmp = TempDir::new("collect-one");
+        let mut config = CollectorConfig::new(tmp.path());
+        config.records_per_shard = 4;
+        let collector = Collector::bind("127.0.0.1:0", config).unwrap();
+
+        let sink = node::connect(collector.local_addr(), "solo").unwrap();
+        let session = TraceSession::builder()
+            .geometry(TraceConfig::small())
+            .ncpus(2)
+            .start(sink)
+            .unwrap();
+        let mut logged = 0u64;
+        for i in 0..2_000u64 {
+            for cpu in 0..2 {
+                if session
+                    .logger()
+                    .handle(cpu)
+                    .unwrap()
+                    .log2(MajorId::TEST, cpu as u16, i, i)
+                {
+                    logged += 1;
+                }
+            }
+        }
+        let stats = session.finish();
+        assert!(stats.lossless(), "{stats:?}");
+
+        let summary = wait_for_drain(&collector, "solo", stats.records_written);
+        let n = summary.node("solo").expect("node registered");
+        assert!(n.reconciled(), "{n:?}");
+        assert!(n.lossless(), "{n:?}");
+        assert_eq!(n.records_received, stats.records_written);
+        assert_eq!(n.events_received, logged);
+        assert_eq!(n.events_stored, logged);
+        drop(summary);
+        let final_summary = collector.shutdown();
+        assert!(final_summary.reconciled());
+
+        // The store is a sequence of valid, strictly readable trace files.
+        let shards = crate::store::shard_paths(tmp.path(), "solo");
+        assert!(shards.len() > 1, "rolling actually rolled: {shards:?}");
+        let mut stored = 0u64;
+        for shard in &shards {
+            let mut r = TraceFileReader::open(shard).unwrap();
+            stored += r.events().unwrap().filter(|e| !e.is_control()).count() as u64;
+        }
+        assert_eq!(stored, logged);
+    }
+
+    /// Polls until the node's stored+dropped records reach `records` (the
+    /// queues are asynchronous), panicking after a bounded wait.
+    fn wait_for_drain(collector: &Collector, name: &str, records: u64) -> FleetSummary {
+        for _ in 0..500 {
+            let s = collector.summary();
+            if let Some(n) = s.node(name) {
+                if n.records_stored + n.records_dropped >= records {
+                    return s;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("collector never drained {records} records for {name}");
+    }
+
+    #[test]
+    fn garbage_connections_are_rejected_not_fatal() {
+        let tmp = TempDir::new("collect-garbage");
+        let collector = Collector::bind("127.0.0.1:0", CollectorConfig::new(tmp.path())).unwrap();
+        {
+            use std::io::Write as _;
+            let mut conn = TcpStream::connect(collector.local_addr()).unwrap();
+            conn.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        }
+        for _ in 0..500 {
+            if collector
+                .shared
+                .stats
+                .connections_rejected
+                .load(Ordering::Relaxed)
+                > 0
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            collector
+                .shared
+                .stats
+                .connections_rejected
+                .load(Ordering::Relaxed),
+            1
+        );
+        let summary = collector.shutdown();
+        assert!(summary.nodes.is_empty());
+    }
+}

@@ -1,0 +1,247 @@
+//! Fleet health, reconstructed from the streams themselves.
+//!
+//! Each node's session periodically logs `CONTROL`/`HEARTBEAT` events whose
+//! payload is a snapshot of the node's own telemetry
+//! ([`control::HEARTBEAT_METRICS`]). The collector captures the latest beat
+//! per `(node, cpu)` as records arrive, so fleet health needs no side
+//! channel: a node's scrape rows are decoded back out of its trace stream
+//! and rendered with the same `ktrace-telemetry` exposition the node itself
+//! would serve, just with a `node` label in front.
+
+use crate::collector::Shared;
+use ktrace_format::ids::control;
+use ktrace_telemetry::snapshot::{CpuTelemetry, SinkTelemetry, TelemetrySnapshot};
+use ktrace_telemetry::to_prometheus_labeled;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+/// Rebuilds a [`TelemetrySnapshot`] from the latest heartbeat payload of
+/// each CPU. Per-CPU counters map index-for-index from
+/// [`control::HEARTBEAT_METRICS`]; the sink counters (which every CPU's
+/// beat reports identically-or-staler) take the maximum across beats.
+/// Histograms are not carried by heartbeats and come back empty.
+pub fn snapshot_from_beats(beats: &[[u64; control::HEARTBEAT_WORDS]]) -> TelemetrySnapshot {
+    let field = |name: &str| -> usize {
+        control::HEARTBEAT_METRICS
+            .iter()
+            .position(|m| *m == name)
+            .expect("heartbeat metric name")
+            + 1
+    };
+    let per_cpu = beats
+        .iter()
+        .map(|b| CpuTelemetry {
+            cpu: b[0] as usize,
+            events_logged: b[field("events_logged")],
+            events_masked: b[field("events_masked")],
+            events_dropped: b[field("events_dropped")],
+            cas_retries: b[field("cas_retries")],
+            filler_words: b[field("filler_words")],
+            buffer_wraps: b[field("buffer_wraps")],
+            flight_overwrites: b[field("flight_overwrites")],
+            ..CpuTelemetry::default()
+        })
+        .collect();
+    let max_of = |name: &str| -> u64 { beats.iter().map(|b| b[field(name)]).max().unwrap_or(0) };
+    TelemetrySnapshot {
+        per_cpu,
+        sink: SinkTelemetry {
+            records_written: max_of("sink_records_written"),
+            buffers_dropped: max_of("sink_buffers_dropped"),
+            ..SinkTelemetry::default()
+        },
+        salvage: Default::default(),
+    }
+}
+
+fn counter(out: &mut String, name: &str, help: &str, rows: &[(String, u64)]) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    for (labels, v) in rows {
+        let _ = writeln!(out, "{name}{{{labels}}} {v}");
+    }
+}
+
+/// Renders the whole scrape body: collector self-metrics, per-node ingest
+/// accounting, then each node's heartbeat-derived telemetry under a `node`
+/// label.
+pub(crate) fn render_fleet_metrics(shared: &Shared) -> String {
+    let mut out = String::new();
+    let self_row = |name: &str, help: &str, v: u64| -> String {
+        format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n")
+    };
+    out.push_str(&self_row(
+        "ktrace_collectd_connections_accepted_total",
+        "Connections accepted by the collector.",
+        shared.stats.connections_accepted.load(Ordering::Relaxed),
+    ));
+    out.push_str(&self_row(
+        "ktrace_collectd_connections_rejected_total",
+        "Connections dropped before a valid hello and header.",
+        shared.stats.connections_rejected.load(Ordering::Relaxed),
+    ));
+    out.push_str(&self_row(
+        "ktrace_collectd_scrapes_served_total",
+        "Scrape requests served.",
+        shared.stats.scrapes_served.load(Ordering::Relaxed),
+    ));
+
+    let nodes = shared.node_states();
+    out.push_str("# HELP ktrace_collectd_nodes Nodes that have connected.\n");
+    out.push_str("# TYPE ktrace_collectd_nodes gauge\n");
+    let _ = writeln!(out, "ktrace_collectd_nodes {}", nodes.len());
+
+    let rows = |f: &dyn Fn(&crate::collector::NodeSummary) -> Vec<(String, u64)>| {
+        nodes
+            .iter()
+            .flat_map(|n| f(&n.summary()))
+            .collect::<Vec<_>>()
+    };
+    counter(
+        &mut out,
+        "ktrace_collectd_records_total",
+        "Records by ingest outcome; stored + dropped == received.",
+        &rows(&|s| {
+            vec![
+                (
+                    format!("node=\"{}\",outcome=\"stored\"", s.name),
+                    s.records_stored,
+                ),
+                (
+                    format!("node=\"{}\",outcome=\"dropped\"", s.name),
+                    s.records_dropped,
+                ),
+                (
+                    format!("node=\"{}\",outcome=\"garbled\"", s.name),
+                    s.records_garbled,
+                ),
+            ]
+        }),
+    );
+    counter(
+        &mut out,
+        "ktrace_collectd_events_total",
+        "Data events by ingest outcome; stored + dropped == received.",
+        &rows(&|s| {
+            vec![
+                (
+                    format!("node=\"{}\",outcome=\"stored\"", s.name),
+                    s.events_stored,
+                ),
+                (
+                    format!("node=\"{}\",outcome=\"dropped\"", s.name),
+                    s.events_dropped,
+                ),
+            ]
+        }),
+    );
+    counter(
+        &mut out,
+        "ktrace_collectd_bytes_received_total",
+        "Record bytes received per node.",
+        &rows(&|s| vec![(format!("node=\"{}\"", s.name), s.bytes_received)]),
+    );
+    counter(
+        &mut out,
+        "ktrace_collectd_torn_tail_bytes_total",
+        "Bytes of partial final records cut off by dead connections.",
+        &rows(&|s| vec![(format!("node=\"{}\"", s.name), s.torn_tail_bytes)]),
+    );
+    counter(
+        &mut out,
+        "ktrace_collectd_live_connections",
+        "Connections currently open per node.",
+        &rows(&|s| vec![(format!("node=\"{}\"", s.name), s.live_connections)]),
+    );
+    counter(
+        &mut out,
+        "ktrace_collectd_heartbeats_seen_total",
+        "HEARTBEAT events observed in each node's stream.",
+        &rows(&|s| vec![(format!("node=\"{}\"", s.name), s.heartbeats_seen)]),
+    );
+
+    for node in &nodes {
+        let beats: Vec<[u64; control::HEARTBEAT_WORDS]> = node
+            .beats
+            .lock()
+            .expect("beats lock")
+            .values()
+            .copied()
+            .collect();
+        if beats.is_empty() {
+            continue;
+        }
+        let snap = snapshot_from_beats(&beats);
+        out.push_str(&to_prometheus_labeled(&snap, &[("node", &node.name)]));
+    }
+    out
+}
+
+/// Renders the `/nodes` JSON document: live per-node ingest accounting.
+pub(crate) fn render_nodes_json(shared: &Shared) -> String {
+    let mut out = String::from("[");
+    for (i, node) in shared.node_states().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let s = node.summary();
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"records_received\":{},\"records_stored\":{},\
+             \"records_dropped\":{},\"records_garbled\":{},\"events_received\":{},\
+             \"events_stored\":{},\"events_dropped\":{},\"bytes_received\":{},\
+             \"torn_tail_bytes\":{},\"connects\":{},\"live_connections\":{},\
+             \"heartbeats_seen\":{},\"reconciled\":{}}}",
+            s.name,
+            s.records_received,
+            s.records_stored,
+            s.records_dropped,
+            s.records_garbled,
+            s.events_received,
+            s.events_stored,
+            s.events_dropped,
+            s.bytes_received,
+            s.torn_tail_bytes,
+            s.connects,
+            s.live_connections,
+            s.heartbeats_seen,
+            s.reconciled(),
+        );
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_rebuild_a_snapshot() {
+        // A beat per CPU, in HEARTBEAT payload order:
+        // [cpu, logged, masked, dropped, cas, filler, wraps, overwrites,
+        //  sink_records, sink_dropped].
+        let beats = [
+            [0u64, 100, 2, 1, 7, 40, 5, 0, 12, 1],
+            [1u64, 90, 0, 0, 3, 32, 4, 0, 13, 1],
+        ];
+        let snap = snapshot_from_beats(&beats);
+        assert_eq!(snap.per_cpu.len(), 2);
+        assert_eq!(snap.per_cpu[0].events_logged, 100);
+        assert_eq!(snap.per_cpu[0].cas_retries, 7);
+        assert_eq!(snap.per_cpu[1].filler_words, 32);
+        assert_eq!(snap.events_logged(), 190);
+        // Sink counters are fleet-of-one maxima across the CPUs' beats.
+        assert_eq!(snap.sink.records_written, 13);
+        assert_eq!(snap.sink.buffers_dropped, 1);
+        assert_eq!(snap.salvage.runs, 0);
+    }
+
+    #[test]
+    fn labeled_exposition_carries_the_node() {
+        let beats = [[0u64, 10, 0, 0, 0, 0, 0, 0, 1, 0]];
+        let snap = snapshot_from_beats(&beats);
+        let text = to_prometheus_labeled(&snap, &[("node", "db-1")]);
+        assert!(text.contains("ktrace_events_logged_total{node=\"db-1\",cpu=\"0\"} 10"));
+    }
+}

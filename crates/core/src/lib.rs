@@ -15,7 +15,7 @@
 //! use ktrace_clock::SyncClock;
 //! use std::sync::Arc;
 //!
-//! let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 2).unwrap();
+//! let logger = TraceLogger::builder().geometry(TraceConfig::small()).clock(Arc::new(SyncClock::new())).ncpus(2).build().unwrap();
 //! let h = logger.handle(0).unwrap(); // bind this thread to "CPU 0"'s buffer
 //! h.log2(MajorId::TEST, 7, 0xdead, 0xbeef);
 //! logger.flush_cpu(0);
@@ -41,12 +41,14 @@
 //! inlined no-op (paper goal 6: "allow for zero impact by providing the
 //! ability to compile out events if desired").
 
+pub mod builder;
 pub mod config;
 pub mod error;
 pub mod logger;
 pub mod reader;
 pub mod region;
 
+pub use builder::LoggerBuilder;
 pub use config::{Mode, TraceConfig, ANCHOR_WORDS, DROPPED_WORDS};
 pub use error::CoreError;
 pub use logger::{CpuHandle, FlightDump, LoggerStats, RestrictedHandle, TraceLogger};

@@ -77,8 +77,28 @@ impl FlightDump {
 }
 
 impl TraceLogger {
+    /// Fluent construction with named steps and defaults — see
+    /// [`LoggerBuilder`](crate::builder::LoggerBuilder).
+    pub fn builder() -> crate::builder::LoggerBuilder {
+        crate::builder::LoggerBuilder::default()
+    }
+
     /// Creates a logger with `ncpus` per-CPU regions sharing `clock`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TraceLogger::builder().geometry(..).clock(..).ncpus(..).build()"
+    )]
     pub fn new(
+        config: TraceConfig,
+        clock: Arc<dyn ClockSource>,
+        ncpus: usize,
+    ) -> Result<TraceLogger, CoreError> {
+        TraceLogger::construct(config, clock, ncpus)
+    }
+
+    /// Shared constructor behind [`TraceLogger::builder`] and the deprecated
+    /// positional [`TraceLogger::new`].
+    pub(crate) fn construct(
         config: TraceConfig,
         clock: Arc<dyn ClockSource>,
         ncpus: usize,
@@ -633,12 +653,12 @@ mod tests {
     use ktrace_clock::{ManualClock, SyncClock};
 
     fn logger(ncpus: usize) -> TraceLogger {
-        TraceLogger::new(
-            TraceConfig::small(),
-            Arc::new(ManualClock::new(1, 1)),
-            ncpus,
-        )
-        .unwrap()
+        TraceLogger::builder()
+            .geometry(TraceConfig::small())
+            .clock(Arc::new(ManualClock::new(1, 1)))
+            .ncpus(ncpus)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -661,10 +681,20 @@ mod tests {
 
     #[test]
     fn construction_validates() {
-        assert!(TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 0).is_err());
+        assert!(TraceLogger::builder()
+            .geometry(TraceConfig::small())
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(0)
+            .build()
+            .is_err());
         let mut bad = TraceConfig::small();
         bad.buffer_words = 100;
-        assert!(TraceLogger::new(bad, Arc::new(SyncClock::new()), 1).is_err());
+        assert!(TraceLogger::builder()
+            .geometry(bad)
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(1)
+            .build()
+            .is_err());
         assert!(logger(4).handle(4).is_err());
         assert!(logger(4).handle(3).is_ok());
     }
@@ -763,7 +793,12 @@ mod tests {
     #[test]
     fn flight_dump_returns_most_recent_filtered() {
         let cfg = TraceConfig::small().flight_recorder();
-        let l = TraceLogger::new(cfg, Arc::new(ManualClock::new(1, 1)), 2).unwrap();
+        let l = TraceLogger::builder()
+            .geometry(cfg)
+            .clock(Arc::new(ManualClock::new(1, 1)))
+            .ncpus(2)
+            .build()
+            .unwrap();
         let h0 = l.handle(0).unwrap();
         let h1 = l.handle(1).unwrap();
         for i in 0..2000u64 {
@@ -784,7 +819,12 @@ mod tests {
     #[test]
     fn dump_last_reports_torn_reservation() {
         let cfg = TraceConfig::small().flight_recorder();
-        let l = TraceLogger::new(cfg, Arc::new(ManualClock::new(1, 1)), 1).unwrap();
+        let l = TraceLogger::builder()
+            .geometry(cfg)
+            .clock(Arc::new(ManualClock::new(1, 1)))
+            .ncpus(1)
+            .build()
+            .unwrap();
         let h = l.handle(0).unwrap();
         for i in 0..10u64 {
             h.log1(MajorId::TEST, 0, i);

@@ -17,7 +17,7 @@ proptest! {
         payload in prop::collection::vec(any::<u64>(), 0..4),
     ) {
         let logger =
-            TraceLogger::new(TraceConfig::small(), Arc::new(ManualClock::new(1, 1)), 1).unwrap();
+            TraceLogger::builder().geometry(TraceConfig::small()).clock(Arc::new(ManualClock::new(1, 1))).ncpus(1).build().unwrap();
         let h = logger.handle(0).unwrap();
 
         for &raw in &raws {

@@ -42,7 +42,7 @@ proptest! {
             buffers_per_cpu: 1usize << nbuf_pow,
             mode: Mode::Stream,
         };
-        let logger = TraceLogger::new(config, Arc::new(ManualClock::new(1, 1)), 1).unwrap();
+        let logger = TraceLogger::builder().geometry(config).clock(Arc::new(ManualClock::new(1, 1))).ncpus(1).build().unwrap();
         let handle = logger.handle(0).unwrap();
 
         // Log, draining as we go so nothing drops; remember what was logged.
@@ -95,7 +95,7 @@ proptest! {
         events in prop::collection::vec(event_strategy(6), 50..400),
     ) {
         let config = TraceConfig::small().flight_recorder();
-        let logger = TraceLogger::new(config, Arc::new(ManualClock::new(1, 1)), 1).unwrap();
+        let logger = TraceLogger::builder().geometry(config).clock(Arc::new(ManualClock::new(1, 1))).ncpus(1).build().unwrap();
         let handle = logger.handle(0).unwrap();
         let mut accepted = Vec::new();
         for spec in &events {

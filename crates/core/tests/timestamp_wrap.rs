@@ -26,7 +26,12 @@ fn full_times_survive_multiple_wraps() {
     // Events spaced ~1.4 billion ticks apart: a 32-bit stamp wraps every
     // ~3 events, across several buffers (drained incrementally).
     let clock = Arc::new(ManualClock::new(5_000_000_000, 0));
-    let logger = TraceLogger::new(TraceConfig::small(), clock.clone(), 1).unwrap();
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig::small())
+        .clock(clock.clone())
+        .ncpus(1)
+        .build()
+        .unwrap();
     let handle = logger.handle(0).unwrap();
     let mut expected = Vec::new();
     let mut t = 5_000_000_000u64;
@@ -52,7 +57,12 @@ fn anchor_reseeds_after_long_idle_gap() {
     // first of the next is only recoverable because every buffer carries a
     // full-width anchor.
     let clock = Arc::new(ManualClock::new(1_000, 0));
-    let logger = TraceLogger::new(TraceConfig::small(), clock.clone(), 1).unwrap();
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig::small())
+        .clock(clock.clone())
+        .ncpus(1)
+        .build()
+        .unwrap();
     let handle = logger.handle(0).unwrap();
 
     assert!(handle.log1(MajorId::TEST, 1, 1));

@@ -538,7 +538,12 @@ mod tests {
 
     #[test]
     fn all_descriptors_register_and_render() {
-        let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 1).unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(TraceConfig::small())
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(1)
+            .build()
+            .unwrap();
         register_all(&logger);
         let registry = logger.registry();
         // Builtin CONTROL (3) + the simulator's events.

@@ -169,7 +169,12 @@ mod tests {
     use std::sync::Arc;
 
     fn logger() -> TraceLogger {
-        TraceLogger::new(TraceConfig::small(), Arc::new(ManualClock::new(1, 1)), 1).unwrap()
+        TraceLogger::builder()
+            .geometry(TraceConfig::small())
+            .clock(Arc::new(ManualClock::new(1, 1)))
+            .ncpus(1)
+            .build()
+            .unwrap()
     }
 
     #[test]

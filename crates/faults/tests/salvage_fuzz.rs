@@ -14,7 +14,12 @@ use std::sync::Arc;
 /// anchors, fillers, and a registry in the header.
 fn valid_trace(events_per_cpu: u64) -> Vec<u8> {
     let cfg = TraceConfig::small();
-    let logger = TraceLogger::new(cfg, Arc::new(ManualClock::new(1, 1)), 2).unwrap();
+    let logger = TraceLogger::builder()
+        .geometry(cfg)
+        .clock(Arc::new(ManualClock::new(1, 1)))
+        .ncpus(2)
+        .build()
+        .unwrap();
     let header = FileHeader {
         ncpus: 2,
         buffer_words: cfg.buffer_words as u32,

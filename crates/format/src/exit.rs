@@ -1,0 +1,167 @@
+//! The single authoritative process exit-code table for every `ktrace`
+//! binary and checker.
+//!
+//! Historically each crate kept its own copy of its band (verify's stream
+//! codes, srclint's 30–35, query's 36–39) as numeric literals scattered
+//! through match arms and CLI `process::exit` calls. This module owns every
+//! code; the other crates re-export it (`ktrace_verify::exit`,
+//! `ktrace_srclint::exit`, `ktrace_query::exit`, `ktrace_collectd::exit`,
+//! and the facade's `ktrace::exit`) so a grep for any code lands here.
+//!
+//! Bands:
+//!
+//! | band | codes | owner |
+//! |------|-------|-------|
+//! | process | 0–2 | every CLI: clean / input unreadable / usage error |
+//! | stream verify | 10–20 | `ktrace-verify` (dynamic trace-stream checks) |
+//! | srclint | 30–35 | `ktrace-lint` (static source checks) |
+//! | trace assertions | 36–39 | `ktrace-query` (`ktrace-tools assert`) |
+//! | collector ops | 40–42 | `ktrace-collectd` (fleet-service operational) |
+//!
+//! The verify/srclint/assert bands are mirrored by
+//! `ktrace_verify::ViolationKind::exit_code`, which maps each violation
+//! class onto these constants; a report's exit code is the *smallest* code
+//! among the violated classes, so distinct failures stay distinguishable in
+//! CI. The collector band is operational, not a violation class: those
+//! codes describe why a `ktrace-tools collect` run itself could not finish
+//! clean.
+
+/// Clean: the tool ran and found nothing wrong.
+pub const CLEAN: u8 = 0;
+/// The input (trace file, store, workspace) could not be read at all.
+pub const UNREADABLE: u8 = 1;
+/// Command-line usage error.
+pub const USAGE: u8 = 2;
+
+// --- Stream-verify band (10–20): dynamic checks over a trace stream. ---
+
+/// A buffer record is shorter than declared, or the file ends mid-record.
+pub const TRUNCATED_BUFFER: u8 = 10;
+/// Commit-count garbling (§3.1): drained before every reservation committed.
+pub const GARBLED_COMMIT: u8 = 11;
+/// A timestamp stepped backwards within or across a CPU's buffers.
+pub const NON_MONOTONIC_TIMESTAMP: u8 = 12;
+/// An event's `(major, minor)` has no descriptor in the registry.
+pub const UNDECLARED_EVENT: u8 = 13;
+/// Filler events that do not realign the stream to the buffer boundary.
+pub const FILLER_MISALIGNED: u8 = 14;
+/// An event's declared length disagrees with its descriptor's field spec.
+pub const LENGTH_MISMATCH: u8 = 15;
+/// A buffer does not begin with a time anchor.
+pub const MISSING_ANCHOR: u8 = 16;
+/// The embedded event registry itself is inconsistent.
+pub const BAD_REGISTRY: u8 = 17;
+/// A drain was lossy: logged events never reached the file.
+pub const LOSSY_DRAIN: u8 = 18;
+/// A data race found by the lockset / vector-clock detector.
+pub const DATA_RACE: u8 = 20;
+
+// --- Srclint band (30–35): static checks over workspace source. ---
+
+/// A call site disagrees with the registered event schema.
+pub const SCHEMA_MISMATCH: u8 = 30;
+/// The event ID space is inconsistent (duplicate minors, reserved range…).
+pub const ID_SPACE_COLLISION: u8 = 31;
+/// The lockless hot path reaches allocation, a blocking lock, or I/O.
+pub const HOT_PATH_HAZARD: u8 = 32;
+/// An atomic's ordering violates its declared `concurrency.toml` role.
+pub const ATOMIC_ORDER_VIOLATION: u8 = 33;
+/// The static lock-acquisition graph contains a cycle.
+pub const LOCK_ORDER_CYCLE: u8 = 34;
+/// An `unsafe` block or declaration carries no safety justification.
+pub const UNSAFE_UNJUSTIFIED: u8 = 35;
+
+// --- Trace-assertion band (36–39): declarative properties over a trace. ---
+
+/// A count/sum/rate/max bound on matching events does not hold.
+pub const ASSERT_COUNT: u8 = 36;
+/// A REQUEST/RELEASE-style span shape left unpaired endpoints.
+pub const ASSERT_PAIRING: u8 = 37;
+/// A closed span exceeded its declared maximum duration.
+pub const ASSERT_DURATION: u8 = 38;
+/// The gap between consecutive matching events exceeded its cadence bound.
+pub const ASSERT_CADENCE: u8 = 39;
+
+// --- Collector band (40–42): ktrace-collectd operational outcomes. ---
+
+/// The collector could not bind or serve its ingest / scrape sockets.
+pub const COLLECT_BIND: u8 = 40;
+/// The collector store could not be created, written, or re-opened.
+pub const COLLECT_STORE: u8 = 41;
+/// The run finished but ingest was lossy: backpressure degraded to counted
+/// drops somewhere in the fleet (the drops are on the scrape endpoint and
+/// in the per-node summary — this code just makes a lossy serve scriptable,
+/// the same way [`LOSSY_DRAIN`] makes a lossy record scriptable).
+pub const COLLECT_LOSSY: u8 = 42;
+
+/// Every assigned code, in order, with its machine-greppable label — the
+/// rendered form of DESIGN.md's authoritative table.
+pub const TABLE: &[(u8, &str)] = &[
+    (CLEAN, "clean"),
+    (UNREADABLE, "unreadable"),
+    (USAGE, "usage"),
+    (TRUNCATED_BUFFER, "truncated-buffer"),
+    (GARBLED_COMMIT, "garbled-commit"),
+    (NON_MONOTONIC_TIMESTAMP, "non-monotonic-timestamp"),
+    (UNDECLARED_EVENT, "undeclared-event"),
+    (FILLER_MISALIGNED, "filler-misaligned"),
+    (LENGTH_MISMATCH, "length-mismatch"),
+    (MISSING_ANCHOR, "missing-anchor"),
+    (BAD_REGISTRY, "bad-registry"),
+    (LOSSY_DRAIN, "lossy-drain"),
+    (DATA_RACE, "data-race"),
+    (SCHEMA_MISMATCH, "schema-mismatch"),
+    (ID_SPACE_COLLISION, "id-space-collision"),
+    (HOT_PATH_HAZARD, "hot-path-hazard"),
+    (ATOMIC_ORDER_VIOLATION, "atomic-order-violation"),
+    (LOCK_ORDER_CYCLE, "lock-order-cycle"),
+    (UNSAFE_UNJUSTIFIED, "unsafe-unjustified"),
+    (ASSERT_COUNT, "assert-count"),
+    (ASSERT_PAIRING, "assert-pairing"),
+    (ASSERT_DURATION, "assert-duration"),
+    (ASSERT_CADENCE, "assert-cadence"),
+    (COLLECT_BIND, "collect-bind"),
+    (COLLECT_STORE, "collect-store"),
+    (COLLECT_LOSSY, "collect-lossy"),
+];
+
+// The bands must stay clear of the reserved process codes and of each
+// other; checked at compile time so a renumbering cannot slip through.
+const _: () = {
+    assert!(TRUNCATED_BUFFER > USAGE);
+    assert!(DATA_RACE < SCHEMA_MISMATCH);
+    assert!(UNSAFE_UNJUSTIFIED < ASSERT_COUNT);
+    assert!(ASSERT_CADENCE < COLLECT_BIND);
+};
+
+/// The label for `code`, if it is an assigned exit code.
+pub fn label(code: u8) -> Option<&'static str> {
+    TABLE
+        .iter()
+        .find(|(c, _)| *c == code)
+        .map(|(_, name)| *name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_and_ordered() {
+        let codes: Vec<u8> = TABLE.iter().map(|(c, _)| *c).collect();
+        assert!(
+            codes.windows(2).all(|w| w[0] < w[1]),
+            "table must be sorted"
+        );
+        let mut dedup = codes.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "codes must be distinct");
+    }
+
+    #[test]
+    fn labels_resolve() {
+        assert_eq!(label(LOSSY_DRAIN), Some("lossy-drain"));
+        assert_eq!(label(COLLECT_LOSSY), Some("collect-lossy"));
+        assert_eq!(label(3), None);
+    }
+}

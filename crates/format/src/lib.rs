@@ -25,6 +25,7 @@
 
 pub mod describe;
 pub mod error;
+pub mod exit;
 pub mod header;
 pub mod ids;
 pub mod mask;

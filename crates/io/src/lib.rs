@@ -38,5 +38,5 @@ pub use file::{FileHeader, FILE_MAGIC, FILE_VERSION};
 pub use merge::MergedEvents;
 pub use reader::{BufferRecord, RecordAnomaly, TraceFileReader};
 pub use salvage::{salvage_bytes, salvage_file, CpuSalvage, SalvageReport, SalvagedRecord};
-pub use session::{SessionConfig, SessionStats, TraceSession};
+pub use session::{SessionBuilder, SessionConfig, SessionError, SessionStats, TraceSession};
 pub use writer::TraceFileWriter;

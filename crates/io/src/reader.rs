@@ -243,7 +243,12 @@ mod tests {
             registry: EventRegistry::with_builtin(),
         };
         let clock = Arc::new(ManualClock::new(1000, 10));
-        let logger = TraceLogger::new(TraceConfig::small(), clock, 2).unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(TraceConfig::small())
+            .clock(clock)
+            .ncpus(2)
+            .build()
+            .unwrap();
         let h0 = logger.handle(0).unwrap();
         let h1 = logger.handle(1).unwrap();
         let mut w = TraceFileWriter::new(Vec::new(), &header).unwrap();

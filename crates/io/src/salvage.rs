@@ -346,7 +346,12 @@ mod tests {
     fn sample_trace(ncpus: usize, per_cpu_events: u64) -> Vec<u8> {
         let cfg = TraceConfig::small();
         let clock = Arc::new(ManualClock::new(1, 1));
-        let logger = TraceLogger::new(cfg, clock, ncpus).unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(cfg)
+            .clock(clock)
+            .ncpus(ncpus)
+            .build()
+            .unwrap();
         let header = FileHeader {
             ncpus: ncpus as u32,
             buffer_words: cfg.buffer_words as u32,

@@ -106,29 +106,63 @@ pub struct TraceSession {
 }
 
 impl TraceSession {
+    /// Fluent construction with named steps — see [`SessionBuilder`].
+    pub fn builder() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
     /// Starts a session writing to a file at `path`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TraceSession::builder().logger(..).clock(..).create(path)"
+    )]
     pub fn create(
         path: impl AsRef<Path>,
         logger: TraceLogger,
         clock: &dyn ClockSource,
     ) -> Result<TraceSession, IoError> {
         let file = std::fs::File::create(path)?;
-        TraceSession::new(std::io::BufWriter::new(file), logger, clock)
+        TraceSession::start_session(
+            std::io::BufWriter::new(file),
+            logger,
+            clock,
+            SessionConfig::default(),
+        )
     }
 
     /// Starts a session writing to any sink, with the default resilience
     /// policy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TraceSession::builder().logger(..).clock(..).start(sink)"
+    )]
     pub fn new<W: Write + Send + 'static>(
         sink: W,
         logger: TraceLogger,
         clock: &dyn ClockSource,
     ) -> Result<TraceSession, IoError> {
-        TraceSession::with_config(sink, logger, clock, SessionConfig::default())
+        TraceSession::start_session(sink, logger, clock, SessionConfig::default())
     }
 
     /// Starts a session writing to any sink under an explicit resilience
     /// policy.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TraceSession::builder() with named drain-policy steps \
+                (.write_retries / .retry_backoff / .heartbeat)"
+    )]
     pub fn with_config<W: Write + Send + 'static>(
+        sink: W,
+        logger: TraceLogger,
+        clock: &dyn ClockSource,
+        config: SessionConfig,
+    ) -> Result<TraceSession, IoError> {
+        TraceSession::start_session(sink, logger, clock, config)
+    }
+
+    /// The engine behind every constructor: writes the header, spawns the
+    /// drainer, and returns the live session.
+    fn start_session<W: Write + Send + 'static>(
         sink: W,
         logger: TraceLogger,
         clock: &dyn ClockSource,
@@ -249,19 +283,32 @@ impl TraceSession {
     }
 
     /// Convenience: build the logger and start the session in one call.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TraceSession::builder().geometry(..).clock(..).ncpus(..).create(path)"
+    )]
     pub fn start(
         path: impl AsRef<Path>,
         config: TraceConfig,
         clock: Arc<dyn ClockSource>,
         ncpus: usize,
     ) -> Result<TraceSession, SessionError> {
-        let logger = TraceLogger::new(config, clock.clone(), ncpus).map_err(SessionError::Core)?;
-        TraceSession::create(path, logger, clock.as_ref()).map_err(SessionError::Io)
+        TraceSession::builder()
+            .geometry(config)
+            .clock(clock)
+            .ncpus(ncpus)
+            .create(path)
     }
 
     /// The logger to hand to traced code.
     pub fn logger(&self) -> &TraceLogger {
         &self.logger
+    }
+
+    /// The live telemetry counter block shared with the logger — the
+    /// "telemetry handle" a monitor can snapshot while the session runs.
+    pub fn telemetry(&self) -> Arc<ktrace_telemetry::Telemetry> {
+        self.logger.telemetry().clone()
     }
 
     /// Stops collection, flushes every buffer toward the sink, and returns
@@ -283,6 +330,198 @@ impl Drop for TraceSession {
         if let Some(handle) = self.drainer.take() {
             let _ = handle.join();
         }
+    }
+}
+
+/// Fluent construction of a [`TraceSession`], with the sink, clock, mask,
+/// drain policy, and telemetry handle as named steps.
+///
+/// Replaces the positional constructors (`new(sink, logger, clock)` /
+/// `with_config(…)` / `start(path, config, clock, ncpus)`), whose argument
+/// roles were invisible at call sites. Either adopt an existing logger with
+/// [`logger`](SessionBuilder::logger), or let the builder construct one from
+/// [`geometry`](SessionBuilder::geometry) / [`clock`](SessionBuilder::clock)
+/// / [`ncpus`](SessionBuilder::ncpus). Descriptor registration passed via
+/// [`register`](SessionBuilder::register) runs *before* the header snapshot,
+/// so the registry lands in the file — the ordering footgun the positional
+/// API left to the caller.
+///
+/// ```no_run
+/// use ktrace_io::TraceSession;
+/// use ktrace_core::TraceConfig;
+/// use std::time::Duration;
+///
+/// let session = TraceSession::builder()
+///     .geometry(TraceConfig::small())
+///     .ncpus(4)
+///     .heartbeat(Duration::from_millis(5))
+///     .register(|logger| ktrace_events_register(logger))
+///     .create("/tmp/run.ktrace")
+///     .unwrap();
+/// # fn ktrace_events_register(_: &ktrace_core::TraceLogger) {}
+/// let h = session.logger().handle(0).unwrap();
+/// // … trace …
+/// let stats = session.finish();
+/// assert!(stats.lossless());
+/// ```
+/// A deferred descriptor-registration hook ([`SessionBuilder::register`]).
+type RegisterFn = Box<dyn FnOnce(&TraceLogger)>;
+/// A deferred telemetry hook ([`SessionBuilder::telemetry`]).
+type TelemetryFn = Box<dyn FnOnce(&Arc<ktrace_telemetry::Telemetry>)>;
+
+#[derive(Default)]
+pub struct SessionBuilder {
+    logger: Option<TraceLogger>,
+    geometry: Option<TraceConfig>,
+    ncpus: Option<usize>,
+    clock: Option<Arc<dyn ClockSource>>,
+    config: SessionConfig,
+    enable_only: Option<Vec<ktrace_format::MajorId>>,
+    disable: Vec<ktrace_format::MajorId>,
+    register: Vec<RegisterFn>,
+    telemetry_hook: Option<TelemetryFn>,
+}
+
+impl SessionBuilder {
+    /// Adopt an existing logger (descriptors already registered, handles
+    /// possibly already handed out). Overrides
+    /// [`geometry`](SessionBuilder::geometry)/[`ncpus`](SessionBuilder::ncpus).
+    pub fn logger(mut self, logger: TraceLogger) -> SessionBuilder {
+        self.logger = Some(logger);
+        self
+    }
+
+    /// Buffer geometry for the internally built logger. Defaults to
+    /// [`TraceConfig::default`].
+    pub fn geometry(mut self, config: TraceConfig) -> SessionBuilder {
+        self.geometry = Some(config);
+        self
+    }
+
+    /// CPUs for the internally built logger. Defaults to 1.
+    pub fn ncpus(mut self, ncpus: usize) -> SessionBuilder {
+        self.ncpus = Some(ncpus);
+        self
+    }
+
+    /// The clock: timestamps events (when the builder constructs the
+    /// logger) and stamps the header's tick rate. Defaults to a
+    /// [`SyncClock`](ktrace_clock::SyncClock).
+    pub fn clock(mut self, clock: Arc<dyn ClockSource>) -> SessionBuilder {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Mask step: start with only these majors enabled.
+    pub fn enable_only(mut self, majors: &[ktrace_format::MajorId]) -> SessionBuilder {
+        self.enable_only = Some(majors.to_vec());
+        self
+    }
+
+    /// Mask step: start with these majors disabled.
+    pub fn disable(mut self, majors: &[ktrace_format::MajorId]) -> SessionBuilder {
+        self.disable.extend_from_slice(majors);
+        self
+    }
+
+    /// Drain policy: consecutive transient-error retries per record.
+    pub fn write_retries(mut self, retries: u32) -> SessionBuilder {
+        self.config.write_retries = retries;
+        self
+    }
+
+    /// Drain policy: base backoff between retries.
+    pub fn retry_backoff(mut self, backoff: Duration) -> SessionBuilder {
+        self.config.retry_backoff = backoff;
+        self
+    }
+
+    /// Drain policy: emit per-CPU `CONTROL`/`HEARTBEAT` telemetry events on
+    /// this cadence (plus a final beat at finish).
+    pub fn heartbeat(mut self, interval: Duration) -> SessionBuilder {
+        self.config.heartbeat = Some(interval);
+        self
+    }
+
+    /// Drain policy: adopt a whole [`SessionConfig`] at once (the escape
+    /// hatch for policy built elsewhere).
+    pub fn drain_policy(mut self, config: SessionConfig) -> SessionBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Registration step, run against the logger *before* the header
+    /// snapshot is written — e.g. `ktrace_events::register_all`.
+    pub fn register(mut self, f: impl FnOnce(&TraceLogger) + 'static) -> SessionBuilder {
+        self.register.push(Box::new(f));
+        self
+    }
+
+    /// Telemetry step: called with the session's live telemetry handle once
+    /// the session is up, so a monitor can keep snapshotting while the
+    /// session runs (also available later via [`TraceSession::telemetry`]).
+    pub fn telemetry(
+        mut self,
+        f: impl FnOnce(&Arc<ktrace_telemetry::Telemetry>) + 'static,
+    ) -> SessionBuilder {
+        self.telemetry_hook = Some(Box::new(f));
+        self
+    }
+
+    /// Resolve the logger (adopted or built), apply mask steps, run
+    /// registration hooks.
+    fn prepare(&mut self, clock: &Arc<dyn ClockSource>) -> Result<TraceLogger, SessionError> {
+        let logger = match self.logger.take() {
+            Some(logger) => logger,
+            None => {
+                let mut b = TraceLogger::builder().clock(clock.clone());
+                if let Some(geometry) = self.geometry.take() {
+                    b = b.geometry(geometry);
+                }
+                if let Some(ncpus) = self.ncpus.take() {
+                    b = b.ncpus(ncpus);
+                }
+                b.build().map_err(SessionError::Core)?
+            }
+        };
+        if let Some(only) = self.enable_only.take() {
+            logger.mask().set(0);
+            for m in only {
+                logger.mask().enable(m);
+            }
+        }
+        for m in self.disable.drain(..) {
+            logger.mask().disable(m);
+        }
+        for f in self.register.drain(..) {
+            f(&logger);
+        }
+        Ok(logger)
+    }
+
+    /// Terminal: start the session draining into any sink.
+    pub fn start<W: Write + Send + 'static>(
+        mut self,
+        sink: W,
+    ) -> Result<TraceSession, SessionError> {
+        let clock = self
+            .clock
+            .take()
+            .unwrap_or_else(|| Arc::new(ktrace_clock::SyncClock::new()));
+        let logger = self.prepare(&clock)?;
+        let session =
+            TraceSession::start_session(sink, logger, clock.as_ref(), self.config.clone())
+                .map_err(SessionError::Io)?;
+        if let Some(hook) = self.telemetry_hook.take() {
+            hook(session.logger().telemetry());
+        }
+        Ok(session)
+    }
+
+    /// Terminal: start the session writing a trace file at `path`.
+    pub fn create(self, path: impl AsRef<Path>) -> Result<TraceSession, SessionError> {
+        let file = std::fs::File::create(path).map_err(|e| SessionError::Io(e.into()))?;
+        self.start(std::io::BufWriter::new(file))
     }
 }
 
@@ -321,7 +560,12 @@ mod tests {
 
         let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
         let ncpus = 4;
-        let session = TraceSession::start(&path, TraceConfig::small(), clock, ncpus).unwrap();
+        let session = TraceSession::builder()
+            .geometry(TraceConfig::small())
+            .clock(clock)
+            .ncpus(ncpus)
+            .create(&path)
+            .unwrap();
         let per_thread = 5_000u64;
         let handles: Vec<_> = (0..ncpus)
             .map(|cpu| {
@@ -377,22 +621,26 @@ mod tests {
     #[test]
     fn dead_sink_never_wedges_the_fast_path() {
         let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
-        let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 1).unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(TraceConfig::small())
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(1)
+            .build()
+            .unwrap();
         let sink = DyingSink {
             budget: 4096,
             accepted: 0,
         };
-        let session = TraceSession::with_config(
-            sink,
-            logger,
-            clock.as_ref(),
-            SessionConfig {
+        let session = TraceSession::builder()
+            .logger(logger)
+            .clock(clock.clone())
+            .drain_policy(SessionConfig {
                 write_retries: 2,
                 retry_backoff: Duration::from_micros(10),
                 ..SessionConfig::default()
-            },
-        )
-        .unwrap();
+            })
+            .start(sink)
+            .unwrap();
         let h = session.logger().handle(0).unwrap();
         // Log far more than the sink will ever accept. The fast path must
         // keep returning promptly: the drainer discards, producers proceed.
@@ -432,7 +680,12 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("blink.ktrace");
         let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
-        let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 1).unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(TraceConfig::small())
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(1)
+            .build()
+            .unwrap();
         let sink = BlinkingSink {
             inner: Vec::new(),
             calls: 0,
@@ -441,16 +694,15 @@ mod tests {
         // ownership; write to a file-backed check instead: run the session
         // over the blinking sink wrapped around an in-memory Vec, then
         // verify by re-reading through the strict reader via a temp file.
-        let session = TraceSession::with_config(
-            BlinkTee {
+        let session = TraceSession::builder()
+            .logger(logger)
+            .clock(clock.clone())
+            .drain_policy(SessionConfig::default())
+            .start(BlinkTee {
                 sink,
                 copy: std::fs::File::create(&path).unwrap(),
-            },
-            logger,
-            clock.as_ref(),
-            SessionConfig::default(),
-        )
-        .unwrap();
+            })
+            .unwrap();
         let h = session.logger().handle(0).unwrap();
         for i in 0..2_000u64 {
             h.log2(MajorId::TEST, 1, i, i);
@@ -488,17 +740,23 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("beat.ktrace");
         let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
-        let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 2).unwrap();
-        let session = TraceSession::with_config(
-            std::io::BufWriter::new(std::fs::File::create(&path).unwrap()),
-            logger,
-            clock.as_ref(),
-            SessionConfig {
+        let logger = TraceLogger::builder()
+            .geometry(TraceConfig::small())
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(2)
+            .build()
+            .unwrap();
+        let session = TraceSession::builder()
+            .logger(logger)
+            .clock(clock.clone())
+            .drain_policy(SessionConfig {
                 heartbeat: Some(Duration::from_millis(1)),
                 ..SessionConfig::default()
-            },
-        )
-        .unwrap();
+            })
+            .start(std::io::BufWriter::new(
+                std::fs::File::create(&path).unwrap(),
+            ))
+            .unwrap();
         let h = session.logger().handle(0).unwrap();
         for i in 0..500u64 {
             h.log1(MajorId::TEST, 0, i);
@@ -531,7 +789,12 @@ mod tests {
         let path = dir.join("dropped.ktrace");
         let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
         {
-            let session = TraceSession::start(&path, TraceConfig::small(), clock, 1).unwrap();
+            let session = TraceSession::builder()
+                .geometry(TraceConfig::small())
+                .clock(clock)
+                .ncpus(1)
+                .create(&path)
+                .unwrap();
             session.logger().handle(0).unwrap().log0(MajorId::TEST, 1);
             // dropped here
         }

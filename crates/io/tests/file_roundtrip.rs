@@ -21,7 +21,7 @@ proptest! {
         ),
     ) {
         let config = TraceConfig::small();
-        let logger = TraceLogger::new(config, Arc::new(ManualClock::new(1, 1)), ncpus).unwrap();
+        let logger = TraceLogger::builder().geometry(config).clock(Arc::new(ManualClock::new(1, 1))).ncpus(ncpus).build().unwrap();
         let header = FileHeader {
             ncpus: ncpus as u32,
             buffer_words: config.buffer_words as u32,

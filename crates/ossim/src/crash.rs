@@ -166,17 +166,19 @@ mod tests {
     use std::sync::Arc;
 
     fn flight_logger(ncpus: usize) -> TraceLogger {
-        let logger = TraceLogger::new(
-            TraceConfig {
-                buffer_words: 4096,
-                buffers_per_cpu: 8,
-                ..TraceConfig::small()
-            }
-            .flight_recorder(),
-            Arc::new(SyncClock::new()),
-            ncpus,
-        )
-        .unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(
+                TraceConfig {
+                    buffer_words: 4096,
+                    buffers_per_cpu: 8,
+                    ..TraceConfig::small()
+                }
+                .flight_recorder(),
+            )
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(ncpus)
+            .build()
+            .unwrap();
         crate::events::register_all(&logger);
         logger
     }

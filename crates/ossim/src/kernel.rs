@@ -397,12 +397,12 @@ mod tests {
     use ktrace_core::{TraceConfig, TraceLogger};
 
     fn fixture() -> (KTracer, Kernel, Task) {
-        let logger = TraceLogger::new(
-            TraceConfig::small().flight_recorder(),
-            Arc::new(SyncClock::new()),
-            1,
-        )
-        .unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(TraceConfig::small().flight_recorder())
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(1)
+            .build()
+            .unwrap();
         let tracer = KTracer::new(logger);
         let mut cfg = MachineConfig::fast_test(1);
         cfg.time_scale = 0.05;
@@ -528,17 +528,19 @@ mod tests {
     fn contention_visible_in_acquired_stats() {
         // Long critical sections (200µs) so that even on a single-core host
         // the OS preempts holders mid-section and waiters observe contention.
-        let logger = TraceLogger::new(
-            TraceConfig {
-                buffer_words: 8192,
-                buffers_per_cpu: 8,
-                ..TraceConfig::small()
-            }
-            .flight_recorder(),
-            Arc::new(SyncClock::new()),
-            1,
-        )
-        .unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(
+                TraceConfig {
+                    buffer_words: 8192,
+                    buffers_per_cpu: 8,
+                    ..TraceConfig::small()
+                }
+                .flight_recorder(),
+            )
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(1)
+            .build()
+            .unwrap();
         let tracer = KTracer::new(logger);
         let mut cfg = MachineConfig::fast_test(1);
         cfg.time_scale = 1.0;

@@ -36,6 +36,7 @@ pub mod crash;
 pub mod kernel;
 pub mod lock;
 pub mod machine;
+pub mod node;
 pub mod task;
 pub mod tracer;
 pub mod workload;
@@ -45,6 +46,7 @@ pub use crash::{CrashHandle, CrashPlan, CrashTracer};
 pub use kernel::Kernel;
 pub use lock::FairBLock;
 pub use machine::{Machine, RunReport};
+pub use node::NodeSpec;
 pub use task::{Op, ProcessSpec, Program};
 pub use tracer::{KTracer, NoTracer, TraceHandle, Tracer};
 pub use workload::Workload;

@@ -465,17 +465,19 @@ mod tests {
     use ktrace_core::{TraceConfig, TraceLogger};
 
     fn traced_machine(ncpus: usize) -> Machine<KTracer> {
-        let logger = TraceLogger::new(
-            TraceConfig {
-                buffer_words: 4096,
-                buffers_per_cpu: 8,
-                ..TraceConfig::small()
-            }
-            .flight_recorder(),
-            Arc::new(SyncClock::new()),
-            ncpus,
-        )
-        .unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(
+                TraceConfig {
+                    buffer_words: 4096,
+                    buffers_per_cpu: 8,
+                    ..TraceConfig::small()
+                }
+                .flight_recorder(),
+            )
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(ncpus)
+            .build()
+            .unwrap();
         crate::events::register_all(&logger);
         Machine::new(
             MachineConfig::fast_test(ncpus),
@@ -623,12 +625,12 @@ mod tests {
                 .op(Op::UserUnlock { lock: 0 })
                 .op(Op::UserUnlock { lock: 1 }),
         );
-        let logger = TraceLogger::new(
-            TraceConfig::small().flight_recorder(),
-            Arc::new(SyncClock::new()),
-            2,
-        )
-        .unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(TraceConfig::small().flight_recorder())
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(2)
+            .build()
+            .unwrap();
         let mut cfg = MachineConfig::fast_test(2);
         cfg.watchdog = Duration::from_millis(300);
         let m = Machine::new(cfg, Arc::new(KTracer::new(logger)));

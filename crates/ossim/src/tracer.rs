@@ -99,12 +99,12 @@ mod tests {
 
     #[test]
     fn ktracer_logs_through_core() {
-        let logger = TraceLogger::new(
-            TraceConfig::small().flight_recorder(),
-            Arc::new(SyncClock::new()),
-            2,
-        )
-        .unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(TraceConfig::small().flight_recorder())
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(2)
+            .build()
+            .unwrap();
         let tracer = KTracer::new(logger);
         let h = tracer.handle(1);
         assert!(h.enabled(MajorId::SCHED));

@@ -45,6 +45,7 @@ pub use expr::{
     SpanSpec,
 };
 pub use index::{Bounds, EventIndex};
+pub use ktrace_format::exit;
 pub use source::{
     EventSet, FileSource, QueryError, SalvageSource, SnapshotSource, StreamSource, TraceSource,
 };

@@ -31,6 +31,7 @@ pub mod report;
 pub mod schema;
 pub mod unsafecheck;
 
+pub use ktrace_verify::exit;
 pub use report::{Finding, LintReport, LintStats, ViolationKind, Warning};
 
 use callsites::MinorRef;

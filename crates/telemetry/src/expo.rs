@@ -19,11 +19,30 @@ fn le_label(i: usize) -> String {
     }
 }
 
+/// Joins two bare (unbraced) label bodies, either of which may be empty.
+fn join_labels(a: &str, b: &str) -> String {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => String::new(),
+        (false, true) => a.to_string(),
+        (true, false) => b.to_string(),
+        (false, false) => format!("{a},{b}"),
+    }
+}
+
+/// Braces a bare label body for a sample line (empty body → no braces).
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
 fn prom_counter(out: &mut String, name: &str, help: &str, rows: &[(String, u64)]) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} counter");
     for (labels, v) in rows {
-        let _ = writeln!(out, "{name}{labels} {v}");
+        let _ = writeln!(out, "{name}{} {v}", braced(labels));
     }
 }
 
@@ -41,29 +60,44 @@ fn prom_hist(
     for (i, &n) in buckets.iter().enumerate() {
         cum += n;
         let le = le_label(i);
-        if labels.is_empty() {
-            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
-        } else {
-            let _ = writeln!(out, "{name}_bucket{{{labels},le=\"{le}\"}} {cum}");
-        }
+        let body = join_labels(labels, &format!("le=\"{le}\""));
+        let _ = writeln!(out, "{name}_bucket{} {cum}", braced(&body));
     }
-    let braced = if labels.is_empty() {
-        String::new()
-    } else {
-        format!("{{{labels}}}")
-    };
-    let _ = writeln!(out, "{name}_sum{braced} {sum}");
-    let _ = writeln!(out, "{name}_count{braced} {cum}");
+    let tail = braced(labels);
+    let _ = writeln!(out, "{name}_sum{tail} {sum}");
+    let _ = writeln!(out, "{name}_count{tail} {cum}");
 }
 
 /// Renders the snapshot in the Prometheus text exposition format. Per-CPU
 /// counters carry a `cpu` label; sink and salvage counters are unlabelled.
 pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
+    render_prometheus(snap, "")
+}
+
+/// Like [`to_prometheus`], but with `extra` labels prepended to every
+/// sample — how an aggregator renders many snapshots into one exposition
+/// (e.g. `[("node", "web-3")]` for per-node fleet health). Label values are
+/// quoted; `"` and `\` are escaped.
+pub fn to_prometheus_labeled(snap: &TelemetrySnapshot, extra: &[(&str, &str)]) -> String {
+    let body = extra
+        .iter()
+        .map(|(k, v)| {
+            let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+            format!("{k}=\"{escaped}\"")
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    render_prometheus(snap, &body)
+}
+
+/// The shared renderer: `extra` is a bare label body prepended to every
+/// sample's label set (empty for the plain single-process exposition).
+fn render_prometheus(snap: &TelemetrySnapshot, extra: &str) -> String {
     let mut out = String::new();
     let per_cpu = |f: fn(&CpuTelemetry) -> u64| -> Vec<(String, u64)> {
         snap.per_cpu
             .iter()
-            .map(|c| (format!("{{cpu=\"{}\"}}", c.cpu), f(c)))
+            .map(|c| (join_labels(extra, &format!("cpu=\"{}\"", c.cpu)), f(c)))
             .collect()
     };
     prom_counter(
@@ -113,7 +147,7 @@ pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
             &mut out,
             "ktrace_reserve_wait_ticks",
             "Reservation wait from first to winning CAS attempt, clock ticks.",
-            &format!("cpu=\"{}\"", c.cpu),
+            &join_labels(extra, &format!("cpu=\"{}\"", c.cpu)),
             &c.reserve_wait,
             c.reserve_wait_sum,
         );
@@ -122,37 +156,37 @@ pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
         &mut out,
         "ktrace_sink_records_written_total",
         "Buffer records written to the sink.",
-        &[(String::new(), snap.sink.records_written)],
+        &[(extra.to_string(), snap.sink.records_written)],
     );
     prom_counter(
         &mut out,
         "ktrace_sink_write_retries_total",
         "Sink writes retried after transient errors.",
-        &[(String::new(), snap.sink.write_retries)],
+        &[(extra.to_string(), snap.sink.write_retries)],
     );
     prom_counter(
         &mut out,
         "ktrace_sink_buffers_dropped_total",
         "Drained buffers abandoned after the retry budget ran out.",
-        &[(String::new(), snap.sink.buffers_dropped)],
+        &[(extra.to_string(), snap.sink.buffers_dropped)],
     );
     prom_counter(
         &mut out,
         "ktrace_sink_events_lost_total",
         "Already-logged events lost in dropped buffers.",
-        &[(String::new(), snap.sink.events_lost)],
+        &[(extra.to_string(), snap.sink.events_lost)],
     );
     prom_counter(
         &mut out,
         "ktrace_heartbeats_emitted_total",
         "Heartbeat events emitted into the trace.",
-        &[(String::new(), snap.sink.heartbeats_emitted)],
+        &[(extra.to_string(), snap.sink.heartbeats_emitted)],
     );
     prom_hist(
         &mut out,
         "ktrace_drain_write_ns",
         "Sink write latency, nanoseconds.",
-        "",
+        extra,
         &snap.sink.drain_write,
         snap.sink.drain_write_sum,
     );
@@ -160,31 +194,31 @@ pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
         &mut out,
         "ktrace_salvage_runs_total",
         "Salvage passes run.",
-        &[(String::new(), snap.salvage.runs)],
+        &[(extra.to_string(), snap.salvage.runs)],
     );
     prom_counter(
         &mut out,
         "ktrace_salvage_records_recovered_total",
         "Clean records recovered by salvage.",
-        &[(String::new(), snap.salvage.records_recovered)],
+        &[(extra.to_string(), snap.salvage.records_recovered)],
     );
     prom_counter(
         &mut out,
         "ktrace_salvage_events_recovered_total",
         "Events recovered by salvage.",
-        &[(String::new(), snap.salvage.events_recovered)],
+        &[(extra.to_string(), snap.salvage.events_recovered)],
     );
     prom_counter(
         &mut out,
         "ktrace_salvage_records_damaged_total",
         "Records found damaged by salvage.",
-        &[(String::new(), snap.salvage.records_damaged)],
+        &[(extra.to_string(), snap.salvage.records_damaged)],
     );
     prom_counter(
         &mut out,
         "ktrace_salvage_bytes_skipped_total",
         "Bytes skipped as unrecoverable by salvage.",
-        &[(String::new(), snap.salvage.bytes_skipped)],
+        &[(extra.to_string(), snap.salvage.bytes_skipped)],
     );
     out
 }
@@ -291,6 +325,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn labeled_exposition_prefixes_every_sample() {
+        let text = to_prometheus_labeled(&snap(), &[("node", "web-3")]);
+        assert!(text.contains("ktrace_events_logged_total{node=\"web-3\",cpu=\"0\"} 2"));
+        assert!(text.contains("ktrace_sink_records_written_total{node=\"web-3\"} 1"));
+        assert!(text.contains("ktrace_reserve_wait_ticks_sum{node=\"web-3\",cpu=\"0\"} 5"));
+        assert!(text.contains("ktrace_drain_write_ns_bucket{node=\"web-3\",le=\"+Inf\"} 1"));
+        // Every sample line carries the node label.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.contains("node=\"web-3\""), "unlabeled sample: {line}");
+        }
+        // Quote characters in values are escaped.
+        let tricky = to_prometheus_labeled(&snap(), &[("node", "a\"b")]);
+        assert!(tricky.contains("node=\"a\\\"b\""));
+        // The unlabeled renderer is the labeled one with no labels.
+        assert_eq!(to_prometheus(&snap()), to_prometheus_labeled(&snap(), &[]));
     }
 
     #[test]

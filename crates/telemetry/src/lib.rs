@@ -39,7 +39,7 @@ pub use counters::{
     bucket_floor, bucket_index, CpuCounters, Histogram, SalvageCounters, SinkCounters, Telemetry,
     HIST_BUCKETS,
 };
-pub use expo::{to_json, to_prometheus};
+pub use expo::{to_json, to_prometheus, to_prometheus_labeled};
 pub use snapshot::{
     hist_count, hist_mean, hist_quantile, CpuTelemetry, SalvageTelemetry, SinkTelemetry,
     TelemetrySnapshot,

@@ -24,7 +24,7 @@
 //! use ktrace_format::MajorId;
 //! use std::sync::Arc;
 //!
-//! let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 1).unwrap();
+//! let logger = TraceLogger::builder().geometry(TraceConfig::small()).clock(Arc::new(SyncClock::new())).ncpus(1).build().unwrap();
 //! ktrace_events::register_all(&logger);
 //! let h = logger.handle(0).unwrap();
 //! h.log2(MajorId::SCHED, ktrace_events::sched::THREAD_START, 100, 1);
@@ -41,6 +41,7 @@ pub mod report;
 pub mod salvage_map;
 pub mod vclock;
 
+pub use ktrace_format::exit;
 pub use lint::{lint_file, lint_registry, lint_snapshot, StreamLinter};
 pub use lockset::{AddrState, LocksetTracker, LocksetVerdict};
 pub use race::{detect_races, races_in_file, AccessSite, RaceAnalysis, RaceFinding};

@@ -565,7 +565,12 @@ mod tests {
             buffers_per_cpu: 4,
             mode: Mode::Stream,
         };
-        let logger = TraceLogger::new(config, clock, 1).unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(config)
+            .clock(clock)
+            .ncpus(1)
+            .build()
+            .unwrap();
         logger.register_event(
             MajorId::TEST,
             2,
@@ -589,7 +594,12 @@ mod tests {
             buffers_per_cpu: 4,
             mode: Mode::Stream,
         };
-        let logger = TraceLogger::new(config, clock, 2).unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(config)
+            .clock(clock)
+            .ncpus(2)
+            .build()
+            .unwrap();
         logger.register_event(
             MajorId::TEST,
             1,

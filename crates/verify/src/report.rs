@@ -94,29 +94,31 @@ pub enum ViolationKind {
 }
 
 impl ViolationKind {
-    /// The stable process exit code for this violation class.
+    /// The stable process exit code for this violation class, drawn from the
+    /// canonical table in [`ktrace_format::exit`].
     pub fn exit_code(self) -> u8 {
+        use ktrace_format::exit;
         match self {
-            ViolationKind::TruncatedBuffer => 10,
-            ViolationKind::GarbledCommit => 11,
-            ViolationKind::NonMonotonicTimestamp => 12,
-            ViolationKind::UndeclaredEvent => 13,
-            ViolationKind::FillerMisaligned => 14,
-            ViolationKind::LengthMismatch => 15,
-            ViolationKind::MissingAnchor => 16,
-            ViolationKind::BadRegistry => 17,
-            ViolationKind::LossyDrain => 18,
-            ViolationKind::DataRace => 20,
-            ViolationKind::SchemaMismatch => 30,
-            ViolationKind::IdSpaceCollision => 31,
-            ViolationKind::HotPathHazard => 32,
-            ViolationKind::AtomicOrderViolation => 33,
-            ViolationKind::LockOrderCycle => 34,
-            ViolationKind::UnsafeUnjustified => 35,
-            ViolationKind::AssertCount => 36,
-            ViolationKind::AssertPairing => 37,
-            ViolationKind::AssertDuration => 38,
-            ViolationKind::AssertCadence => 39,
+            ViolationKind::TruncatedBuffer => exit::TRUNCATED_BUFFER,
+            ViolationKind::GarbledCommit => exit::GARBLED_COMMIT,
+            ViolationKind::NonMonotonicTimestamp => exit::NON_MONOTONIC_TIMESTAMP,
+            ViolationKind::UndeclaredEvent => exit::UNDECLARED_EVENT,
+            ViolationKind::FillerMisaligned => exit::FILLER_MISALIGNED,
+            ViolationKind::LengthMismatch => exit::LENGTH_MISMATCH,
+            ViolationKind::MissingAnchor => exit::MISSING_ANCHOR,
+            ViolationKind::BadRegistry => exit::BAD_REGISTRY,
+            ViolationKind::LossyDrain => exit::LOSSY_DRAIN,
+            ViolationKind::DataRace => exit::DATA_RACE,
+            ViolationKind::SchemaMismatch => exit::SCHEMA_MISMATCH,
+            ViolationKind::IdSpaceCollision => exit::ID_SPACE_COLLISION,
+            ViolationKind::HotPathHazard => exit::HOT_PATH_HAZARD,
+            ViolationKind::AtomicOrderViolation => exit::ATOMIC_ORDER_VIOLATION,
+            ViolationKind::LockOrderCycle => exit::LOCK_ORDER_CYCLE,
+            ViolationKind::UnsafeUnjustified => exit::UNSAFE_UNJUSTIFIED,
+            ViolationKind::AssertCount => exit::ASSERT_COUNT,
+            ViolationKind::AssertPairing => exit::ASSERT_PAIRING,
+            ViolationKind::AssertDuration => exit::ASSERT_DURATION,
+            ViolationKind::AssertCadence => exit::ASSERT_CADENCE,
         }
     }
 
@@ -318,6 +320,17 @@ mod tests {
         );
         codes.dedup();
         assert_eq!(codes.len(), kinds.len(), "exit codes must be distinct");
+    }
+
+    #[test]
+    fn labels_agree_with_the_canonical_table() {
+        for k in ViolationKind::all() {
+            assert_eq!(
+                ktrace_format::exit::label(k.exit_code()),
+                Some(k.label()),
+                "{k} must appear in ktrace_format::exit::TABLE under its label"
+            );
+        }
     }
 
     #[test]

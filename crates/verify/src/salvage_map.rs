@@ -133,7 +133,12 @@ mod tests {
     fn sample_trace(events: u64) -> Vec<u8> {
         let cfg = TraceConfig::small();
         let clock = Arc::new(ManualClock::new(1, 1));
-        let logger = TraceLogger::new(cfg, clock, 1).unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(cfg)
+            .clock(clock)
+            .ncpus(1)
+            .build()
+            .unwrap();
         let header = FileHeader {
             ncpus: 1,
             buffer_words: cfg.buffer_words as u32,
@@ -186,7 +191,12 @@ mod tests {
     fn commit_desync_maps_to_code_11() {
         let cfg = TraceConfig::small();
         let clock = Arc::new(ManualClock::new(1, 1));
-        let logger = TraceLogger::new(cfg, clock, 1).unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(cfg)
+            .clock(clock)
+            .ncpus(1)
+            .build()
+            .unwrap();
         let header = FileHeader {
             ncpus: 1,
             buffer_words: cfg.buffer_words as u32,

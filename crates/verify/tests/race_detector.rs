@@ -12,7 +12,12 @@ use std::sync::Arc;
 /// Runs `workload` on a 2-CPU simulated machine and returns every traced
 /// event, per-CPU streams merged.
 fn run_and_collect(workload: Workload) -> Vec<RawEvent> {
-    let logger = TraceLogger::new(TraceConfig::default(), Arc::new(SyncClock::new()), 2).unwrap();
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig::default())
+        .clock(Arc::new(SyncClock::new()))
+        .ncpus(2)
+        .build()
+        .unwrap();
     ktrace_events::register_all(&logger);
     let machine = Machine::new(
         MachineConfig::fast_test(2),

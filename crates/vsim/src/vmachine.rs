@@ -193,12 +193,12 @@ impl VirtualMachine {
     /// analysis tools can consume a "P-way" trace.
     pub fn with_emission(mut self, trace_config: TraceConfig) -> VirtualMachine {
         let clock = Arc::new(ManualClock::new(0, 0));
-        let logger = TraceLogger::new(
-            trace_config.flight_recorder(),
-            clock.clone() as Arc<dyn ktrace_clock::ClockSource>,
-            self.config.ncpus,
-        )
-        .expect("valid trace config");
+        let logger = TraceLogger::builder()
+            .geometry(trace_config.flight_recorder())
+            .clock(clock.clone() as Arc<dyn ktrace_clock::ClockSource>)
+            .ncpus(self.config.ncpus)
+            .build()
+            .expect("valid trace config");
         events::register_all(&logger);
         self.emit = Some(Emitter { logger, clock });
         self

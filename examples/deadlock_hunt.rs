@@ -22,12 +22,12 @@ use std::time::Duration;
 
 fn main() {
     let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
-    let logger = TraceLogger::new(
-        TraceConfig::small().flight_recorder(),
-        clock as Arc<dyn ClockSource>,
-        2,
-    )
-    .expect("logger");
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig::small().flight_recorder())
+        .clock(clock as Arc<dyn ClockSource>)
+        .ncpus(2)
+        .build()
+        .expect("logger");
     ktrace::events::register_all(&logger);
 
     let mut config = MachineConfig::fast_test(2);

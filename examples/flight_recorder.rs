@@ -14,12 +14,11 @@ use std::sync::Arc;
 
 fn main() {
     let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
-    let logger = TraceLogger::new(
-        TraceConfig::small().flight_recorder(), // circular, overwrite-oldest
-        clock as Arc<dyn ClockSource>,
-        1,
-    )
-    .expect("logger");
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig::small().flight_recorder()) // circular, overwrite-oldest
+        .clock(clock as Arc<dyn ClockSource>)
+        .build()
+        .expect("logger");
     ktrace::events::register_all(&logger);
     let h = logger.handle(0).expect("cpu 0");
 

@@ -17,12 +17,12 @@ use std::time::Duration;
 
 fn main() {
     let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
-    let logger = TraceLogger::new(
-        TraceConfig::default().flight_recorder(),
-        clock as Arc<dyn ClockSource>,
-        2,
-    )
-    .expect("logger");
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig::default().flight_recorder())
+        .clock(clock as Arc<dyn ClockSource>)
+        .ncpus(2)
+        .build()
+        .expect("logger");
     ktrace::events::register_all(&logger);
 
     let stop = Arc::new(AtomicBool::new(false));

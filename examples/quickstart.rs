@@ -18,12 +18,12 @@ fn main() {
 
     // 1. A logger with one lockless buffer region per "CPU".
     let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
-    let logger = TraceLogger::new(
-        TraceConfig::default(),
-        clock.clone() as Arc<dyn ClockSource>,
-        2,
-    )
-    .expect("logger");
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig::default())
+        .clock(clock.clone() as Arc<dyn ClockSource>)
+        .ncpus(2)
+        .build()
+        .expect("logger");
 
     // 2. Self-describing events: declared once, rendered by any tool.
     logger.register_event(
@@ -45,7 +45,11 @@ fn main() {
 
     // 3. A session: a background drainer streams completed buffers to disk
     //    while the application keeps logging.
-    let session = TraceSession::create(&path, logger.clone(), clock.as_ref()).expect("session");
+    let session = TraceSession::builder()
+        .logger(logger.clone())
+        .clock(clock.clone())
+        .create(&path)
+        .expect("session");
 
     // 4. Log from two threads, each bound to its own CPU's buffers.
     let workers: Vec<_> = (0..2)

@@ -18,6 +18,7 @@
 //! configuration), style warnings also fail the run with the
 //! schema-mismatch code.
 
+use ktrace::exit;
 use ktrace::srclint::{lint_workspace, LintOptions, PassSet};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -27,7 +28,7 @@ fn usage() -> ExitCode {
         "usage: ktrace-lint [--root DIR] [--json] [--deny-warnings] \
          [--pass <schema|idspace|hotpath|atomics|lockorder|unsafe>]..."
     );
-    ExitCode::from(2)
+    ExitCode::from(exit::USAGE)
 }
 
 fn main() -> ExitCode {
@@ -69,7 +70,7 @@ fn main() -> ExitCode {
         Ok(r) => r,
         Err(e) => {
             eprintln!("ktrace-lint: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit::UNREADABLE);
         }
     };
     if json {

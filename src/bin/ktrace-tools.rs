@@ -16,9 +16,12 @@
 //! ktrace-tools deadlock <file>            wait-for-graph cycle search
 //! ktrace-tools salvage <file> [out]       forgiving read of a damaged file
 //! ktrace-tools assert <file> --spec <props.toml> [--salvage]
+//! ktrace-tools assert <store> --spec <props.toml> --store [--node <name>]
 //!                                         evaluate named trace assertions
 //! ktrace-tools top [secs] [ncpus]         live telemetry monitor over an ossim run
 //! ktrace-tools record <out> [secs] [ncpus]  run ossim, record with heartbeats
+//! ktrace-tools collect <store> [listen] [secs]  run a fleet collector
+//! ktrace-tools fleet <store> [nodes] [secs]     collector + N local ossim nodes
 //! ```
 //!
 //! `salvage` never refuses a file: it recovers every event outside the
@@ -41,19 +44,33 @@
 //! a trace file and prints the session/logger statistics; a lossy drain
 //! exits with the shared `lossy-drain` code so scripts can tell a complete
 //! trace from one with holes.
+//!
+//! `collect` runs the `ktrace-collectd` aggregation service: nodes connect
+//! to the listen address, their streams land sharded under `<store>`, and
+//! per-node health is served on the printed scrape address. `fleet` is the
+//! batteries-included demo/smoke: it starts a collector **and** N local
+//! ossim nodes streaming into it, prints the scrape output and the fleet
+//! reconciliation table, and exits on the collector band — `collect-lossy`
+//! (42) when backpressure degraded to counted drops, 0 on a lossless run.
+//! With `--store`, `assert` evaluates the spec over a collector store
+//! through the same query engine (fleet-wide merged, or one node with
+//! `--node`), so the props that gate a single trace gate fleet data too.
+//! Every code any of these can exit with is defined once in
+//! `ktrace::exit` and tabulated in DESIGN.md.
 
 use ktrace::analysis::{
     self, render_listing, Breakdown, EventStats, ListingOptions, LockStats, PcProfile, Timeline,
     TimelineOptions, Trace,
 };
+use ktrace::exit;
 use ktrace::io::TraceFileReader;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ktrace-tools <list|lockstat|profile|breakdown|timeline|stats|anomalies|export-csv|export-chrome|deadlock|salvage> <trace-file> [arg]\n       ktrace-tools assert <trace-file> --spec <props.toml> [--salvage]\n       ktrace-tools top [secs] [ncpus]\n       ktrace-tools record <out-file> [secs] [ncpus]"
+        "usage: ktrace-tools <list|lockstat|profile|breakdown|timeline|stats|anomalies|export-csv|export-chrome|deadlock|salvage> <trace-file> [arg]\n       ktrace-tools assert <trace-file> --spec <props.toml> [--salvage]\n       ktrace-tools assert <store-dir> --spec <props.toml> --store [--node <name>]\n       ktrace-tools top [secs] [ncpus]\n       ktrace-tools record <out-file> [secs] [ncpus]\n       ktrace-tools collect <store-dir> [listen-addr] [secs]\n       ktrace-tools fleet <store-dir> [nodes] [secs]"
     );
-    ExitCode::from(2)
+    ExitCode::from(exit::USAGE)
 }
 
 /// The forgiving path: works on files the strict reader would reject, so it
@@ -63,7 +80,7 @@ fn salvage(path: &str, repair_out: Option<&str>) -> ExitCode {
         Ok(b) => b,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit::UNREADABLE);
         }
     };
     let report = ktrace::io::salvage_bytes(&bytes);
@@ -77,48 +94,72 @@ fn salvage(path: &str, repair_out: Option<&str>) -> ExitCode {
             Some(repaired) => {
                 if let Err(e) = std::fs::write(out, &repaired) {
                     eprintln!("cannot write {out}: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(exit::UNREADABLE);
                 }
                 println!("repaired file written to {out} ({} bytes)", repaired.len());
             }
             None => {
                 eprintln!("nothing salvageable: no repaired file written");
-                return ExitCode::FAILURE;
+                return ExitCode::from(exit::UNREADABLE);
             }
         }
     }
     ExitCode::from(lint.exit_code())
 }
 
+/// Where `assert` reads its events from.
+enum AssertInput<'a> {
+    /// A trace file, strictly or through the salvage reader.
+    File { path: &'a str, salvage: bool },
+    /// A `ktrace-collectd` store: the fleet-wide merged view, or one node.
+    Store {
+        root: &'a str,
+        node: Option<&'a str>,
+    },
+}
+
 /// `ktrace-tools assert`: evaluate a named-property spec against a trace,
-/// exiting on the shared table's assertion band (codes 36–39).
-fn assert_cmd(path: &str, spec_path: &str, via_salvage: bool) -> ExitCode {
+/// exiting on the shared table's assertion band (codes 36–39). The source
+/// is interchangeable by construction — the same `TraceSource` contract
+/// serves a file, a salvaged image, or a collector store.
+fn assert_cmd(input: AssertInput<'_>, spec_path: &str) -> ExitCode {
+    use ktrace::collectd::CollectSource;
     use ktrace::query::{FileSource, Query, SalvageSource, Spec, TraceSource};
 
     let spec = match Spec::from_file(spec_path) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot load spec {spec_path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit::UNREADABLE);
         }
     };
     let query = {
-        let mut source: Box<dyn TraceSource> = if via_salvage {
-            match SalvageSource::from_file(path) {
+        let mut source: Box<dyn TraceSource> = match input {
+            AssertInput::File {
+                path,
+                salvage: true,
+            } => match SalvageSource::from_file(path) {
                 Ok(s) => Box::new(s),
                 Err(e) => {
                     eprintln!("cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(exit::UNREADABLE);
                 }
-            }
-        } else {
-            Box::new(FileSource::new(path))
+            },
+            AssertInput::File {
+                path,
+                salvage: false,
+            } => Box::new(FileSource::new(path)),
+            AssertInput::Store { root, node } => match node {
+                Some(n) => Box::new(CollectSource::node(root, n)),
+                None => Box::new(CollectSource::open(root)),
+            },
         };
+        let described = source.describe();
         match Query::over(source.as_mut()) {
             Ok(q) => q,
             Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                return ExitCode::FAILURE;
+                eprintln!("cannot read {described}: {e}");
+                return ExitCode::from(exit::UNREADABLE);
             }
         }
     };
@@ -164,27 +205,26 @@ fn live_run<W: std::io::Write + Send + 'static>(
     use std::time::{Duration, Instant};
 
     let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
-    let logger = ktrace::core::TraceLogger::new(
-        ktrace::core::TraceConfig {
+    let logger = ktrace::core::TraceLogger::builder()
+        .geometry(ktrace::core::TraceConfig {
             buffer_words: 4096,
             buffers_per_cpu: 8,
             ..ktrace::core::TraceConfig::default()
-        },
-        clock.clone(),
-        ncpus,
-    )
-    .expect("logger construction");
+        })
+        .clock(clock.clone())
+        .ncpus(ncpus)
+        .build()
+        .expect("logger construction");
     ktrace::events::register_all(&logger);
-    let session = TraceSession::with_config(
-        sink,
-        logger.clone(),
-        clock.as_ref(),
-        SessionConfig {
+    let session = TraceSession::builder()
+        .logger(logger.clone())
+        .clock(clock.clone())
+        .drain_policy(SessionConfig {
             heartbeat: Some(Duration::from_millis(250)),
             ..SessionConfig::default()
-        },
-    )
-    .expect("session start");
+        })
+        .start(sink)
+        .expect("session start");
 
     let worker_logger = logger.clone();
     let deadline = Instant::now() + Duration::from_secs_f64(secs);
@@ -354,7 +394,7 @@ fn record(out_path: &str, secs: f64, ncpus: usize) -> ExitCode {
         Ok(f) => f,
         Err(e) => {
             eprintln!("cannot create {out_path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit::UNREADABLE);
         }
     };
     let (_logger, session, worker) = live_run(std::io::BufWriter::new(file), secs, ncpus);
@@ -367,6 +407,93 @@ fn record(out_path: &str, secs: f64, ncpus: usize) -> ExitCode {
         return ExitCode::from(ktrace::verify::ViolationKind::LossyDrain.exit_code());
     }
     ExitCode::SUCCESS
+}
+
+/// Prints the end-of-serve accounting shared by `collect` and `fleet`, and
+/// maps it onto the collector exit band.
+fn finish_collector(collector: ktrace::collectd::Collector) -> ExitCode {
+    let metrics = ktrace::collectd::scrape::fetch(collector.scrape_addr(), "/metrics");
+    let summary = collector.shutdown();
+    print!("{}", summary.render());
+    if let Ok(metrics) = metrics {
+        println!("--- final scrape ---");
+        print!("{metrics}");
+    }
+    if !summary.reconciled() {
+        // Should be structurally impossible; make it loud if it ever isn't.
+        eprintln!("error: fleet accounting failed to reconcile");
+        return ExitCode::from(exit::COLLECT_STORE);
+    }
+    if summary.records_dropped() > 0 {
+        eprintln!(
+            "warning: ingest was lossy — {} record(s) degraded to counted drops",
+            summary.records_dropped()
+        );
+        return ExitCode::from(exit::COLLECT_LOSSY);
+    }
+    ExitCode::SUCCESS
+}
+
+/// `ktrace-tools collect`: run the aggregation service for `secs` seconds.
+fn collect_serve(store: &str, listen: &str, secs: f64) -> ExitCode {
+    use ktrace::collectd::{CollectError, Collector, CollectorConfig};
+    let collector = match Collector::bind(listen, CollectorConfig::new(store)) {
+        Ok(c) => c,
+        Err(e @ CollectError::Bind(_)) | Err(e @ CollectError::Store(_)) => {
+            eprintln!("{e}");
+            return ExitCode::from(e.exit_code());
+        }
+    };
+    println!(
+        "collecting into {store}: ingest {} scrape http://{}/metrics for {secs}s",
+        collector.local_addr(),
+        collector.scrape_addr()
+    );
+    std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+    finish_collector(collector)
+}
+
+/// `ktrace-tools fleet`: a collector plus `nodes` local ossim nodes
+/// streaming into it — the self-contained fleet demo and CI smoke.
+fn fleet(store: &str, nodes: usize, secs: f64) -> ExitCode {
+    use ktrace::collectd::{node, Collector, CollectorConfig};
+    use ktrace::ossim::NodeSpec;
+    use std::time::{Duration, Instant};
+
+    let collector = match Collector::bind("127.0.0.1:0", CollectorConfig::new(store)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(e.exit_code());
+        }
+    };
+    let addr = collector.local_addr();
+    println!(
+        "fleet of {nodes} node(s) into {store}: ingest {addr} scrape http://{}/metrics",
+        collector.scrape_addr()
+    );
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let workers: Vec<_> = (0..nodes)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let spec = NodeSpec::new(format!("node-{i}"), 2);
+                let mut runs = 0u64;
+                while Instant::now() < deadline {
+                    match node::run_ossim_node(addr, &spec, Some(Duration::from_millis(100))) {
+                        Ok(_) => runs += 1,
+                        Err(e) => {
+                            eprintln!("node-{i}: {e}");
+                            break;
+                        }
+                    }
+                }
+                runs
+            })
+        })
+        .collect();
+    let runs: u64 = workers.into_iter().map(|w| w.join().unwrap_or(0)).sum();
+    println!("fleet workload done: {runs} node run(s) streamed");
+    finish_collector(collector)
 }
 
 fn main() -> ExitCode {
@@ -386,6 +513,22 @@ fn main() -> ExitCode {
         let ncpus = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2);
         return record(out, secs, ncpus);
     }
+    if args.first().map(String::as_str) == Some("collect") {
+        let Some(store) = args.get(1) else {
+            return usage();
+        };
+        let listen = args.get(2).map(String::as_str).unwrap_or("127.0.0.1:7463");
+        let secs = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10.0);
+        return collect_serve(store, listen, secs);
+    }
+    if args.first().map(String::as_str) == Some("fleet") {
+        let Some(store) = args.get(1) else {
+            return usage();
+        };
+        let nodes = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+        let secs = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2.0);
+        return fleet(store, nodes, secs);
+    }
 
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p.as_str()),
@@ -402,25 +545,42 @@ fn main() -> ExitCode {
     if cmd == "assert" {
         let mut spec_path = None;
         let mut via_salvage = false;
+        let mut via_store = false;
+        let mut node = None;
         let mut rest = args[2..].iter();
         while let Some(flag) = rest.next() {
             match flag.as_str() {
                 "--spec" => spec_path = rest.next().map(String::as_str),
                 "--salvage" => via_salvage = true,
+                "--store" => via_store = true,
+                "--node" => node = rest.next().map(String::as_str),
                 _ => return usage(),
             }
         }
         let Some(spec_path) = spec_path else {
             return usage();
         };
-        return assert_cmd(path, spec_path, via_salvage);
+        let input = match (via_store, via_salvage) {
+            (true, true) => return usage(), // a store is never read via salvage
+            (true, false) => AssertInput::Store { root: path, node },
+            (false, _) => {
+                if node.is_some() {
+                    return usage(); // --node only selects within a store
+                }
+                AssertInput::File {
+                    path,
+                    salvage: via_salvage,
+                }
+            }
+        };
+        return assert_cmd(input, spec_path);
     }
 
     let trace = match Trace::from_file(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit::UNREADABLE);
         }
     };
 
@@ -472,14 +632,14 @@ fn main() -> ExitCode {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("cannot open {path}: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(exit::UNREADABLE);
                 }
             };
             match reader.anomalies() {
                 Ok(list) => print!("{}", analysis::garble_report(&trace, &list)),
                 Err(e) => {
                     eprintln!("scan failed: {e}");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(exit::UNREADABLE);
                 }
             }
         }

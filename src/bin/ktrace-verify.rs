@@ -15,12 +15,13 @@
 //! 12 non-monotonic timestamp, 13 undeclared event, 20 data race), so
 //! scripted runs can tell *which* invariant broke without parsing output.
 
+use ktrace::exit;
 use ktrace::verify::{lint_file, races_in_file, Report};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: ktrace-verify <lint|races|all> <trace-file>");
-    ExitCode::from(2)
+    ExitCode::from(exit::USAGE)
 }
 
 fn main() -> ExitCode {
@@ -42,7 +43,7 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("cannot read {path}: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(exit::UNREADABLE);
             }
         }
     }
@@ -54,7 +55,7 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("cannot read {path}: {e}");
-                return ExitCode::FAILURE;
+                return ExitCode::from(exit::UNREADABLE);
             }
         }
     }

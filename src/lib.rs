@@ -40,7 +40,7 @@
 //!
 //! // A logger with per-CPU lockless buffers.
 //! let clock = Arc::new(SyncClock::new());
-//! let logger = TraceLogger::new(TraceConfig::default(), clock, 2).unwrap();
+//! let logger = TraceLogger::builder().geometry(TraceConfig::default()).clock(clock).ncpus(2).build().unwrap();
 //!
 //! // Describe an event once; tools can then render it forever.
 //! logger.register_event(
@@ -66,6 +66,7 @@
 pub use ktrace_analysis as analysis;
 pub use ktrace_baselines as baselines;
 pub use ktrace_clock as clock;
+pub use ktrace_collectd as collectd;
 pub use ktrace_core as core;
 pub use ktrace_events as events;
 pub use ktrace_faults as faults;
@@ -78,6 +79,9 @@ pub use ktrace_telemetry as telemetry;
 pub use ktrace_verify as verify;
 pub use ktrace_vsim as vsim;
 
+/// The one exit-code table every binary in the workspace draws from.
+pub use ktrace_format::exit;
+
 /// The names needed by typical users of the tracing facility.
 pub mod prelude {
     pub use ktrace_analysis::{
@@ -85,9 +89,10 @@ pub mod prelude {
         Trace,
     };
     pub use ktrace_clock::{ClockSource, ManualClock, SyncClock};
-    pub use ktrace_core::{CpuHandle, Mode, TraceConfig, TraceLogger};
+    pub use ktrace_collectd::{CollectSource, Collector, CollectorConfig};
+    pub use ktrace_core::{CpuHandle, LoggerBuilder, Mode, TraceConfig, TraceLogger};
     pub use ktrace_format::{EventDescriptor, EventRegistry, FieldValue, MajorId, TraceMask};
-    pub use ktrace_io::{TraceFileReader, TraceSession};
+    pub use ktrace_io::{SessionBuilder, TraceFileReader, TraceSession};
     pub use ktrace_query::{parse_assertion, FileSource, Query, Spec, TraceSource};
 }
 
@@ -98,7 +103,12 @@ mod tests {
 
     #[test]
     fn facade_exposes_the_pipeline() {
-        let logger = TraceLogger::new(TraceConfig::small(), Arc::new(SyncClock::new()), 1).unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(TraceConfig::small())
+            .clock(Arc::new(SyncClock::new()))
+            .ncpus(1)
+            .build()
+            .unwrap();
         let h = logger.handle(0).unwrap();
         assert!(h.log1(MajorId::TEST, 1, 99));
         logger.flush_all();

@@ -26,7 +26,12 @@ fn spec_path() -> PathBuf {
 /// manual clock so every fixture is deterministic.
 fn write_trace(dir: &Path, name: &str, build: impl FnOnce(&TraceLogger, &ManualClock)) -> PathBuf {
     let clock = Arc::new(ManualClock::new(1_000, 1));
-    let logger = TraceLogger::new(TraceConfig::small(), clock.clone(), 1).unwrap();
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig::small())
+        .clock(clock.clone())
+        .ncpus(1)
+        .build()
+        .unwrap();
     build(&logger, &clock);
     assert_eq!(logger.stats().dropped_pending, 0, "fixture {name} overran");
 

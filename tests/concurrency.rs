@@ -9,16 +9,16 @@ use std::sync::Arc;
 #[test]
 fn many_threads_one_region_no_lost_or_corrupt_events() {
     let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
-    let logger = TraceLogger::new(
-        TraceConfig {
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig {
             buffer_words: 2048,
             buffers_per_cpu: 8,
             ..TraceConfig::default()
-        },
-        clock as Arc<dyn ClockSource>,
-        2,
-    )
-    .unwrap();
+        })
+        .clock(clock as Arc<dyn ClockSource>)
+        .ncpus(2)
+        .build()
+        .unwrap();
 
     let nthreads = 6;
     let per_thread = 20_000u64;
@@ -105,12 +105,12 @@ fn many_threads_one_region_no_lost_or_corrupt_events() {
 #[test]
 fn mask_toggling_under_load_is_safe() {
     let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
-    let logger = TraceLogger::new(
-        TraceConfig::small().flight_recorder(),
-        clock as Arc<dyn ClockSource>,
-        1,
-    )
-    .unwrap();
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig::small().flight_recorder())
+        .clock(clock as Arc<dyn ClockSource>)
+        .ncpus(1)
+        .build()
+        .unwrap();
     let h = logger.handle(0).unwrap();
     let toggler = {
         let logger = logger.clone();

@@ -83,7 +83,12 @@ fn file_header(logger: &TraceLogger, cfg: TraceConfig) -> FileHeader {
 fn build_clean_trace(seed: u64) -> CleanTrace {
     let cfg = TraceConfig::small();
     let clock = Arc::new(ManualClock::new(1, 1));
-    let logger = TraceLogger::new(cfg, clock, NCPUS).unwrap();
+    let logger = TraceLogger::builder()
+        .geometry(cfg)
+        .clock(clock)
+        .ncpus(NCPUS)
+        .build()
+        .unwrap();
     register_test_events(&logger);
     let header = file_header(&logger, cfg);
     let mut w = TraceFileWriter::new(Vec::new(), &header).unwrap();
@@ -198,16 +203,20 @@ impl Write for SharedBuf {
 fn run_partial_write(seed: u64) {
     let out = SharedBuf::default();
     let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
-    let logger = TraceLogger::new(
-        TraceConfig::small(),
-        clock.clone() as Arc<dyn ClockSource>,
-        NCPUS,
-    )
-    .unwrap();
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig::small())
+        .clock(clock.clone() as Arc<dyn ClockSource>)
+        .ncpus(NCPUS)
+        .build()
+        .unwrap();
     register_test_events(&logger);
     let sink = FaultySink::new(out.clone(), SinkPlan::partial_writes(seed));
     let sink_stats = sink.stats();
-    let session = TraceSession::new(sink, logger.clone(), clock.as_ref()).unwrap();
+    let session = TraceSession::builder()
+        .logger(logger.clone())
+        .clock(clock.clone())
+        .start(sink)
+        .unwrap();
     let mut logged = 0u64;
     for i in 0..2_000u64 {
         for cpu in 0..NCPUS {
@@ -280,7 +289,12 @@ fn run_mid_buffer_truncation(seed: u64) {
 fn run_commit_desync(seed: u64) {
     let cfg = TraceConfig::small();
     let clock = Arc::new(ManualClock::new(1, 1));
-    let logger = TraceLogger::new(cfg, clock, NCPUS).unwrap();
+    let logger = TraceLogger::builder()
+        .geometry(cfg)
+        .clock(clock)
+        .ncpus(NCPUS)
+        .build()
+        .unwrap();
     register_test_events(&logger);
     let header = file_header(&logger, cfg);
     let mut logged = 0u64;
@@ -317,7 +331,12 @@ fn run_commit_desync(seed: u64) {
 fn run_cpu_crash(seed: u64) {
     let cfg = TraceConfig::small();
     let clock = Arc::new(ManualClock::new(1, 1));
-    let logger = TraceLogger::new(cfg, clock, NCPUS).unwrap();
+    let logger = TraceLogger::builder()
+        .geometry(cfg)
+        .clock(clock)
+        .ncpus(NCPUS)
+        .build()
+        .unwrap();
     register_test_events(&logger);
     let header = file_header(&logger, cfg);
     let victim = 1usize;

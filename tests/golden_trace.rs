@@ -22,16 +22,16 @@ const FIXTURE: &str = "tests/fixtures/golden_listing.txt";
 
 fn golden_listing() -> String {
     let clock = Arc::new(ManualClock::new(1_000, 1));
-    let logger = TraceLogger::new(
-        TraceConfig {
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig {
             buffer_words: 4096,
             buffers_per_cpu: 16,
             ..TraceConfig::small()
-        },
-        clock,
-        1,
-    )
-    .unwrap();
+        })
+        .clock(clock)
+        .ncpus(1)
+        .build()
+        .unwrap();
     ktrace::events::register_all(&logger);
 
     let mut config = MachineConfig::fast_test(1);

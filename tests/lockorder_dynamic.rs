@@ -41,12 +41,12 @@ fn trace_observed_lock_orders_are_covered_by_the_static_graph() {
     // user lock is held across malloc (alloc_locks), the FS directory
     // calls (dir_lock), and page free (page_lock).
     let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
-    let logger = TraceLogger::new(
-        TraceConfig::small().flight_recorder(),
-        clock as Arc<dyn ClockSource>,
-        2,
-    )
-    .expect("logger");
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig::small().flight_recorder())
+        .clock(clock as Arc<dyn ClockSource>)
+        .ncpus(2)
+        .build()
+        .expect("logger");
     ktrace::events::register_all(&logger);
     let machine = Machine::new(MachineConfig::fast_test(2), Arc::new(KTracer::new(logger)));
 

@@ -5,13 +5,14 @@
 //! completed buffers over a real TCP loopback connection and the receiver
 //! reconstructs the identical trace — once over a clean socket and once
 //! with the sender wrapped in a latency-injecting [`FaultySink`], with the
-//! receiver reconstructing through the salvage reader.
+//! receiver reconstructing through the salvage reader. The loopback
+//! receiver and the salvage-vs-strict cross-check live in
+//! `ktrace-testutil`, shared with the `ktrace-collectd` suites.
 
 use ktrace::faults::{FaultySink, SinkPlan};
-use ktrace::io::salvage_bytes;
 use ktrace::prelude::*;
-use std::io::Read as _;
-use std::net::{TcpListener, TcpStream};
+use ktrace_testutil::{assert_salvage_matches_strict, strict_events, ByteReceiver};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -22,27 +23,22 @@ where
     W: std::io::Write + Send + 'static,
     F: FnOnce(TcpStream) -> W,
 {
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-    let addr = listener.local_addr().expect("addr");
-
-    // Receiver: collect everything sent until the sender closes.
-    let receiver = std::thread::spawn(move || {
-        let (mut conn, _) = listener.accept().expect("accept");
-        let mut bytes = Vec::new();
-        conn.read_to_end(&mut bytes).expect("drain stream");
-        bytes
-    });
+    let receiver = ByteReceiver::spawn();
 
     // Sender: a live session whose sink is the TCP connection.
     let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
-    let logger = TraceLogger::new(
-        TraceConfig::small(),
-        clock.clone() as Arc<dyn ClockSource>,
-        2,
-    )
-    .expect("logger");
-    let conn = TcpStream::connect(addr).expect("connect");
-    let session = TraceSession::new(wrap(conn), logger.clone(), clock.as_ref()).expect("session");
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig::small())
+        .clock(clock.clone() as Arc<dyn ClockSource>)
+        .ncpus(2)
+        .build()
+        .expect("logger");
+    let conn = TcpStream::connect(receiver.addr()).expect("connect");
+    let session = TraceSession::builder()
+        .logger(logger.clone())
+        .clock(clock.clone())
+        .start(wrap(conn))
+        .expect("session");
 
     let mut logged = 0u64;
     for i in 0..5_000u64 {
@@ -60,7 +56,7 @@ where
     let stats = session.finish(); // drops the socket → EOF
     assert!(stats.lossless(), "{stats:?}");
 
-    let bytes = receiver.join().expect("receiver");
+    let bytes = receiver.join();
     assert!(!bytes.is_empty());
     (bytes, stats.records_written, logged)
 }
@@ -101,17 +97,14 @@ fn latency_spikes_on_the_wire_lose_nothing() {
         "the plan actually fired"
     );
 
-    // The strict reader still accepts the stream: latency is not loss.
-    let mut reader =
-        TraceFileReader::new(std::io::Cursor::new(bytes.clone())).expect("parse streamed trace");
-    assert_eq!(reader.record_count() as u64, records);
-
-    // And the salvage reader reconstructs the identical event stream with a
+    // The strict reader still accepts the stream (latency is not loss), and
+    // the salvage reader reconstructs the identical event stream with a
     // clean report: nothing torn, nothing skipped, nothing trailing.
-    let report = salvage_bytes(&bytes);
-    assert!(report.clean(), "{}", report.render());
+    let strict = strict_events(&bytes);
+    let report = assert_salvage_matches_strict(&bytes);
     assert_eq!(report.records.len() as u64, records);
-    let strict: Vec<_> = reader.events().expect("merged events").collect();
-    assert_eq!(report.events, strict, "salvage equals the strict merge");
-    assert_eq!(report.data_events().count() as u64, logged);
+    assert_eq!(
+        strict.iter().filter(|e| !e.is_control()).count() as u64,
+        logged
+    );
 }

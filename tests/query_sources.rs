@@ -30,16 +30,16 @@ use std::time::Duration;
 fn all_four_sources_agree_on_one_trace() {
     // -- One deterministic run (the golden-trace recipe) -----------------
     let clock = Arc::new(ManualClock::new(1_000, 1));
-    let logger = TraceLogger::new(
-        TraceConfig {
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig {
             buffer_words: 4096,
             buffers_per_cpu: 16,
             ..TraceConfig::small()
-        },
-        clock,
-        1,
-    )
-    .unwrap();
+        })
+        .clock(clock)
+        .ncpus(1)
+        .build()
+        .unwrap();
     ktrace::events::register_all(&logger);
 
     let mut config = MachineConfig::fast_test(1);

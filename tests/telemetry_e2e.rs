@@ -122,18 +122,22 @@ fn multi_writer_run_reconciles_with_the_lint() {
         buffers_per_cpu: 16,
         ..TraceConfig::small()
     };
-    let logger = TraceLogger::new(cfg, clock.clone() as Arc<dyn ClockSource>, NCPUS).unwrap();
+    let logger = TraceLogger::builder()
+        .geometry(cfg)
+        .clock(clock.clone() as Arc<dyn ClockSource>)
+        .ncpus(NCPUS)
+        .build()
+        .unwrap();
     register(&logger);
-    let session = TraceSession::with_config(
-        out.clone(),
-        logger.clone(),
-        clock.as_ref(),
-        SessionConfig {
+    let session = TraceSession::builder()
+        .logger(logger.clone())
+        .clock(clock.clone())
+        .drain_policy(SessionConfig {
             heartbeat: Some(Duration::from_millis(1)),
             ..SessionConfig::default()
-        },
-    )
-    .unwrap();
+        })
+        .start(out.clone())
+        .unwrap();
 
     std::thread::scope(|s| {
         for cpu in 0..NCPUS {
@@ -195,15 +199,19 @@ fn faults_matrix_sinks_reconcile_with_the_lint() {
     ] {
         let out = SharedBuf::default();
         let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
-        let logger = TraceLogger::new(
-            TraceConfig::small(),
-            clock.clone() as Arc<dyn ClockSource>,
-            1,
-        )
-        .unwrap();
+        let logger = TraceLogger::builder()
+            .geometry(TraceConfig::small())
+            .clock(clock.clone() as Arc<dyn ClockSource>)
+            .ncpus(1)
+            .build()
+            .unwrap();
         register(&logger);
         let sink = FaultySink::new(out.clone(), plan);
-        let session = TraceSession::new(sink, logger.clone(), clock.as_ref()).unwrap();
+        let session = TraceSession::builder()
+            .logger(logger.clone())
+            .clock(clock.clone())
+            .start(sink)
+            .unwrap();
         for i in 0..2_000u64 {
             session
                 .logger()
@@ -223,12 +231,12 @@ fn faults_matrix_sinks_reconcile_with_the_lint() {
 fn dying_sink_losses_reconcile_with_the_lint() {
     let out = SharedBuf::default();
     let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
-    let logger = TraceLogger::new(
-        TraceConfig::small(),
-        clock.clone() as Arc<dyn ClockSource>,
-        1,
-    )
-    .unwrap();
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig::small())
+        .clock(clock.clone() as Arc<dyn ClockSource>)
+        .ncpus(1)
+        .build()
+        .unwrap();
     register(&logger);
     // The budget must be small enough that the sink dies even if the drain
     // thread is starved until `finish()`: the final drain alone flushes the
@@ -238,17 +246,16 @@ fn dying_sink_losses_reconcile_with_the_lint() {
         budget: 2 * 1024,
         accepted: 0,
     };
-    let session = TraceSession::with_config(
-        sink,
-        logger.clone(),
-        clock.as_ref(),
-        SessionConfig {
+    let session = TraceSession::builder()
+        .logger(logger.clone())
+        .clock(clock.clone())
+        .drain_policy(SessionConfig {
             write_retries: 2,
             retry_backoff: Duration::from_micros(10),
             ..SessionConfig::default()
-        },
-    )
-    .unwrap();
+        })
+        .start(sink)
+        .unwrap();
     for i in 0..60_000u64 {
         session
             .logger()

@@ -16,7 +16,12 @@ fn multi_writer_trace_lints_clean() {
     const EVENTS_PER_CPU: u64 = 2_000;
 
     let clock: Arc<SyncClock> = Arc::new(SyncClock::new());
-    let logger = TraceLogger::new(TraceConfig::small(), clock, NCPUS).unwrap();
+    let logger = TraceLogger::builder()
+        .geometry(TraceConfig::small())
+        .clock(clock)
+        .ncpus(NCPUS)
+        .build()
+        .unwrap();
     logger.register_event(
         MajorId::TEST,
         1,
