@@ -1,0 +1,253 @@
+//! E23: the adaptive-sampling overhead gate.
+//!
+//! The adaptive control plane (`ktrace-adapt`) hangs a per-major sampling
+//! gate off the hot logging path: after the mask check, every admitted
+//! event asks [`SampleGate::admit`]. At the default rate of 1 — the state
+//! every tracer sits in until a detector actually fires — that question
+//! must be one relaxed load and a compare, or the control plane would tax
+//! exactly the healthy steady state it exists to protect. The gate asserts
+//! the paper's economics survive: sampling at rate 1 adds **less than 1%**
+//! to the Fig. 3-style SDET cost.
+//!
+//! Method (measured + modelled, exactly like E20):
+//!
+//! 1. *Measure* the per-event cost of `SampleGate::admit` at rate 1 in
+//!    isolation on this host (floor-subtracted), and the full per-event
+//!    logging cost (E2's fit, which already *includes* the gate since it is
+//!    compiled in). Their ratio is the gate's share of the event cost.
+//! 2. *Model* the SDET run on the virtual-time multiprocessor twice with
+//!    paper-anchored costs: per-event cost as shipped vs. per-event cost
+//!    with the gate share stripped out.
+//! 3. Gate on the added busy-work fraction.
+
+use crate::event_cost;
+use crate::sdet_fig3::{busy, run_point};
+use crate::util::time_per_call;
+use ktrace_analysis::table::{Align, TextTable};
+use ktrace_core::SampleGate;
+use ktrace_format::MajorId;
+use ktrace_vsim::{CostParams, Scheme};
+use std::fmt::Write as _;
+
+/// The gate: rate-1 sampling may add at most this fraction of SDET busy
+/// work.
+pub const MAX_OVERHEAD: f64 = 0.01;
+
+/// Everything the gate measured and decided, for the report and the
+/// `BENCH_adapt.json` artifact.
+#[derive(Debug, Clone)]
+pub struct GateResult {
+    /// Measured cost (ns) of `SampleGate::admit` at rate 1, in isolation.
+    pub admit_ns: f64,
+    /// Measured full per-event logging cost (ns), gate included.
+    pub event_ns: f64,
+    /// The gate's share of the per-event cost.
+    pub admit_fraction: f64,
+    /// Modelled CPUs of the SDET point.
+    pub ncpus: usize,
+    /// Modelled SDET busy work (ns) with the gate compiled in.
+    pub busy_with: f64,
+    /// Modelled SDET busy work (ns) with the gate share stripped.
+    pub busy_without: f64,
+    /// Modelled throughput (scripts/hour) with the gate.
+    pub throughput_with: f64,
+    /// Modelled throughput (scripts/hour) without the gate.
+    pub throughput_without: f64,
+    /// Added busy-work fraction: `(with - without) / without`.
+    pub overhead: f64,
+    /// The gate threshold ([`MAX_OVERHEAD`]).
+    pub threshold: f64,
+    /// Did the gate pass?
+    pub pass: bool,
+}
+
+/// Runs the measurement and the model, returning the gate verdict.
+pub fn measure(fast: bool) -> GateResult {
+    let iters = if fast { 200_000 } else { 2_000_000 };
+
+    // 1a. The work rate-1 sampling adds to a mask-admitted event: one
+    // relaxed load of the major's rate plus the `<= 1` early return. The
+    // major alternates to defeat a single hot cache line staying in a
+    // register, which is pessimistic for the gate.
+    let gate = SampleGate::new();
+    let majors = [MajorId::MEM, MajorId::SCHED];
+    let mut i = 0usize;
+    let raw_ns = time_per_call(iters, || {
+        std::hint::black_box(gate.admit(std::hint::black_box(majors[i & 1])));
+        i = i.wrapping_add(1);
+    });
+    let floor_ns = time_per_call(iters, || {
+        std::hint::black_box(std::hint::black_box(7u64).wrapping_add(1));
+    });
+    let admit_ns = (raw_ns - floor_ns).max(0.01);
+
+    // 1b. The full per-event cost, gate included (it is compiled in).
+    let costs = event_cost::measure(fast);
+    let event_ns = costs.base_ns.max(1.0);
+    let admit_fraction = (admit_ns / event_ns).min(1.0);
+
+    // 2. Model the SDET point twice. Paper-anchored per-event cost, with
+    // the measured gate share stripped for the "without" run.
+    let with = CostParams::default();
+    let without = CostParams {
+        per_event_ns: with.per_event_ns * (1.0 - admit_fraction),
+        ..with
+    };
+    let ncpus = 8;
+    let scripts_per_cpu = if fast { 4 } else { 8 };
+    let on_with = run_point(ncpus, Scheme::LocklessPerCpu, with, scripts_per_cpu);
+    let on_without = run_point(ncpus, Scheme::LocklessPerCpu, without, scripts_per_cpu);
+
+    let busy_with = busy(&on_with);
+    let busy_without = busy(&on_without);
+    let overhead = (busy_with - busy_without) / busy_without;
+    GateResult {
+        admit_ns,
+        event_ns,
+        admit_fraction,
+        ncpus,
+        busy_with,
+        busy_without,
+        throughput_with: on_with.throughput_per_hour(),
+        throughput_without: on_without.throughput_per_hour(),
+        overhead,
+        threshold: MAX_OVERHEAD,
+        pass: overhead < MAX_OVERHEAD,
+    }
+}
+
+/// Renders the gate result as the `BENCH_adapt.json` artifact.
+pub fn to_json(g: &GateResult) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"E23 adaptive-sampling overhead gate\",\n",
+            "  \"admit_ns\": {:.4},\n",
+            "  \"event_ns\": {:.4},\n",
+            "  \"admit_fraction\": {:.6},\n",
+            "  \"ncpus\": {},\n",
+            "  \"busy_with_ns\": {:.0},\n",
+            "  \"busy_without_ns\": {:.0},\n",
+            "  \"throughput_with_per_hour\": {:.2},\n",
+            "  \"throughput_without_per_hour\": {:.2},\n",
+            "  \"overhead_fraction\": {:.6},\n",
+            "  \"threshold\": {:.6},\n",
+            "  \"pass\": {}\n",
+            "}}\n"
+        ),
+        g.admit_ns,
+        g.event_ns,
+        g.admit_fraction,
+        g.ncpus,
+        g.busy_with,
+        g.busy_without,
+        g.throughput_with,
+        g.throughput_without,
+        g.overhead,
+        g.threshold,
+        g.pass
+    )
+}
+
+/// Renders the E23 report.
+pub fn report(fast: bool) -> String {
+    render(&measure(fast))
+}
+
+/// Renders an already-measured gate result.
+pub fn render(g: &GateResult) -> String {
+    let mut out =
+        String::from("Adaptive sampling-gate overhead (measured share, modelled SDET):\n");
+    let mut t = TextTable::new(&[("quantity", Align::Left), ("value", Align::Right)]);
+    t.row(vec![
+        "per-event admit() cost at rate 1".into(),
+        format!("{:.2} ns", g.admit_ns),
+    ]);
+    t.row(vec![
+        "per-event logging cost (incl. gate)".into(),
+        format!("{:.2} ns", g.event_ns),
+    ]);
+    t.row(vec![
+        "gate share of event cost".into(),
+        format!("{:.2}%", 100.0 * g.admit_fraction),
+    ]);
+    t.row(vec![
+        format!("SDET busy work @{} cpus, with gate", g.ncpus),
+        format!("{:.3e} ns", g.busy_with),
+    ]);
+    t.row(vec![
+        "SDET busy work, gate stripped".into(),
+        format!("{:.3e} ns", g.busy_without),
+    ]);
+    t.row(vec![
+        "added busy work".into(),
+        format!("{:+.3}%", 100.0 * g.overhead),
+    ]);
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
+        "\ngate: sampling overhead {:.3}% < {:.0}% — {}",
+        100.0 * g.overhead,
+        100.0 * g.threshold,
+        if g.pass { "PASS" } else { "FAIL" }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_overhead_under_one_percent() {
+        let g = measure(true);
+        // Same calibration caveat as E20: a debug build inflates the
+        // isolated admit() measurement far more than the (partly
+        // memory-bound) full event path, so the measured *share* doesn't
+        // transfer. The hard 1% gate binds in release builds — the
+        // configuration CI's adapt job runs via `fig_adapt_gate`; debug
+        // gets a loosened sanity ceiling.
+        let ceiling = if cfg!(debug_assertions) {
+            0.05
+        } else {
+            g.threshold
+        };
+        assert!(
+            g.overhead < ceiling,
+            "rate-1 sampling adds {:.3}% to SDET busy work (gate {:.1}%); admit {:.2} ns of {:.2} ns/event",
+            100.0 * g.overhead,
+            100.0 * ceiling,
+            g.admit_ns,
+            g.event_ns
+        );
+        // Sanity: real, nonzero costs, and the "without" model is
+        // genuinely cheaper (the share was actually stripped).
+        assert!(g.admit_ns > 0.0 && g.event_ns > g.admit_ns);
+        assert!(g.busy_with >= g.busy_without);
+        assert!(g.throughput_without >= g.throughput_with);
+    }
+
+    #[test]
+    fn json_artifact_is_wellformed() {
+        let g = GateResult {
+            admit_ns: 0.8,
+            event_ns: 40.0,
+            admit_fraction: 0.02,
+            ncpus: 8,
+            busy_with: 1.0e9,
+            busy_without: 0.998e9,
+            throughput_with: 5.0e5,
+            throughput_without: 5.01e5,
+            overhead: 0.002,
+            threshold: MAX_OVERHEAD,
+            pass: true,
+        };
+        let s = to_json(&g);
+        assert!(s.contains("\"pass\": true"));
+        assert!(s.contains("\"overhead_fraction\": 0.002000"));
+        // Balanced braces / trailing newline — keeps the artifact
+        // parseable by strict JSON readers.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert!(s.ends_with("}\n"));
+    }
+}

@@ -16,6 +16,7 @@
 //!   lockless-vs-locking (E4), per-CPU-vs-global buffers (E5), and the
 //!   tool figures (Figs. 4–8) generated from emitted "8-way" traces.
 
+pub mod adapt_gate;
 pub mod event_cost;
 pub mod filler;
 pub mod garble;
@@ -66,5 +67,9 @@ pub fn run_all(fast: bool) -> Vec<(&'static str, String)> {
         ),
         ("E14 garble detection", garble::report(fast)),
         ("E20 telemetry overhead gate", telemetry_gate::report(fast)),
+        (
+            "E23 adaptive-sampling overhead gate",
+            adapt_gate::report(fast),
+        ),
     ]
 }

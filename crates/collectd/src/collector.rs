@@ -17,6 +17,7 @@
 use crate::proto;
 use crate::scrape;
 use crate::store::NodeStore;
+use ktrace_adapt::{Anomaly, Detector};
 use ktrace_core::parse_buffer;
 use ktrace_format::ids::control;
 use ktrace_io::file::{decode_record_header, RECORD_HEADER_BYTES};
@@ -121,6 +122,21 @@ pub(crate) struct NodeState {
     pub(crate) ticks_per_sec: AtomicU64,
     /// Latest HEARTBEAT payload per CPU, as logged by the node itself.
     pub(crate) beats: Mutex<BTreeMap<usize, [u64; control::HEARTBEAT_WORDS]>>,
+    /// Anomaly detection over this node's heartbeat-rebuilt snapshots,
+    /// stepped by the health plane at scrape time.
+    pub(crate) adapt: Mutex<NodeAdapt>,
+}
+
+/// One node's detector plus the verdict of its latest stepped interval.
+#[derive(Default)]
+pub(crate) struct NodeAdapt {
+    pub(crate) detector: Detector,
+    /// Anomalies fired by the most recent interval.
+    pub(crate) last: Vec<Anomaly>,
+    /// Detector intervals stepped so far.
+    pub(crate) intervals: u64,
+    /// Anomaly verdicts fired over the node's lifetime.
+    pub(crate) anomalies_total: u64,
 }
 
 impl NodeState {
@@ -141,7 +157,15 @@ impl NodeState {
             heartbeats_seen: AtomicU64::new(0),
             ticks_per_sec: AtomicU64::new(0),
             beats: Mutex::new(BTreeMap::new()),
+            adapt: Mutex::new(NodeAdapt::default()),
         }
+    }
+
+    /// A detached node state for in-crate unit tests (the health plane
+    /// exercises detector plumbing without a live collector).
+    #[cfg(test)]
+    pub(crate) fn new_for_tests(name: &str) -> NodeState {
+        NodeState::new(name.to_string())
     }
 
     fn note_heartbeat(&self, payload: &[u64]) {

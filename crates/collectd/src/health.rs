@@ -8,7 +8,8 @@
 //! and rendered with the same `ktrace-telemetry` exposition the node itself
 //! would serve, just with a `node` label in front.
 
-use crate::collector::Shared;
+use crate::collector::{NodeState, Shared};
+use ktrace_adapt::Anomaly;
 use ktrace_format::ids::control;
 use ktrace_telemetry::snapshot::{CpuTelemetry, SinkTelemetry, TelemetrySnapshot};
 use ktrace_telemetry::to_prometheus_labeled;
@@ -51,6 +52,45 @@ pub fn snapshot_from_beats(beats: &[[u64; control::HEARTBEAT_WORDS]]) -> Telemet
             ..SinkTelemetry::default()
         },
         salvage: Default::default(),
+    }
+}
+
+/// One scrape-time observation of a node's adaptive-health state.
+pub(crate) struct AnomalyView {
+    /// Anomalies fired by the most recent stepped interval.
+    pub(crate) last: Vec<Anomaly>,
+    /// Detector intervals stepped so far.
+    pub(crate) intervals: u64,
+    /// Anomaly verdicts fired over the node's lifetime.
+    pub(crate) anomalies_total: u64,
+}
+
+/// Steps the node's anomaly detector one interval over its latest
+/// heartbeat-rebuilt snapshot and returns the post-step state. Every
+/// scrape is a control interval: the detector's cumulative-snapshot
+/// delta logic absorbs back-to-back scrapes (zero deltas score zero) and
+/// node restarts (saturating deltas). A node that has never heartbeat
+/// is observed as quiet without consuming a warmup interval.
+pub(crate) fn observe_node(node: &NodeState) -> AnomalyView {
+    let beats: Vec<[u64; control::HEARTBEAT_WORDS]> = node
+        .beats
+        .lock()
+        .expect("beats lock")
+        .values()
+        .copied()
+        .collect();
+    let mut adapt = node.adapt.lock().expect("adapt lock");
+    if !beats.is_empty() {
+        let snap = snapshot_from_beats(&beats);
+        let fired = adapt.detector.observe(&snap);
+        adapt.intervals += 1;
+        adapt.anomalies_total += fired.len() as u64;
+        adapt.last = fired;
+    }
+    AnomalyView {
+        last: adapt.last.clone(),
+        intervals: adapt.intervals,
+        anomalies_total: adapt.anomalies_total,
     }
 }
 
@@ -160,6 +200,46 @@ pub(crate) fn render_fleet_metrics(shared: &Shared) -> String {
         &rows(&|s| vec![(format!("node=\"{}\"", s.name), s.heartbeats_seen)]),
     );
 
+    let views: Vec<(String, AnomalyView)> = nodes
+        .iter()
+        .map(|n| (n.name.clone(), observe_node(n)))
+        .collect();
+    counter(
+        &mut out,
+        "ktrace_adapt_intervals_total",
+        "Anomaly-detector intervals stepped per node (one per scrape).",
+        &views
+            .iter()
+            .map(|(name, v)| (format!("node=\"{name}\""), v.intervals))
+            .collect::<Vec<_>>(),
+    );
+    counter(
+        &mut out,
+        "ktrace_adapt_anomalies_total",
+        "Anomaly verdicts fired per node over its lifetime.",
+        &views
+            .iter()
+            .map(|(name, v)| (format!("node=\"{name}\""), v.anomalies_total))
+            .collect::<Vec<_>>(),
+    );
+    out.push_str(
+        "# HELP ktrace_adapt_anomaly_score_milli Robust z-score (milli) of the latest \
+         interval per track; 0 = quiet.\n# TYPE ktrace_adapt_anomaly_score_milli gauge\n",
+    );
+    for (name, v) in &views {
+        for (i, track) in control::ANOMALY_TRACKS.iter().enumerate() {
+            let z = v
+                .last
+                .iter()
+                .find(|a| a.track == i)
+                .map_or(0, |a| a.z_milli.max(0));
+            let _ = writeln!(
+                out,
+                "ktrace_adapt_anomaly_score_milli{{node=\"{name}\",track=\"{track}\"}} {z}"
+            );
+        }
+    }
+
     for node in &nodes {
         let beats: Vec<[u64; control::HEARTBEAT_WORDS]> = node
             .beats
@@ -174,6 +254,44 @@ pub(crate) fn render_fleet_metrics(shared: &Shared) -> String {
         let snap = snapshot_from_beats(&beats);
         out.push_str(&to_prometheus_labeled(&snap, &[("node", &node.name)]));
     }
+    out
+}
+
+/// Renders the `/anomalies` JSON document: one object per node with the
+/// detector's interval/verdict counters and the anomalies (if any) of the
+/// latest interval. Requesting the document steps each node's detector,
+/// so the scrape cadence is the control cadence.
+pub(crate) fn render_anomalies_json(shared: &Shared) -> String {
+    let mut out = String::from("[");
+    for (i, node) in shared.node_states().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let v = observe_node(node);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"intervals\":{},\"anomalies_total\":{},\"anomalous\":{},\"last\":[",
+            node.name,
+            v.intervals,
+            v.anomalies_total,
+            !v.last.is_empty(),
+        );
+        for (j, a) in v.last.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"track\":{},\"name\":\"{}\",\"value\":{},\"z_milli\":{}}}",
+                a.track,
+                a.track_name(),
+                a.value,
+                a.z_milli,
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push(']');
     out
 }
 
@@ -243,5 +361,98 @@ mod tests {
         let snap = snapshot_from_beats(&beats);
         let text = to_prometheus_labeled(&snap, &[("node", "db-1")]);
         assert!(text.contains("ktrace_events_logged_total{node=\"db-1\",cpu=\"0\"} 10"));
+    }
+
+    /// Satellite of the adaptive control plane: the HEARTBEAT schema must
+    /// round-trip. A snapshot rebuilt from the payloads a node's telemetry
+    /// serializes is bit-identical, for every carried field, to the
+    /// snapshot the node itself would take.
+    #[test]
+    fn heartbeat_payloads_round_trip_bit_identically() {
+        use ktrace_telemetry::Telemetry;
+        let t = Telemetry::new(2);
+        for _ in 0..100 {
+            t.cpu(0).tally_event();
+        }
+        for _ in 0..7 {
+            t.cpu(0).tally_cas_retry();
+        }
+        t.cpu(0).tally_masked();
+        t.cpu(0).tally_dropped();
+        t.cpu(0).tally_filler_words(40);
+        t.cpu(0).tally_wrap();
+        t.cpu(0).tally_overwrite();
+        for _ in 0..90 {
+            t.cpu(1).tally_event();
+        }
+        t.cpu(1).tally_wrap();
+        for _ in 0..13 {
+            t.sink().tally_record_written();
+        }
+        t.sink().tally_buffer_dropped(5);
+
+        let beats = [t.heartbeat_payload(0), t.heartbeat_payload(1)];
+        let rebuilt = snapshot_from_beats(&beats);
+        let live = t.snapshot();
+
+        assert_eq!(rebuilt.per_cpu.len(), live.per_cpu.len());
+        for (r, l) in rebuilt.per_cpu.iter().zip(live.per_cpu.iter()) {
+            assert_eq!(r.cpu, l.cpu);
+            assert_eq!(r.events_logged, l.events_logged);
+            assert_eq!(r.events_masked, l.events_masked);
+            assert_eq!(r.events_dropped, l.events_dropped);
+            assert_eq!(r.cas_retries, l.cas_retries);
+            assert_eq!(r.filler_words, l.filler_words);
+            assert_eq!(r.buffer_wraps, l.buffer_wraps);
+            assert_eq!(r.flight_overwrites, l.flight_overwrites);
+        }
+        assert_eq!(rebuilt.sink.records_written, live.sink.records_written);
+        assert_eq!(rebuilt.sink.buffers_dropped, live.sink.buffers_dropped);
+        // And the rebuilt snapshot re-serializes to the identical beats:
+        // the schema is a true fixed point, not merely field-compatible.
+        for (cpu, beat) in beats.iter().enumerate() {
+            let rb = &rebuilt.per_cpu[cpu];
+            let reserialized = [
+                cpu as u64,
+                rb.events_logged,
+                rb.events_masked,
+                rb.events_dropped,
+                rb.cas_retries,
+                rb.filler_words,
+                rb.buffer_wraps,
+                rb.flight_overwrites,
+                rebuilt.sink.records_written,
+                rebuilt.sink.buffers_dropped,
+            ];
+            assert_eq!(&reserialized, beat, "cpu {cpu} beat not a fixed point");
+        }
+    }
+
+    /// The scrape-time detector plumbing: quiet beats observe as healthy,
+    /// a drop spike fires, and the JSON document surfaces it.
+    #[test]
+    fn anomaly_plumbing_fires_on_a_drop_spike() {
+        use crate::collector::NodeState;
+        let node = NodeState::new_for_tests("web-1");
+        let mut dropped = 0u64;
+        let beat = |node: &NodeState, drops: u64| {
+            let payload = [0u64, 1000, 0, drops, 0, 0, 0, 0, 1, 0];
+            node.beats.lock().unwrap().insert(0, payload);
+        };
+        // Seed + a dozen quiet intervals (steady trickle of drops).
+        for _ in 0..13 {
+            dropped += 1;
+            beat(&node, dropped);
+            let v = observe_node(&node);
+            assert!(v.last.is_empty(), "quiet interval fired: {:?}", v.last);
+        }
+        // The spike.
+        dropped += 50_000;
+        beat(&node, dropped);
+        let v = observe_node(&node);
+        assert_eq!(v.last.len(), 1, "{:?}", v.last);
+        assert_eq!(v.last[0].track_name(), "drop_rate");
+        assert_eq!(v.anomalies_total, 1);
+        assert_eq!(v.intervals, 14);
     }
 }

@@ -21,8 +21,10 @@
 //! * [`health`] — per-node health reconstructed from the `CONTROL`/
 //!   `HEARTBEAT` events in the streams themselves, rendered with
 //!   `ktrace-telemetry`'s Prometheus exposition.
-//! * [`scrape`] — the HTTP scrape endpoint (`/metrics`, `/nodes`) serving
-//!   per-node heartbeat-derived health plus the collector's own counters.
+//! * [`scrape`] — the HTTP scrape endpoint (`/metrics`, `/nodes`,
+//!   `/anomalies`) serving per-node heartbeat-derived health — including
+//!   each node's `ktrace-adapt` anomaly-detector state — plus the
+//!   collector's own counters.
 //! * [`source`] — [`CollectSource`]: a `ktrace-query` [`TraceSource`] over
 //!   the store, so `props/ktrace.toml` assertions run unchanged against
 //!   fleet data, per node or fleet-wide merged.

@@ -4,6 +4,8 @@
 //!
 //! * `GET /metrics` — the fleet exposition ([`crate::health`]).
 //! * `GET /nodes` — live per-node ingest accounting as JSON.
+//! * `GET /anomalies` — per-node anomaly-detector state as JSON (each
+//!   request steps the detectors one interval).
 
 use crate::collector::Shared;
 use crate::health;
@@ -48,11 +50,15 @@ fn serve_one(mut conn: TcpStream, shared: &Shared) {
             let body = health::render_nodes_json(shared);
             respond(&mut conn, "200 OK", "application/json", &body);
         }
+        "/anomalies" => {
+            let body = health::render_anomalies_json(shared);
+            respond(&mut conn, "200 OK", "application/json", &body);
+        }
         _ => respond(
             &mut conn,
             "404 Not Found",
             "text/plain",
-            "try /metrics or /nodes\n",
+            "try /metrics, /nodes, or /anomalies\n",
         ),
     }
 }

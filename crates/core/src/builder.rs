@@ -1,9 +1,10 @@
 //! Fluent construction for [`TraceLogger`].
 //!
-//! The positional `TraceLogger::new(config, clock, ncpus)` constructor grew
-//! call sites where the argument roles are invisible (`new(cfg, clk, 4)` —
-//! which 4?). [`LoggerBuilder`] names every step and supplies defaults, so
-//! the common cases shrink and the unusual ones become readable:
+//! The (since removed) positional `TraceLogger::new(config, clock, ncpus)`
+//! constructor grew call sites where the argument roles are invisible
+//! (`new(cfg, clk, 4)` — which 4?). [`LoggerBuilder`] names every step and
+//! supplies defaults, so the common cases shrink and the unusual ones
+//! become readable:
 //!
 //! ```
 //! use ktrace_core::{TraceConfig, TraceLogger};

@@ -32,6 +32,8 @@
 //!   protocol, and flight-recorder snapshots.
 //! * [`logger`] — the user-facing [`TraceLogger`] / [`CpuHandle`] API with the
 //!   mask-gated fast paths.
+//! * [`sample`] — the per-major sampling gate (counter decimation) the
+//!   adaptive control plane drives when shedding detail.
 //! * [`reader`] — turning raw buffer words back into events, with garble
 //!   detection and 64-bit timestamp reconstruction.
 //!
@@ -47,6 +49,7 @@ pub mod error;
 pub mod logger;
 pub mod reader;
 pub mod region;
+pub mod sample;
 
 pub use builder::LoggerBuilder;
 pub use config::{Mode, TraceConfig, ANCHOR_WORDS, DROPPED_WORDS};
@@ -54,3 +57,4 @@ pub use error::CoreError;
 pub use logger::{CpuHandle, FlightDump, LoggerStats, RestrictedHandle, TraceLogger};
 pub use reader::{parse_buffer, GarbleNote, ParsedBuffer, RawEvent};
 pub use region::{CompletedBuffer, RegionSnapshot};
+pub use sample::SampleGate;

@@ -16,6 +16,7 @@ use crate::config::{Mode, TraceConfig};
 use crate::error::CoreError;
 use crate::reader::{parse_buffer, GarbleNote, RawEvent};
 use crate::region::{CompletedBuffer, CpuRegion, RegionSnapshot};
+use crate::sample::SampleGate;
 use crossbeam::utils::CachePadded;
 use ktrace_clock::ClockSource;
 use ktrace_format::ids::control;
@@ -27,6 +28,7 @@ use std::sync::Arc;
 struct Shared {
     config: TraceConfig,
     mask: TraceMask,
+    sample: SampleGate,
     regions: Box<[CachePadded<CpuRegion>]>,
     registry: RwLock<EventRegistry>,
     tel: Arc<Telemetry>,
@@ -83,21 +85,7 @@ impl TraceLogger {
         crate::builder::LoggerBuilder::default()
     }
 
-    /// Creates a logger with `ncpus` per-CPU regions sharing `clock`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use TraceLogger::builder().geometry(..).clock(..).ncpus(..).build()"
-    )]
-    pub fn new(
-        config: TraceConfig,
-        clock: Arc<dyn ClockSource>,
-        ncpus: usize,
-    ) -> Result<TraceLogger, CoreError> {
-        TraceLogger::construct(config, clock, ncpus)
-    }
-
-    /// Shared constructor behind [`TraceLogger::builder`] and the deprecated
-    /// positional [`TraceLogger::new`].
+    /// Shared constructor behind [`TraceLogger::builder`].
     pub(crate) fn construct(
         config: TraceConfig,
         clock: Arc<dyn ClockSource>,
@@ -123,6 +111,7 @@ impl TraceLogger {
             shared: Arc::new(Shared {
                 config,
                 mask: TraceMask::all_enabled(),
+                sample: SampleGate::new(),
                 regions,
                 registry: RwLock::new(EventRegistry::with_builtin()),
                 tel,
@@ -143,6 +132,13 @@ impl TraceLogger {
     /// The trace mask gating all majors (shared by every handle).
     pub fn mask(&self) -> &TraceMask {
         &self.shared.mask
+    }
+
+    /// The per-major sampling gate consulted (after the mask) by every
+    /// `log*` fast path. The adaptive controller narrows rates here when
+    /// shedding detail; everything defaults to rate 1 (keep all).
+    pub fn sampling(&self) -> &SampleGate {
+        &self.shared.sample
     }
 
     /// Registers a self-describing event descriptor.
@@ -185,7 +181,7 @@ impl TraceLogger {
         }
         #[cfg(not(feature = "trace-off"))]
         {
-            if !self.shared.mask.is_enabled(major) {
+            if !self.shared.mask.is_enabled(major) || !self.shared.sample.admit(major) {
                 if cpu < self.ncpus() {
                     self.shared.tel.cpu(cpu).tally_masked();
                 }
@@ -217,7 +213,7 @@ impl TraceLogger {
                     ncpus: self.ncpus(),
                 });
             }
-            if !self.shared.mask.is_enabled(major) {
+            if !self.shared.mask.is_enabled(major) || !self.shared.sample.admit(major) {
                 self.shared.tel.cpu(cpu).tally_masked();
                 return Ok(false);
             }
@@ -402,6 +398,29 @@ impl TraceLogger {
         }
     }
 
+    /// Logs an arbitrary `CONTROL` event on `cpu` — the audit channel the
+    /// adaptive control plane uses for its `ANOMALY` / `MASK_ADJUST` /
+    /// `SAMPLE_ADJUST` decisions, so every intervention is queryable
+    /// post-hoc from the trace itself.
+    ///
+    /// Like heartbeats, audit events ride the lockless reservation path but
+    /// are *not* counted in `events_logged`, and neither the mask nor the
+    /// sampling gate applies to CONTROL traffic.
+    pub fn log_control_event(&self, cpu: usize, minor: MinorId, payload: &[u64]) -> bool {
+        #[cfg(feature = "trace-off")]
+        {
+            let _ = (cpu, minor, payload);
+            false
+        }
+        #[cfg(not(feature = "trace-off"))]
+        {
+            if cpu >= self.ncpus() {
+                return false;
+            }
+            self.region(cpu).log_control(minor, payload).is_ok()
+        }
+    }
+
     /// Per-CPU ring occupancy: `(outstanding_words, capacity_words)` —
     /// words reserved but not yet released by the consumer, versus the total
     /// ring size. The live monitor (`ktrace-tools top`) renders this as a
@@ -468,7 +487,7 @@ macro_rules! arity_logger {
             }
             #[cfg(not(feature = "trace-off"))]
             {
-                if !self.shared.mask.is_enabled(major) {
+                if !self.shared.mask.is_enabled(major) || !self.shared.sample.admit(major) {
                     self.shared.tel.cpu(self.cpu as usize).tally_masked();
                     return false;
                 }
@@ -506,7 +525,7 @@ impl CpuHandle {
         }
         #[cfg(not(feature = "trace-off"))]
         {
-            if !self.shared.mask.is_enabled(major) {
+            if !self.shared.mask.is_enabled(major) || !self.shared.sample.admit(major) {
                 self.shared.tel.cpu(self.cpu as usize).tally_masked();
                 return false;
             }
@@ -887,6 +906,44 @@ mod tests {
             ktrace_telemetry::hist_count(&snap.per_cpu[0].reserve_wait),
             10
         );
+    }
+
+    #[test]
+    fn sampling_gate_decimates_after_the_mask() {
+        let l = logger(1);
+        let h = l.handle(0).unwrap();
+        l.sampling().set_rate(MajorId::TEST, 4);
+        for i in 0..100 {
+            h.log1(MajorId::TEST, 0, i);
+        }
+        assert_eq!(l.stats().events_logged, 25, "1-in-4 kept");
+        // Sampled-out events tally as masked: the telemetry invariant
+        // `logged + masked == attempts` stays exact.
+        let snap = l.telemetry().snapshot();
+        assert_eq!(snap.per_cpu[0].events_masked, 75);
+        l.sampling().clear();
+        assert!(h.log1(MajorId::TEST, 0, 0));
+        // The slice/logger paths consult the gate too.
+        l.sampling().set_rate(MajorId::MEM, 2);
+        let kept = (0..10).filter(|_| l.log(0, MajorId::MEM, 0, &[1])).count();
+        assert_eq!(kept, 5);
+    }
+
+    #[test]
+    fn control_events_carry_audit_payloads() {
+        let l = logger(1);
+        assert!(l.log_control_event(0, control::ANOMALY, &[0, 0, 3500, 42]));
+        assert!(!l.log_control_event(9, control::ANOMALY, &[]), "bad cpu");
+        assert_eq!(l.stats().events_logged, 0, "audit traffic is uncounted");
+        l.flush_all();
+        let ev: Vec<RawEvent> = l
+            .drain_cpu(0)
+            .iter()
+            .flat_map(|b| parse_buffer(0, b.seq, &b.words, None).events)
+            .filter(|e| e.major == MajorId::CONTROL && e.minor == control::ANOMALY)
+            .collect();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].payload, vec![0, 0, 3500, 42]);
     }
 
     #[test]

@@ -326,6 +326,10 @@ ktrace_event! {
         /// (the paper's `TRACE_USER_RETURNED_MAIN`).
         RETURNED_MAIN = 2 => ("TRACE_USER_RETURNED_MAIN", "64",
             "process %0[%d] returned from main"),
+        /// Paced application tick from the adaptive closed-loop drivers
+        /// (`ktrace-tools adapt`, `tests/adapt_loop.rs`): `[seq, phase]`.
+        APP_TICK = 3 => ("TRACE_USER_APP_TICK", "64 64",
+            "tick %0[%d] phase %1[%d]"),
     }
 
     /// `PROF` minors.

@@ -68,6 +68,11 @@ pub struct SinkPlan {
     pub latency: f64,
     /// Length of an injected stall.
     pub delay: Duration,
+    /// Accepted bytes before latency injection arms (0 = immediately).
+    /// Lets a run establish a healthy baseline, then degrade — the shape
+    /// an anomaly detector watching rate *changes* actually sees in the
+    /// field.
+    pub latency_after: u64,
 }
 
 impl SinkPlan {
@@ -80,6 +85,7 @@ impl SinkPlan {
             permanent_after: None,
             latency: 0.0,
             delay: Duration::ZERO,
+            latency_after: 0,
         }
     }
 
@@ -90,6 +96,18 @@ impl SinkPlan {
         SinkPlan {
             latency: 0.3,
             delay,
+            ..SinkPlan::clean(seed)
+        }
+    }
+
+    /// A sink that is healthy for its first `after_bytes` accepted bytes,
+    /// then stalls on **every** write: the quiet-baseline-then-overload
+    /// shape the adaptive control plane's closed loop is tested against.
+    pub fn degrading_latency(seed: u64, after_bytes: u64, delay: Duration) -> Self {
+        SinkPlan {
+            latency: 1.0,
+            delay,
+            latency_after: after_bytes,
             ..SinkPlan::clean(seed)
         }
     }

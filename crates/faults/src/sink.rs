@@ -98,12 +98,15 @@ impl<W: Write> Write for FaultySink<W> {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
 
-        if self.plan.latency > 0.0 && self.rng.gen_bool(self.plan.latency) {
+        let so_far = self.stats.bytes_accepted.load(Ordering::Relaxed);
+        if self.plan.latency > 0.0
+            && so_far >= self.plan.latency_after
+            && self.rng.gen_bool(self.plan.latency)
+        {
             self.stats.latency_spikes.fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(self.plan.delay);
         }
 
-        let so_far = self.stats.bytes_accepted.load(Ordering::Relaxed);
         if self.dead || self.plan.permanent_after.is_some_and(|cap| so_far >= cap) {
             self.dead = true;
             self.stats
@@ -239,6 +242,17 @@ mod tests {
         assert!(sink.write(b"x").is_err());
         assert!(sink.write(b"x").is_err());
         assert!(sink.flush().is_err());
+    }
+
+    #[test]
+    fn degrading_latency_arms_at_the_byte_budget() {
+        // 4 chunks of 64 bytes fit the 256-byte healthy budget; the rest
+        // stall on every write.
+        let plan = SinkPlan::degrading_latency(11, 256, Duration::from_micros(1));
+        let (out, stats, errors) = drive(plan, 8);
+        assert!(errors.is_empty());
+        assert_eq!(out.len(), 8 * 64, "latency loses nothing");
+        assert_eq!(stats.latency_spikes.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -456,6 +456,36 @@ impl EventRegistry {
             )
             .unwrap(),
         );
+        r.register(
+            MajorId::CONTROL,
+            control::ANOMALY,
+            EventDescriptor::new(
+                "TRACE_CONTROL_ANOMALY",
+                "64 64 64 64",
+                "anomaly track %0[%d] cpu %1[%d] z_milli %2[%d] value %3[%d]",
+            )
+            .unwrap(),
+        );
+        r.register(
+            MajorId::CONTROL,
+            control::MASK_ADJUST,
+            EventDescriptor::new(
+                "TRACE_CONTROL_MASK_ADJUST",
+                "64 64 64",
+                "mask adjust dir %0[%d] old %1[%x] new %2[%x]",
+            )
+            .unwrap(),
+        );
+        r.register(
+            MajorId::CONTROL,
+            control::SAMPLE_ADJUST,
+            EventDescriptor::new(
+                "TRACE_CONTROL_SAMPLE_ADJUST",
+                "64 64 64 64",
+                "sample adjust dir %0[%d] major %1[%d] old %2[%d] new %3[%d]",
+            )
+            .unwrap(),
+        );
         r
     }
 

@@ -17,6 +17,7 @@
 //! | srclint | 30–35 | `ktrace-lint` (static source checks) |
 //! | trace assertions | 36–39 | `ktrace-query` (`ktrace-tools assert`) |
 //! | collector ops | 40–42 | `ktrace-collectd` (fleet-service operational) |
+//! | adaptive control | 43 | `ktrace-tools adapt` (closed-loop operational) |
 //!
 //! The verify/srclint/assert bands are mirrored by
 //! `ktrace_verify::ViolationKind::exit_code`, which maps each violation
@@ -94,6 +95,14 @@ pub const COLLECT_STORE: u8 = 41;
 /// the same way [`LOSSY_DRAIN`] makes a lossy record scriptable).
 pub const COLLECT_LOSSY: u8 = 42;
 
+// --- Adaptive-control band (43): ktrace-tools adapt operational outcome. ---
+
+/// The adaptive control plane fired an anomaly that was still unresolved
+/// (detail shed, drop rate not recovered) when the run finished. Scriptable
+/// the same way [`COLLECT_LOSSY`] is: the run itself completed, but the
+/// closed loop never converged back to full detail.
+pub const ADAPT_ANOMALY: u8 = 43;
+
 /// Every assigned code, in order, with its machine-greppable label — the
 /// rendered form of DESIGN.md's authoritative table.
 pub const TABLE: &[(u8, &str)] = &[
@@ -123,6 +132,7 @@ pub const TABLE: &[(u8, &str)] = &[
     (COLLECT_BIND, "collect-bind"),
     (COLLECT_STORE, "collect-store"),
     (COLLECT_LOSSY, "collect-lossy"),
+    (ADAPT_ANOMALY, "adapt-anomaly"),
 ];
 
 // The bands must stay clear of the reserved process codes and of each
@@ -132,6 +142,7 @@ const _: () = {
     assert!(DATA_RACE < SCHEMA_MISMATCH);
     assert!(UNSAFE_UNJUSTIFIED < ASSERT_COUNT);
     assert!(ASSERT_CADENCE < COLLECT_BIND);
+    assert!(COLLECT_LOSSY < ADAPT_ANOMALY);
 };
 
 /// The label for `code`, if it is an assigned exit code.

@@ -166,6 +166,30 @@ pub mod control {
         "sink_records_written",
         "sink_buffers_dropped",
     ];
+
+    /// Adaptive-control audit: the anomaly detector flagged a telemetry
+    /// track. Payload is `[track, cpu, z_milli, value]` — the track index
+    /// into [`ANOMALY_TRACKS`], the CPU the verdict concerns (`u64::MAX`
+    /// for whole-logger tracks), the robust z-score in milli-units, and the
+    /// per-interval delta that tripped it.
+    pub const ANOMALY: MinorId = 4;
+    /// Adaptive-control audit: the controller changed the trace mask.
+    /// Payload is `[direction, old_bits, new_bits]`; direction 0 narrows
+    /// (sheds detail), 1 widens (restores it).
+    pub const MASK_ADJUST: MinorId = 5;
+    /// Adaptive-control audit: the controller changed a per-major sampling
+    /// rate. Payload is `[direction, major, old_rate, new_rate]`; direction
+    /// 0 coarsens (rate goes up), 1 refines (rate comes back down).
+    pub const SAMPLE_ADJUST: MinorId = 6;
+
+    /// Telemetry tracks the anomaly detector watches, index-aligned with
+    /// the `track` field of an [`ANOMALY`] payload.
+    pub const ANOMALY_TRACKS: [&str; 4] = [
+        "drop_rate",
+        "cas_retries",
+        "buffer_wraps",
+        "reserve_wait_p99",
+    ];
 }
 
 #[cfg(test)]

@@ -111,55 +111,6 @@ impl TraceSession {
         SessionBuilder::default()
     }
 
-    /// Starts a session writing to a file at `path`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use TraceSession::builder().logger(..).clock(..).create(path)"
-    )]
-    pub fn create(
-        path: impl AsRef<Path>,
-        logger: TraceLogger,
-        clock: &dyn ClockSource,
-    ) -> Result<TraceSession, IoError> {
-        let file = std::fs::File::create(path)?;
-        TraceSession::start_session(
-            std::io::BufWriter::new(file),
-            logger,
-            clock,
-            SessionConfig::default(),
-        )
-    }
-
-    /// Starts a session writing to any sink, with the default resilience
-    /// policy.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use TraceSession::builder().logger(..).clock(..).start(sink)"
-    )]
-    pub fn new<W: Write + Send + 'static>(
-        sink: W,
-        logger: TraceLogger,
-        clock: &dyn ClockSource,
-    ) -> Result<TraceSession, IoError> {
-        TraceSession::start_session(sink, logger, clock, SessionConfig::default())
-    }
-
-    /// Starts a session writing to any sink under an explicit resilience
-    /// policy.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use TraceSession::builder() with named drain-policy steps \
-                (.write_retries / .retry_backoff / .heartbeat)"
-    )]
-    pub fn with_config<W: Write + Send + 'static>(
-        sink: W,
-        logger: TraceLogger,
-        clock: &dyn ClockSource,
-        config: SessionConfig,
-    ) -> Result<TraceSession, IoError> {
-        TraceSession::start_session(sink, logger, clock, config)
-    }
-
     /// The engine behind every constructor: writes the header, spawns the
     /// drainer, and returns the live session.
     fn start_session<W: Write + Send + 'static>(
@@ -280,24 +231,6 @@ impl TraceSession {
             stop,
             drainer: Some(drainer),
         })
-    }
-
-    /// Convenience: build the logger and start the session in one call.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use TraceSession::builder().geometry(..).clock(..).ncpus(..).create(path)"
-    )]
-    pub fn start(
-        path: impl AsRef<Path>,
-        config: TraceConfig,
-        clock: Arc<dyn ClockSource>,
-        ncpus: usize,
-    ) -> Result<TraceSession, SessionError> {
-        TraceSession::builder()
-            .geometry(config)
-            .clock(clock)
-            .ncpus(ncpus)
-            .create(path)
     }
 
     /// The logger to hand to traced code.

@@ -137,6 +137,7 @@ const CALLSITE_DIRS: &[&str] = &[
 const HOTPATH_FILES: &[&str] = &[
     "crates/core/src/logger.rs",
     "crates/core/src/region.rs",
+    "crates/core/src/sample.rs",
     "crates/format/src/mask.rs",
     "crates/telemetry/src/counters.rs",
 ];

@@ -177,8 +177,9 @@ fn real_telemetry_counters_are_walked_and_clean_without_escapes() {
     let report = lint_workspace(&one_pass(root, "hotpath")).unwrap();
     assert!(report.is_clean(true), "{}", report.render(true));
     // The walk includes the telemetry file: the 2 always-read schema
-    // sources plus all 4 hot-path files (logger, region, mask, counters).
-    assert_eq!(report.stats.files_scanned, 6);
+    // sources plus all 5 hot-path files (logger, region, mask, sample,
+    // counters).
+    assert_eq!(report.stats.files_scanned, 7);
     assert!(report.stats.hot_fns_walked > 0);
 }
 
@@ -332,7 +333,7 @@ fn the_workspace_itself_lints_clean() {
     assert!(report.is_clean(true), "{}", report.render(true));
     assert_eq!(report.exit_code(true), 0);
     // The macro-declared schema is visible to the static parser.
-    assert_eq!(report.stats.events_declared, 33);
+    assert_eq!(report.stats.events_declared, 34);
     assert!(report.stats.call_sites_seen > 0);
     assert!(report.stats.hot_fns_walked > 0);
     // All three concurrency passes genuinely ran — and clean means clean:

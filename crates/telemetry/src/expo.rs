@@ -77,12 +77,16 @@ pub fn to_prometheus(snap: &TelemetrySnapshot) -> String {
 /// Like [`to_prometheus`], but with `extra` labels prepended to every
 /// sample — how an aggregator renders many snapshots into one exposition
 /// (e.g. `[("node", "web-3")]` for per-node fleet health). Label values are
-/// quoted; `"` and `\` are escaped.
+/// quoted; `"`, `\`, and newlines are escaped per the exposition-format
+/// rules (a raw newline in a label value would tear the sample line).
 pub fn to_prometheus_labeled(snap: &TelemetrySnapshot, extra: &[(&str, &str)]) -> String {
     let body = extra
         .iter()
         .map(|(k, v)| {
-            let escaped = v.replace('\\', "\\\\").replace('"', "\\\"");
+            let escaped = v
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n");
             format!("{k}=\"{escaped}\"")
         })
         .collect::<Vec<_>>()
@@ -343,6 +347,30 @@ mod tests {
         assert!(tricky.contains("node=\"a\\\"b\""));
         // The unlabeled renderer is the labeled one with no labels.
         assert_eq!(to_prometheus(&snap()), to_prometheus_labeled(&snap(), &[]));
+    }
+
+    #[test]
+    fn labeled_exposition_escapes_hostile_values() {
+        // The exposition-format escapes inside quoted label values:
+        // backslash, double quote, and newline. A node name is wire data —
+        // a hostile one must not tear or forge sample lines.
+        let backslash = to_prometheus_labeled(&snap(), &[("node", "a\\b")]);
+        assert!(backslash.contains("node=\"a\\\\b\""));
+
+        let quote = to_prometheus_labeled(&snap(), &[("node", "a\"},evil=\"1")]);
+        assert!(quote.contains("node=\"a\\\"},evil=\\\"1\""));
+
+        let newline = to_prometheus_labeled(&snap(), &[("node", "a\nb")]);
+        assert!(newline.contains("node=\"a\\nb\""));
+        // No sample line is torn: every non-comment line still carries the
+        // label, so the raw newline never reached the output.
+        for line in newline.lines().filter(|l| !l.starts_with('#')) {
+            assert!(line.contains("node=\"a\\nb\""), "torn sample: {line}");
+        }
+
+        // All three at once, in the escaping order the code applies.
+        let all = to_prometheus_labeled(&snap(), &[("node", "\\\"\n")]);
+        assert!(all.contains("node=\"\\\\\\\"\\n\""));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //!                                         evaluate named trace assertions
 //! ktrace-tools top [secs] [ncpus]         live telemetry monitor over an ossim run
 //! ktrace-tools record <out> [secs] [ncpus]  run ossim, record with heartbeats
+//! ktrace-tools adapt <out> [secs] [ncpus] [--fault]  closed-loop adaptive session
 //! ktrace-tools collect <store> [listen] [secs]  run a fleet collector
 //! ktrace-tools fleet <store> [nodes] [secs]     collector + N local ossim nodes
 //! ```
@@ -39,11 +40,17 @@
 //! can run over damaged traces.
 //!
 //! `top` runs an SDET-style ossim workload under a live session and
-//! refreshes a per-CPU telemetry table (ring occupancy, event rates, drop
-//! counters) until the run completes. `record` does the same headlessly into
-//! a trace file and prints the session/logger statistics; a lossy drain
-//! exits with the shared `lossy-drain` code so scripts can tell a complete
-//! trace from one with holes.
+//! refreshes a per-CPU telemetry table (ring occupancy, event and drop
+//! rates, inline anomaly flags) until the run completes. `record` does the
+//! same headlessly into a trace file and prints the session/logger
+//! statistics; a lossy drain exits with the shared `lossy-drain` code so
+//! scripts can tell a complete trace from one with holes. `adapt` runs the
+//! same session under the `ktrace-adapt` closed loop — detector over the
+//! logger's own telemetry, controller shedding and restoring detail, every
+//! decision audited into the trace — and exits `adapt-anomaly` (43) when
+//! an anomaly fired and the controller is still shedding at finish;
+//! `--fault` injects sink latency so the overload→shed→recover cycle is
+//! reproducible on demand.
 //!
 //! `collect` runs the `ktrace-collectd` aggregation service: nodes connect
 //! to the listen address, their streams land sharded under `<store>`, and
@@ -68,7 +75,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ktrace-tools <list|lockstat|profile|breakdown|timeline|stats|anomalies|export-csv|export-chrome|deadlock|salvage> <trace-file> [arg]\n       ktrace-tools assert <trace-file> --spec <props.toml> [--salvage]\n       ktrace-tools assert <store-dir> --spec <props.toml> --store [--node <name>]\n       ktrace-tools top [secs] [ncpus]\n       ktrace-tools record <out-file> [secs] [ncpus]\n       ktrace-tools collect <store-dir> [listen-addr] [secs]\n       ktrace-tools fleet <store-dir> [nodes] [secs]"
+        "usage: ktrace-tools <list|lockstat|profile|breakdown|timeline|stats|anomalies|export-csv|export-chrome|deadlock|salvage> <trace-file> [arg]\n       ktrace-tools assert <trace-file> --spec <props.toml> [--salvage]\n       ktrace-tools assert <store-dir> --spec <props.toml> --store [--node <name>]\n       ktrace-tools top [secs] [ncpus]\n       ktrace-tools record <out-file> [secs] [ncpus]\n       ktrace-tools adapt <out-file> [secs] [ncpus] [--fault]\n       ktrace-tools collect <store-dir> [listen-addr] [secs]\n       ktrace-tools fleet <store-dir> [nodes] [secs]"
     );
     ExitCode::from(exit::USAGE)
 }
@@ -250,36 +257,45 @@ fn live_run<W: std::io::Write + Send + 'static>(
     (logger, session, worker)
 }
 
-/// Renders one telemetry refresh: a per-CPU table of ring occupancy, event
-/// rates (vs. the previous snapshot), and the drop/retry counters.
+/// Renders one telemetry refresh: a per-CPU table of ring occupancy,
+/// derived per-interval rates (events/s, drops/s vs. the previous
+/// snapshot), the drop/retry counters, and an inline flag on any CPU that
+/// lost events this interval, with the anomaly detector's verdicts in the
+/// footer.
 fn render_top(
     logger: &ktrace::core::TraceLogger,
     snap: &ktrace::telemetry::TelemetrySnapshot,
     prev: &ktrace::telemetry::TelemetrySnapshot,
     interval_secs: f64,
+    anomalies: &[ktrace::adapt::Anomaly],
 ) -> String {
     use std::fmt::Write as _;
     let delta = snap.delta(prev);
+    let secs = interval_secs.max(1e-9);
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:>4} {:>6} {:>12} {:>10} {:>9} {:>8} {:>8} {:>7}",
-        "cpu", "occ%", "events", "events/s", "masked", "dropped", "retries", "wraps"
+        "{:>4} {:>6} {:>12} {:>10} {:>9} {:>9} {:>8} {:>8} {:>8} {:>7}",
+        "cpu", "occ%", "events", "events/s", "masked", "dropped", "drops/s", "retries", "wraps", ""
     );
     for (cpu, c) in snap.per_cpu.iter().enumerate() {
         let (used, cap) = logger.occupancy(cpu);
-        let rate = delta.per_cpu[cpu].events_logged as f64 / interval_secs.max(1e-9);
+        let d = &delta.per_cpu[cpu];
+        let rate = d.events_logged as f64 / secs;
+        let drop_rate = d.events_dropped as f64 / secs;
         let _ = writeln!(
             out,
-            "{:>4} {:>5.1}% {:>12} {:>10.0} {:>9} {:>8} {:>8} {:>7}",
+            "{:>4} {:>5.1}% {:>12} {:>10.0} {:>9} {:>9} {:>8.0} {:>8} {:>8} {:>7}",
             cpu,
             100.0 * used as f64 / cap.max(1) as f64,
             c.events_logged,
             rate,
             c.events_masked,
             c.events_dropped,
+            drop_rate,
             c.cas_retries,
             c.buffer_wraps,
+            if d.events_dropped > 0 { "!drop" } else { "" },
         );
     }
     let _ = writeln!(
@@ -291,6 +307,19 @@ fn render_top(
         snap.sink.events_lost,
         snap.sink.heartbeats_emitted,
     );
+    if anomalies.is_empty() {
+        let _ = writeln!(out, "adapt: healthy");
+    } else {
+        for a in anomalies {
+            let _ = writeln!(
+                out,
+                "adapt: ANOMALY {} value {} (robust z {:.2})",
+                a.track_name(),
+                a.value,
+                a.z_milli as f64 / 1000.0,
+            );
+        }
+    }
     out
 }
 
@@ -300,9 +329,11 @@ fn top(secs: f64, ncpus: usize, refresh_ms: u64) -> ExitCode {
     let (logger, session, worker) = live_run(std::io::sink(), secs, ncpus);
     let interval = Duration::from_millis(refresh_ms.max(50));
     let mut prev = logger.telemetry().snapshot();
+    let mut detector = ktrace::adapt::Detector::default();
     while !worker.is_finished() {
         std::thread::sleep(interval);
         let snap = logger.telemetry().snapshot();
+        let anomalies = detector.observe(&snap);
         // Clear screen + home, like any terminal monitor.
         print!("\x1b[2J\x1b[H");
         println!(
@@ -312,7 +343,7 @@ fn top(secs: f64, ncpus: usize, refresh_ms: u64) -> ExitCode {
         );
         print!(
             "{}",
-            render_top(&logger, &snap, &prev, interval.as_secs_f64())
+            render_top(&logger, &snap, &prev, interval.as_secs_f64(), &anomalies)
         );
         prev = snap;
     }
@@ -386,6 +417,162 @@ fn render_session_summary(stats: &ktrace::io::SessionStats) -> String {
         stats.events_expected_in_file()
     );
     out
+}
+
+/// `ktrace-tools adapt`: the closed control loop over a live session. An
+/// ossim workload traces through a logger whose mask and sampling gate are
+/// under `ktrace-adapt` control: every interval the detector scores the
+/// logger's own telemetry, the controller escalates or recovers shed
+/// levels, and each decision lands in the trace as a `CONTROL` audit event
+/// — post-hoc provable with `ktrace-tools assert`. With `--fault` the
+/// sink is wrapped in a latency-injecting [`FaultySink`] so the drainer
+/// falls behind, drops mount, and the loop demonstrably closes.
+///
+/// Exits [`exit::ADAPT_ANOMALY`] (43) when an anomaly fired and the
+/// controller is **still shedding** after the post-run recovery grace —
+/// the operational "degraded and not recovering" signal.
+///
+/// [`FaultySink`]: ktrace::faults::FaultySink
+fn adapt_cmd(out_path: &str, secs: f64, ncpus: usize, fault: bool) -> ExitCode {
+    use ktrace::adapt::{Controller, ControllerConfig, Detector, DetectorConfig};
+    use ktrace::clock::{ClockSource, SyncClock};
+    use ktrace::faults::{FaultySink, SinkPlan};
+    use ktrace::format::MajorId;
+    use ktrace::io::{SessionConfig, TraceSession};
+    use std::io::Write;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let file = match std::fs::File::create(out_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {out_path}: {e}");
+            return ExitCode::from(exit::UNREADABLE);
+        }
+    };
+    let sink: Box<dyn Write + Send> = if fault {
+        // Healthy for the first 2 MiB — long enough for the detector to
+        // learn a quiet baseline under the paced workload below — then
+        // every record write eats a latency spike: the drainer falls
+        // behind the producer, the ring overruns, and the drop rate
+        // departs its baseline.
+        Box::new(FaultySink::new(
+            file,
+            SinkPlan::degrading_latency(7, 2 << 20, Duration::from_millis(25)),
+        ))
+    } else {
+        Box::new(std::io::BufWriter::new(file))
+    };
+
+    let clock: Arc<dyn ClockSource> = Arc::new(SyncClock::new());
+    let logger = ktrace::core::TraceLogger::builder()
+        .geometry(ktrace::core::TraceConfig {
+            buffer_words: 4096,
+            buffers_per_cpu: 8,
+            ..ktrace::core::TraceConfig::default()
+        })
+        .clock(clock.clone())
+        .ncpus(ncpus)
+        .build()
+        .expect("logger construction");
+    ktrace::events::register_all(&logger);
+    let session = TraceSession::builder()
+        .logger(logger.clone())
+        .clock(clock.clone())
+        .drain_policy(SessionConfig {
+            heartbeat: Some(Duration::from_millis(250)),
+            ..SessionConfig::default()
+        })
+        .start(sink)
+        .expect("session start");
+
+    // A *paced* workload, unlike `top`/`record`'s flat-out ossim run: a
+    // fixed event rate the healthy sink absorbs easily, so the detector's
+    // baseline really is quiet and a degraded sink is a departure rather
+    // than more of the same.
+    let worker_logger = logger.clone();
+    let deadline = Instant::now() + Duration::from_secs_f64(secs);
+    let worker = std::thread::Builder::new()
+        .name("ktrace-adapt-load".into())
+        .spawn(move || {
+            let ncpus = worker_logger.ncpus();
+            let mut seq = 0u64;
+            let mut bursts = 0u64;
+            while Instant::now() < deadline {
+                for _ in 0..800 {
+                    let cpu = (seq as usize) % ncpus;
+                    if let Ok(h) = worker_logger.handle(cpu) {
+                        h.log2(MajorId::USER, ktrace::events::user::APP_TICK, seq, bursts);
+                    }
+                    seq += 1;
+                }
+                bursts += 1;
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            seq
+        })
+        .expect("spawn workload thread");
+
+    let mut detector = Detector::new(DetectorConfig::default());
+    let mut controller = Controller::new(ControllerConfig::default());
+    let interval = Duration::from_millis(100);
+    let step_once = |detector: &mut Detector, controller: &mut Controller| {
+        let snap = logger.telemetry().snapshot();
+        let anomalies = detector.observe(&snap);
+        let r = controller.step(&logger, &anomalies);
+        for a in &anomalies {
+            println!(
+                "anomaly: {} value {} (robust z {:.2})",
+                a.track_name(),
+                a.value,
+                a.z_milli as f64 / 1000.0,
+            );
+        }
+        if r.escalated {
+            println!(
+                "controller: escalated to level {} (1-in-{} sampling on shed majors)",
+                r.level,
+                Controller::rate_for_level(r.level),
+            );
+        } else if r.de_escalated {
+            println!("controller: recovered to level {}", r.level);
+        }
+        r
+    };
+    while !worker.is_finished() {
+        std::thread::sleep(interval);
+        step_once(&mut detector, &mut controller);
+    }
+    let offered = worker.join().expect("workload thread panicked");
+    // Post-run recovery grace: the overload source is gone, so a healthy
+    // loop walks its shed levels back to 0 within a bounded number of
+    // quiet intervals. A loop still shedding after this is stuck.
+    let grace = u64::from(ktrace::adapt::MAX_LEVEL) * 2 * 3 + 4;
+    for _ in 0..grace {
+        if !controller.shedding() {
+            break;
+        }
+        std::thread::sleep(interval);
+        step_once(&mut detector, &mut controller);
+    }
+    let stats = session.finish();
+    println!("\nworkload finished: {offered} events offered at a paced rate");
+    print!("{}", render_session_summary(&stats));
+    println!(
+        "adapt: anomalies {}fired, final shed level {}{}",
+        if controller.ever_fired() {
+            ""
+        } else {
+            "never "
+        },
+        controller.level(),
+        if fault { " (fault-injected sink)" } else { "" },
+    );
+    if controller.shedding() {
+        eprintln!("error: anomaly unresolved — controller still shedding at finish");
+        return ExitCode::from(exit::ADAPT_ANOMALY);
+    }
+    ExitCode::SUCCESS
 }
 
 /// `ktrace-tools record`: headless ossim run into a trace file.
@@ -512,6 +699,19 @@ fn main() -> ExitCode {
         let secs = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2.0);
         let ncpus = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(2);
         return record(out, secs, ncpus);
+    }
+    if args.first().map(String::as_str) == Some("adapt") {
+        let Some(out) = args.get(1) else {
+            return usage();
+        };
+        let fault = args.iter().any(|a| a == "--fault");
+        let mut positional = args[2..].iter().filter(|a| *a != "--fault");
+        let secs = positional
+            .next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2.0);
+        let ncpus = positional.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+        return adapt_cmd(out, secs, ncpus, fault);
     }
     if args.first().map(String::as_str) == Some("collect") {
         let Some(store) = args.get(1) else {

@@ -63,6 +63,7 @@
 //! assert_eq!(desc.describe(&ev.payload).unwrap(), "request 42 took 1337 ns");
 //! ```
 
+pub use ktrace_adapt as adapt;
 pub use ktrace_analysis as analysis;
 pub use ktrace_baselines as baselines;
 pub use ktrace_clock as clock;
@@ -84,6 +85,7 @@ pub use ktrace_format::exit;
 
 /// The names needed by typical users of the tracing facility.
 pub mod prelude {
+    pub use ktrace_adapt::{Controller, ControllerConfig, Detector, DetectorConfig};
     pub use ktrace_analysis::{
         render_listing, Breakdown, ListingOptions, LockStats, PcProfile, Timeline, TimelineOptions,
         Trace,

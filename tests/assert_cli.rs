@@ -91,8 +91,8 @@ fn each_property_fires_with_its_own_exit_code() {
     });
     let (code, stdout, _) = run_assert(&clean, &["--spec", spec]);
     assert_eq!(code, 0, "clean trace must pass the full spec:\n{stdout}");
-    assert_eq!(stdout.matches("PASS ").count(), 4, "{stdout}");
-    assert!(stdout.contains("4 assertion(s) checked"), "{stdout}");
+    assert_eq!(stdout.matches("PASS ").count(), 5, "{stdout}");
+    assert!(stdout.contains("5 assertion(s) checked"), "{stdout}");
     assert!(stdout.contains("0 violation(s)"), "{stdout}");
 
     // 36: a drop marker in the stream violates the count bound.
